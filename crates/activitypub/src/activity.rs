@@ -1,0 +1,115 @@
+//! The activity vocabulary.
+//!
+//! A real ActivityPub implementation carries JSON-LD documents; we carry a
+//! typed enum that serializes to JSON on the wire (see [`crate::transport`]),
+//! which preserves the shape of the protocol — servers parse bytes off the
+//! transport, not in-process pointers — without dragging in JSON-LD.
+
+use crate::actor::ActorUri;
+use flock_core::Day;
+use serde::{Deserialize, Serialize};
+
+/// A piece of content (a Mastodon status, ActivityPub `Note`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Note {
+    /// Globally unique note id (allocated by the publishing instance).
+    pub id: u64,
+    /// The author.
+    pub attributed_to: ActorUri,
+    /// Post body.
+    pub content: String,
+    /// Publication day.
+    pub published: Day,
+}
+
+/// The subset of ActivityStreams activities the paper's mechanics exercise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Activity {
+    /// `actor` asks to follow `object`.
+    Follow { actor: ActorUri, object: ActorUri },
+    /// `actor` (the followee's instance) accepts a follow request.
+    Accept { actor: ActorUri, object: ActorUri },
+    /// The follow was rejected (e.g. the target has moved away).
+    Reject { actor: ActorUri, object: ActorUri },
+    /// `actor` publishes a note; fanned out to follower instances.
+    Create { actor: ActorUri, note: Note },
+    /// `actor` boosts (`Announce`s) a note.
+    Announce { actor: ActorUri, note_id: u64, origin: ActorUri },
+    /// `actor` moves their account to `target`. Follower instances respond
+    /// by unfollowing `actor` and following `target` on behalf of their
+    /// local followers.
+    Move { actor: ActorUri, target: ActorUri },
+    /// `actor` retracts a previous follow of `object`.
+    UndoFollow { actor: ActorUri, object: ActorUri },
+}
+
+impl Activity {
+    /// The actor performing the activity.
+    pub fn actor(&self) -> &ActorUri {
+        match self {
+            Activity::Follow { actor, .. }
+            | Activity::Accept { actor, .. }
+            | Activity::Reject { actor, .. }
+            | Activity::Create { actor, .. }
+            | Activity::Announce { actor, .. }
+            | Activity::Move { actor, .. }
+            | Activity::UndoFollow { actor, .. } => actor,
+        }
+    }
+
+    /// Short kind tag, for logs and counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Activity::Follow { .. } => "Follow",
+            Activity::Accept { .. } => "Accept",
+            Activity::Reject { .. } => "Reject",
+            Activity::Create { .. } => "Create",
+            Activity::Announce { .. } => "Announce",
+            Activity::Move { .. } => "Move",
+            Activity::UndoFollow { .. } => "Undo(Follow)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uri(n: &str) -> ActorUri {
+        ActorUri::new(n, "inst.example")
+    }
+
+    #[test]
+    fn actor_accessor_covers_all_variants() {
+        let a = uri("a");
+        let b = uri("b");
+        let note = Note {
+            id: 1,
+            attributed_to: a.clone(),
+            content: "hi".into(),
+            published: Day(0),
+        };
+        let acts = [
+            Activity::Follow { actor: a.clone(), object: b.clone() },
+            Activity::Accept { actor: a.clone(), object: b.clone() },
+            Activity::Reject { actor: a.clone(), object: b.clone() },
+            Activity::Create { actor: a.clone(), note },
+            Activity::Announce { actor: a.clone(), note_id: 1, origin: b.clone() },
+            Activity::Move { actor: a.clone(), target: b.clone() },
+            Activity::UndoFollow { actor: a.clone(), object: b },
+        ];
+        for act in &acts {
+            assert_eq!(act.actor(), &a);
+            assert!(!act.kind().is_empty());
+        }
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let a = uri("a");
+        let b = uri("b");
+        let f = Activity::Follow { actor: a.clone(), object: b.clone() };
+        let u = Activity::UndoFollow { actor: a, object: b };
+        assert_ne!(f.kind(), u.kind());
+    }
+}

@@ -1,0 +1,202 @@
+//! Randomized operation-sequence tests: whatever mix of follows, unfollows,
+//! notes, boosts and moves is thrown at the network — over a lossless or a
+//! lossy transport — the social graph must end in a consistent state.
+
+use flock_activitypub::prelude::*;
+use flock_activitypub::transport::TransportConfig;
+use flock_core::{Day, DetRng};
+
+/// After quiescence on a lossless transport, following/followers must be
+/// perfect mirrors of each other.
+fn assert_mirrored(net: &FediverseNetwork, actors: &[ActorUri]) {
+    for a in actors {
+        for b in net.following_of(a).unwrap() {
+            assert!(
+                net.followers_of(b)
+                    .map(|f| f.contains(a))
+                    .unwrap_or(false),
+                "{a} follows {b} but is not in its followers"
+            );
+        }
+        for f in net.followers_of(a).unwrap() {
+            assert!(
+                net.following_of(f)
+                    .map(|fl| fl.contains(a))
+                    .unwrap_or(false),
+                "{f} listed as follower of {a} but does not follow it"
+            );
+        }
+    }
+}
+
+fn build_actors(net: &mut FediverseNetwork, n: usize) -> Vec<ActorUri> {
+    (0..n)
+        .map(|i| {
+            net.register_actor(&format!("u{i}"), &format!("inst{}.example", i % 7))
+                .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn random_follow_unfollow_sequences_stay_mirrored() {
+    for seed in 0..5 {
+        let mut net = FediverseNetwork::new(NetworkConfig::default(), seed);
+        let actors = build_actors(&mut net, 30);
+        let mut rng = DetRng::new(seed ^ 0xF00);
+        for _ in 0..400 {
+            let a = &actors[rng.below_usize(actors.len())];
+            let b = &actors[rng.below_usize(actors.len())];
+            if a == b {
+                continue;
+            }
+            if rng.chance(0.7) {
+                net.follow(a, b).unwrap();
+            } else {
+                net.undo_follow(a, b).unwrap();
+            }
+            if rng.chance(0.2) {
+                net.run_to_quiescence(64);
+            }
+        }
+        net.run_to_quiescence(256);
+        assert_mirrored(&net, &actors);
+    }
+}
+
+#[test]
+fn random_sequences_with_moves_stay_mirrored() {
+    let mut net = FediverseNetwork::new(NetworkConfig::default(), 9);
+    let actors = build_actors(&mut net, 25);
+    let mut rng = DetRng::new(0xBEEF);
+    // Build a social graph.
+    for _ in 0..300 {
+        let a = &actors[rng.below_usize(actors.len())];
+        let b = &actors[rng.below_usize(actors.len())];
+        if a != b {
+            net.follow(a, b).unwrap();
+        }
+    }
+    net.run_to_quiescence(256);
+
+    // Move a handful of accounts, interleaved with more follows.
+    let mut all = actors.clone();
+    for k in 0..5 {
+        let old = actors[k * 3].clone();
+        let new = net
+            .register_actor(&format!("moved{k}"), "newhome.example")
+            .unwrap();
+        net.set_also_known_as(&new, &old).unwrap();
+        // The mover re-follows from the new identity first.
+        for f in net.following_of(&old).unwrap().to_vec() {
+            net.undo_follow(&old, &f).unwrap();
+            net.follow(&new, &f).unwrap();
+        }
+        net.move_account(&old, &new).unwrap();
+        net.run_to_quiescence(256);
+        all.push(new);
+        // Interleave unrelated follows; follows from/of moved accounts are
+        // rejected with Forbidden, which is the correct behaviour.
+        for _ in 0..20 {
+            let a = &actors[rng.below_usize(actors.len())];
+            let b = &actors[rng.below_usize(actors.len())];
+            if a != b {
+                match net.follow(a, b) {
+                    Ok(()) => {}
+                    Err(flock_core::FlockError::Forbidden(_)) => {}
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }
+        net.run_to_quiescence(256);
+    }
+    assert_mirrored(&net, &all);
+    // Moved accounts hold no relationships.
+    for k in 0..5 {
+        let old = &actors[k * 3];
+        assert!(net.followers_of(old).unwrap().is_empty());
+        assert!(net.following_of(old).unwrap().is_empty());
+    }
+}
+
+#[test]
+fn lossy_transport_converges_to_the_lossless_graph() {
+    // The same logical operation sequence over a lossless and a lossy
+    // (retrying) transport must produce the same final relationships.
+    let run = |loss: f64| {
+        let config = NetworkConfig {
+            transport: TransportConfig {
+                loss_probability: loss,
+                max_attempts: 64,
+                latency_steps: 1,
+            },
+        };
+        let mut net = FediverseNetwork::new(config, 7);
+        let actors = build_actors(&mut net, 20);
+        let mut rng = DetRng::new(0xD1CE);
+        for _ in 0..250 {
+            let a = &actors[rng.below_usize(actors.len())];
+            let b = &actors[rng.below_usize(actors.len())];
+            if a != b {
+                net.follow(a, b).unwrap();
+            }
+        }
+        net.run_to_quiescence(5_000);
+        assert!(net.transport_stats().dead_lettered == 0, "retries exhausted");
+        let mut edges: Vec<(String, String)> = actors
+            .iter()
+            .flat_map(|a| {
+                net.following_of(a)
+                    .unwrap()
+                    .iter()
+                    .map(|b| (a.to_string(), b.to_string()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        edges.sort();
+        edges
+    };
+    let lossless = run(0.0);
+    let lossy = run(0.45);
+    assert_eq!(lossless, lossy, "loss+retry changed the final graph");
+}
+
+#[test]
+fn notes_and_boosts_never_corrupt_relationships() {
+    let mut net = FediverseNetwork::new(NetworkConfig::default(), 3);
+    let actors = build_actors(&mut net, 15);
+    let mut rng = DetRng::new(0xCAFE);
+    let mut note_ids = Vec::new();
+    for step in 0..300 {
+        let a = &actors[rng.below_usize(actors.len())];
+        match rng.below(4) {
+            0 => {
+                let b = &actors[rng.below_usize(actors.len())];
+                if a != b {
+                    net.follow(a, b).unwrap();
+                }
+            }
+            1 => {
+                let id = net
+                    .publish_note(a, &format!("note {step}"), Day(30))
+                    .unwrap();
+                note_ids.push((id, a.clone()));
+            }
+            2 if !note_ids.is_empty() => {
+                let (id, origin) = &note_ids[rng.below_usize(note_ids.len())];
+                net.boost(a, *id, origin).unwrap();
+            }
+            _ => {
+                net.run_to_quiescence(64);
+            }
+        }
+    }
+    net.run_to_quiescence(512);
+    assert_mirrored(&net, &actors);
+    // Federated timelines only hold notes by remote authors.
+    for domain in ["inst0.example", "inst3.example"] {
+        for note in net.federated_timeline(domain).unwrap() {
+            assert_ne!(note.attributed_to.domain, domain, "local note federated to itself");
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Retention — the paper's §8 future-work question, implemented.
+//!
+//! *"We would like to further investigate whether migrating users retain
+//! their Mastodon accounts or return to Twitter, and whether new users are
+//! joining the migration wave."*
+//!
+//! With both timelines in hand this is answerable directly:
+//!
+//! * a user **retains** Mastodon if they still post statuses in the last
+//!   week of the window;
+//! * a user **returned to Twitter** if they went quiet on Mastodon while
+//!   still tweeting;
+//! * **new-wave joiners** are accounts created in the final stretch of the
+//!   window (after the resignation bump).
+
+use crate::util::first_created_day;
+use flock_core::{Day, MastodonHandle, TwitterUserId};
+use flock_crawler::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How a migrated user's cross-platform behaviour settled by the end of
+/// the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RetentionClass {
+    /// Posting on both platforms in the final week.
+    DualCitizen,
+    /// Mastodon-active, Twitter-quiet: actually moved.
+    FullyMigrated,
+    /// Twitter-active, Mastodon-quiet: returned.
+    Returned,
+    /// Quiet everywhere (or uncrawlable).
+    Dormant,
+}
+
+/// The retention report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RetentionReport {
+    /// Class counts over users with at least one crawled timeline.
+    pub counts: HashMap<RetentionClass, usize>,
+    /// Share of users still posting statuses in the last week, among users
+    /// who ever posted a status.
+    pub mastodon_retention_pct: f64,
+    /// Share of status-posting users who went quiet on Mastodon but kept
+    /// tweeting.
+    pub returned_pct: f64,
+    /// Share of (dated) accounts created after the resignation wave — the
+    /// late joiners still arriving at the window's end.
+    pub late_joiner_pct: f64,
+    /// Weekly count of users with ≥1 status, per week offset from the
+    /// takeover week (index 0 = takeover week) — the retention curve.
+    pub weekly_active_users: Vec<usize>,
+    pub n_users: usize,
+}
+
+/// The last seven days of the study window.
+fn last_week(day: Day) -> bool {
+    day > Day::STUDY_END - 7
+}
+
+/// Compute the retention report.
+pub fn retention(ds: &Dataset) -> RetentionReport {
+    let handle_by_user: HashMap<TwitterUserId, &MastodonHandle> = ds
+        .matched
+        .iter()
+        .map(|m| (m.twitter_id, &m.resolved_handle))
+        .collect();
+
+    let mut counts: HashMap<RetentionClass, usize> = HashMap::new();
+    let mut ever_posted = 0usize;
+    let mut retained = 0usize;
+    let mut returned = 0usize;
+    let mut n_users = 0usize;
+
+    let takeover_week = Day::TAKEOVER.week();
+    let last_week_idx = (Day::STUDY_END.week().0 - takeover_week.0) as usize;
+    let mut weekly_active = vec![std::collections::HashSet::new(); last_week_idx + 1];
+
+    for m in &ds.matched {
+        let tweets = ds.twitter_timelines.get(&m.twitter_id);
+        let statuses = handle_by_user
+            .get(&m.twitter_id)
+            .and_then(|h| ds.mastodon_timelines.get(*h));
+        if tweets.is_none() && statuses.is_none() {
+            continue;
+        }
+        n_users += 1;
+        let tw_active = tweets
+            .map(|tl| tl.iter().any(|t| last_week(t.day)))
+            .unwrap_or(false);
+        let ms_active = statuses
+            .map(|sl| sl.iter().any(|s| last_week(s.day)))
+            .unwrap_or(false);
+        let class = match (tw_active, ms_active) {
+            (true, true) => RetentionClass::DualCitizen,
+            (false, true) => RetentionClass::FullyMigrated,
+            (true, false) => RetentionClass::Returned,
+            (false, false) => RetentionClass::Dormant,
+        };
+        *counts.entry(class).or_insert(0) += 1;
+
+        if let Some(sl) = statuses {
+            if !sl.is_empty() {
+                ever_posted += 1;
+                if ms_active {
+                    retained += 1;
+                } else if tw_active {
+                    returned += 1;
+                }
+                for s in sl {
+                    let w = s.day.week().0 - takeover_week.0;
+                    if (0..=last_week_idx as i32).contains(&w) {
+                        weekly_active[w as usize].insert(m.twitter_id);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut dated = 0usize;
+    let mut late = 0usize;
+    for m in &ds.matched {
+        if let Some(d) = first_created_day(m) {
+            dated += 1;
+            if d >= Day::RESIGNATIONS {
+                late += 1;
+            }
+        }
+    }
+
+    RetentionReport {
+        counts,
+        mastodon_retention_pct: retained as f64 / ever_posted.max(1) as f64 * 100.0,
+        returned_pct: returned as f64 / ever_posted.max(1) as f64 * 100.0,
+        late_joiner_pct: late as f64 / dated.max(1) as f64 * 100.0,
+        weekly_active_users: weekly_active.into_iter().map(|s| s.len()).collect(),
+        n_users,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flock_apis::types::MastodonAccountObject;
+    use flock_crawler::dataset::{MatchSource, MatchedUser, TimelineStatus, TimelineTweet};
+    use flock_core::TweetId;
+
+    fn user(i: u64) -> MatchedUser {
+        let h = format!("@u{i}@x.example");
+        MatchedUser {
+            twitter_id: TwitterUserId(i),
+            twitter_username: format!("u{i}"),
+            twitter_created: Day(-4000),
+            verified: false,
+            twitter_followers: 1,
+            twitter_followees: 1,
+            handle: h.parse().unwrap(),
+            matched_via: MatchSource::Bio,
+            first_seen: None,
+            resolved_handle: h.parse().unwrap(),
+            account: Some(MastodonAccountObject {
+                handle: h.parse().unwrap(),
+                created_at: Day(28),
+                created_tod_secs: 0,
+                followers_count: 0,
+                following_count: 0,
+                statuses_count: 0,
+                moved_to: None,
+            }),
+            first_account: None,
+        }
+    }
+
+    fn tweet(day: i32) -> TimelineTweet {
+        TimelineTweet {
+            id: TweetId(0),
+            day: Day(day),
+            text: "text".into(),
+            source: "Twitter Web App".into(),
+        }
+    }
+
+    fn status(day: i32) -> TimelineStatus {
+        TimelineStatus { day: Day(day), text: "text".into() }
+    }
+
+    fn ds() -> Dataset {
+        let mut ds = Dataset::default();
+        // u0: active on both in the last week → DualCitizen.
+        ds.matched.push(user(0));
+        ds.twitter_timelines
+            .insert(TwitterUserId(0), vec![tweet(58)]);
+        ds.mastodon_timelines
+            .insert("@u0@x.example".parse().unwrap(), vec![status(30), status(59)]);
+        // u1: tweeted late, mastodon quiet after day 35 → Returned.
+        ds.matched.push(user(1));
+        ds.twitter_timelines
+            .insert(TwitterUserId(1), vec![tweet(59)]);
+        ds.mastodon_timelines
+            .insert("@u1@x.example".parse().unwrap(), vec![status(30), status(35)]);
+        // u2: only mastodon in the final week → FullyMigrated.
+        ds.matched.push(user(2));
+        ds.twitter_timelines
+            .insert(TwitterUserId(2), vec![tweet(10)]);
+        ds.mastodon_timelines
+            .insert("@u2@x.example".parse().unwrap(), vec![status(56)]);
+        // u3: silent everywhere → Dormant.
+        ds.matched.push(user(3));
+        ds.twitter_timelines
+            .insert(TwitterUserId(3), vec![tweet(5)]);
+        ds
+    }
+
+    #[test]
+    fn classes_assigned_correctly() {
+        let r = retention(&ds());
+        assert_eq!(r.n_users, 4);
+        assert_eq!(r.counts[&RetentionClass::DualCitizen], 1);
+        assert_eq!(r.counts[&RetentionClass::Returned], 1);
+        assert_eq!(r.counts[&RetentionClass::FullyMigrated], 1);
+        assert_eq!(r.counts[&RetentionClass::Dormant], 1);
+    }
+
+    #[test]
+    fn retention_and_return_rates() {
+        let r = retention(&ds());
+        // 3 users ever posted; u0 and u2 retained, u1 returned.
+        assert!((r.mastodon_retention_pct - 66.67).abs() < 0.1);
+        assert!((r.returned_pct - 33.33).abs() < 0.1);
+    }
+
+    #[test]
+    fn weekly_curve_counts_distinct_users() {
+        let r = retention(&ds());
+        assert!(!r.weekly_active_users.is_empty());
+        let total: usize = r.weekly_active_users.iter().sum();
+        assert!(total >= 3);
+    }
+
+    #[test]
+    fn late_joiners() {
+        let mut d = ds();
+        // Make u2 a late joiner.
+        if let Some(a) = &mut d.matched[2].account {
+            a.created_at = Day::RESIGNATIONS + 1;
+        }
+        let r = retention(&d);
+        assert!((r.late_joiner_pct - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let r = retention(&Dataset::default());
+        assert_eq!(r.n_users, 0);
+        assert_eq!(r.mastodon_retention_pct, 0.0);
+    }
+}

@@ -1,0 +1,363 @@
+//! RQ1 — the centralization paradox (§4, Figs. 4–6).
+
+use crate::stats::{cumulative_share, gini, top_fraction_share, Ecdf};
+use crate::util::{current_instance, first_created_day, first_instance};
+use flock_core::Day;
+use flock_crawler::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One bar of Fig. 4: a destination instance with the pre/post-takeover
+/// split of account creations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4Row {
+    pub domain: String,
+    /// Accounts created before the acquisition (the paper's 21%).
+    pub before: usize,
+    /// Accounts created on/after the acquisition day.
+    pub after: usize,
+}
+
+/// Fig. 4: the top destination instances.
+pub fn fig4_top_instances(ds: &Dataset, top_n: usize) -> Vec<Fig4Row> {
+    let mut per: HashMap<&str, (usize, usize)> = HashMap::new();
+    for m in &ds.matched {
+        let e = per.entry(first_instance(m)).or_insert((0, 0));
+        match first_created_day(m) {
+            Some(d) if !d.is_post_takeover() => e.0 += 1,
+            Some(_) => e.1 += 1,
+            // Account unreachable: creation date unknown; the paper's plot
+            // can only show what was crawled — count as post (the
+            // overwhelming majority).
+            None => e.1 += 1,
+        }
+    }
+    let mut rows: Vec<Fig4Row> = per
+        .into_iter()
+        .map(|(domain, (before, after))| Fig4Row {
+            domain: domain.to_string(),
+            before,
+            after,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        (b.before + b.after)
+            .cmp(&(a.before + a.after))
+            .then(a.domain.cmp(&b.domain))
+    });
+    rows.truncate(top_n);
+    rows
+}
+
+/// Fig. 5 + headline centralization numbers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Centralization {
+    /// `(fraction of instances, fraction of users)` curve, instances ranked
+    /// by size descending.
+    pub curve: Vec<(f64, f64)>,
+    /// Share of users on the top 25% of instances (paper: ~96%).
+    pub top_quartile_share: f64,
+    /// Gini coefficient of the instance-size distribution.
+    pub gini: f64,
+    /// Unique landing instances (paper: 2,879).
+    pub n_instances: usize,
+}
+
+/// Compute the Fig. 5 centralization curve over current instances.
+pub fn fig5_centralization(ds: &Dataset) -> Fig5Centralization {
+    let sizes = instance_sizes(ds);
+    let values: Vec<usize> = sizes.values().copied().collect();
+    Fig5Centralization {
+        curve: cumulative_share(&values),
+        top_quartile_share: top_fraction_share(&values, 0.25),
+        gini: gini(&values),
+        n_instances: values.len(),
+    }
+}
+
+/// Users per (current) instance.
+pub fn instance_sizes(ds: &Dataset) -> HashMap<String, usize> {
+    let mut sizes: HashMap<String, usize> = HashMap::new();
+    for m in &ds.matched {
+        *sizes.entry(current_instance(m).to_string()).or_insert(0) += 1;
+    }
+    sizes
+}
+
+/// One instance-size bucket of Fig. 6 with the per-user Mastodon CDFs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SizeBucket {
+    pub label: String,
+    pub n_instances: usize,
+    pub n_users: usize,
+    pub followers: Ecdf,
+    pub followees: Ecdf,
+    pub statuses: Ecdf,
+}
+
+/// Fig. 6 and the single-user-instance paradox numbers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6InstanceSizes {
+    /// Fig. 6a: `(user_count, n_instances)` pairs, ascending by size — the
+    /// distribution of instances with respect to number of users.
+    pub size_histogram: Vec<(usize, usize)>,
+    /// Buckets ordered small → large.
+    pub buckets: Vec<SizeBucket>,
+    /// Fraction of instances with exactly one user (paper: 13.16%).
+    pub single_user_instance_fraction: f64,
+    /// Mean follower advantage of single-user-instance users vs the rest,
+    /// in percent (paper: +64.88%).
+    pub single_vs_rest_followers_pct: f64,
+    /// Followee advantage (paper: +99.04%).
+    pub single_vs_rest_followees_pct: f64,
+    /// Status advantage (paper: +121.14%).
+    pub single_vs_rest_statuses_pct: f64,
+    /// Share of matched users entering the analysis (post-takeover joiners
+    /// with ≥ 30-day-old accounts; paper: 50.59%).
+    pub analyzed_user_fraction: f64,
+}
+
+/// The §4 account-age filter: joined after the acquisition, account at
+/// least 30 days old at crawl time (the end of the study window).
+fn in_age_window(created: Day) -> bool {
+    created.is_post_takeover() && (Day::STUDY_END - created) >= 30
+}
+
+/// Compute Fig. 6.
+pub fn fig6_size_analysis(ds: &Dataset) -> Fig6InstanceSizes {
+    let sizes = instance_sizes(ds);
+    // Eligible users with account data.
+    struct U {
+        instance_size: usize,
+        followers: f64,
+        followees: f64,
+        statuses: f64,
+    }
+    let mut eligible: Vec<U> = Vec::new();
+    let mut total_matched = 0usize;
+    for m in &ds.matched {
+        total_matched += 1;
+        let Some(acct) = &m.account else { continue };
+        let Some(created) = first_created_day(m) else { continue };
+        if !in_age_window(created) {
+            continue;
+        }
+        let size = sizes.get(current_instance(m)).copied().unwrap_or(1);
+        eligible.push(U {
+            instance_size: size,
+            followers: acct.followers_count as f64,
+            followees: acct.following_count as f64,
+            statuses: acct.statuses_count as f64,
+        });
+    }
+
+    let bucket_defs: [(&str, fn(usize) -> bool); 4] = [
+        ("1 user", |s| s == 1),
+        ("2-10 users", |s| (2..=10).contains(&s)),
+        ("11-100 users", |s| (11..=100).contains(&s)),
+        (">100 users", |s| s > 100),
+    ];
+    let buckets: Vec<SizeBucket> = bucket_defs
+        .iter()
+        .map(|(label, pred)| {
+            let us: Vec<&U> = eligible.iter().filter(|u| pred(u.instance_size)).collect();
+            let n_instances = sizes.values().filter(|&&s| pred(s)).count();
+            SizeBucket {
+                label: (*label).to_string(),
+                n_instances,
+                n_users: us.len(),
+                followers: Ecdf::new(us.iter().map(|u| u.followers).collect()),
+                followees: Ecdf::new(us.iter().map(|u| u.followees).collect()),
+                statuses: Ecdf::new(us.iter().map(|u| u.statuses).collect()),
+            }
+        })
+        .collect();
+
+    let single_users: Vec<&U> = eligible.iter().filter(|u| u.instance_size == 1).collect();
+    let rest: Vec<&U> = eligible.iter().filter(|u| u.instance_size > 1).collect();
+    // 5%-trimmed mean: the singleton bucket is small at sub-paper scales,
+    // and one verified celebrity otherwise dominates the average.
+    let trimmed_mean = |mut v: Vec<f64>| -> f64 {
+        if v.is_empty() {
+            return 0.0;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let k = v.len() / 20;
+        let core = &v[k..v.len() - k];
+        core.iter().sum::<f64>() / core.len().max(1) as f64
+    };
+    let pct_adv = |f: fn(&U) -> f64| -> f64 {
+        if single_users.is_empty() || rest.is_empty() {
+            return 0.0;
+        }
+        let single_mean = trimmed_mean(single_users.iter().map(|u| f(u)).collect());
+        let rest_mean = trimmed_mean(rest.iter().map(|u| f(u)).collect());
+        if rest_mean == 0.0 {
+            0.0
+        } else {
+            (single_mean / rest_mean - 1.0) * 100.0
+        }
+    };
+
+    let mut histogram: HashMap<usize, usize> = HashMap::new();
+    for &s in sizes.values() {
+        *histogram.entry(s).or_insert(0) += 1;
+    }
+    let mut size_histogram: Vec<(usize, usize)> = histogram.into_iter().collect();
+    size_histogram.sort_unstable();
+
+    Fig6InstanceSizes {
+        size_histogram,
+        single_user_instance_fraction: if sizes.is_empty() {
+            0.0
+        } else {
+            sizes.values().filter(|&&s| s == 1).count() as f64 / sizes.len() as f64
+        },
+        single_vs_rest_followers_pct: pct_adv(|u| u.followers),
+        single_vs_rest_followees_pct: pct_adv(|u| u.followees),
+        single_vs_rest_statuses_pct: pct_adv(|u| u.statuses),
+        analyzed_user_fraction: if total_matched == 0 {
+            0.0
+        } else {
+            eligible.len() as f64 / total_matched as f64
+        },
+        buckets,
+    }
+}
+
+/// Fraction of accounts created before the takeover (paper: 21%).
+pub fn pre_takeover_account_fraction(ds: &Dataset) -> f64 {
+    let mut known = 0usize;
+    let mut before = 0usize;
+    for m in &ds.matched {
+        if let Some(d) = first_created_day(m) {
+            known += 1;
+            if !d.is_post_takeover() {
+                before += 1;
+            }
+        }
+    }
+    if known == 0 {
+        0.0
+    } else {
+        before as f64 / known as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flock_apis::types::MastodonAccountObject;
+    use flock_core::TwitterUserId;
+    use flock_crawler::dataset::{MatchSource, MatchedUser};
+
+    fn user(i: u64, instance: &str, created: Day, followers: u64, statuses: u64) -> MatchedUser {
+        let handle = format!("@u{i}@{instance}").parse().unwrap();
+        MatchedUser {
+            twitter_id: TwitterUserId(i),
+            twitter_username: format!("u{i}"),
+            twitter_created: Day(-1000),
+            verified: false,
+            twitter_followers: 100,
+            twitter_followees: 100,
+            handle: format!("@u{i}@{instance}").parse().unwrap(),
+            matched_via: MatchSource::Bio,
+            first_seen: None,
+            resolved_handle: format!("@u{i}@{instance}").parse().unwrap(),
+            account: Some(MastodonAccountObject {
+                handle,
+                created_at: created,
+                created_tod_secs: (i % 86_400) as u32,
+                followers_count: followers,
+                following_count: followers,
+                statuses_count: statuses,
+                moved_to: None,
+            }),
+            first_account: None,
+        }
+    }
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::default();
+        // 6 users on the flagship, 2 on a mid instance, 2 single-user
+        // instances with very active users.
+        for i in 0..6 {
+            ds.matched
+                .push(user(i, "mastodon.social", Day(27), 10, 20));
+        }
+        ds.matched.push(user(10, "mid.example", Day(28), 12, 25));
+        ds.matched.push(user(11, "mid.example", Day(20), 15, 30)); // pre-takeover
+        ds.matched.push(user(20, "solo-one.example", Day(28), 50, 90));
+        ds.matched.push(user(21, "solo-two.example", Day(29), 40, 80));
+        ds
+    }
+
+    #[test]
+    fn fig4_ranks_and_splits() {
+        let ds = dataset();
+        let rows = fig4_top_instances(&ds, 30);
+        assert_eq!(rows[0].domain, "mastodon.social");
+        assert_eq!(rows[0].after, 6);
+        assert_eq!(rows[0].before, 0);
+        let mid = rows.iter().find(|r| r.domain == "mid.example").unwrap();
+        assert_eq!(mid.before, 1);
+        assert_eq!(mid.after, 1);
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn fig5_curve_and_quartile() {
+        let ds = dataset();
+        let c = fig5_centralization(&ds);
+        assert_eq!(c.n_instances, 4);
+        // Top 25% of instances = the flagship with 6/10 users.
+        assert!((c.top_quartile_share - 0.6).abs() < 1e-9);
+        assert!(c.gini > 0.0);
+        assert_eq!(c.curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn fig6_buckets_and_paradox() {
+        let ds = dataset();
+        let f = fig6_size_analysis(&ds);
+        // 2 of 4 instances are single-user.
+        assert!((f.single_user_instance_fraction - 0.5).abs() < 1e-9);
+        // Single-user-instance users are far more active.
+        assert!(f.single_vs_rest_statuses_pct > 100.0);
+        assert!(f.single_vs_rest_followers_pct > 50.0);
+        let single = &f.buckets[0];
+        assert_eq!(single.label, "1 user");
+        assert_eq!(single.n_users, 2);
+        // The pre-takeover user (day 20) is excluded from eligibility.
+        let total_bucket_users: usize = f.buckets.iter().map(|b| b.n_users).sum();
+        assert_eq!(total_bucket_users, 9);
+        // Fig. 6a histogram: two singletons, one 2-user, one 6-user instance.
+        assert_eq!(f.size_histogram, vec![(1, 2), (2, 1), (6, 1)]);
+    }
+
+    #[test]
+    fn pre_takeover_fraction() {
+        let ds = dataset();
+        let f = pre_takeover_account_fraction(&ds);
+        assert!((f - 0.1).abs() < 1e-9, "{f}");
+    }
+
+    #[test]
+    fn age_window() {
+        assert!(in_age_window(Day(26)));
+        assert!(in_age_window(Day(30)));
+        assert!(!in_age_window(Day(31))); // younger than 30 days at crawl
+        assert!(!in_age_window(Day(20))); // pre-takeover
+    }
+
+    #[test]
+    fn empty_dataset_is_safe() {
+        let ds = Dataset::default();
+        assert!(fig4_top_instances(&ds, 30).is_empty());
+        let c = fig5_centralization(&ds);
+        assert_eq!(c.n_instances, 0);
+        let f = fig6_size_analysis(&ds);
+        assert_eq!(f.single_user_instance_fraction, 0.0);
+        assert_eq!(pre_takeover_account_fraction(&ds), 0.0);
+    }
+}

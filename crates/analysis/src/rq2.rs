@@ -1,0 +1,494 @@
+//! RQ2 — social-network influence on migration (§5, Figs. 7–10).
+
+use crate::stats::{mean, Ecdf};
+use crate::util::{first_created, first_instance, switch_day};
+use flock_core::{Day, TwitterUserId};
+use flock_crawler::dataset::{Dataset, MatchedUser};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Fig. 7 + the §5.1 size-of-network statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7SocialNetworks {
+    pub twitter_followers: Ecdf,
+    pub twitter_followees: Ecdf,
+    pub mastodon_followers: Ecdf,
+    pub mastodon_followees: Ecdf,
+    /// Paper medians: 744 / 787 (Twitter), 38 / 48 (Mastodon).
+    pub twitter_follower_median: f64,
+    pub twitter_followee_median: f64,
+    pub mastodon_follower_median: f64,
+    pub mastodon_followee_median: f64,
+    /// Paper: 0.11% / 0.35% on Twitter; 6.01% / 3.6% on Mastodon.
+    pub twitter_no_followers_pct: f64,
+    pub twitter_no_followees_pct: f64,
+    pub mastodon_no_followers_pct: f64,
+    pub mastodon_no_followees_pct: f64,
+    /// Users with *more* followers on Mastodon than Twitter (paper: 1.65%).
+    pub more_on_mastodon_pct: f64,
+    /// Median account ages (paper: 11.5 years vs ~35 days).
+    pub twitter_median_age_years: f64,
+    pub mastodon_median_age_days: f64,
+}
+
+/// Compute Fig. 7 over every matched user with a reachable account.
+pub fn fig7_social_networks(ds: &Dataset) -> Fig7SocialNetworks {
+    let tw_followers = Ecdf::new(ds.matched.iter().map(|m| m.twitter_followers as f64).collect());
+    let tw_followees = Ecdf::new(ds.matched.iter().map(|m| m.twitter_followees as f64).collect());
+    let with_account: Vec<&MatchedUser> =
+        ds.matched.iter().filter(|m| m.account.is_some()).collect();
+    let ms_followers = Ecdf::new(
+        with_account
+            .iter()
+            .map(|m| m.account.as_ref().unwrap().followers_count as f64)
+            .collect(),
+    );
+    let ms_followees = Ecdf::new(
+        with_account
+            .iter()
+            .map(|m| m.account.as_ref().unwrap().following_count as f64)
+            .collect(),
+    );
+    let more = with_account
+        .iter()
+        .filter(|m| m.account.as_ref().unwrap().followers_count > m.twitter_followers)
+        .count() as f64
+        / with_account.len().max(1) as f64;
+    let tw_ages = Ecdf::new(
+        ds.matched
+            .iter()
+            .map(|m| f64::from(Day::STUDY_END - m.twitter_created) / 365.0)
+            .collect(),
+    );
+    let ms_ages = Ecdf::new(
+        ds.matched
+            .iter()
+            .filter_map(first_created)
+            .map(|(d, _)| f64::from(Day::STUDY_END - d))
+            .collect(),
+    );
+    Fig7SocialNetworks {
+        twitter_follower_median: if tw_followers.is_empty() { 0.0 } else { tw_followers.median() },
+        twitter_followee_median: if tw_followees.is_empty() { 0.0 } else { tw_followees.median() },
+        mastodon_follower_median: if ms_followers.is_empty() { 0.0 } else { ms_followers.median() },
+        mastodon_followee_median: if ms_followees.is_empty() { 0.0 } else { ms_followees.median() },
+        twitter_no_followers_pct: tw_followers.fraction_zero() * 100.0,
+        twitter_no_followees_pct: tw_followees.fraction_zero() * 100.0,
+        mastodon_no_followers_pct: ms_followers.fraction_zero() * 100.0,
+        mastodon_no_followees_pct: ms_followees.fraction_zero() * 100.0,
+        more_on_mastodon_pct: more * 100.0,
+        twitter_median_age_years: if tw_ages.is_empty() { 0.0 } else { tw_ages.median() },
+        mastodon_median_age_days: if ms_ages.is_empty() { 0.0 } else { ms_ages.median() },
+        twitter_followers: tw_followers,
+        twitter_followees: tw_followees,
+        mastodon_followers: ms_followers,
+        mastodon_followees: ms_followees,
+    }
+}
+
+/// Fig. 8 + the §5.2 migration-influence statistics, over the §3.3 sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8Influence {
+    /// CDF (i): fraction of each user's followees that migrated.
+    pub frac_migrated: Ecdf,
+    /// CDF (ii): fraction that migrated *before* the user.
+    pub frac_migrated_before: Ecdf,
+    /// CDF (iii): fraction that chose the same instance.
+    pub frac_same_instance: Ecdf,
+    /// Mean of CDF (i) (paper: 5.99%).
+    pub mean_migrated_pct: f64,
+    /// Users none of whose followees migrated (paper: 3.94%).
+    pub none_migrated_pct: f64,
+    /// Users who were the first of their ego network to move (paper: 4.98%).
+    pub first_mover_pct: f64,
+    /// Users who were the last (paper: 4.58%).
+    pub last_mover_pct: f64,
+    /// Mean share of *migrated* followees that moved before the user
+    /// (paper: 45.76%).
+    pub mean_migrated_before_pct: f64,
+    /// Mean share of migrated followees on the user's instance
+    /// (paper: 14.72%).
+    pub mean_same_instance_pct: f64,
+    /// Of users whose followees co-locate, the share on mastodon.social
+    /// (paper: 30.68%).
+    pub same_instance_on_flagship_pct: f64,
+    /// Sample size.
+    pub n_sampled: usize,
+}
+
+/// Compute Fig. 8 over the followee sample.
+pub fn fig8_influence(ds: &Dataset) -> Fig8Influence {
+    let by_id: HashMap<TwitterUserId, &MatchedUser> =
+        ds.matched.iter().map(|m| (m.twitter_id, m)).collect();
+
+    let mut frac_migrated = Vec::new();
+    let mut frac_before = Vec::new();
+    let mut frac_same = Vec::new();
+    let mut migrated_before_of_migrated = Vec::new();
+    let mut same_instance_of_migrated = Vec::new();
+    let mut first_movers = 0usize;
+    let mut last_movers = 0usize;
+    let mut users_with_colocating = 0usize;
+    let mut colocating_on_flagship = 0usize;
+    let mut n = 0usize;
+
+    for (id, rec) in &ds.followees {
+        let Some(me) = by_id.get(id) else { continue };
+        if rec.twitter.is_empty() {
+            continue;
+        }
+        n += 1;
+        let my_created = first_created(me);
+        let my_instance = first_instance(me);
+        let migrated: Vec<&MatchedUser> = rec
+            .twitter
+            .iter()
+            .filter_map(|f| by_id.get(f).copied())
+            .collect();
+        let total = rec.twitter.len() as f64;
+        frac_migrated.push(migrated.len() as f64 / total);
+        if migrated.is_empty() {
+            frac_before.push(0.0);
+            frac_same.push(0.0);
+            continue;
+        }
+        let before = migrated
+            .iter()
+            .filter(|f| match (first_created(f), my_created) {
+                (Some(fd), Some(md)) => fd < md,
+                _ => false,
+            })
+            .count();
+        let same = migrated
+            .iter()
+            .filter(|f| first_instance(f) == my_instance)
+            .count();
+        frac_before.push(before as f64 / total);
+        frac_same.push(same as f64 / total);
+        migrated_before_of_migrated.push(before as f64 / migrated.len() as f64);
+        same_instance_of_migrated.push(same as f64 / migrated.len() as f64);
+        if before == 0 {
+            first_movers += 1;
+        }
+        if before == migrated.len() {
+            last_movers += 1;
+        }
+        if same > 0 {
+            users_with_colocating += 1;
+            if my_instance == "mastodon.social" {
+                colocating_on_flagship += 1;
+            }
+        }
+    }
+
+    Fig8Influence {
+        mean_migrated_pct: mean(frac_migrated.iter().copied()) * 100.0,
+        none_migrated_pct: frac_migrated.iter().filter(|f| **f == 0.0).count() as f64
+            / frac_migrated.len().max(1) as f64
+            * 100.0,
+        first_mover_pct: first_movers as f64 / n.max(1) as f64 * 100.0,
+        last_mover_pct: last_movers as f64 / n.max(1) as f64 * 100.0,
+        mean_migrated_before_pct: mean(migrated_before_of_migrated.iter().copied()) * 100.0,
+        mean_same_instance_pct: mean(same_instance_of_migrated.iter().copied()) * 100.0,
+        same_instance_on_flagship_pct: colocating_on_flagship as f64
+            / users_with_colocating.max(1) as f64
+            * 100.0,
+        n_sampled: n,
+        frac_migrated: Ecdf::new(frac_migrated),
+        frac_migrated_before: Ecdf::new(frac_before),
+        frac_same_instance: Ecdf::new(frac_same),
+    }
+}
+
+/// One flow of the Fig. 9 chord diagram.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwitchFlow {
+    pub from: String,
+    pub to: String,
+    pub count: usize,
+}
+
+/// Fig. 9 + the §5.3 switching statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Switching {
+    /// Flows sorted by count descending (the chord-plot data).
+    pub flows: Vec<SwitchFlow>,
+    /// Share of users who switched (paper: 4.09%).
+    pub switcher_pct: f64,
+    /// Share of switches that happened post-takeover (paper: 97.22%).
+    pub post_takeover_pct: f64,
+    pub n_switchers: usize,
+}
+
+/// Compute Fig. 9.
+pub fn fig9_switching(ds: &Dataset) -> Fig9Switching {
+    let mut flows: HashMap<(String, String), usize> = HashMap::new();
+    let mut post = 0usize;
+    let mut dated = 0usize;
+    let switchers: Vec<&MatchedUser> = ds.matched.iter().filter(|m| m.switched()).collect();
+    for m in &switchers {
+        *flows
+            .entry((
+                m.handle.instance().to_string(),
+                m.resolved_handle.instance().to_string(),
+            ))
+            .or_insert(0) += 1;
+        if let Some(d) = switch_day(m) {
+            dated += 1;
+            if d.0.is_post_takeover() {
+                post += 1;
+            }
+        }
+    }
+    let mut flows: Vec<SwitchFlow> = flows
+        .into_iter()
+        .map(|((from, to), count)| SwitchFlow { from, to, count })
+        .collect();
+    flows.sort_by(|a, b| b.count.cmp(&a.count).then(a.from.cmp(&b.from)));
+    Fig9Switching {
+        switcher_pct: switchers.len() as f64 / ds.matched.len().max(1) as f64 * 100.0,
+        post_takeover_pct: post as f64 / dated.max(1) as f64 * 100.0,
+        n_switchers: switchers.len(),
+        flows,
+    }
+}
+
+/// Fig. 10: the switchers' ego networks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10SwitcherInfluence {
+    /// CDF (i): fraction of migrated followees at the *first* instance.
+    pub frac_at_first: Ecdf,
+    /// CDF (ii): fraction at the *second* instance.
+    pub frac_at_second: Ecdf,
+    /// CDF (iii): fraction that reached the second instance *before* the
+    /// switcher.
+    pub frac_at_second_before: Ecdf,
+    /// Paper: 11.4% (first) vs 46.98% (second).
+    pub mean_at_first_pct: f64,
+    pub mean_at_second_pct: f64,
+    /// Of followees at the second instance, mean share that arrived before
+    /// the switcher (paper: 77.42%).
+    pub mean_second_before_pct: f64,
+    pub n_switchers_with_followees: usize,
+}
+
+/// Compute Fig. 10 over switchers present in the followee sample.
+pub fn fig10_switcher_influence(ds: &Dataset) -> Fig10SwitcherInfluence {
+    let by_id: HashMap<TwitterUserId, &MatchedUser> =
+        ds.matched.iter().map(|m| (m.twitter_id, m)).collect();
+    let mut at_first = Vec::new();
+    let mut at_second = Vec::new();
+    let mut at_second_before = Vec::new();
+    let mut second_before_share = Vec::new();
+
+    for (id, rec) in &ds.followees {
+        let Some(me) = by_id.get(id) else { continue };
+        if !me.switched() {
+            continue;
+        }
+        let first = me.handle.instance();
+        let second = me.resolved_handle.instance();
+        let my_switch = switch_day(me);
+        let migrated: Vec<&MatchedUser> = rec
+            .twitter
+            .iter()
+            .filter_map(|f| by_id.get(f).copied())
+            .collect();
+        if migrated.is_empty() {
+            continue;
+        }
+        let total = migrated.len() as f64;
+        // A followee "is at" an instance if it is their first or current one.
+        let at = |inst: &str| {
+            migrated
+                .iter()
+                .filter(|f| {
+                    first_instance(f) == inst || f.resolved_handle.instance() == inst
+                })
+                .count()
+        };
+        let n_first = at(first);
+        let n_second = at(second);
+        at_first.push(n_first as f64 / total);
+        at_second.push(n_second as f64 / total);
+        let before = migrated
+            .iter()
+            .filter(|f| {
+                let there =
+                    first_instance(f) == second || f.resolved_handle.instance() == second;
+                let arrived = if first_instance(f) == second {
+                    first_created(f)
+                } else {
+                    switch_day(f).or_else(|| first_created(f))
+                };
+                there
+                    && match (arrived, my_switch) {
+                        (Some(a), Some(s)) => a < s,
+                        _ => false,
+                    }
+            })
+            .count();
+        at_second_before.push(before as f64 / total);
+        if n_second > 0 {
+            second_before_share.push(before as f64 / n_second as f64);
+        }
+    }
+
+    Fig10SwitcherInfluence {
+        mean_at_first_pct: mean(at_first.iter().copied()) * 100.0,
+        mean_at_second_pct: mean(at_second.iter().copied()) * 100.0,
+        mean_second_before_pct: mean(second_before_share.iter().copied()) * 100.0,
+        n_switchers_with_followees: at_first.len(),
+        frac_at_first: Ecdf::new(at_first),
+        frac_at_second: Ecdf::new(at_second),
+        frac_at_second_before: Ecdf::new(at_second_before),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flock_apis::types::MastodonAccountObject;
+    use flock_crawler::dataset::{FolloweeRecord, MatchSource};
+
+    fn acct(handle: &str, created: Day, followers: u64) -> MastodonAccountObject {
+        MastodonAccountObject {
+            handle: handle.parse().unwrap(),
+            created_at: created,
+            created_tod_secs: 0,
+            followers_count: followers,
+            following_count: followers / 2,
+            statuses_count: 10,
+            moved_to: None,
+        }
+    }
+
+    fn user(
+        i: u64,
+        inst: &str,
+        created: Day,
+        tw_followers: u64,
+        ms_followers: u64,
+    ) -> MatchedUser {
+        let h = format!("@u{i}@{inst}");
+        MatchedUser {
+            twitter_id: TwitterUserId(i),
+            twitter_username: format!("u{i}"),
+            twitter_created: Day(-4000),
+            verified: false,
+            twitter_followers: tw_followers,
+            twitter_followees: tw_followers,
+            handle: h.parse().unwrap(),
+            matched_via: MatchSource::Bio,
+            first_seen: None,
+            resolved_handle: h.parse().unwrap(),
+            account: Some(acct(&h, created, ms_followers)),
+            first_account: None,
+        }
+    }
+
+    fn switcher(i: u64, from: &str, to: &str, created: Day, moved: Day) -> MatchedUser {
+        let mut m = user(i, from, created, 100, 10);
+        m.resolved_handle = format!("@u{i}@{to}").parse().unwrap();
+        m.account = Some(acct(&format!("@u{i}@{to}"), moved, 10));
+        m.first_account = Some(acct(&format!("@u{i}@{from}"), created, 0));
+        m
+    }
+
+    fn dataset() -> Dataset {
+        let mut ds = Dataset::default();
+        // u0 joined day 27 on flagship; followees u1 (day 26, same
+        // instance), u2 (day 30, elsewhere), u3..u5 not migrated.
+        ds.matched.push(user(0, "mastodon.social", Day(27), 500, 30));
+        ds.matched.push(user(1, "mastodon.social", Day(26), 200, 20));
+        ds.matched.push(user(2, "other.example", Day(30), 300, 0));
+        // u9 switches from flagship to niche on day 45.
+        ds.matched
+            .push(switcher(9, "mastodon.social", "sigmoid.social", Day(27), Day(45)));
+        // u1's own record (followee of u9) joined sigmoid? No — keep u1 on
+        // flagship; add u4 on sigmoid joined day 30 (before u9's switch).
+        ds.matched.push(user(4, "sigmoid.social", Day(30), 150, 5));
+
+        ds.followees.insert(
+            TwitterUserId(0),
+            FolloweeRecord {
+                twitter: vec![
+                    TwitterUserId(1),
+                    TwitterUserId(2),
+                    TwitterUserId(100),
+                    TwitterUserId(101),
+                ],
+                mastodon: vec![],
+            },
+        );
+        ds.followees.insert(
+            TwitterUserId(9),
+            FolloweeRecord {
+                twitter: vec![TwitterUserId(1), TwitterUserId(4), TwitterUserId(102)],
+                mastodon: vec![],
+            },
+        );
+        ds
+    }
+
+    #[test]
+    fn fig7_medians_and_zero_fractions() {
+        let ds = dataset();
+        let f = fig7_social_networks(&ds);
+        assert!(f.twitter_follower_median >= 150.0);
+        assert!(f.mastodon_follower_median <= f.twitter_follower_median);
+        assert!(f.mastodon_no_followers_pct > 0.0); // u2 has 0
+        assert!(f.twitter_median_age_years > 5.0);
+        assert!(f.mastodon_median_age_days < 40.0);
+    }
+
+    #[test]
+    fn fig8_fractions() {
+        let ds = dataset();
+        let f = fig8_influence(&ds);
+        assert_eq!(f.n_sampled, 2);
+        // u0: 2 of 4 followees migrated.
+        assert!(f.frac_migrated.eval(0.49) < 1.0);
+        // u0's followee u1 joined the same instance before them.
+        assert!(f.mean_same_instance_pct > 0.0);
+        assert!(f.mean_migrated_before_pct > 0.0);
+        assert!(f.same_instance_on_flagship_pct > 0.0);
+    }
+
+    #[test]
+    fn fig9_flows() {
+        let ds = dataset();
+        let f = fig9_switching(&ds);
+        assert_eq!(f.n_switchers, 1);
+        assert_eq!(f.flows.len(), 1);
+        assert_eq!(f.flows[0].from, "mastodon.social");
+        assert_eq!(f.flows[0].to, "sigmoid.social");
+        assert!((f.switcher_pct - 20.0).abs() < 1e-9); // 1 of 5
+        assert!((f.post_takeover_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig10_switcher_network() {
+        let ds = dataset();
+        let f = fig10_switcher_influence(&ds);
+        assert_eq!(f.n_switchers_with_followees, 1);
+        // u9's migrated followees: u1 (flagship), u4 (sigmoid).
+        assert!((f.mean_at_first_pct - 50.0).abs() < 1e-9);
+        assert!((f.mean_at_second_pct - 50.0).abs() < 1e-9);
+        // u4 arrived at sigmoid on day 30, before u9's day-45 switch.
+        assert!((f.mean_second_before_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset_safe() {
+        let ds = Dataset::default();
+        let f7 = fig7_social_networks(&ds);
+        assert_eq!(f7.twitter_followers.len(), 0);
+        let f8 = fig8_influence(&ds);
+        assert_eq!(f8.n_sampled, 0);
+        let f9 = fig9_switching(&ds);
+        assert_eq!(f9.n_switchers, 0);
+        let f10 = fig10_switcher_influence(&ds);
+        assert_eq!(f10.n_switchers_with_followees, 0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Statistical primitives used across the RQ analyses: ECDFs, quantiles,
+//! means, cumulative-share curves, and the Gini coefficient.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over `f64` samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    /// Sorted sample values.
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (NaNs are dropped).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.retain(|x| !x.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|v| *v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1), by the nearest-rank method.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        assert!(!self.sorted.is_empty(), "quantile of empty ECDF");
+        if q <= 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples equal to zero (within 1e-12).
+    pub fn fraction_zero(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().filter(|x| x.abs() < 1e-12).count() as f64 / self.sorted.len() as f64
+    }
+
+    /// Evenly-spaced `(x, P(X<=x))` points for plotting/printing.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().unwrap();
+        (0..=points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / points as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// Underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Mean of an iterator of f64 (0 for empty).
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Median of a slice (panics on empty).
+pub fn median_u64(values: &[u64]) -> u64 {
+    assert!(!values.is_empty());
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Cumulative user share over instances ranked by size descending:
+/// returns `(fraction_of_instances, fraction_of_users)` pairs, one per
+/// instance rank — the Fig. 5 curve.
+pub fn cumulative_share(sizes: &[usize]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<usize> = sizes.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let total: usize = sorted.iter().sum();
+    if total == 0 || sorted.is_empty() {
+        return Vec::new();
+    }
+    let mut cum = 0usize;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            cum += s;
+            (
+                (i + 1) as f64 / sorted.len() as f64,
+                cum as f64 / total as f64,
+            )
+        })
+        .collect()
+}
+
+/// Share of users on the top `fraction` of instances (e.g. 0.25 → the
+/// paper's "top 25% of instances hold 96% of users").
+pub fn top_fraction_share(sizes: &[usize], fraction: f64) -> f64 {
+    let curve = cumulative_share(sizes);
+    if curve.is_empty() {
+        return 0.0;
+    }
+    curve
+        .iter()
+        .take_while(|(fi, _)| *fi <= fraction + 1e-12)
+        .last()
+        .map(|(_, fu)| *fu)
+        .unwrap_or(curve[0].1)
+}
+
+/// Gini coefficient of a non-negative distribution (0 = equal, →1 =
+/// concentrated). Used to quantify centralization beyond the paper's
+/// top-quartile number.
+pub fn gini(values: &[usize]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = values.iter().map(|&x| x as f64).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len() as f64;
+    let sum: f64 = v.iter().sum();
+    if sum == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = v
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * sum) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_basics() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(100.0), 1.0);
+        assert_eq!(e.median(), 2.0);
+        assert_eq!(e.mean(), 2.5);
+    }
+
+    #[test]
+    fn ecdf_quantiles() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.25), 25.0);
+        assert_eq!(e.quantile(0.5), 50.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn ecdf_handles_nan_and_zero() {
+        let e = Ecdf::new(vec![0.0, f64::NAN, 0.0, 5.0]);
+        assert_eq!(e.len(), 3);
+        assert!((e.fraction_zero() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_curve_is_monotone() {
+        let e = Ecdf::new(vec![1.0, 5.0, 2.0, 8.0, 3.0, 3.0]);
+        let curve = e.curve(20);
+        assert_eq!(curve.len(), 21);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be monotone");
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_of_empty_panics() {
+        Ecdf::new(vec![]).quantile(0.5);
+    }
+
+    #[test]
+    fn cumulative_share_shape() {
+        // One giant instance (96 users) + 4 singletons.
+        let sizes = vec![96, 1, 1, 1, 1];
+        let curve = cumulative_share(&sizes);
+        assert_eq!(curve.len(), 5);
+        assert!((curve[0].1 - 0.96).abs() < 1e-12);
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_fraction_share_matches_paper_shape() {
+        // Zipf-ish sizes: the head dominates.
+        let sizes: Vec<usize> = (1..=100).map(|r| 10_000 / (r * r)).collect();
+        let share = top_fraction_share(&sizes, 0.25);
+        assert!(share > 0.9, "top-quartile share {share}");
+        assert!(top_fraction_share(&sizes, 1.0) >= share);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert!(gini(&[5, 5, 5, 5]).abs() < 1e-12);
+        let concentrated = gini(&[100, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(concentrated > 0.85, "{concentrated}");
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(median_u64(&[5, 1, 9]), 5);
+        assert!((mean(vec![1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(Vec::<f64>::new()), 0.0);
+    }
+}

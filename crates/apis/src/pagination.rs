@@ -1,0 +1,137 @@
+//! Opaque pagination cursors.
+//!
+//! Both real APIs page results behind opaque continuation tokens. Ours
+//! encode `(query fingerprint, offset)` with a checksum so that a cursor
+//! from one query cannot be replayed against another — the kind of bug a
+//! crawler must surface, not silently mis-page over.
+
+use flock_core::{FlockError, Result};
+
+/// Fingerprint of the request a cursor belongs to.
+fn fingerprint(scope: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in scope.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Encode a cursor for `scope` at `offset`.
+pub fn encode(scope: &str, offset: usize) -> String {
+    format!("c{:016x}o{offset}", fingerprint(scope))
+}
+
+/// Decode a cursor, verifying it belongs to `scope`. `None` (no cursor)
+/// decodes to offset 0.
+pub fn decode(scope: &str, cursor: Option<&str>) -> Result<usize> {
+    let Some(cursor) = cursor else {
+        return Ok(0);
+    };
+    let rest = cursor
+        .strip_prefix('c')
+        .ok_or_else(|| FlockError::BadCursor(cursor.to_string()))?;
+    let (hash_hex, offset_part) = rest
+        .split_once('o')
+        .ok_or_else(|| FlockError::BadCursor(cursor.to_string()))?;
+    let hash = u64::from_str_radix(hash_hex, 16)
+        .map_err(|_| FlockError::BadCursor(cursor.to_string()))?;
+    if hash != fingerprint(scope) {
+        return Err(FlockError::BadCursor(format!(
+            "cursor does not belong to this request: {cursor}"
+        )));
+    }
+    offset_part
+        .parse::<usize>()
+        .map_err(|_| FlockError::BadCursor(cursor.to_string()))
+}
+
+/// A page of results plus the continuation cursor (if more remain).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Page<T> {
+    pub items: Vec<T>,
+    pub next: Option<String>,
+}
+
+impl<T: Clone> Page<T> {
+    /// Slice `all[offset..offset+limit]` into a page with a continuation
+    /// cursor scoped to `scope`.
+    pub fn slice(all: &[T], scope: &str, offset: usize, limit: usize) -> Page<T> {
+        let end = (offset + limit).min(all.len());
+        let items = if offset < all.len() {
+            all[offset..end].to_vec()
+        } else {
+            Vec::new()
+        };
+        let next = (end < all.len()).then(|| encode(scope, end));
+        Page { items, next }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let c = encode("search:mastodon", 250);
+        assert_eq!(decode("search:mastodon", Some(&c)).unwrap(), 250);
+    }
+
+    #[test]
+    fn no_cursor_is_offset_zero() {
+        assert_eq!(decode("x", None).unwrap(), 0);
+    }
+
+    #[test]
+    fn wrong_scope_rejected() {
+        let c = encode("search:a", 10);
+        assert!(matches!(
+            decode("search:b", Some(&c)),
+            Err(FlockError::BadCursor(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_cursors_rejected() {
+        for bad in ["", "garbage", "c123", "cZZo5", "c0o", "c0oNaN"] {
+            assert!(decode("s", Some(bad)).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn paging_covers_everything_without_duplicates() {
+        let data: Vec<u32> = (0..95).collect();
+        let mut collected = Vec::new();
+        let mut cursor: Option<String> = None;
+        let mut pages = 0;
+        loop {
+            let offset = decode("scope", cursor.as_deref()).unwrap();
+            let page = Page::slice(&data, "scope", offset, 10);
+            collected.extend(page.items);
+            pages += 1;
+            match page.next {
+                Some(c) => cursor = Some(c),
+                None => break,
+            }
+        }
+        assert_eq!(pages, 10);
+        assert_eq!(collected, data);
+    }
+
+    #[test]
+    fn page_past_end_is_empty() {
+        let data: Vec<u32> = (0..5).collect();
+        let page = Page::slice(&data, "s", 100, 10);
+        assert!(page.items.is_empty());
+        assert!(page.next.is_none());
+    }
+
+    #[test]
+    fn exact_boundary_has_no_next() {
+        let data: Vec<u32> = (0..20).collect();
+        let page = Page::slice(&data, "s", 10, 10);
+        assert_eq!(page.items.len(), 10);
+        assert!(page.next.is_none());
+    }
+}

@@ -1,0 +1,433 @@
+//! The Twitter search query language (the subset §3.1 needs).
+//!
+//! The paper's collection used the full-archive search endpoint with
+//! keyword queries (`mastodon`, `"bye bye twitter"`, …), hashtag queries
+//! (`#TwitterMigration`, …) and instance-link queries (`url:"mastodon.social"`).
+//! This module implements a recursive-descent parser and evaluator for that
+//! subset:
+//!
+//! * bare words — match a token, case-insensitively;
+//! * `"quoted phrases"` — substring match;
+//! * `#hashtags` — hashtag-token match;
+//! * `url:domain` / `url:"domain"` — matches tweets containing a link whose
+//!   URL contains the value;
+//! * `from:user` — author filter;
+//! * implicit AND, explicit `OR`, `-` negation, and parentheses.
+
+use flock_core::{FlockError, Result};
+use flock_textsim::tokenize;
+use std::collections::HashSet;
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    Word(String),
+    Phrase(String),
+    Hashtag(String),
+    Url(String),
+    From(String),
+    Not(Box<Query>),
+    And(Vec<Query>),
+    Or(Vec<Query>),
+}
+
+/// A tweet prepared for matching.
+#[derive(Debug, Clone)]
+pub struct TweetDoc {
+    /// Lowercased full text.
+    pub text_lower: String,
+    /// Token set (hashtags kept with `#`, URLs kept whole).
+    pub tokens: HashSet<String>,
+    /// URL tokens only.
+    pub urls: Vec<String>,
+    /// Author's username (lowercase).
+    pub author: String,
+}
+
+impl TweetDoc {
+    /// Prepare a tweet for matching.
+    pub fn new(text: &str, author: &str) -> Self {
+        let tokens: HashSet<String> = tokenize(text).into_iter().collect();
+        let urls = tokens
+            .iter()
+            .filter(|t| t.starts_with("http://") || t.starts_with("https://"))
+            .cloned()
+            .collect();
+        TweetDoc {
+            text_lower: text.to_ascii_lowercase(),
+            tokens,
+            urls,
+            author: author.to_ascii_lowercase(),
+        }
+    }
+}
+
+impl Query {
+    /// Parse a query string.
+    pub fn parse(input: &str) -> Result<Query> {
+        let tokens = lex(input)?;
+        let mut p = Parser { tokens, pos: 0 };
+        let q = p.parse_or()?;
+        if p.pos != p.tokens.len() {
+            return Err(FlockError::InvalidQuery(format!(
+                "trailing input at token {}",
+                p.pos
+            )));
+        }
+        Ok(q)
+    }
+
+    /// Evaluate against a prepared tweet.
+    pub fn matches(&self, doc: &TweetDoc) -> bool {
+        match self {
+            Query::Word(w) => doc.tokens.contains(w),
+            Query::Phrase(p) => doc.text_lower.contains(p),
+            Query::Hashtag(h) => doc.tokens.contains(h),
+            Query::Url(u) => doc.urls.iter().any(|link| link.contains(u)),
+            Query::From(a) => doc.author == *a,
+            Query::Not(q) => !q.matches(doc),
+            Query::And(qs) => qs.iter().all(|q| q.matches(doc)),
+            Query::Or(qs) => qs.iter().any(|q| q.matches(doc)),
+        }
+    }
+
+    /// The positive terms of the query (used by the index to pick posting
+    /// lists): every `Word`/`Hashtag` that must be present in *all* matches.
+    pub fn required_tokens(&self) -> Vec<String> {
+        match self {
+            Query::Word(w) => vec![w.clone()],
+            Query::Hashtag(h) => vec![h.clone()],
+            Query::Phrase(p) => {
+                // Any token of the phrase is required.
+                tokenize(p).into_iter().take(1).collect()
+            }
+            Query::And(qs) => qs.iter().flat_map(|q| q.required_tokens()).collect(),
+            // OR / NOT / url: / from: give no single required token.
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Phrase(String),
+    Hashtag(String),
+    Op(String, String), // name, value
+    Or,
+    Not,
+    LParen,
+    RParen,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Tok::RParen);
+            }
+            '-' => {
+                chars.next();
+                out.push(Tok::Not);
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(ch) => s.push(ch),
+                        None => {
+                            return Err(FlockError::InvalidQuery(
+                                "unterminated quote".to_string(),
+                            ))
+                        }
+                    }
+                }
+                out.push(Tok::Phrase(s.to_ascii_lowercase()));
+            }
+            '#' => {
+                chars.next();
+                let mut s = String::from("#");
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        s.push(ch);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if s.len() == 1 {
+                    return Err(FlockError::InvalidQuery("empty hashtag".to_string()));
+                }
+                out.push(Tok::Hashtag(s.to_ascii_lowercase()));
+            }
+            _ => {
+                let mut s = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_whitespace() || ch == '(' || ch == ')' {
+                        break;
+                    }
+                    if ch == '"' {
+                        // `url:"value"` — a quoted operator value glued to
+                        // the word; consume it into the token.
+                        if s.ends_with(':') {
+                            chars.next();
+                            loop {
+                                match chars.next() {
+                                    Some('"') => break,
+                                    Some(c2) => s.push(c2),
+                                    None => {
+                                        return Err(FlockError::InvalidQuery(
+                                            "unterminated quote".to_string(),
+                                        ))
+                                    }
+                                }
+                            }
+                        }
+                        break;
+                    }
+                    s.push(ch);
+                    chars.next();
+                }
+                if s.is_empty() {
+                    // Defensive: never loop without consuming input.
+                    chars.next();
+                    continue;
+                }
+                if s == "OR" {
+                    out.push(Tok::Or);
+                } else if let Some((name, value)) = s.split_once(':') {
+                    if name.is_empty() || value.is_empty() {
+                        return Err(FlockError::InvalidQuery(format!("bad operator {s:?}")));
+                    }
+                    // Allow url:"..." — the quote may follow immediately.
+                    let mut value = value.to_string();
+                    if value == "\"" || value.is_empty() {
+                        return Err(FlockError::InvalidQuery(format!("bad operator {s:?}")));
+                    }
+                    if value.starts_with('"') {
+                        value = value.trim_matches('"').to_string();
+                    }
+                    out.push(Tok::Op(
+                        name.to_ascii_lowercase(),
+                        value.to_ascii_lowercase(),
+                    ));
+                } else {
+                    out.push(Tok::Word(s.to_ascii_lowercase()));
+                }
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(FlockError::InvalidQuery("empty query".to_string()));
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn parse_or(&mut self) -> Result<Query> {
+        let mut parts = vec![self.parse_and()?];
+        while self.peek() == Some(&Tok::Or) {
+            self.pos += 1;
+            parts.push(self.parse_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Query::Or(parts)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<Query> {
+        let mut parts = Vec::new();
+        while let Some(t) = self.peek() {
+            if matches!(t, Tok::Or | Tok::RParen) {
+                break;
+            }
+            parts.push(self.parse_term()?);
+        }
+        match parts.len() {
+            0 => Err(FlockError::InvalidQuery("empty conjunction".to_string())),
+            1 => Ok(parts.pop().unwrap()),
+            _ => Ok(Query::And(parts)),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Query> {
+        let t = self
+            .peek()
+            .cloned()
+            .ok_or_else(|| FlockError::InvalidQuery("unexpected end".to_string()))?;
+        self.pos += 1;
+        match t {
+            Tok::Word(w) => Ok(Query::Word(w)),
+            Tok::Phrase(p) => Ok(Query::Phrase(p)),
+            Tok::Hashtag(h) => Ok(Query::Hashtag(h)),
+            Tok::Op(name, value) => match name.as_str() {
+                "url" => Ok(Query::Url(value)),
+                "from" => Ok(Query::From(value)),
+                other => Err(FlockError::InvalidQuery(format!(
+                    "unsupported operator {other}:"
+                ))),
+            },
+            Tok::Not => Ok(Query::Not(Box::new(self.parse_term()?))),
+            Tok::LParen => {
+                let inner = self.parse_or()?;
+                if self.peek() != Some(&Tok::RParen) {
+                    return Err(FlockError::InvalidQuery("missing )".to_string()));
+                }
+                self.pos += 1;
+                Ok(inner)
+            }
+            Tok::RParen => Err(FlockError::InvalidQuery("unexpected )".to_string())),
+            Tok::Or => Err(FlockError::InvalidQuery("dangling OR".to_string())),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> TweetDoc {
+        TweetDoc::new(text, "someone")
+    }
+
+    #[test]
+    fn word_match_is_token_level() {
+        let q = Query::parse("mastodon").unwrap();
+        assert!(q.matches(&doc("joining Mastodon today")));
+        assert!(q.matches(&doc("MASTODON!")));
+        // "mastodons" is a different token — word queries are not substring
+        // queries (matches Twitter's behaviour).
+        assert!(!q.matches(&doc("mastodons are prehistoric")));
+    }
+
+    #[test]
+    fn phrase_match() {
+        let q = Query::parse("\"bye bye twitter\"").unwrap();
+        assert!(q.matches(&doc("ok bye bye Twitter, it was fun")));
+        assert!(!q.matches(&doc("bye twitter bye")));
+    }
+
+    #[test]
+    fn hashtag_match() {
+        let q = Query::parse("#TwitterMigration").unwrap();
+        assert!(q.matches(&doc("here we go #twittermigration")));
+        assert!(!q.matches(&doc("twittermigration without the tag")));
+    }
+
+    #[test]
+    fn url_operator() {
+        let q = Query::parse("url:mastodon.social").unwrap();
+        assert!(q.matches(&doc("i'm at https://mastodon.social/@alice now")));
+        assert!(!q.matches(&doc("mastodon.social is an instance"))); // not a link
+        let quoted = Query::parse("url:\"hachyderm.io\"").unwrap();
+        assert!(quoted.matches(&doc("see https://hachyderm.io/@bob")));
+    }
+
+    #[test]
+    fn from_operator() {
+        let q = Query::parse("from:someone mastodon").unwrap();
+        assert!(q.matches(&TweetDoc::new("mastodon time", "someone")));
+        assert!(!q.matches(&TweetDoc::new("mastodon time", "other")));
+    }
+
+    #[test]
+    fn implicit_and() {
+        let q = Query::parse("good bye twitter").unwrap();
+        assert!(q.matches(&doc("good bye cruel twitter")));
+        assert!(!q.matches(&doc("good bye cruel world")));
+    }
+
+    #[test]
+    fn or_and_parens() {
+        let q = Query::parse("(mastodon OR koo) migration").unwrap();
+        assert!(q.matches(&doc("koo migration begins")));
+        assert!(q.matches(&doc("mastodon migration begins")));
+        assert!(!q.matches(&doc("hive migration begins")));
+    }
+
+    #[test]
+    fn negation() {
+        let q = Query::parse("mastodon -#ad").unwrap();
+        assert!(q.matches(&doc("mastodon rocks")));
+        assert!(!q.matches(&doc("mastodon rocks #ad")));
+    }
+
+    #[test]
+    fn exotic_whitespace_terminates() {
+        // \u{b} (vertical tab) and friends are whitespace Rust knows but a
+        // naive lexer might not: they must not hang the parser.
+        for ws in ['\u{b}', '\u{c}', '\u{a0}', '\u{2028}'] {
+            let q: String = std::iter::repeat(ws).take(40).collect();
+            assert!(Query::parse(&q).is_err());
+            let mixed = format!("mastodon{ws}migration");
+            let parsed = Query::parse(&mixed).unwrap();
+            assert!(parsed.matches(&doc("mastodon and migration talk")));
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in ["", "\"unterminated", "mastodon OR", "(unclosed", ")", "#", "weird:"] {
+            assert!(Query::parse(bad).is_err(), "{bad:?} parsed");
+        }
+        assert!(Query::parse("unknown:value").is_err());
+    }
+
+    #[test]
+    fn required_tokens_for_index() {
+        assert_eq!(Query::parse("mastodon migration").unwrap().required_tokens(),
+                   vec!["mastodon", "migration"]);
+        assert_eq!(Query::parse("#Mastodon").unwrap().required_tokens(), vec!["#mastodon"]);
+        // Phrases contribute their first token.
+        assert_eq!(
+            Query::parse("\"bye bye twitter\"").unwrap().required_tokens(),
+            vec!["bye"]
+        );
+        // OR queries cannot promise any single token.
+        assert!(Query::parse("a OR b").unwrap().required_tokens().is_empty());
+    }
+
+    #[test]
+    fn paper_query_set_parses() {
+        // Every query the paper's §3.1 collection used must parse.
+        let queries = [
+            "mastodon",
+            "\"bye bye twitter\"",
+            "\"good bye twitter\"",
+            "#Mastodon",
+            "#MastodonMigration",
+            "#ByeByeTwitter",
+            "#GoodByeTwitter",
+            "#TwitterMigration",
+            "#MastodonSocial",
+            "#RIPTwitter",
+            "url:\"mastodon.social\"",
+        ];
+        for q in queries {
+            Query::parse(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+}

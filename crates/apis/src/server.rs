@@ -1,0 +1,1031 @@
+//! The simulated API server: every endpoint the paper's crawler hit.
+//!
+//! One [`ApiServer`] fronts a generated [`World`] and exposes:
+//!
+//! * **Twitter v2** — full-archive search with the query language of
+//!   [`crate::query`], user lookup, user timelines, and the follows
+//!   endpoint; each family behind its real rate-limit policy;
+//! * **Mastodon** — per-instance account lookup, statuses, following, and
+//!   the weekly-activity endpoint; per-instance rate limits; instances that
+//!   are down at crawl time answer [`FlockError::InstanceUnavailable`];
+//! * the `instances.social`-style global instance list the paper seeded
+//!   its crawl with.
+//!
+//! The server never exposes ground truth: moved accounts answer with
+//! `moved_to` and keep only their pre-move statuses (like real servers),
+//! suspended/deleted/protected Twitter accounts answer exactly like the
+//! real API, and everything is paginated behind opaque cursors.
+//!
+//! Time is **virtual**: rate-limited callers receive `retry_after_secs`
+//! and are expected to call [`ApiServer::advance_clock`] (their "sleep")
+//! before retrying.
+
+use crate::pagination::{decode, Page};
+use crate::query::{Query, TweetDoc};
+use crate::ratelimit::{RatePolicy, TokenBucket};
+use crate::types::{
+    ActivityRow, MastodonAccountObject, StatusObject, TweetObject, TwitterUserObject,
+};
+use flock_core::{
+    Day, DetRng, FlockError, InstanceId, MastodonHandle, Result, TweetId, TwitterUserId,
+};
+use flock_fedisim::users::AccountFate;
+use flock_fedisim::World;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ApiConfig {
+    /// Tweets per search page (full-archive max is 500).
+    pub search_page_size: usize,
+    /// Tweets per timeline page.
+    pub timeline_page_size: usize,
+    /// Ids per follows page (real API: 1000).
+    pub follows_page_size: usize,
+    /// Statuses per Mastodon page (real API max: 40).
+    pub statuses_page_size: usize,
+    /// Accounts per Mastodon following page (real API: 80).
+    pub following_page_size: usize,
+    /// Probability that any request fails transiently (fault injection).
+    pub transient_error_rate: f64,
+    pub search_policy: RatePolicy,
+    pub users_policy: RatePolicy,
+    pub follows_policy: RatePolicy,
+    pub mastodon_policy: RatePolicy,
+}
+
+impl Default for ApiConfig {
+    fn default() -> Self {
+        ApiConfig {
+            search_page_size: 500,
+            timeline_page_size: 100,
+            follows_page_size: 1000,
+            statuses_page_size: 40,
+            following_page_size: 80,
+            transient_error_rate: 0.0,
+            search_policy: RatePolicy::twitter_search(),
+            users_policy: RatePolicy::twitter_users(),
+            follows_policy: RatePolicy::twitter_follows(),
+            mastodon_policy: RatePolicy::mastodon(),
+        }
+    }
+}
+
+struct ServerState {
+    clock: u64,
+    search_bucket: TokenBucket,
+    users_bucket: TokenBucket,
+    follows_bucket: TokenBucket,
+    mastodon_buckets: HashMap<InstanceId, TokenBucket>,
+    fault_rng: DetRng,
+}
+
+/// The API façade over a generated world.
+pub struct ApiServer {
+    world: Arc<World>,
+    config: ApiConfig,
+    state: Mutex<ServerState>,
+    /// token → sorted tweet indexes (the search inverted index).
+    index: HashMap<String, Vec<u32>>,
+}
+
+impl ApiServer {
+    /// Build a server (constructs the search index; `O(total tokens)`).
+    pub fn new(world: Arc<World>, config: ApiConfig) -> Self {
+        let mut index: HashMap<String, Vec<u32>> = HashMap::new();
+        for (i, t) in world.tweets.iter().enumerate() {
+            for tok in flock_textsim::tokenize(&t.text) {
+                // URL tokens additionally index their host (and its parent
+                // domains) under reserved keys, so `url:domain` queries
+                // avoid a corpus scan.
+                if let Some(host) = url_host(&tok) {
+                    for suffix in host_suffixes(host) {
+                        index
+                            .entry(format!("{URL_KEY_PREFIX}{suffix}"))
+                            .or_default()
+                            .push(i as u32);
+                    }
+                }
+                index.entry(tok).or_default().push(i as u32);
+            }
+        }
+        for list in index.values_mut() {
+            list.dedup();
+        }
+        let state = ServerState {
+            clock: 0,
+            search_bucket: TokenBucket::new(config.search_policy, 0),
+            users_bucket: TokenBucket::new(config.users_policy, 0),
+            follows_bucket: TokenBucket::new(config.follows_policy, 0),
+            mastodon_buckets: HashMap::new(),
+            fault_rng: DetRng::new(world.config.seed ^ 0xA91),
+        };
+        ApiServer {
+            world,
+            config,
+            state: Mutex::new(state),
+            index,
+        }
+    }
+
+    /// Build with default config.
+    pub fn with_defaults(world: Arc<World>) -> Self {
+        ApiServer::new(world, ApiConfig::default())
+    }
+
+    /// The world behind the server (tests / ground-truth comparisons only —
+    /// the crawler must not touch this).
+    pub fn ground_truth(&self) -> &World {
+        &self.world
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> u64 {
+        self.state.lock().clock
+    }
+
+    /// Advance the virtual clock (the caller's "sleep").
+    pub fn advance_clock(&self, secs: u64) {
+        self.state.lock().clock += secs;
+    }
+
+    fn inject_fault(&self) -> Result<()> {
+        if self.config.transient_error_rate > 0.0 {
+            let mut s = self.state.lock();
+            if s.fault_rng.chance(self.config.transient_error_rate) {
+                return Err(FlockError::InstanceUnavailable(
+                    "transient upstream error".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn acquire(&self, which: Endpoint) -> Result<()> {
+        let mut s = self.state.lock();
+        let clock = s.clock;
+        let bucket = match which {
+            Endpoint::Search => &mut s.search_bucket,
+            Endpoint::Users => &mut s.users_bucket,
+            Endpoint::Follows => &mut s.follows_bucket,
+            Endpoint::Mastodon(inst) => {
+                let policy = self.config.mastodon_policy;
+                s.mastodon_buckets
+                    .entry(inst)
+                    .or_insert_with(|| TokenBucket::new(policy, clock))
+            }
+        };
+        bucket
+            .try_acquire(clock)
+            .map_err(|retry_after_secs| FlockError::RateLimited { retry_after_secs })
+    }
+
+    // ------------------------------------------------------------------
+    // instances.social
+    // ------------------------------------------------------------------
+
+    /// The global instance list (the `instances.social` index the paper
+    /// seeded from). Not rate limited.
+    pub fn instances_social_list(&self) -> Vec<String> {
+        self.world
+            .instances
+            .iter()
+            .map(|i| i.domain.clone())
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Twitter v2
+    // ------------------------------------------------------------------
+
+    /// Full-archive search. `start`/`end` bound the tweet day, inclusive.
+    pub fn twitter_search(
+        &self,
+        query_str: &str,
+        start: Day,
+        end: Day,
+        cursor: Option<&str>,
+    ) -> Result<Page<TweetObject>> {
+        self.inject_fault()?;
+        self.acquire(Endpoint::Search)?;
+        let query = Query::parse(query_str)?;
+        let scope = format!("search:{query_str}:{}:{}", start.offset(), end.offset());
+        let offset = decode(&scope, cursor)?;
+
+        // Candidate set: smallest posting list among required tokens, or a
+        // full scan when the query promises no token.
+        let matches = self.eval_query(&query, start, end);
+        let page = Page::slice(&matches, &scope, offset, self.config.search_page_size);
+        Ok(Page {
+            items: page
+                .items
+                .iter()
+                .map(|&i| self.tweet_object(i))
+                .collect(),
+            next: page.next,
+        })
+    }
+
+    fn eval_query(&self, query: &Query, start: Day, end: Day) -> Vec<u32> {
+        let mut required = query.required_tokens();
+        // A bare `url:host` query (or one AND-ed into a conjunction) can be
+        // served from the host index; the final `Query::matches` check below
+        // still verifies every candidate.
+        let push_url = |host: &str, req: &mut Vec<String>| {
+            // Domain-shaped values are served domain-exactly from the host
+            // index; anything else falls back to scanning.
+            if host.contains('.') {
+                req.push(format!("{URL_KEY_PREFIX}{host}"));
+            }
+        };
+        if let Query::Url(host) = query {
+            push_url(host, &mut required);
+        }
+        if let Query::And(parts) = query {
+            for p in parts {
+                if let Query::Url(host) = p {
+                    push_url(host, &mut required);
+                }
+            }
+        }
+        let candidates: Vec<u32> = if let Some(smallest) = required
+            .iter()
+            .map(|t| {
+                self.index
+                    .get(t)
+                    .map(|l| l.as_slice())
+                    .unwrap_or(EMPTY_POSTING)
+            })
+            .min_by_key(|l| l.len())
+        {
+            smallest.to_vec()
+        } else {
+            (0..self.world.tweets.len() as u32).collect()
+        };
+        candidates
+            .into_iter()
+            .filter(|&i| {
+                let t = &self.world.tweets[i as usize];
+                if t.day < start || t.day > end {
+                    return false;
+                }
+                let author = &self.world.users[t.author.index()].username;
+                query.matches(&TweetDoc::new(&t.text, author))
+            })
+            .collect()
+    }
+
+    fn tweet_object(&self, idx: u32) -> TweetObject {
+        let t = &self.world.tweets[idx as usize];
+        TweetObject {
+            id: t.id,
+            author_id: t.author,
+            day: t.day,
+            text: t.text.clone(),
+            source: flock_fedisim::SOURCES[t.source as usize].0.to_string(),
+        }
+    }
+
+    /// The `includes.users` expansion attached to search results **at
+    /// collection time**: the paper collected tweets live during the window,
+    /// so author metadata (bio, counts) was captured even for accounts that
+    /// were later deleted or suspended. Rate-limited with the search family.
+    pub fn twitter_search_user_expansion(
+        &self,
+        ids: &[TwitterUserId],
+    ) -> Result<Vec<TwitterUserObject>> {
+        self.inject_fault()?;
+        self.acquire(Endpoint::Search)?;
+        if ids.len() > 100 {
+            return Err(FlockError::InvalidQuery(format!(
+                "at most 100 ids per expansion, got {}",
+                ids.len()
+            )));
+        }
+        Ok(ids
+            .iter()
+            .filter_map(|id| {
+                let u = self.world.user(*id)?;
+                Some(TwitterUserObject {
+                    id: u.id,
+                    username: u.username.clone(),
+                    name: u.display_name.clone(),
+                    description: u.bio.clone(),
+                    created_at: u.created,
+                    verified: u.verified,
+                    protected: u.fate == AccountFate::Protected,
+                    followers_count: u.follower_count,
+                    following_count: u.followee_count,
+                })
+            })
+            .collect())
+    }
+
+    /// Batch user lookup (max 100 ids per request, like the real API).
+    pub fn twitter_users_lookup(&self, ids: &[TwitterUserId]) -> Result<Vec<TwitterUserObject>> {
+        self.inject_fault()?;
+        self.acquire(Endpoint::Users)?;
+        if ids.len() > 100 {
+            return Err(FlockError::InvalidQuery(format!(
+                "at most 100 ids per lookup, got {}",
+                ids.len()
+            )));
+        }
+        Ok(ids
+            .iter()
+            .filter_map(|id| self.user_object(*id))
+            .collect())
+    }
+
+    fn user_object(&self, id: TwitterUserId) -> Option<TwitterUserObject> {
+        let u = self.world.user(id)?;
+        // Deleted and suspended accounts do not resolve.
+        if matches!(u.fate, AccountFate::Deleted | AccountFate::Suspended) {
+            return None;
+        }
+        Some(TwitterUserObject {
+            id: u.id,
+            username: u.username.clone(),
+            name: u.display_name.clone(),
+            description: u.bio.clone(),
+            created_at: u.created,
+            verified: u.verified,
+            protected: u.fate == AccountFate::Protected,
+            followers_count: u.follower_count,
+            following_count: u.followee_count,
+        })
+    }
+
+    /// A user's tweets in `[start, end]`, newest-first pages.
+    pub fn twitter_timeline(
+        &self,
+        user: TwitterUserId,
+        start: Day,
+        end: Day,
+        cursor: Option<&str>,
+    ) -> Result<Page<TweetObject>> {
+        self.inject_fault()?;
+        self.acquire(Endpoint::Search)?; // timelines share the search family
+        let u = self
+            .world
+            .user(user)
+            .ok_or_else(|| FlockError::NotFound(user.to_string()))?;
+        match u.fate {
+            AccountFate::Suspended => {
+                return Err(FlockError::Forbidden(format!("{user} is suspended")))
+            }
+            AccountFate::Deleted => {
+                return Err(FlockError::NotFound(format!("{user} no longer exists")))
+            }
+            AccountFate::Protected => {
+                return Err(FlockError::Forbidden(format!("{user} has protected tweets")))
+            }
+            AccountFate::Active => {}
+        }
+        let scope = format!("timeline:{user}:{}:{}", start.offset(), end.offset());
+        let offset = decode(&scope, cursor)?;
+        let ids: Vec<TweetId> = self
+            .world
+            .tweets_of(user)
+            .iter()
+            .copied()
+            .filter(|tid| {
+                let d = self.world.tweets[tid.index()].day;
+                d >= start && d <= end
+            })
+            .collect();
+        let page = Page::slice(&ids, &scope, offset, self.config.timeline_page_size);
+        Ok(Page {
+            items: page
+                .items
+                .iter()
+                .map(|tid| self.tweet_object(tid.raw() as u32))
+                .collect(),
+            next: page.next,
+        })
+    }
+
+    /// The follows endpoint: who `user` follows.
+    pub fn twitter_following(
+        &self,
+        user: TwitterUserId,
+        cursor: Option<&str>,
+    ) -> Result<Page<TwitterUserId>> {
+        self.inject_fault()?;
+        self.acquire(Endpoint::Follows)?;
+        let u = self
+            .world
+            .user(user)
+            .ok_or_else(|| FlockError::NotFound(user.to_string()))?;
+        match u.fate {
+            AccountFate::Suspended | AccountFate::Deleted => {
+                return Err(FlockError::NotFound(format!("{user} unavailable")))
+            }
+            AccountFate::Protected => {
+                return Err(FlockError::Forbidden(format!("{user} is protected")))
+            }
+            AccountFate::Active => {}
+        }
+        // Lists are materialized for migrants (all the paper ever asked
+        // for); a non-materialized list answers like an empty one.
+        let list: &[TwitterUserId] = self
+            .world
+            .account_of_user(user)
+            .map(|a| self.world.twitter_followees[a.id.index()].as_slice())
+            .unwrap_or(&[]);
+        let scope = format!("following:{user}");
+        let offset = decode(&scope, cursor)?;
+        Ok(Page::slice(list, &scope, offset, self.config.follows_page_size))
+    }
+
+    // ------------------------------------------------------------------
+    // Mastodon
+    // ------------------------------------------------------------------
+
+    fn instance_checked(&self, domain: &str) -> Result<InstanceId> {
+        let inst = self
+            .world
+            .instance_by_domain(domain)
+            .ok_or_else(|| FlockError::NotFound(format!("instance {domain}")))?;
+        if inst.down_at_crawl {
+            return Err(FlockError::InstanceUnavailable(domain.to_string()));
+        }
+        Ok(inst.id)
+    }
+
+    /// Account lookup on an instance. Works for both pre- and post-move
+    /// handles; a moved account reports `moved_to`.
+    pub fn mastodon_lookup_account(&self, handle: &MastodonHandle) -> Result<MastodonAccountObject> {
+        self.inject_fault()?;
+        let inst = self.instance_checked(handle.instance())?;
+        self.acquire(Endpoint::Mastodon(inst))?;
+        let account = self
+            .world
+            .account_by_handle(handle)
+            .ok_or_else(|| FlockError::NotFound(handle.to_string()))?;
+        let is_old_identity = account.switch.is_some() && *handle == account.first_handle;
+        let (followers, following) = if is_old_identity {
+            (0, 0) // the Move drained the old account's relationships
+        } else {
+            (
+                self.world.mastodon_followers(account).len() as u64,
+                self.world.mastodon_following(account).len() as u64,
+            )
+        };
+        let statuses = self.visible_statuses(account, handle).len() as u64;
+        let (created_at, created_tod_secs) = if is_old_identity {
+            (account.created, account.created_tod_secs)
+        } else if let Some(sw) = &account.switch {
+            (sw.day, sw.tod_secs)
+        } else {
+            (account.created, account.created_tod_secs)
+        };
+        Ok(MastodonAccountObject {
+            handle: handle.clone(),
+            created_at,
+            created_tod_secs,
+            followers_count: followers,
+            following_count: following,
+            statuses_count: statuses,
+            moved_to: if is_old_identity {
+                Some(account.handle.clone())
+            } else {
+                None
+            },
+        })
+    }
+
+    /// Statuses visible on the instance `handle` lives on: a moved account
+    /// keeps its pre-move statuses on the old instance.
+    fn visible_statuses(
+        &self,
+        account: &flock_fedisim::MastodonAccount,
+        handle: &MastodonHandle,
+    ) -> Vec<flock_core::StatusId> {
+        let all = self.world.statuses_of(account.id);
+        match &account.switch {
+            Some(sw) if *handle == account.first_handle => all
+                .iter()
+                .copied()
+                .filter(|sid| self.world.statuses[sid.index()].day < sw.day)
+                .collect(),
+            Some(sw) => all
+                .iter()
+                .copied()
+                .filter(|sid| self.world.statuses[sid.index()].day >= sw.day)
+                .collect(),
+            None => all.to_vec(),
+        }
+    }
+
+    /// An account's statuses (`/api/v1/accounts/:id/statuses`).
+    pub fn mastodon_account_statuses(
+        &self,
+        handle: &MastodonHandle,
+        cursor: Option<&str>,
+    ) -> Result<Page<StatusObject>> {
+        self.inject_fault()?;
+        let inst = self.instance_checked(handle.instance())?;
+        self.acquire(Endpoint::Mastodon(inst))?;
+        let account = self
+            .world
+            .account_by_handle(handle)
+            .ok_or_else(|| FlockError::NotFound(handle.to_string()))?;
+        let ids = self.visible_statuses(account, handle);
+        let scope = format!("statuses:{handle}");
+        let offset = decode(&scope, cursor)?;
+        let page = Page::slice(&ids, &scope, offset, self.config.statuses_page_size);
+        Ok(Page {
+            items: page
+                .items
+                .iter()
+                .map(|sid| {
+                    let s = &self.world.statuses[sid.index()];
+                    StatusObject {
+                        id: s.id,
+                        day: s.day,
+                        content: s.text.clone(),
+                    }
+                })
+                .collect(),
+            next: page.next,
+        })
+    }
+
+    /// Who an account follows (`/api/v1/accounts/:id/following`).
+    pub fn mastodon_account_following(
+        &self,
+        handle: &MastodonHandle,
+        cursor: Option<&str>,
+    ) -> Result<Page<MastodonHandle>> {
+        self.inject_fault()?;
+        let inst = self.instance_checked(handle.instance())?;
+        self.acquire(Endpoint::Mastodon(inst))?;
+        let account = self
+            .world
+            .account_by_handle(handle)
+            .ok_or_else(|| FlockError::NotFound(handle.to_string()))?;
+        let handles: Vec<MastodonHandle> =
+            if account.switch.is_some() && *handle == account.first_handle {
+                Vec::new() // drained by the Move
+            } else {
+                self.world
+                    .mastodon_following(account)
+                    .iter()
+                    .map(|a| {
+                        MastodonHandle::new(&a.name, &a.domain).expect("actors carry valid names")
+                    })
+                    .collect()
+            };
+        let scope = format!("following:{handle}");
+        let offset = decode(&scope, cursor)?;
+        Ok(Page::slice(
+            &handles,
+            &scope,
+            offset,
+            self.config.following_page_size,
+        ))
+    }
+
+    /// Public instance metadata (`/api/v1/instance`): registered users and
+    /// statuses including the untracked background population.
+    pub fn mastodon_instance_info(&self, domain: &str) -> Result<crate::types::InstanceInfoObject> {
+        self.inject_fault()?;
+        let inst = self.instance_checked(domain)?;
+        self.acquire(Endpoint::Mastodon(inst))?;
+        let weeks = self
+            .world
+            .ledger
+            .instance_weeks(inst)
+            .ok_or_else(|| FlockError::NotFound(domain.to_string()))?;
+        let user_count: u64 = weeks.values().map(|a| a.registrations).sum();
+        let status_count: u64 = weeks.values().map(|a| a.statuses).sum();
+        let topic = self.world.instances[inst.index()]
+            .topic
+            .map(|t| t.to_string());
+        Ok(crate::types::InstanceInfoObject {
+            domain: domain.to_string(),
+            user_count,
+            status_count,
+            topic,
+        })
+    }
+
+    /// Weekly activity (`/api/v1/instance/activity`): the last 12 weeks.
+    pub fn mastodon_instance_activity(&self, domain: &str) -> Result<Vec<ActivityRow>> {
+        self.inject_fault()?;
+        let inst = self.instance_checked(domain)?;
+        self.acquire(Endpoint::Mastodon(inst))?;
+        let weeks = self
+            .world
+            .ledger
+            .instance_weeks(inst)
+            .ok_or_else(|| FlockError::NotFound(domain.to_string()))?;
+        Ok(weeks
+            .iter()
+            .rev()
+            .take(12)
+            .map(|(w, a)| ActivityRow {
+                week: *w,
+                statuses: a.statuses,
+                logins: a.logins,
+                registrations: a.registrations,
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect())
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Endpoint {
+    Search,
+    Users,
+    Follows,
+    Mastodon(InstanceId),
+}
+
+/// Reserved index-key prefix for URL hosts (`\0` cannot occur in a token).
+const URL_KEY_PREFIX: &str = "\0url:";
+const EMPTY_POSTING: &[u32] = &[];
+
+/// Extract the host of a URL token, if it is one.
+fn url_host(token: &str) -> Option<&str> {
+    let rest = token
+        .strip_prefix("https://")
+        .or_else(|| token.strip_prefix("http://"))?;
+    let host = rest.split('/').next().unwrap_or(rest);
+    (!host.is_empty()).then_some(host)
+}
+
+/// The host and every dot-suffix of it (`a.b.c` → `a.b.c`, `b.c`), matching
+/// Twitter's domain/subdomain semantics for the `url:` operator.
+fn host_suffixes(host: &str) -> impl Iterator<Item = &str> {
+    std::iter::successors(Some(host), |h| h.split_once('.').map(|(_, rest)| rest))
+        .filter(|h| h.contains('.'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flock_fedisim::WorldConfig;
+
+    fn server() -> ApiServer {
+        let world = Arc::new(World::generate(&WorldConfig::small().with_seed(123)).unwrap());
+        ApiServer::with_defaults(world)
+    }
+
+    fn drain_search(api: &ApiServer, q: &str) -> Vec<TweetObject> {
+        let mut out = Vec::new();
+        let mut cursor: Option<String> = None;
+        loop {
+            match api.twitter_search(q, Day::COLLECTION_START, Day::COLLECTION_END, cursor.as_deref())
+            {
+                Ok(page) => {
+                    out.extend(page.items);
+                    match page.next {
+                        Some(c) => cursor = Some(c),
+                        None => break,
+                    }
+                }
+                Err(FlockError::RateLimited { retry_after_secs }) => {
+                    api.advance_clock(retry_after_secs);
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn search_finds_migration_tweets() {
+        let api = server();
+        let hits = drain_search(&api, "mastodon");
+        assert!(!hits.is_empty());
+        for t in &hits {
+            assert!(t.text.to_lowercase().split_whitespace().any(|w| w.trim_matches(|c: char| !c.is_alphanumeric()) == "mastodon")
+                || t.text.to_lowercase().contains("mastodon"),
+                "non-matching hit: {}", t.text);
+            assert!(t.day.in_collection_window());
+        }
+    }
+
+    #[test]
+    fn search_respects_date_bounds() {
+        let api = server();
+        let page = api
+            .twitter_search("#twittermigration", Day(27), Day(27), None)
+            .unwrap();
+        assert!(page.items.iter().all(|t| t.day == Day(27)));
+    }
+
+    #[test]
+    fn search_rejects_bad_query_without_spending_quota() {
+        let api = server();
+        assert!(matches!(
+            api.twitter_search("\"unterminated", Day(0), Day(60), None),
+            Err(FlockError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn rate_limit_enforced_and_recoverable() {
+        let world = Arc::new(World::generate(&WorldConfig::small().with_seed(7)).unwrap());
+        let mut config = ApiConfig::default();
+        config.follows_policy = RatePolicy { capacity: 2, window_secs: 60 };
+        let api = ApiServer::new(world.clone(), config);
+        let migrant = world.users[world.migrant_users[0]].id;
+        let mut limited = false;
+        for _ in 0..5 {
+            match api.twitter_following(migrant, None) {
+                Ok(_) => {}
+                Err(FlockError::RateLimited { retry_after_secs }) => {
+                    limited = true;
+                    api.advance_clock(retry_after_secs);
+                    api.twitter_following(migrant, None).expect("after backoff");
+                    break;
+                }
+                Err(FlockError::Forbidden(_)) | Err(FlockError::NotFound(_)) => return, // unlucky fate
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(limited, "limit never hit");
+    }
+
+    #[test]
+    fn timeline_respects_account_fate() {
+        let api = server();
+        let world = api.ground_truth();
+        let find = |fate: AccountFate| {
+            world
+                .users
+                .iter()
+                .find(|u| u.fate == fate)
+                .map(|u| u.id)
+        };
+        if let Some(id) = find(AccountFate::Protected) {
+            assert!(matches!(
+                api.twitter_timeline(id, Day(0), Day(60), None),
+                Err(FlockError::Forbidden(_))
+            ));
+        }
+        if let Some(id) = find(AccountFate::Deleted) {
+            assert!(matches!(
+                api.twitter_timeline(id, Day(0), Day(60), None),
+                Err(FlockError::NotFound(_))
+            ));
+        }
+        let active = find(AccountFate::Active).unwrap();
+        loop {
+            match api.twitter_timeline(active, Day(0), Day(60), None) {
+                Ok(_) => break,
+                Err(FlockError::RateLimited { retry_after_secs }) => {
+                    api.advance_clock(retry_after_secs)
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn users_lookup_hides_deleted_and_caps_batch() {
+        let api = server();
+        let world = api.ground_truth();
+        let ids: Vec<TwitterUserId> = world.users.iter().take(101).map(|u| u.id).collect();
+        assert!(api.twitter_users_lookup(&ids).is_err());
+        let got = api.twitter_users_lookup(&ids[..100]).unwrap();
+        for u in &got {
+            let truth = world.user(u.id).unwrap();
+            assert!(!matches!(truth.fate, AccountFate::Deleted | AccountFate::Suspended));
+            assert_eq!(u.username, truth.username);
+        }
+    }
+
+    #[test]
+    fn mastodon_statuses_roundtrip_and_down_instances_fail() {
+        let api = server();
+        let world = api.ground_truth();
+        let mut crawled_one = false;
+        for a in &world.accounts {
+            let inst = &world.instances[a.instance.index()];
+            let r = api.mastodon_account_statuses(&a.handle, None);
+            if inst.down_at_crawl {
+                assert!(matches!(r, Err(FlockError::InstanceUnavailable(_))));
+            } else {
+                match r {
+                    Ok(page) => {
+                        crawled_one = true;
+                        for s in &page.items {
+                            assert_eq!(world.statuses[s.id.index()].account, a.id);
+                        }
+                    }
+                    Err(FlockError::RateLimited { retry_after_secs }) => {
+                        api.advance_clock(retry_after_secs);
+                    }
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            if crawled_one {
+                break;
+            }
+        }
+        assert!(crawled_one);
+    }
+
+    #[test]
+    fn moved_accounts_expose_moved_to_and_split_statuses() {
+        let api = server();
+        let world = api.ground_truth();
+        let switcher = world
+            .accounts
+            .iter()
+            .find(|a| {
+                a.switch.is_some()
+                    && !world.instances[a.first_instance.index()].down_at_crawl
+                    && !world.instances[a.instance.index()].down_at_crawl
+            })
+            .expect("some reachable switcher");
+        let old = api.mastodon_lookup_account(&switcher.first_handle).unwrap();
+        assert_eq!(old.moved_to.as_ref(), Some(&switcher.handle));
+        let new = api.mastodon_lookup_account(&switcher.handle).unwrap();
+        assert!(new.moved_to.is_none());
+        let sw_day = switcher.switch.as_ref().unwrap().day;
+        let old_statuses = api
+            .mastodon_account_statuses(&switcher.first_handle, None)
+            .unwrap();
+        assert!(old_statuses.items.iter().all(|s| s.day < sw_day));
+        let new_statuses = api.mastodon_account_statuses(&switcher.handle, None).unwrap();
+        assert!(new_statuses.items.iter().all(|s| s.day >= sw_day));
+    }
+
+    #[test]
+    fn instance_activity_returns_recent_weeks() {
+        let api = server();
+        let rows = api.mastodon_instance_activity("mastodon.social").unwrap();
+        assert!(!rows.is_empty() && rows.len() <= 12);
+        for pair in rows.windows(2) {
+            assert!(pair[0].week < pair[1].week, "weeks must ascend");
+        }
+        assert!(matches!(
+            api.mastodon_instance_activity("no-such-instance.example"),
+            Err(FlockError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn instances_social_list_is_complete() {
+        let api = server();
+        let list = api.instances_social_list();
+        assert_eq!(list.len(), api.ground_truth().instances.len());
+        assert!(list.contains(&"mastodon.social".to_string()));
+    }
+
+    #[test]
+    fn transient_faults_injected_when_configured() {
+        let world = Arc::new(World::generate(&WorldConfig::small().with_seed(9)).unwrap());
+        let mut config = ApiConfig::default();
+        config.transient_error_rate = 0.5;
+        let api = ApiServer::new(world, config);
+        let mut failures = 0;
+        for _ in 0..50 {
+            if api.instances_social_list().is_empty() {
+                unreachable!()
+            }
+            match api.twitter_search("mastodon", Day(25), Day(51), None) {
+                Err(FlockError::InstanceUnavailable(_)) => failures += 1,
+                Err(FlockError::RateLimited { retry_after_secs }) => {
+                    api.advance_clock(retry_after_secs)
+                }
+                _ => {}
+            }
+        }
+        assert!(failures > 5, "only {failures} transient failures");
+    }
+}
+
+#[cfg(test)]
+mod index_differential_tests {
+    use super::*;
+    use crate::query::{Query, TweetDoc};
+    use flock_fedisim::WorldConfig;
+    use std::sync::Arc;
+
+    /// The inverted index is an optimization: for every query the paper's
+    /// collection used, index-assisted search must return exactly the same
+    /// tweets as a brute-force scan of the corpus.
+    #[test]
+    fn index_matches_brute_force_scan() {
+        let world =
+            Arc::new(World::generate(&WorldConfig::small().with_seed(888)).unwrap());
+        let api = ApiServer::with_defaults(world.clone());
+        let mut queries: Vec<String> = vec![
+            "mastodon".into(),
+            "\"bye bye twitter\"".into(),
+            "#TwitterMigration".into(),
+            "#RIPTwitter".into(),
+            "leaving mastodon".into(),
+        ];
+        for inst in world.instances.iter().take(10) {
+            queries.push(format!("url:\"{}\"", inst.domain));
+        }
+        for q in queries {
+            let parsed = Query::parse(&q).unwrap();
+            let brute: Vec<_> = world
+                .tweets
+                .iter()
+                .filter(|t| {
+                    t.day >= Day::COLLECTION_START
+                        && t.day <= Day::COLLECTION_END
+                        && parsed.matches(&TweetDoc::new(
+                            &t.text,
+                            &world.users[t.author.index()].username,
+                        ))
+                })
+                .map(|t| t.id)
+                .collect();
+            let mut indexed = Vec::new();
+            let mut cursor: Option<String> = None;
+            loop {
+                match api.twitter_search(
+                    &q,
+                    Day::COLLECTION_START,
+                    Day::COLLECTION_END,
+                    cursor.as_deref(),
+                ) {
+                    Ok(page) => {
+                        indexed.extend(page.items.into_iter().map(|t| t.id));
+                        match page.next {
+                            Some(c) => cursor = Some(c),
+                            None => break,
+                        }
+                    }
+                    Err(FlockError::RateLimited { retry_after_secs }) => {
+                        api.advance_clock(retry_after_secs)
+                    }
+                    Err(e) => panic!("{q}: {e}"),
+                }
+            }
+            let mut brute_sorted = brute.clone();
+            brute_sorted.sort();
+            let mut indexed_sorted = indexed.clone();
+            indexed_sorted.sort();
+            assert_eq!(
+                indexed_sorted, brute_sorted,
+                "index and scan disagree for {q:?}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod instance_info_tests {
+    use super::*;
+    use flock_fedisim::WorldConfig;
+    use std::sync::Arc;
+
+    #[test]
+    fn instance_info_reports_public_counts() {
+        let world = Arc::new(World::generate(&WorldConfig::small().with_seed(777)).unwrap());
+        let api = ApiServer::with_defaults(world.clone());
+        let info = api.mastodon_instance_info("mastodon.social").unwrap();
+        assert_eq!(info.domain, "mastodon.social");
+        // The public count includes the untracked background wave, so it
+        // dwarfs the tracked migrant population on the flagship.
+        let tracked = world
+            .accounts
+            .iter()
+            .filter(|a| a.instance.index() == 0)
+            .count() as u64;
+        assert!(
+            info.user_count > tracked,
+            "public {} vs tracked {tracked}",
+            info.user_count
+        );
+        assert!(info.status_count > 0);
+        assert_eq!(info.topic, None, "the flagship is general-purpose");
+
+        // Any reachable topical instance reports its niche.
+        let topical = world
+            .instances
+            .iter()
+            .find(|i| i.topic.is_some() && !i.down_at_crawl)
+            .expect("some topical instance is up");
+        let info = api.mastodon_instance_info(&topical.domain).unwrap();
+        assert_eq!(info.topic.as_deref(), Some(topical.topic.unwrap().to_string().as_str()));
+
+        assert!(matches!(
+            api.mastodon_instance_info("nope.example"),
+            Err(FlockError::NotFound(_))
+        ));
+        // Down instances answer unavailable, like every Mastodon endpoint.
+        if let Some(down) = world.instances.iter().find(|i| i.down_at_crawl) {
+            assert!(matches!(
+                api.mastodon_instance_info(&down.domain),
+                Err(FlockError::InstanceUnavailable(_))
+            ));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Wire-level response objects — the shapes a real crawler would
+//! deserialize from the two platforms' JSON.
+
+use flock_core::{Day, MastodonHandle, StatusId, TweetId, TwitterUserId, Week};
+use serde::{Deserialize, Serialize};
+
+/// A tweet as returned by the search / timeline endpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TweetObject {
+    pub id: TweetId,
+    pub author_id: TwitterUserId,
+    pub day: Day,
+    pub text: String,
+    /// Client the tweet was posted from (the Fig. 12 `source` field).
+    pub source: String,
+}
+
+/// A Twitter user object (the `includes.users` expansion).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwitterUserObject {
+    pub id: TwitterUserId,
+    pub username: String,
+    pub name: String,
+    /// Bio/description — where §3.1 looks for Mastodon handles first.
+    pub description: String,
+    pub created_at: Day,
+    pub verified: bool,
+    pub protected: bool,
+    pub followers_count: u64,
+    pub following_count: u64,
+}
+
+/// A Mastodon account object (`/api/v1/accounts/lookup`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MastodonAccountObject {
+    pub handle: MastodonHandle,
+    pub created_at: Day,
+    /// Time-of-day component of `created_at`, in seconds (real servers
+    /// return full RFC3339 timestamps; sub-day order matters for the
+    /// who-moved-first analyses).
+    pub created_tod_secs: u32,
+    pub followers_count: u64,
+    pub following_count: u64,
+    pub statuses_count: u64,
+    /// Set when the account has migrated away (`moved` in the real API).
+    pub moved_to: Option<MastodonHandle>,
+}
+
+/// A status (`/api/v1/accounts/:id/statuses`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusObject {
+    pub id: StatusId,
+    pub day: Day,
+    pub content: String,
+}
+
+/// `/api/v1/instance` — public instance metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceInfoObject {
+    pub domain: String,
+    /// Publicly reported registered-user count (includes the untracked
+    /// background population, like the real stats the paper cross-checked).
+    pub user_count: u64,
+    /// Publicly reported status count.
+    pub status_count: u64,
+    /// Server description topic, if the instance is topical.
+    pub topic: Option<String>,
+}
+
+/// One row of `/api/v1/instance/activity`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityRow {
+    pub week: Week,
+    pub statuses: u64,
+    pub logins: u64,
+    pub registrations: u64,
+}

@@ -1,0 +1,103 @@
+//! Micro-benchmarks of the pipeline's hot inner loops.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flock_apis::{Query, RatePolicy, TokenBucket, TweetDoc};
+use flock_core::handle::extract_handles;
+use flock_core::DetRng;
+use flock_textsim::{cosine, embed, tokenize, PostGenerator, Topic, ToxicityScorer};
+use std::hint::black_box;
+
+const BIO: &str = "ex-birdsite, into #rustlang and photography. \
+     find me at @quiet_otter@mastodon.social or https://hachyderm.io/@quiet_otter — \
+     email me at not.a.handle@example.com";
+
+fn bench_handle_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("handle_extraction");
+    group.throughput(Throughput::Bytes(BIO.len() as u64));
+    group.bench_function("bio_with_two_handles", |b| {
+        b.iter(|| black_box(extract_handles(BIO)))
+    });
+    let clean = "just a normal tweet about the weather with no handles at all in it";
+    group.throughput(Throughput::Bytes(clean.len() as u64));
+    group.bench_function("text_without_handles", |b| {
+        b.iter(|| black_box(extract_handles(clean)))
+    });
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_query");
+    group.bench_function("parse_keyword", |b| {
+        b.iter(|| black_box(Query::parse("mastodon")).unwrap())
+    });
+    group.bench_function("parse_complex", |b| {
+        b.iter(|| black_box(Query::parse("(mastodon OR koo) \"bye bye twitter\" -#ad url:\"mastodon.social\"")).unwrap())
+    });
+    let q = Query::parse("#twittermigration \"bye bye twitter\"").unwrap();
+    let doc = TweetDoc::new(
+        "ok that's it, bye bye twitter — find me on the other site #TwitterMigration",
+        "someone",
+    );
+    group.bench_function("eval_match", |b| b.iter(|| black_box(q.matches(&doc))));
+    group.bench_function("build_doc", |b| {
+        b.iter(|| {
+            black_box(TweetDoc::new(
+                "ok that's it, bye bye twitter — find me on the other site #TwitterMigration",
+                "someone",
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_text(c: &mut Criterion) {
+    let gen = PostGenerator::default();
+    let mut rng = DetRng::new(7);
+    let post_a = gen.generate(Topic::Politics, &mut rng);
+    let post_b = gen.generate(Topic::Politics, &mut rng);
+    let mut group = c.benchmark_group("textsim");
+    group.bench_function("tokenize", |b| b.iter(|| black_box(tokenize(&post_a))));
+    group.bench_function("embed", |b| b.iter(|| black_box(embed(&post_a))));
+    let (ea, eb) = (embed(&post_a), embed(&post_b));
+    group.bench_function("cosine", |b| b.iter(|| black_box(cosine(&ea, &eb))));
+    let scorer = ToxicityScorer::new();
+    group.bench_function("toxicity_score", |b| b.iter(|| black_box(scorer.score(&post_a))));
+    group.bench_function("generate_post", |b| {
+        b.iter(|| black_box(gen.generate(Topic::Tech, &mut rng)))
+    });
+    group.bench_function("paraphrase", |b| {
+        b.iter(|| black_box(gen.paraphrase(&post_a, &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut rng = DetRng::new(9);
+    let mut group = c.benchmark_group("rng");
+    group.bench_function("next_u64", |b| b.iter(|| black_box(rng.next_u64())));
+    group.bench_function("zipf_1000", |b| b.iter(|| black_box(rng.zipf(1000, 1.2))));
+    group.bench_function("lognormal", |b| b.iter(|| black_box(rng.lognormal(0.0, 1.0))));
+    group.bench_function("poisson_4", |b| b.iter(|| black_box(rng.poisson(4.0))));
+    group.finish();
+}
+
+fn bench_rate_limit(c: &mut Criterion) {
+    c.bench_function("token_bucket_acquire", |b| {
+        let mut bucket = TokenBucket::new(RatePolicy::twitter_search(), 0);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            black_box(bucket.try_acquire(now).is_ok())
+        })
+    });
+}
+
+criterion_group!(
+    components,
+    bench_handle_extraction,
+    bench_query,
+    bench_text,
+    bench_rng,
+    bench_rate_limit,
+);
+criterion_main!(components);

@@ -1,0 +1,173 @@
+//! One benchmark per paper figure: the exact analysis code `repro <figN>`
+//! runs, over a prebuilt crawled dataset. These are the regeneration costs
+//! of every table and figure in the evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flock_analysis::prelude::*;
+use flock_bench::{bench_dataset, bench_world};
+use flock_core::DetRng;
+use std::hint::black_box;
+
+fn fig1_interest(c: &mut Criterion) {
+    c.bench_function("fig1_interest_series", |b| {
+        let mut rng = DetRng::new(1);
+        b.iter(|| black_box(flock_fedisim::interest::generate_interest(&mut rng)));
+    });
+}
+
+fn fig2(c: &mut Criterion) {
+    let ds = bench_dataset();
+    c.bench_function("fig2_collection_series", |b| {
+        b.iter(|| black_box(fig2_collection(ds)))
+    });
+}
+
+fn fig3(c: &mut Criterion) {
+    let ds = bench_dataset();
+    c.bench_function("fig3_weekly_activity_totals", |b| {
+        b.iter(|| {
+            // Aggregating the crawled per-instance weekly rows is the
+            // figure's entire computation.
+            let mut total = 0u64;
+            for rows in ds.weekly_activity.values() {
+                for r in rows {
+                    total += r.registrations + r.logins + r.statuses;
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn fig4(c: &mut Criterion) {
+    let ds = bench_dataset();
+    c.bench_function("fig4_top_instances", |b| {
+        b.iter(|| black_box(fig4_top_instances(ds, 30)))
+    });
+}
+
+fn fig5(c: &mut Criterion) {
+    let ds = bench_dataset();
+    c.bench_function("fig5_centralization", |b| {
+        b.iter(|| black_box(fig5_centralization(ds)))
+    });
+}
+
+fn fig6(c: &mut Criterion) {
+    let ds = bench_dataset();
+    c.bench_function("fig6_size_analysis", |b| {
+        b.iter(|| black_box(fig6_size_analysis(ds)))
+    });
+}
+
+fn fig7(c: &mut Criterion) {
+    let ds = bench_dataset();
+    c.bench_function("fig7_social_networks", |b| {
+        b.iter(|| black_box(fig7_social_networks(ds)))
+    });
+}
+
+fn fig8(c: &mut Criterion) {
+    let ds = bench_dataset();
+    c.bench_function("fig8_influence", |b| b.iter(|| black_box(fig8_influence(ds))));
+}
+
+fn fig9(c: &mut Criterion) {
+    let ds = bench_dataset();
+    c.bench_function("fig9_switching", |b| b.iter(|| black_box(fig9_switching(ds))));
+}
+
+fn fig10(c: &mut Criterion) {
+    let ds = bench_dataset();
+    c.bench_function("fig10_switcher_influence", |b| {
+        b.iter(|| black_box(fig10_switcher_influence(ds)))
+    });
+}
+
+fn fig11(c: &mut Criterion) {
+    let ds = bench_dataset();
+    c.bench_function("fig11_activity", |b| b.iter(|| black_box(fig11_activity(ds))));
+}
+
+fn fig12(c: &mut Criterion) {
+    let ds = bench_dataset();
+    c.bench_function("fig12_sources", |b| b.iter(|| black_box(fig12_sources(ds, 30))));
+}
+
+fn fig13(c: &mut Criterion) {
+    let ds = bench_dataset();
+    c.bench_function("fig13_crossposters", |b| {
+        b.iter(|| black_box(fig13_crossposters(ds)))
+    });
+}
+
+fn fig14(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mut group = c.benchmark_group("fig14");
+    // The similarity figure embeds every post — by far the heaviest figure.
+    group.sample_size(10);
+    group.bench_function("fig14_similarity", |b| {
+        b.iter(|| black_box(fig14_similarity(ds)))
+    });
+    group.finish();
+}
+
+fn fig15(c: &mut Criterion) {
+    let ds = bench_dataset();
+    c.bench_function("fig15_hashtags", |b| {
+        b.iter(|| black_box(fig15_hashtags(ds, 30)))
+    });
+}
+
+fn fig16(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mut group = c.benchmark_group("fig16");
+    group.sample_size(10);
+    group.bench_function("fig16_toxicity", |b| {
+        b.iter(|| black_box(fig16_toxicity(ds)))
+    });
+    group.finish();
+}
+
+fn headline(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mut group = c.benchmark_group("headline");
+    group.sample_size(10);
+    group.bench_function("headline_report", |b| {
+        b.iter(|| black_box(HeadlineReport::compute(ds)))
+    });
+    group.finish();
+}
+
+fn world_access(c: &mut Criterion) {
+    // Touch the world once so its construction cost is attributed here, not
+    // to the first figure bench.
+    let w = bench_world();
+    c.bench_function("world_account_lookup", |b| {
+        let handle = w.accounts[0].handle.clone();
+        b.iter(|| black_box(w.account_by_handle(&handle)))
+    });
+}
+
+criterion_group!(
+    figures,
+    world_access,
+    fig1_interest,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    headline,
+);
+criterion_main!(figures);

@@ -1,0 +1,37 @@
+//! # flock-bench — shared fixtures for the benchmark harness
+//!
+//! The benches in `benches/` cover four layers:
+//!
+//! * `components` — the hot inner loops (handle extraction, query
+//!   evaluation, embeddings, toxicity scoring, rate limiting);
+//! * `substrate` — the generative substrates (graphs, instances, the
+//!   ActivityPub network);
+//! * `pipeline` — world generation, index construction, and the full §3
+//!   crawl;
+//! * `figures` — **one benchmark per paper figure** (Fig. 1–16 plus the
+//!   headline table): the exact code paths `repro <figN>` runs, measured
+//!   over a prebuilt crawled dataset.
+
+use flock_apis::ApiServer;
+use flock_crawler::dataset::Dataset;
+use flock_crawler::pipeline::crawl;
+use flock_fedisim::{World, WorldConfig};
+use std::sync::{Arc, OnceLock};
+
+/// A lazily-built small world shared by benches (building worlds inside the
+/// measurement loop would swamp the figure timings).
+pub fn bench_world() -> &'static Arc<World> {
+    static CELL: OnceLock<Arc<World>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        Arc::new(World::generate(&WorldConfig::small().with_seed(1234)).expect("world"))
+    })
+}
+
+/// The crawled dataset over [`bench_world`].
+pub fn bench_dataset() -> &'static Dataset {
+    static CELL: OnceLock<Dataset> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let api = ApiServer::with_defaults(bench_world().clone());
+        crawl(&api).expect("crawl")
+    })
+}

@@ -1,0 +1,91 @@
+//! The shared error type for the workspace.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, FlockError>;
+
+/// Errors produced anywhere in the reproduction pipeline.
+///
+/// The variants mirror the failure modes the paper's crawler had to handle:
+/// malformed handles, unreachable instances, rate limiting, missing or
+/// restricted accounts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlockError {
+    /// A string failed to parse as a Mastodon handle.
+    InvalidHandle(String),
+    /// A search query string failed to parse.
+    InvalidQuery(String),
+    /// The requested entity does not exist.
+    NotFound(String),
+    /// The account exists but its content is not accessible
+    /// (protected tweets, suspended account, …).
+    Forbidden(String),
+    /// The caller is rate limited; retry after the given number of
+    /// virtual-time seconds.
+    RateLimited { retry_after_secs: u64 },
+    /// The remote instance is down / unreachable at the moment.
+    InstanceUnavailable(String),
+    /// An opaque pagination cursor was malformed or expired.
+    BadCursor(String),
+    /// A configuration value is out of range or inconsistent.
+    InvalidConfig(String),
+    /// Federation delivery failed (transport loss, remote rejected, …).
+    DeliveryFailed(String),
+}
+
+impl fmt::Display for FlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlockError::InvalidHandle(s) => write!(f, "invalid mastodon handle: {s}"),
+            FlockError::InvalidQuery(s) => write!(f, "invalid search query: {s}"),
+            FlockError::NotFound(s) => write!(f, "not found: {s}"),
+            FlockError::Forbidden(s) => write!(f, "forbidden: {s}"),
+            FlockError::RateLimited { retry_after_secs } => {
+                write!(f, "rate limited; retry after {retry_after_secs}s")
+            }
+            FlockError::InstanceUnavailable(s) => write!(f, "instance unavailable: {s}"),
+            FlockError::BadCursor(s) => write!(f, "bad pagination cursor: {s}"),
+            FlockError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
+            FlockError::DeliveryFailed(s) => write!(f, "federation delivery failed: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for FlockError {}
+
+impl FlockError {
+    /// `true` if the error is transient and the operation may be retried
+    /// (possibly after waiting). The crawler's retry loop keys off this.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            FlockError::RateLimited { .. }
+                | FlockError::InstanceUnavailable(_)
+                | FlockError::DeliveryFailed(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FlockError::RateLimited {
+            retry_after_secs: 900,
+        };
+        assert!(e.to_string().contains("900"));
+        assert!(FlockError::NotFound("tw:1".into()).to_string().contains("tw:1"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(FlockError::RateLimited { retry_after_secs: 1 }.is_retryable());
+        assert!(FlockError::InstanceUnavailable("x".into()).is_retryable());
+        assert!(!FlockError::NotFound("x".into()).is_retryable());
+        assert!(!FlockError::Forbidden("x".into()).is_retryable());
+        assert!(!FlockError::InvalidQuery("x".into()).is_retryable());
+    }
+}

@@ -1,0 +1,412 @@
+//! The Mastodon handle grammar and free-text extractor (§3.1 of the paper).
+//!
+//! The paper maps Twitter accounts to Mastodon accounts by scanning tweets
+//! and profile metadata for handles in two syntactic forms:
+//!
+//! 1. the *Webfinger* form `@alice@example.com`, and
+//! 2. the *profile-URL* form `https://example.com/@alice`
+//!    (we additionally accept the ActivityPub actor form
+//!    `https://example.com/users/alice`, which many users paste).
+//!
+//! This module implements a hand-rolled scanner for both forms, with the
+//! boundary rules needed to avoid the classic false positives: e-mail
+//! addresses, `@mentions` of local Twitter users, and trailing punctuation.
+
+use crate::error::FlockError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum username length accepted (Mastodon enforces 30).
+pub const MAX_USERNAME_LEN: usize = 30;
+/// Maximum DNS label length.
+const MAX_LABEL_LEN: usize = 63;
+/// Maximum full domain length.
+const MAX_DOMAIN_LEN: usize = 253;
+
+/// A fully-qualified Mastodon handle: a username plus the domain of the
+/// instance that hosts the account.
+///
+/// Handles are normalized to lowercase on construction (Mastodon usernames
+/// and DNS names are case-insensitive), so `@Alice@Mastodon.Social` and
+/// `@alice@mastodon.social` compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MastodonHandle {
+    username: String,
+    instance: String,
+}
+
+impl MastodonHandle {
+    /// Build a handle from raw parts, validating both.
+    pub fn new(username: &str, instance: &str) -> Result<Self, FlockError> {
+        let username = username.to_ascii_lowercase();
+        let instance = instance.to_ascii_lowercase();
+        if !is_valid_username(&username) {
+            return Err(FlockError::InvalidHandle(format!(
+                "bad username: {username:?}"
+            )));
+        }
+        if !is_valid_domain(&instance) {
+            return Err(FlockError::InvalidHandle(format!(
+                "bad instance domain: {instance:?}"
+            )));
+        }
+        Ok(MastodonHandle { username, instance })
+    }
+
+    /// The local username (lowercase, no leading `@`).
+    pub fn username(&self) -> &str {
+        &self.username
+    }
+
+    /// The instance domain (lowercase).
+    pub fn instance(&self) -> &str {
+        &self.instance
+    }
+
+    /// Render as a profile URL, the second syntactic form.
+    pub fn profile_url(&self) -> String {
+        format!("https://{}/@{}", self.instance, self.username)
+    }
+}
+
+impl fmt::Display for MastodonHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}@{}", self.username, self.instance)
+    }
+}
+
+impl FromStr for MastodonHandle {
+    type Err = FlockError;
+
+    /// Parse any of the accepted forms:
+    /// `@user@domain`, `user@domain`, `https://domain/@user`,
+    /// `https://domain/users/user`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if let Some(rest) = s.strip_prefix("https://").or_else(|| s.strip_prefix("http://")) {
+            let (domain, path) = rest
+                .split_once('/')
+                .ok_or_else(|| FlockError::InvalidHandle(format!("no path in URL: {s:?}")))?;
+            let user = path
+                .strip_prefix('@')
+                .or_else(|| path.strip_prefix("users/"))
+                .or_else(|| path.strip_prefix("web/@"))
+                .ok_or_else(|| {
+                    FlockError::InvalidHandle(format!("not a profile path: {path:?}"))
+                })?;
+            let user = user.split(['/', '?', '#']).next().unwrap_or(user);
+            return MastodonHandle::new(user, domain);
+        }
+        let body = s.strip_prefix('@').unwrap_or(s);
+        let (user, domain) = body
+            .split_once('@')
+            .ok_or_else(|| FlockError::InvalidHandle(format!("missing domain: {s:?}")))?;
+        MastodonHandle::new(user, domain)
+    }
+}
+
+/// `true` if `s` is a syntactically valid Mastodon username.
+pub fn is_valid_username(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= MAX_USERNAME_LEN
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_')
+}
+
+/// `true` if `s` is a plausible instance domain: at least two labels, each
+/// `[a-z0-9-]` without leading/trailing hyphens, and an alphabetic TLD of
+/// length ≥ 2.
+pub fn is_valid_domain(s: &str) -> bool {
+    if s.is_empty() || s.len() > MAX_DOMAIN_LEN {
+        return false;
+    }
+    let labels: Vec<&str> = s.split('.').collect();
+    if labels.len() < 2 {
+        return false;
+    }
+    for label in &labels {
+        if label.is_empty()
+            || label.len() > MAX_LABEL_LEN
+            || label.starts_with('-')
+            || label.ends_with('-')
+            || !label
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+        {
+            return false;
+        }
+    }
+    let tld = labels[labels.len() - 1];
+    tld.len() >= 2 && tld.bytes().all(|b| b.is_ascii_lowercase())
+}
+
+/// Scan free text and extract every Mastodon handle, in order of appearance,
+/// de-duplicated (first occurrence wins).
+///
+/// Recognizes both the Webfinger form and profile URLs. E-mail addresses
+/// (`alice@example.com` without the leading `@`) and bare Twitter mentions
+/// (`@alice` with no domain) are *not* matched, mirroring the conservative
+/// matching of §3.1.
+pub fn extract_handles(text: &str) -> Vec<MastodonHandle> {
+    let bytes = text.as_bytes();
+    let mut out: Vec<MastodonHandle> = Vec::new();
+    let push = |h: MastodonHandle, out: &mut Vec<MastodonHandle>| {
+        if !out.contains(&h) {
+            out.push(h);
+        }
+    };
+
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'@' {
+            // Webfinger form: must not be preceded by a word character
+            // (rejects the tail of e-mail addresses and usernames).
+            let preceded_by_word = i > 0
+                && (bytes[i - 1].is_ascii_alphanumeric()
+                    || bytes[i - 1] == b'_'
+                    || bytes[i - 1] == b'.');
+            if !preceded_by_word {
+                if let Some((handle, consumed)) = scan_webfinger(&text[i..]) {
+                    push(handle, &mut out);
+                    i += consumed;
+                    continue;
+                }
+            }
+            i += 1;
+        } else if b == b'h' && (text[i..].starts_with("https://") || text[i..].starts_with("http://"))
+        {
+            if let Some((handle, consumed)) = scan_url(&text[i..]) {
+                push(handle, &mut out);
+                i += consumed;
+                continue;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Try to scan `@user@domain` at the start of `s`; returns the handle and the
+/// number of bytes consumed.
+fn scan_webfinger(s: &str) -> Option<(MastodonHandle, usize)> {
+    let rest = s.strip_prefix('@')?;
+    let user_len = rest
+        .bytes()
+        .take_while(|&b| b.is_ascii_alphanumeric() || b == b'_')
+        .count();
+    if user_len == 0 || user_len > MAX_USERNAME_LEN {
+        return None;
+    }
+    let after_user = &rest[user_len..];
+    let rest2 = after_user.strip_prefix('@')?;
+    let domain_len = scan_domain_len(rest2)?;
+    let user = &rest[..user_len];
+    let domain = rest2[..domain_len].to_ascii_lowercase();
+    let handle = MastodonHandle::new(user, &domain).ok()?;
+    Some((handle, 1 + user_len + 1 + domain_len))
+}
+
+/// Try to scan a profile URL at the start of `s`.
+fn scan_url(s: &str) -> Option<(MastodonHandle, usize)> {
+    let (scheme_len, rest) = if let Some(r) = s.strip_prefix("https://") {
+        (8, r)
+    } else if let Some(r) = s.strip_prefix("http://") {
+        (7, r)
+    } else {
+        return None;
+    };
+    let domain_len = scan_domain_len(rest)?;
+    let domain = rest[..domain_len].to_ascii_lowercase();
+    let after_domain = &rest[domain_len..];
+    let (path_prefix_len, after_prefix) = if let Some(r) = after_domain.strip_prefix("/@") {
+        (2, r)
+    } else if let Some(r) = after_domain.strip_prefix("/users/") {
+        (7, r)
+    } else if let Some(r) = after_domain.strip_prefix("/web/@") {
+        (6, r)
+    } else {
+        return None;
+    };
+    let user_len = after_prefix
+        .bytes()
+        .take_while(|&b| b.is_ascii_alphanumeric() || b == b'_')
+        .count();
+    if user_len == 0 || user_len > MAX_USERNAME_LEN {
+        return None;
+    }
+    let user = &after_prefix[..user_len];
+    let handle = MastodonHandle::new(user, &domain).ok()?;
+    Some((handle, scheme_len + domain_len + path_prefix_len + user_len))
+}
+
+/// Length of the longest valid-domain prefix of `s`, or `None`.
+///
+/// A trailing dot (sentence punctuation) is not consumed: we scan the maximal
+/// run of domain characters and then trim trailing dots before validating.
+fn scan_domain_len(s: &str) -> Option<usize> {
+    let mut len = s
+        .bytes()
+        .take_while(|&b| {
+            b.is_ascii_alphanumeric() || b == b'-' || b == b'.' || b == b'_'
+        })
+        .count();
+    // Trim trailing dots (end-of-sentence) and underscores (invalid in DNS).
+    while len > 0 && (s.as_bytes()[len - 1] == b'.' || s.as_bytes()[len - 1] == b'_') {
+        len -= 1;
+    }
+    if len == 0 {
+        return None;
+    }
+    let candidate = s[..len].to_ascii_lowercase();
+    if is_valid_domain(&candidate) {
+        Some(len)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(user: &str, inst: &str) -> MastodonHandle {
+        MastodonHandle::new(user, inst).unwrap()
+    }
+
+    #[test]
+    fn parse_webfinger_form() {
+        let parsed: MastodonHandle = "@alice@mastodon.social".parse().unwrap();
+        assert_eq!(parsed, h("alice", "mastodon.social"));
+        assert_eq!(parsed.to_string(), "@alice@mastodon.social");
+    }
+
+    #[test]
+    fn parse_without_leading_at() {
+        let parsed: MastodonHandle = "bob@fosstodon.org".parse().unwrap();
+        assert_eq!(parsed, h("bob", "fosstodon.org"));
+    }
+
+    #[test]
+    fn parse_url_form() {
+        let parsed: MastodonHandle = "https://hachyderm.io/@carol".parse().unwrap();
+        assert_eq!(parsed, h("carol", "hachyderm.io"));
+        assert_eq!(parsed.profile_url(), "https://hachyderm.io/@carol");
+    }
+
+    #[test]
+    fn parse_users_path_form() {
+        let parsed: MastodonHandle = "https://example.com/users/dave".parse().unwrap();
+        assert_eq!(parsed, h("dave", "example.com"));
+    }
+
+    #[test]
+    fn parse_normalizes_case() {
+        let parsed: MastodonHandle = "@Alice@Mastodon.Social".parse().unwrap();
+        assert_eq!(parsed, h("alice", "mastodon.social"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("@alice".parse::<MastodonHandle>().is_err());
+        assert!("alice".parse::<MastodonHandle>().is_err());
+        assert!("@@".parse::<MastodonHandle>().is_err());
+        assert!("@alice@localhost".parse::<MastodonHandle>().is_err()); // single label
+        assert!("@al ice@example.com".parse::<MastodonHandle>().is_err());
+        assert!("https://example.com/".parse::<MastodonHandle>().is_err());
+        assert!("https://example.com/about".parse::<MastodonHandle>().is_err());
+    }
+
+    #[test]
+    fn username_validation() {
+        assert!(is_valid_username("alice_123"));
+        assert!(!is_valid_username(""));
+        assert!(!is_valid_username("has space"));
+        assert!(!is_valid_username("dot.ted"));
+        assert!(!is_valid_username(&"x".repeat(31)));
+        assert!(is_valid_username(&"x".repeat(30)));
+    }
+
+    #[test]
+    fn domain_validation() {
+        assert!(is_valid_domain("mastodon.social"));
+        assert!(is_valid_domain("sub.domain.example.co"));
+        assert!(is_valid_domain("xn--80ak6aa92e.com"));
+        assert!(!is_valid_domain("single"));
+        assert!(!is_valid_domain(".leading.dot"));
+        assert!(!is_valid_domain("trailing.dot."));
+        assert!(!is_valid_domain("-bad.com"));
+        assert!(!is_valid_domain("bad-.com"));
+        assert!(!is_valid_domain("num.123")); // numeric TLD
+        assert!(!is_valid_domain("a.b")); // TLD too short
+        assert!(!is_valid_domain("UPPER.COM")); // validation operates post-lowercase
+    }
+
+    #[test]
+    fn extract_webfinger_from_bio() {
+        let found =
+            extract_handles("ex-birdsite. now @alice@mastodon.social — DMs open");
+        assert_eq!(found, vec![h("alice", "mastodon.social")]);
+    }
+
+    #[test]
+    fn extract_url_from_tweet() {
+        let found = extract_handles(
+            "I'm leaving! Follow me at https://hachyderm.io/@carol #TwitterMigration",
+        );
+        assert_eq!(found, vec![h("carol", "hachyderm.io")]);
+    }
+
+    #[test]
+    fn extract_multiple_and_dedup() {
+        let found = extract_handles(
+            "main: @a@one.example alt: @b@two.example again: @a@one.example",
+        );
+        assert_eq!(found, vec![h("a", "one.example"), h("b", "two.example")]);
+    }
+
+    #[test]
+    fn extract_ignores_emails() {
+        let found = extract_handles("contact me: alice@example.com");
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn extract_ignores_bare_mentions() {
+        let found = extract_handles("ht to @jack and @elonmusk for this mess");
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn extract_handles_trailing_punctuation() {
+        let found = extract_handles("find me at @zoe@mas.to. bye!");
+        assert_eq!(found, vec![h("zoe", "mas.to")]);
+        let found = extract_handles("(https://mstdn.party/@quinn)");
+        assert_eq!(found, vec![h("quinn", "mstdn.party")]);
+    }
+
+    #[test]
+    fn extract_handles_url_with_trailing_path() {
+        let found = extract_handles("https://m.example.net/@pat/109301 is my pinned post");
+        assert_eq!(found, vec![h("pat", "m.example.net")]);
+    }
+
+    #[test]
+    fn extract_rejects_email_like_run_on() {
+        // "user@domain@domain" — the scanner must not treat the middle as a user.
+        let found = extract_handles("weird: alice@example.com@more.com");
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let original = h("round_trip", "some.instance.example");
+        let reparsed: MastodonHandle = original.to_string().parse().unwrap();
+        assert_eq!(original, reparsed);
+        let reparsed2: MastodonHandle = original.profile_url().parse().unwrap();
+        assert_eq!(original, reparsed2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Typed identifiers for the two platforms.
+//!
+//! Every entity in the reproduction is addressed by a newtype over a small
+//! integer. Using distinct types (instead of bare `u64`s) makes it a
+//! compile-time error to, say, look a Twitter user up in a Mastodon account
+//! table — a class of bug that is otherwise easy to introduce in a pipeline
+//! that constantly joins the two platforms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Raw numeric value of the id.
+            #[inline]
+            pub fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// Index form, for dense `Vec`-backed tables.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a dense table index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                Self(i as u64)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A user account on the (simulated) Twitter platform.
+    TwitterUserId,
+    "tw:"
+);
+id_type!(
+    /// An account on some Mastodon instance. Account ids are global across
+    /// the fediverse in our model; the owning instance is stored with the
+    /// account record.
+    MastodonAccountId,
+    "ma:"
+);
+id_type!(
+    /// A Mastodon instance (server).
+    InstanceId,
+    "inst:"
+);
+id_type!(
+    /// A single tweet.
+    TweetId,
+    "t:"
+);
+id_type!(
+    /// A single Mastodon status ("toot").
+    StatusId,
+    "s:"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(TwitterUserId(7).to_string(), "tw:7");
+        assert_eq!(InstanceId(0).to_string(), "inst:0");
+        assert_eq!(StatusId(42).to_string(), "s:42");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let id = MastodonAccountId::from_index(123);
+        assert_eq!(id.index(), 123);
+        assert_eq!(id.raw(), 123);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(TweetId(1));
+        set.insert(TweetId(1));
+        set.insert(TweetId(2));
+        assert_eq!(set.len(), 2);
+        assert!(TweetId(1) < TweetId(2));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let id = InstanceId(9);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "9");
+        let back: InstanceId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+}

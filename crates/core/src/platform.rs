@@ -1,0 +1,62 @@
+//! The two platforms under study.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the two micro-blogging platforms the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Platform {
+    /// The centralized platform users migrated *from*.
+    Twitter,
+    /// The federated platform users migrated *to*.
+    Mastodon,
+}
+
+impl Platform {
+    /// Both platforms, Twitter first (the paper's presentation order).
+    pub const ALL: [Platform; 2] = [Platform::Twitter, Platform::Mastodon];
+
+    /// The other platform.
+    pub fn other(self) -> Platform {
+        match self {
+            Platform::Twitter => Platform::Mastodon,
+            Platform::Mastodon => Platform::Twitter,
+        }
+    }
+
+    /// The platform's name for a post ("tweet" / "status").
+    pub fn post_noun(self) -> &'static str {
+        match self {
+            Platform::Twitter => "tweet",
+            Platform::Mastodon => "status",
+        }
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Platform::Twitter => write!(f, "Twitter"),
+            Platform::Mastodon => write!(f, "Mastodon"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_is_involutive() {
+        for p in Platform::ALL {
+            assert_eq!(p.other().other(), p);
+        }
+        assert_ne!(Platform::Twitter, Platform::Mastodon);
+    }
+
+    #[test]
+    fn nouns() {
+        assert_eq!(Platform::Twitter.post_noun(), "tweet");
+        assert_eq!(Platform::Mastodon.post_noun(), "status");
+    }
+}

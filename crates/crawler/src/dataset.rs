@@ -1,0 +1,268 @@
+//! The dataset the crawl produces — everything downstream analysis sees.
+//!
+//! Nothing in here is ground truth: every field was observed through the
+//! public API surface, with the same blind spots the paper had (deleted
+//! accounts, protected tweets, down instances, handles nobody announced).
+
+use flock_apis::types::{ActivityRow, InstanceInfoObject, MastodonAccountObject};
+use flock_core::{Day, MastodonHandle, TweetId, TwitterUserId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which §3.1 query family matched a collected tweet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// A keyword / phrase query ('mastodon', "bye bye twitter", …).
+    Keyword,
+    /// A migration hashtag query (#TwitterMigration, …).
+    Hashtag,
+    /// An instance-link query (`url:"mastodon.social"`, …).
+    InstanceLink,
+}
+
+/// A tweet captured by the §3.1 search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CollectedTweet {
+    pub id: TweetId,
+    pub author: TwitterUserId,
+    pub day: Day,
+    pub text: String,
+    pub source: String,
+    /// First query family that surfaced it.
+    pub via: QueryKind,
+}
+
+/// How a Twitter→Mastodon mapping was established (§3.1's hierarchy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchSource {
+    /// Handle found in profile metadata (bio) — accepted for any username.
+    Bio,
+    /// Handle found in tweet text — accepted only when the Twitter and
+    /// Mastodon usernames are identical.
+    TweetText,
+}
+
+/// An identified migrant: a Twitter account mapped to a Mastodon handle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatchedUser {
+    pub twitter_id: TwitterUserId,
+    pub twitter_username: String,
+    pub twitter_created: Day,
+    pub verified: bool,
+    pub twitter_followers: u64,
+    pub twitter_followees: u64,
+    /// The handle as announced.
+    pub handle: MastodonHandle,
+    pub matched_via: MatchSource,
+    /// Day of the user's earliest collected migration tweet — the visible
+    /// announcement. Used as the join-date proxy when the Mastodon account
+    /// itself is unreachable (the paper could always see announcement
+    /// dates).
+    pub first_seen: Option<Day>,
+    /// The account after following any `moved_to` redirect.
+    pub resolved_handle: MastodonHandle,
+    /// Account object fetched from the (reachable) instance.
+    pub account: Option<MastodonAccountObject>,
+    /// The original account object when a `moved_to` redirect was followed
+    /// (i.e. the user switched instance, §5.3).
+    pub first_account: Option<MastodonAccountObject>,
+}
+
+impl MatchedUser {
+    /// Did this user switch instance (observable via `moved_to`)?
+    pub fn switched(&self) -> bool {
+        self.resolved_handle != self.handle
+    }
+}
+
+/// Why a Twitter timeline crawl failed — the §3.2 coverage taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TwitterCrawlOutcome {
+    Ok,
+    Suspended,
+    Deleted,
+    Protected,
+}
+
+/// Why a Mastodon timeline crawl yielded nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MastodonCrawlOutcome {
+    Ok,
+    /// The account exists but has zero statuses (paper: 9.20%).
+    NoStatuses,
+    /// The instance was unreachable at crawl time (paper: 11.58%).
+    InstanceDown,
+}
+
+/// A crawled tweet in a user's timeline (the §3.2 corpus).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelineTweet {
+    pub id: TweetId,
+    pub day: Day,
+    pub text: String,
+    pub source: String,
+}
+
+/// A crawled Mastodon status.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimelineStatus {
+    pub day: Day,
+    pub text: String,
+}
+
+/// Followee data for one sampled user (§3.3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FolloweeRecord {
+    /// Twitter accounts the user follows.
+    pub twitter: Vec<TwitterUserId>,
+    /// Mastodon accounts the user follows (resolved handles).
+    pub mastodon: Vec<MastodonHandle>,
+}
+
+/// Counters for the crawl's interaction with the APIs.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CrawlStats {
+    pub requests: u64,
+    pub rate_limited: u64,
+    pub transient_failures: u64,
+    /// Virtual seconds of API time the crawl consumed.
+    pub virtual_secs: u64,
+}
+
+/// The §3 dataset.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The instances.social-style seed list.
+    pub instance_list: Vec<String>,
+    /// Every tweet the §3.1 search captured (deduplicated).
+    pub collected_tweets: Vec<CollectedTweet>,
+    /// Distinct authors in `collected_tweets`.
+    pub searched_users: usize,
+    /// Identified migrants, §3.1.
+    pub matched: Vec<MatchedUser>,
+    /// §3.2 Twitter timelines (only for `Ok` outcomes).
+    #[serde(with = "as_pairs")]
+    pub twitter_timelines: HashMap<TwitterUserId, Vec<TimelineTweet>>,
+    /// §3.2 crawl outcome per matched user.
+    #[serde(with = "as_pairs")]
+    pub twitter_outcomes: HashMap<TwitterUserId, TwitterCrawlOutcome>,
+    /// §3.2 Mastodon timelines keyed by resolved handle.
+    #[serde(with = "as_pairs")]
+    pub mastodon_timelines: HashMap<MastodonHandle, Vec<TimelineStatus>>,
+    /// §3.2 Mastodon outcome per matched user (keyed by Twitter id).
+    #[serde(with = "as_pairs")]
+    pub mastodon_outcomes: HashMap<TwitterUserId, MastodonCrawlOutcome>,
+    /// §3.3 followee sample (keyed by Twitter id; ~10% of matched users).
+    #[serde(with = "as_pairs")]
+    pub followees: HashMap<TwitterUserId, FolloweeRecord>,
+    /// §3.1 cross-check: weekly activity per instance domain.
+    pub weekly_activity: HashMap<String, Vec<ActivityRow>>,
+    /// Public per-instance metadata (registered users incl. background —
+    /// what instances.social reported for the landing instances).
+    #[serde(default)]
+    pub instance_info: HashMap<String, InstanceInfoObject>,
+    /// Crawl accounting.
+    pub stats: CrawlStats,
+}
+
+impl Dataset {
+    /// Instances that actually received matched users.
+    pub fn landing_instances(&self) -> Vec<String> {
+        let mut set: Vec<String> = self
+            .matched
+            .iter()
+            .map(|m| m.resolved_handle.instance().to_string())
+            .collect();
+        set.sort();
+        set.dedup();
+        set
+    }
+
+    /// Matched users that live on a given instance (post-redirect).
+    pub fn users_on_instance(&self, domain: &str) -> Vec<&MatchedUser> {
+        self.matched
+            .iter()
+            .filter(|m| m.resolved_handle.instance() == domain)
+            .collect()
+    }
+
+    /// Find a matched user by Twitter id.
+    pub fn matched_by_id(&self, id: TwitterUserId) -> Option<&MatchedUser> {
+        self.matched.iter().find(|m| m.twitter_id == id)
+    }
+}
+
+
+/// Serialize maps with non-string keys (ids, handles) as JSON pair lists.
+pub(crate) mod as_pairs {
+    use serde::de::DeserializeOwned;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::HashMap;
+    use std::hash::Hash;
+
+    pub fn serialize<K, V, S>(map: &HashMap<K, V>, s: S) -> Result<S::Ok, S::Error>
+    where
+        K: Serialize + Ord + Clone,
+        V: Serialize,
+        S: Serializer,
+    {
+        // Sort for stable output.
+        let mut pairs: Vec<(&K, &V)> = map.iter().collect();
+        pairs.sort_by(|a, b| a.0.cmp(b.0));
+        pairs.serialize(s)
+    }
+
+    pub fn deserialize<'de, K, V, D>(d: D) -> Result<HashMap<K, V>, D::Error>
+    where
+        K: DeserializeOwned + Eq + Hash,
+        V: DeserializeOwned,
+        D: Deserializer<'de>,
+    {
+        let pairs: Vec<(K, V)> = Vec::deserialize(d)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handle(s: &str) -> MastodonHandle {
+        s.parse().unwrap()
+    }
+
+    fn matched(u: &str, h: &str, resolved: &str) -> MatchedUser {
+        MatchedUser {
+            twitter_id: TwitterUserId(1),
+            twitter_username: u.into(),
+            twitter_created: Day(-1000),
+            verified: false,
+            twitter_followers: 10,
+            twitter_followees: 20,
+            handle: handle(h),
+            matched_via: MatchSource::Bio,
+            first_seen: None,
+            resolved_handle: handle(resolved),
+            account: None,
+            first_account: None,
+        }
+    }
+
+    #[test]
+    fn switched_detection() {
+        let stay = matched("a", "@a@one.example", "@a@one.example");
+        assert!(!stay.switched());
+        let moved = matched("b", "@b@one.example", "@b@two.example");
+        assert!(moved.switched());
+    }
+
+    #[test]
+    fn landing_instances_dedup_sorted() {
+        let mut d = Dataset::default();
+        d.matched.push(matched("a", "@a@b.example", "@a@b.example"));
+        d.matched.push(matched("c", "@c@a.example", "@c@a.example"));
+        d.matched.push(matched("d", "@d@b.example", "@d@b.example"));
+        assert_eq!(d.landing_instances(), vec!["a.example", "b.example"]);
+        assert_eq!(d.users_on_instance("b.example").len(), 2);
+    }
+}

@@ -1,0 +1,742 @@
+//! The §3 collection pipeline, end to end.
+//!
+//! The crawler only talks to [`ApiServer`]'s public surface. It implements
+//! the paper's methodology faithfully:
+//!
+//! 1. **§3.1** — seed from the instances.social-style list; run every
+//!    keyword, hashtag, and instance-link search query over the collection
+//!    window; hierarchically map authors to Mastodon handles (bio first,
+//!    then tweet text with the username-equality guard); resolve each
+//!    handle against its instance, following `moved_to` redirects.
+//! 2. **§3.2** — crawl both timelines (Oct 1 – Nov 30) for every matched
+//!    user, recording the coverage taxonomy (suspended / deleted /
+//!    protected; no statuses / instance down).
+//! 3. **§3.3** — crawl followees for a 10% sample stratified around the
+//!    median followee count (5% above, 5% below), on both platforms.
+//! 4. **Fig. 3 cross-check** — crawl weekly activity for every landing
+//!    instance.
+//!
+//! Rate limits are honoured by advancing the server's virtual clock
+//! (the crawler's "sleep"); transient errors are retried with backoff; the
+//! Mastodon crawl fans out over worker threads via `crossbeam`.
+
+use crate::dataset::{
+    CollectedTweet, CrawlStats, Dataset, FolloweeRecord, MastodonCrawlOutcome, MatchSource,
+    MatchedUser, QueryKind, TimelineStatus, TimelineTweet, TwitterCrawlOutcome,
+};
+use flock_apis::server::ApiServer;
+use flock_apis::types::TwitterUserObject;
+use flock_core::handle::extract_handles;
+use flock_core::{Day, DetRng, FlockError, MastodonHandle, Result, TweetId, TwitterUserId};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Crawl tuning.
+#[derive(Debug, Clone)]
+pub struct CrawlerConfig {
+    /// Fraction of matched users whose followees are crawled (paper: 10%).
+    pub followee_sample_fraction: f64,
+    /// Retries for transient failures before giving up on a request.
+    pub max_transient_retries: u32,
+    /// Backoff (virtual seconds) between transient retries.
+    pub transient_backoff_secs: u64,
+    /// Worker threads for the Mastodon timeline crawl.
+    pub workers: usize,
+    /// Seed for the followee-sample draw.
+    pub seed: u64,
+    /// Also crawl followees for every observed instance-switcher (on top of
+    /// the 10% sample). Fig. 10 analyzes switchers' ego networks, which a
+    /// plain 10% draw would mostly miss; the paper §5.3 likewise required
+    /// followee data for its switcher analysis.
+    pub include_switchers: bool,
+}
+
+impl Default for CrawlerConfig {
+    fn default() -> Self {
+        CrawlerConfig {
+            followee_sample_fraction: 0.10,
+            max_transient_retries: 5,
+            transient_backoff_secs: 30,
+            workers: 4,
+            seed: 0xC4A41,
+            include_switchers: true,
+        }
+    }
+}
+
+/// The §3.1 keyword and hashtag queries, verbatim from the paper.
+pub fn migration_queries() -> Vec<(String, QueryKind)> {
+    let mut q = vec![
+        ("mastodon".to_string(), QueryKind::Keyword),
+        ("\"bye bye twitter\"".to_string(), QueryKind::Keyword),
+        ("\"good bye twitter\"".to_string(), QueryKind::Keyword),
+    ];
+    for tag in [
+        "#Mastodon",
+        "#MastodonMigration",
+        "#ByeByeTwitter",
+        "#GoodByeTwitter",
+        "#TwitterMigration",
+        "#MastodonSocial",
+        "#RIPTwitter",
+    ] {
+        q.push((tag.to_string(), QueryKind::Hashtag));
+    }
+    q
+}
+
+struct SharedStats {
+    requests: AtomicU64,
+    rate_limited: AtomicU64,
+    transient_failures: AtomicU64,
+}
+
+impl SharedStats {
+    fn new() -> Self {
+        SharedStats {
+            requests: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
+            transient_failures: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The crawler.
+pub struct Crawler<'a> {
+    api: &'a ApiServer,
+    config: CrawlerConfig,
+    stats: SharedStats,
+}
+
+impl<'a> Crawler<'a> {
+    /// Create a crawler over an API server.
+    pub fn new(api: &'a ApiServer, config: CrawlerConfig) -> Self {
+        Crawler {
+            api,
+            config,
+            stats: SharedStats::new(),
+        }
+    }
+
+    /// Run the §3 pipeline and produce the dataset.
+    pub fn run(&self) -> Result<Dataset> {
+        let start_virtual = self.api.now();
+        let mut ds = Dataset {
+            instance_list: self.api.instances_social_list(),
+            ..Dataset::default()
+        };
+
+        self.collect_tweets(&mut ds)?;
+        self.match_users(&mut ds)?;
+        self.crawl_twitter_timelines(&mut ds);
+        self.crawl_mastodon_timelines(&mut ds);
+        self.crawl_followees(&mut ds);
+        self.crawl_weekly_activity(&mut ds);
+
+        ds.stats = CrawlStats {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            rate_limited: self.stats.rate_limited.load(Ordering::Relaxed),
+            transient_failures: self.stats.transient_failures.load(Ordering::Relaxed),
+            virtual_secs: self.api.now() - start_virtual,
+        };
+        Ok(ds)
+    }
+
+    /// Rate-limit-aware, transient-retrying request wrapper.
+    fn request<T>(&self, mut f: impl FnMut() -> Result<T>) -> Result<T> {
+        let mut transient = 0;
+        loop {
+            self.stats.requests.fetch_add(1, Ordering::Relaxed);
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(FlockError::RateLimited { retry_after_secs }) => {
+                    self.stats.rate_limited.fetch_add(1, Ordering::Relaxed);
+                    self.api.advance_clock(retry_after_secs);
+                }
+                Err(e) if e.is_retryable() => {
+                    self.stats.transient_failures.fetch_add(1, Ordering::Relaxed);
+                    transient += 1;
+                    if transient > self.config.max_transient_retries {
+                        return Err(e);
+                    }
+                    self.api.advance_clock(self.config.transient_backoff_secs);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    // ---- §3.1 phase A: tweet collection ---------------------------------
+
+    fn collect_tweets(&self, ds: &mut Dataset) -> Result<()> {
+        let mut queries = migration_queries();
+        for domain in &ds.instance_list {
+            queries.push((format!("url:\"{domain}\""), QueryKind::InstanceLink));
+        }
+        let mut seen: HashMap<TweetId, usize> = HashMap::new();
+        for (q, kind) in queries {
+            let mut cursor: Option<String> = None;
+            loop {
+                let page = match self.request(|| {
+                    self.api.twitter_search(
+                        &q,
+                        Day::COLLECTION_START,
+                        Day::COLLECTION_END,
+                        cursor.as_deref(),
+                    )
+                }) {
+                    Ok(p) => p,
+                    // A single broken query must not sink the collection.
+                    Err(FlockError::InvalidQuery(_)) => break,
+                    Err(e) => return Err(e),
+                };
+                for t in page.items {
+                    if !seen.contains_key(&t.id) {
+                        seen.insert(t.id, ds.collected_tweets.len());
+                        ds.collected_tweets.push(CollectedTweet {
+                            id: t.id,
+                            author: t.author_id,
+                            day: t.day,
+                            text: t.text,
+                            source: t.source,
+                            via: kind,
+                        });
+                    }
+                }
+                match page.next {
+                    Some(c) => cursor = Some(c),
+                    None => break,
+                }
+            }
+        }
+        let authors: HashSet<TwitterUserId> =
+            ds.collected_tweets.iter().map(|t| t.author).collect();
+        ds.searched_users = authors.len();
+        Ok(())
+    }
+
+    // ---- §3.1 phase B: hierarchical handle matching ----------------------
+
+    fn match_users(&self, ds: &mut Dataset) -> Result<()> {
+        let instance_set: HashSet<&str> =
+            ds.instance_list.iter().map(String::as_str).collect();
+        // Collection-time author metadata, batched.
+        let mut authors: Vec<TwitterUserId> = ds
+            .collected_tweets
+            .iter()
+            .map(|t| t.author)
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        authors.sort();
+        let mut metadata: HashMap<TwitterUserId, TwitterUserObject> = HashMap::new();
+        for chunk in authors.chunks(100) {
+            let users = self.request(|| self.api.twitter_search_user_expansion(chunk))?;
+            for u in users {
+                metadata.insert(u.id, u);
+            }
+        }
+        // Tweets per author, for the text fallback.
+        let mut tweets_by_author: HashMap<TwitterUserId, Vec<usize>> = HashMap::new();
+        for (i, t) in ds.collected_tweets.iter().enumerate() {
+            tweets_by_author.entry(t.author).or_default().push(i);
+        }
+
+        for author in authors {
+            let Some(meta) = metadata.get(&author) else {
+                continue;
+            };
+            // Step 1: profile metadata (any username accepted).
+            let mut found: Option<(MastodonHandle, MatchSource)> = extract_handles(
+                &meta.description,
+            )
+            .into_iter()
+            .find(|h| instance_set.contains(h.instance()))
+            .map(|h| (h, MatchSource::Bio));
+            // Step 2: tweet text, only when usernames are identical.
+            if found.is_none() {
+                'outer: for &ti in tweets_by_author.get(&author).into_iter().flatten() {
+                    for h in extract_handles(&ds.collected_tweets[ti].text) {
+                        if instance_set.contains(h.instance()) && h.username() == meta.username
+                        {
+                            found = Some((h, MatchSource::TweetText));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            let Some((handle, matched_via)) = found else {
+                continue;
+            };
+
+            // Resolve the handle on its instance, following moved_to once.
+            let (account, first_account, resolved_handle) =
+                match self.request(|| self.api.mastodon_lookup_account(&handle)) {
+                    Ok(acct) => match &acct.moved_to {
+                        Some(target) => {
+                            let target = target.clone();
+                            match self.request(|| self.api.mastodon_lookup_account(&target)) {
+                                Ok(new_acct) => {
+                                    (Some(new_acct), Some(acct), target.clone())
+                                }
+                                Err(_) => (None, Some(acct), target.clone()),
+                            }
+                        }
+                        None => (Some(acct), None, handle.clone()),
+                    },
+                    // Down instance: keep the match, account data missing.
+                    Err(FlockError::InstanceUnavailable(_)) => (None, None, handle.clone()),
+                    // Dangling handle (announced but never created): drop.
+                    Err(FlockError::NotFound(_)) => continue,
+                    Err(e) => return Err(e),
+                };
+
+            let first_seen = tweets_by_author
+                .get(&author)
+                .into_iter()
+                .flatten()
+                .map(|&ti| ds.collected_tweets[ti].day)
+                .min();
+            ds.matched.push(MatchedUser {
+                twitter_id: author,
+                twitter_username: meta.username.clone(),
+                twitter_created: meta.created_at,
+                verified: meta.verified,
+                twitter_followers: meta.followers_count,
+                twitter_followees: meta.following_count,
+                handle,
+                matched_via,
+                first_seen,
+                resolved_handle,
+                account,
+                first_account,
+            });
+        }
+        // Deterministic order for everything downstream.
+        ds.matched.sort_by_key(|m| m.twitter_id);
+        Ok(())
+    }
+
+    // ---- §3.2: timelines --------------------------------------------------
+
+    fn crawl_twitter_timelines(&self, ds: &mut Dataset) {
+        for m in &ds.matched {
+            let mut timeline = Vec::new();
+            let mut cursor: Option<String> = None;
+            let outcome = loop {
+                match self.request(|| {
+                    self.api.twitter_timeline(
+                        m.twitter_id,
+                        Day::STUDY_START,
+                        Day::STUDY_END,
+                        cursor.as_deref(),
+                    )
+                }) {
+                    Ok(page) => {
+                        timeline.extend(page.items.into_iter().map(|t| TimelineTweet {
+                            id: t.id,
+                            day: t.day,
+                            text: t.text,
+                            source: t.source,
+                        }));
+                        match page.next {
+                            Some(c) => cursor = Some(c),
+                            None => break TwitterCrawlOutcome::Ok,
+                        }
+                    }
+                    Err(FlockError::Forbidden(msg)) => {
+                        break if msg.contains("suspended") {
+                            TwitterCrawlOutcome::Suspended
+                        } else {
+                            TwitterCrawlOutcome::Protected
+                        };
+                    }
+                    Err(FlockError::NotFound(_)) => break TwitterCrawlOutcome::Deleted,
+                    Err(_) => break TwitterCrawlOutcome::Deleted,
+                }
+            };
+            if outcome == TwitterCrawlOutcome::Ok {
+                ds.twitter_timelines.insert(m.twitter_id, timeline);
+            }
+            ds.twitter_outcomes.insert(m.twitter_id, outcome);
+        }
+    }
+
+    fn crawl_mastodon_timelines(&self, ds: &mut Dataset) {
+        // Fan out over worker threads; each worker pulls matched users off a
+        // shared index and pushes results into shared maps.
+        let results: Mutex<Vec<(TwitterUserId, MastodonHandle, Vec<TimelineStatus>, MastodonCrawlOutcome)>> =
+            Mutex::new(Vec::new());
+        let next = AtomicU64::new(0);
+        let matched = &ds.matched;
+        let n_workers = self.config.workers.max(1);
+        crossbeam::scope(|scope| {
+            for _ in 0..n_workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    if i >= matched.len() {
+                        break;
+                    }
+                    let m = &matched[i];
+                    let r = self.crawl_one_mastodon_timeline(m);
+                    results.lock().unwrap().push((
+                        m.twitter_id,
+                        m.resolved_handle.clone(),
+                        r.0,
+                        r.1,
+                    ));
+                });
+            }
+        })
+        .expect("worker panicked");
+        for (tid, handle, statuses, outcome) in results.into_inner().unwrap() {
+            if outcome == MastodonCrawlOutcome::Ok {
+                ds.mastodon_timelines.insert(handle, statuses);
+            }
+            ds.mastodon_outcomes.insert(tid, outcome);
+        }
+    }
+
+    fn crawl_one_mastodon_timeline(
+        &self,
+        m: &MatchedUser,
+    ) -> (Vec<TimelineStatus>, MastodonCrawlOutcome) {
+        let mut statuses = Vec::new();
+        let mut any_down = false;
+        // A switched user's pre-move statuses live on the first instance.
+        let mut sources = vec![m.resolved_handle.clone()];
+        if m.switched() {
+            sources.push(m.handle.clone());
+        }
+        for src in sources {
+            let mut cursor: Option<String> = None;
+            loop {
+                match self.request(|| self.api.mastodon_account_statuses(&src, cursor.as_deref()))
+                {
+                    Ok(page) => {
+                        statuses.extend(page.items.into_iter().map(|s| TimelineStatus {
+                            day: s.day,
+                            text: s.content,
+                        }));
+                        match page.next {
+                            Some(c) => cursor = Some(c),
+                            None => break,
+                        }
+                    }
+                    Err(FlockError::InstanceUnavailable(_)) => {
+                        any_down = true;
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        if statuses.is_empty() {
+            if any_down {
+                (statuses, MastodonCrawlOutcome::InstanceDown)
+            } else {
+                (statuses, MastodonCrawlOutcome::NoStatuses)
+            }
+        } else {
+            statuses.sort_by_key(|s| s.day);
+            (statuses, MastodonCrawlOutcome::Ok)
+        }
+    }
+
+    // ---- §3.3: followees ----------------------------------------------------
+
+    /// Pick the 10% sample: 5% (of all matched users) drawn from above the
+    /// median followee count, 5% from below, exactly as §3.3 describes.
+    fn sample_for_followees(&self, ds: &Dataset) -> Vec<TwitterUserId> {
+        let mut by_count: Vec<(u64, TwitterUserId)> = ds
+            .matched
+            .iter()
+            .map(|m| (m.twitter_followees, m.twitter_id))
+            .collect();
+        by_count.sort();
+        let n = by_count.len();
+        if n < 4 {
+            return by_count.into_iter().map(|(_, id)| id).collect();
+        }
+        let half = n / 2;
+        let per_side = ((n as f64) * self.config.followee_sample_fraction / 2.0).round() as usize;
+        let mut rng = DetRng::new(self.config.seed);
+        let below: Vec<TwitterUserId> = rng
+            .sample(by_count[..half].iter().map(|&(_, id)| id), per_side)
+            .into_iter()
+            .collect();
+        let above: Vec<TwitterUserId> = rng
+            .sample(by_count[half..].iter().map(|&(_, id)| id), per_side)
+            .into_iter()
+            .collect();
+        let mut all: Vec<TwitterUserId> = below.into_iter().chain(above).collect();
+        if self.config.include_switchers {
+            all.extend(
+                ds.matched
+                    .iter()
+                    .filter(|m| m.switched())
+                    .map(|m| m.twitter_id),
+            );
+        }
+        all.sort();
+        all.dedup();
+        all
+    }
+
+    fn crawl_followees(&self, ds: &mut Dataset) {
+        let sample = self.sample_for_followees(ds);
+        for id in sample {
+            let m = ds.matched_by_id(id).expect("sampled from matched").clone();
+            // Twitter side (the brutally rate-limited endpoint).
+            let mut twitter = Vec::new();
+            let mut cursor: Option<String> = None;
+            let mut tw_ok = true;
+            loop {
+                match self.request(|| self.api.twitter_following(id, cursor.as_deref())) {
+                    Ok(page) => {
+                        twitter.extend(page.items);
+                        match page.next {
+                            Some(c) => cursor = Some(c),
+                            None => break,
+                        }
+                    }
+                    Err(_) => {
+                        tw_ok = false;
+                        break;
+                    }
+                }
+            }
+            // Mastodon side.
+            let mut mastodon = Vec::new();
+            let mut cursor: Option<String> = None;
+            loop {
+                match self.request(|| {
+                    self.api
+                        .mastodon_account_following(&m.resolved_handle, cursor.as_deref())
+                }) {
+                    Ok(page) => {
+                        mastodon.extend(page.items);
+                        match page.next {
+                            Some(c) => cursor = Some(c),
+                            None => break,
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            if tw_ok {
+                ds.followees.insert(id, FolloweeRecord { twitter, mastodon });
+            }
+        }
+    }
+
+    // ---- Fig. 3 cross-check: weekly activity --------------------------------
+
+    fn crawl_weekly_activity(&self, ds: &mut Dataset) {
+        for domain in ds.landing_instances() {
+            match self.request(|| self.api.mastodon_instance_activity(&domain)) {
+                Ok(rows) => {
+                    ds.weekly_activity.insert(domain, rows);
+                }
+                Err(_) => {} // down instances simply stay absent
+            }
+        }
+    }
+}
+
+/// Convenience: run the crawler with defaults.
+pub fn crawl(api: &ApiServer) -> Result<Dataset> {
+    Crawler::new(api, CrawlerConfig::default()).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flock_fedisim::{World, WorldConfig};
+    use std::sync::Arc;
+
+    use std::sync::OnceLock;
+
+    /// The standard world + crawl, shared across tests (generating a world
+    /// and crawling it is the expensive part; the assertions are cheap).
+    fn shared() -> &'static (Arc<World>, Dataset) {
+        static CELL: OnceLock<(Arc<World>, Dataset)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let world =
+                Arc::new(World::generate(&WorldConfig::small().with_seed(2024)).unwrap());
+            let api = ApiServer::with_defaults(world.clone());
+            let ds = crawl(&api).unwrap();
+            (world, ds)
+        })
+    }
+
+    #[test]
+    fn full_pipeline_identifies_most_announcing_migrants() {
+        let (world, ds) = shared();
+
+        // Identified handles must be real ground-truth accounts...
+        for m in &ds.matched {
+            let truth = world
+                .account_by_handle(&m.handle)
+                .unwrap_or_else(|| panic!("false positive: {}", m.handle));
+            assert_eq!(truth.owner, m.twitter_id, "mis-attributed {}", m.handle);
+        }
+        // ...and most announcing migrants are found (the method is a lower
+        // bound: bio-less different-username announcers are invisible).
+        let identifiable = world
+            .accounts
+            .iter()
+            .filter(|a| {
+                a.in_bio
+                    || (a.in_tweet
+                        && a.first_handle.username()
+                            == world.users[a.owner.index()].username)
+            })
+            .count();
+        assert!(
+            ds.matched.len() as f64 > identifiable as f64 * 0.85,
+            "matched {} of {} identifiable",
+            ds.matched.len(),
+            identifiable
+        );
+        assert!(ds.matched.len() < world.n_migrants(), "method must undercount");
+        // The search saw many more users than it could map (paper: 1.02M vs
+        // 136k).
+        assert!(ds.searched_users > ds.matched.len() * 2);
+    }
+
+    #[test]
+    fn match_sources_follow_hierarchy() {
+        let (world, ds) = shared();
+        let mut bio = 0;
+        let mut text = 0;
+        for m in &ds.matched {
+            match m.matched_via {
+                MatchSource::Bio => {
+                    bio += 1;
+                    let truth = world.account_by_handle(&m.handle).unwrap();
+                    assert!(truth.in_bio);
+                }
+                MatchSource::TweetText => {
+                    text += 1;
+                    // Username-equality guard.
+                    assert_eq!(m.handle.username(), m.twitter_username);
+                }
+            }
+        }
+        assert!(bio > 0 && text > 0, "bio {bio} text {text}");
+    }
+
+    #[test]
+    fn coverage_taxonomy_is_recorded() {
+        let (_world, ds) = shared();
+        let ok = ds
+            .twitter_outcomes
+            .values()
+            .filter(|o| **o == TwitterCrawlOutcome::Ok)
+            .count();
+        assert_eq!(ds.twitter_timelines.len(), ok);
+        // The large majority of Twitter timelines crawl fine (paper: 94.88%).
+        assert!(ok as f64 / ds.matched.len() as f64 > 0.85);
+        // Mastodon outcomes cover every matched user.
+        assert_eq!(ds.mastodon_outcomes.len(), ds.matched.len());
+        let down = ds
+            .mastodon_outcomes
+            .values()
+            .filter(|o| **o == MastodonCrawlOutcome::InstanceDown)
+            .count();
+        assert!(down > 0, "downtime injection must be visible");
+    }
+
+    #[test]
+    fn followee_sample_is_ten_percent_stratified() {
+        let (_world, ds) = shared();
+        let switchers = ds.matched.iter().filter(|m| m.switched()).count();
+        let target = ds.matched.len() / 10 + switchers;
+        let got = ds.followees.len();
+        assert!(
+            (got as i64 - target as i64).abs() <= (target as i64 / 3).max(3),
+            "sample {got} vs target {target}"
+        );
+        // Stratification: both sides of the median are represented.
+        let mut counts: Vec<u64> = ds.matched.iter().map(|m| m.twitter_followees).collect();
+        counts.sort();
+        let median = counts[counts.len() / 2];
+        let above = ds
+            .followees
+            .keys()
+            .filter(|id| ds.matched_by_id(**id).unwrap().twitter_followees > median)
+            .count();
+        assert!(above > 0 && above < got);
+    }
+
+    #[test]
+    fn followee_lists_round_trip_ground_truth() {
+        let (world, ds) = shared();
+        for (id, rec) in &ds.followees {
+            let truth_account = world.account_of_user(*id).unwrap();
+            let truth = &world.twitter_followees[truth_account.id.index()];
+            assert_eq!(rec.twitter.len(), truth.len());
+        }
+    }
+
+    #[test]
+    fn switched_users_resolved_through_moved_to() {
+        let (world, ds) = shared();
+        let mut observed_switchers = 0;
+        for m in &ds.matched {
+            if m.switched() {
+                observed_switchers += 1;
+                let truth = world.account_by_handle(&m.handle).unwrap();
+                assert!(truth.switch.is_some());
+                assert_eq!(&m.resolved_handle, &truth.handle);
+            }
+        }
+        assert!(observed_switchers > 0, "no switchers observed");
+    }
+
+    #[test]
+    fn weekly_activity_covers_reachable_landing_instances() {
+        let (world, ds) = shared();
+        for domain in ds.landing_instances() {
+            let inst = world.instance_by_domain(&domain).unwrap();
+            if !inst.down_at_crawl {
+                assert!(
+                    ds.weekly_activity.contains_key(&domain),
+                    "missing activity for {domain}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crawl_is_deterministic() {
+        let (world, a) = shared();
+        let api2 = ApiServer::with_defaults(world.clone());
+        let b = crawl(&api2).unwrap();
+        assert_eq!(a.matched.len(), b.matched.len());
+        assert_eq!(a.collected_tweets.len(), b.collected_tweets.len());
+        assert_eq!(a.followees.len(), b.followees.len());
+    }
+
+    #[test]
+    fn rate_limits_cost_virtual_time() {
+        let (_world, ds) = shared();
+        assert!(ds.stats.requests > 100);
+        // The follows endpoint (15 req/15 min) forces waiting.
+        assert!(ds.stats.rate_limited > 0, "no rate limiting observed");
+        assert!(ds.stats.virtual_secs > 0);
+    }
+
+    #[test]
+    fn survives_transient_faults() {
+        let world = Arc::new(World::generate(&WorldConfig::small().with_seed(3030)).unwrap());
+        let mut api_cfg = flock_apis::ApiConfig::default();
+        api_cfg.transient_error_rate = 0.05;
+        let api = ApiServer::new(world, api_cfg);
+        let ds = crawl(&api).unwrap();
+        assert!(ds.stats.transient_failures > 0);
+        assert!(!ds.matched.is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! The Twitter social graph, realized the way the paper could see it.
+//!
+//! The paper crawls **followee lists of migrated users only** (§3.3 — the
+//! Twitter follows API was too rate-limited for more). We mirror that: the
+//! simulator realizes full followee lists for ground-truth migrants and
+//! keeps scalar degree targets for everyone else.
+//!
+//! A migrant's followees are a mixture of:
+//!
+//! * **migrant friends** — edges of a preferential-attachment "friend
+//!   graph" drawn among migrants. These are the followees who also migrate,
+//!   the quantity RQ2 measures (mean 5.99% of followees, 3.94% of users
+//!   with none);
+//! * **non-migrant fill** — uniformly sampled non-migrating users, padding
+//!   the list up to the user's followee-count target.
+//!
+//! The friend graph is also what the migration model's herding and the
+//! switching model's "friends moved there first" behaviour read.
+
+use flock_core::{DetRng, TwitterUserId};
+
+/// Undirected friend graph over the migrant subset, by migrant index
+/// (positions in the world's migrant list, *not* raw user ids).
+#[derive(Debug, Clone)]
+pub struct MigrantFriendGraph {
+    /// Adjacency list; `adj[i]` holds migrant indices, sorted, deduped.
+    pub adj: Vec<Vec<u32>>,
+}
+
+impl MigrantFriendGraph {
+    /// Number of migrants.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// `true` if there are no migrants.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Friends of migrant `i`.
+    pub fn friends(&self, i: usize) -> &[u32] {
+        &self.adj[i]
+    }
+
+    /// Mean degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            return 0.0;
+        }
+        self.adj.iter().map(Vec::len).sum::<usize>() as f64 / self.adj.len() as f64
+    }
+}
+
+/// Build the migrant friend graph by preferential attachment.
+///
+/// Migrants are processed in a random order; each brings
+/// `m ~ LogNormal(ln(m_median), sigma)` stubs attached to existing migrants
+/// with probability proportional to `degree + 1`. A `loner_fraction` of
+/// migrants contribute no stubs of their own (they can still be chosen as
+/// targets, but rarely — this yields the ~4% of migrants none of whose
+/// followees migrate).
+pub fn build_friend_graph(
+    n_migrants: usize,
+    m_median: f64,
+    sigma: f64,
+    loner_fraction: f64,
+    rng: &mut DetRng,
+) -> MigrantFriendGraph {
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n_migrants];
+    if n_migrants < 2 {
+        return MigrantFriendGraph { adj };
+    }
+    let mut order: Vec<u32> = (0..n_migrants as u32).collect();
+    rng.shuffle(&mut order);
+
+    // Loners contribute no stubs and are never chosen as targets: these are
+    // the migrants none of whose followees migrate (§5.2's 3.94%).
+    let loner: Vec<bool> = (0..n_migrants).map(|_| rng.chance(loner_fraction)).collect();
+
+    // Repeated-nodes trick for preferential attachment: `targets` holds one
+    // entry per degree endpoint, so uniform sampling from it is
+    // degree-proportional.
+    let mut targets: Vec<u32> = Vec::with_capacity(n_migrants * (m_median as usize).max(1) * 2);
+    let mut arrived: Vec<u32> = Vec::with_capacity(n_migrants);
+
+    for &node in &order {
+        if loner[node as usize] {
+            continue;
+        }
+        if arrived.is_empty() {
+            arrived.push(node);
+            targets.push(node);
+            continue;
+        }
+        let m = rng.lognormal(m_median.ln(), sigma).round().max(1.0) as usize;
+        let m = m.min(arrived.len());
+        let mut chosen: Vec<u32> = Vec::with_capacity(m);
+        let mut attempts = 0;
+        while chosen.len() < m && attempts < m * 20 {
+            attempts += 1;
+            // Mix degree-proportional and uniform choice (uniform share
+            // keeps low-degree nodes reachable, producing a softer tail).
+            let t = if rng.chance(0.8) && !targets.is_empty() {
+                targets[rng.below_usize(targets.len())]
+            } else {
+                arrived[rng.below_usize(arrived.len())]
+            };
+            if t != node && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            adj[node as usize].push(t);
+            adj[t as usize].push(node);
+            targets.push(node);
+            targets.push(t);
+        }
+        arrived.push(node);
+        targets.push(node); // baseline attractiveness
+    }
+
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    MigrantFriendGraph { adj }
+}
+
+/// Realize the full followee list of one migrant: their migrated friends
+/// (mapped to user ids) plus uniformly-sampled non-migrant fill up to
+/// `target_count`.
+///
+/// `non_migrant_pool` must be non-empty. The result is deduplicated and
+/// never contains `self_id`.
+pub fn realize_followees(
+    self_id: TwitterUserId,
+    friend_user_ids: &[TwitterUserId],
+    target_count: usize,
+    non_migrant_pool: &[TwitterUserId],
+    rng: &mut DetRng,
+) -> Vec<TwitterUserId> {
+    let mut out: Vec<TwitterUserId> = friend_user_ids
+        .iter()
+        .copied()
+        .filter(|&u| u != self_id)
+        .collect();
+    let fill = target_count.saturating_sub(out.len());
+    if fill > 0 && !non_migrant_pool.is_empty() {
+        // Sample without replacement when the pool is large relative to the
+        // request; fall back to best-effort rejection otherwise.
+        let mut seen: std::collections::HashSet<TwitterUserId> = out.iter().copied().collect();
+        seen.insert(self_id);
+        let mut added = 0;
+        let mut attempts = 0;
+        let max_attempts = fill * 10 + 100;
+        while added < fill && attempts < max_attempts {
+            attempts += 1;
+            let cand = non_migrant_pool[rng.below_usize(non_migrant_pool.len())];
+            if seen.insert(cand) {
+                out.push(cand);
+                added += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn friend_graph_is_symmetric_and_loopless() {
+        let mut rng = DetRng::new(1);
+        let g = build_friend_graph(500, 12.0, 0.9, 0.04, &mut rng);
+        for (i, friends) in g.adj.iter().enumerate() {
+            for &f in friends {
+                assert_ne!(f as usize, i, "self loop at {i}");
+                assert!(
+                    g.adj[f as usize].contains(&(i as u32)),
+                    "asymmetric edge {i} -> {f}"
+                );
+            }
+            let mut d = friends.clone();
+            d.dedup();
+            assert_eq!(d.len(), friends.len(), "duplicate edges at {i}");
+        }
+    }
+
+    #[test]
+    fn mean_degree_tracks_m_median() {
+        let mut rng = DetRng::new(2);
+        let g = build_friend_graph(2000, 15.0, 0.9, 0.04, &mut rng);
+        let d = g.mean_degree();
+        // Each non-loner contributes ~m edges; with the log-normal tail the
+        // mean degree lands in the ballpark of 2 × median-ish.
+        assert!((15.0..80.0).contains(&d), "mean degree {d}");
+    }
+
+    #[test]
+    fn loners_exist() {
+        let mut rng = DetRng::new(3);
+        let g = build_friend_graph(2000, 15.0, 0.9, 0.08, &mut rng);
+        let isolated = g.adj.iter().filter(|a| a.is_empty()).count();
+        assert!(isolated > 0, "expected some isolated migrants");
+        assert!(
+            (isolated as f64) < 0.2 * g.len() as f64,
+            "too many isolated: {isolated}"
+        );
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let mut rng = DetRng::new(4);
+        let g = build_friend_graph(3000, 12.0, 1.0, 0.04, &mut rng);
+        let mut degrees: Vec<usize> = g.adj.iter().map(Vec::len).collect();
+        degrees.sort_unstable();
+        let median = degrees[degrees.len() / 2] as f64;
+        let max = *degrees.last().unwrap() as f64;
+        assert!(max > median * 5.0, "hub-free graph: median {median}, max {max}");
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let mut rng = DetRng::new(5);
+        assert_eq!(build_friend_graph(0, 10.0, 1.0, 0.0, &mut rng).len(), 0);
+        assert_eq!(build_friend_graph(1, 10.0, 1.0, 0.0, &mut rng).adj[0].len(), 0);
+        let g2 = build_friend_graph(2, 10.0, 1.0, 0.0, &mut rng);
+        assert_eq!(g2.len(), 2);
+    }
+
+    #[test]
+    fn realize_followees_contains_friends_and_hits_target() {
+        let mut rng = DetRng::new(6);
+        let me = TwitterUserId(0);
+        let friends: Vec<TwitterUserId> = (1..=10).map(TwitterUserId).collect();
+        let pool: Vec<TwitterUserId> = (100..1100).map(TwitterUserId).collect();
+        let list = realize_followees(me, &friends, 50, &pool, &mut rng);
+        assert_eq!(list.len(), 50);
+        for f in &friends {
+            assert!(list.contains(f));
+        }
+        let unique: std::collections::HashSet<_> = list.iter().collect();
+        assert_eq!(unique.len(), list.len(), "duplicates in followees");
+        assert!(!list.contains(&me));
+    }
+
+    #[test]
+    fn realize_followees_when_friends_exceed_target() {
+        let mut rng = DetRng::new(7);
+        let me = TwitterUserId(0);
+        let friends: Vec<TwitterUserId> = (1..=30).map(TwitterUserId).collect();
+        let pool: Vec<TwitterUserId> = (100..200).map(TwitterUserId).collect();
+        // Target smaller than friend count: all friends still included
+        // (the relationship exists regardless of the scalar target).
+        let list = realize_followees(me, &friends, 10, &pool, &mut rng);
+        assert_eq!(list.len(), 30);
+    }
+
+    #[test]
+    fn deterministic() {
+        let build = |seed| {
+            let mut rng = DetRng::new(seed);
+            build_friend_graph(400, 10.0, 0.8, 0.05, &mut rng).adj
+        };
+        assert_eq!(build(9), build(9));
+        assert_ne!(build(9), build(10));
+    }
+}

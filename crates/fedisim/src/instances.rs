@@ -1,0 +1,238 @@
+//! The Mastodon instance population.
+//!
+//! We seed the landscape with the real instances the paper names —
+//! `mastodon.social` (the flagship run by Mastodon gGmbH, §4),
+//! `mastodon.online`, the topical servers `sigmoid.social` (AI),
+//! `historians.social` (history) and `mastodon.gamedev.place` (game
+//! development) from §5.2–5.3 — and fill the long tail with synthetic
+//! domains. Popularity follows a Zipf law over rank, which is what produces
+//! the paper's centralization curve (Fig. 5) and the 13.16% single-user
+//! tail (Fig. 6a) at the same time.
+
+use flock_core::{Day, DetRng, InstanceId};
+use flock_textsim::Topic;
+use serde::{Deserialize, Serialize};
+
+/// A Mastodon server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Instance {
+    /// Dense id (also the popularity rank: 0 = most popular).
+    pub id: InstanceId,
+    /// DNS name.
+    pub domain: String,
+    /// Topical niche, if any (general-purpose otherwise).
+    pub topic: Option<Topic>,
+    /// Zipf popularity weight used by the instance-choice model.
+    pub popularity: f64,
+    /// When the server came online (well before the study window).
+    pub created: Day,
+    /// Whether this is the flagship (`mastodon.social`).
+    pub flagship: bool,
+    /// Assigned at world build: unreachable during the §3.2 crawl
+    /// (the paper lost 11.58% of users to down instances).
+    pub down_at_crawl: bool,
+}
+
+/// Well-known general-purpose instances, most popular first.
+/// `mastodon.social` must stay at rank 0 (Fig. 4).
+const GENERAL_DOMAINS: &[&str] = &[
+    "mastodon.social",
+    "mastodon.online",
+    "mstdn.social",
+    "mas.to",
+    "mastodon.world",
+    "mastodonapp.uk",
+    "mstdn.party",
+    "universeodon.com",
+    "mastodon.cloud",
+    "toot.community",
+    "c.im",
+    "masto.ai",
+    "mastodon.nl",
+    "mstdn.ca",
+    "aus.social",
+    "mastodon.ie",
+    "mastodon.nz",
+    "tooting.ch",
+    "social.vivaldi.net",
+    "mastodon.uno",
+];
+
+/// Topical instances named in the paper plus a few real-world peers; each
+/// is tied to the [`Topic`] whose users it attracts.
+const TOPICAL_DOMAINS: &[(&str, Topic)] = &[
+    ("sigmoid.social", Topic::Ai),
+    ("historians.social", Topic::History),
+    ("mastodon.gamedev.place", Topic::GameDev),
+    ("fosstodon.org", Topic::Tech),
+    ("hachyderm.io", Topic::Tech),
+    ("mastodon.art", Topic::Art),
+    ("scholar.social", Topic::Science),
+    ("astrodon.social", Topic::Science),
+    ("gamedev.lgbt", Topic::GameDev),
+    ("techhub.social", Topic::Tech),
+    ("photog.social", Topic::Art),
+    ("mathstodon.xyz", Topic::Science),
+];
+
+const SYNTH_PREFIXES: &[&str] = &[
+    "toot", "fedi", "masto", "social", "den", "hive", "nest", "flock", "roost", "perch",
+    "aviary", "murmur", "chirp", "echo", "plume",
+];
+const SYNTH_MIDDLES: &[&str] = &[
+    "berlin", "tokyo", "austin", "oslo", "quebec", "lisbon", "seoul", "cymru", "bavaria",
+    "norden", "pacific", "alpine", "harbor", "prairie", "tundra", "valley", "meadow", "summit",
+    "delta", "citadel", "village", "garden", "grove", "haven", "harvest",
+];
+const SYNTH_TLDS: &[&str] = &["social", "online", "club", "city", "zone", "cafe", "space", "town"];
+
+/// Generate the instance population, popularity-ranked.
+///
+/// Rank 0 is the flagship; ranks 1..~20 are the named general instances;
+/// topical instances are interleaved in the upper-middle of the ranking
+/// (popular within their niche but smaller than the flagships); the rest
+/// of the tail is synthetic.
+pub fn generate_instances(n: usize, zipf_exponent: f64, rng: &mut DetRng) -> Vec<Instance> {
+    assert!(n >= 10, "need at least 10 instances");
+    let mut domains: Vec<(String, Option<Topic>)> = Vec::with_capacity(n);
+    for d in GENERAL_DOMAINS.iter().take(n) {
+        domains.push(((*d).to_string(), None));
+    }
+    // Interleave topical instances starting right after the big generals.
+    for (d, t) in TOPICAL_DOMAINS {
+        if domains.len() < n {
+            domains.push(((*d).to_string(), Some(*t)));
+        }
+    }
+    // Synthetic tail. Names are generated deterministically and uniquely.
+    let mut counter = 0usize;
+    while domains.len() < n {
+        let p = SYNTH_PREFIXES[counter % SYNTH_PREFIXES.len()];
+        let m = SYNTH_MIDDLES[(counter / SYNTH_PREFIXES.len()) % SYNTH_MIDDLES.len()];
+        let t = SYNTH_TLDS[(counter / (SYNTH_PREFIXES.len() * SYNTH_MIDDLES.len()))
+            % SYNTH_TLDS.len()];
+        let overflow = counter / (SYNTH_PREFIXES.len() * SYNTH_MIDDLES.len() * SYNTH_TLDS.len());
+        let domain = if overflow == 0 {
+            format!("{p}.{m}.{t}")
+        } else {
+            format!("{p}{overflow}.{m}.{t}")
+        };
+        domains.push((domain, None));
+        counter += 1;
+    }
+
+    domains
+        .into_iter()
+        .enumerate()
+        .map(|(rank, (domain, topic))| {
+            // Zipf weight by rank; topical instances get a niche boost so
+            // they punch above their global rank *within their topic*
+            // (handled in the choice model), not here.
+            let popularity = 1.0 / ((rank + 1) as f64).powf(zipf_exponent);
+            // Servers came online between Mastodon's 2016 launch and mid-2022.
+            let created = Day(-(rng.range_i64(120, 2200) as i32));
+            Instance {
+                id: InstanceId::from_index(rank),
+                domain,
+                topic,
+                popularity,
+                created,
+                flagship: rank == 0,
+                down_at_crawl: false,
+            }
+        })
+        .collect()
+}
+
+/// Indexes of instances dedicated to `topic`.
+pub fn topical_instances(instances: &[Instance], topic: Topic) -> Vec<InstanceId> {
+    instances
+        .iter()
+        .filter(|i| i.topic == Some(topic))
+        .map(|i| i.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flagship_is_mastodon_social() {
+        let mut rng = DetRng::new(1);
+        let inst = generate_instances(100, 1.3, &mut rng);
+        assert_eq!(inst[0].domain, "mastodon.social");
+        assert!(inst[0].flagship);
+        assert!(inst.iter().skip(1).all(|i| !i.flagship));
+    }
+
+    #[test]
+    fn domains_are_unique_and_valid() {
+        let mut rng = DetRng::new(2);
+        let inst = generate_instances(3000, 1.3, &mut rng);
+        assert_eq!(inst.len(), 3000);
+        let mut seen = std::collections::HashSet::new();
+        for i in &inst {
+            assert!(seen.insert(i.domain.clone()), "duplicate {}", i.domain);
+            assert!(
+                flock_core::handle::is_valid_domain(&i.domain),
+                "invalid domain {}",
+                i.domain
+            );
+        }
+    }
+
+    #[test]
+    fn popularity_is_monotonically_decreasing() {
+        let mut rng = DetRng::new(3);
+        let inst = generate_instances(500, 1.3, &mut rng);
+        for w in inst.windows(2) {
+            assert!(w[0].popularity >= w[1].popularity);
+        }
+        assert!((inst[0].popularity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_topical_instances_present() {
+        let mut rng = DetRng::new(4);
+        let inst = generate_instances(120, 1.3, &mut rng);
+        for (d, t) in [
+            ("sigmoid.social", Topic::Ai),
+            ("historians.social", Topic::History),
+            ("mastodon.gamedev.place", Topic::GameDev),
+        ] {
+            let found = inst.iter().find(|i| i.domain == d).expect(d);
+            assert_eq!(found.topic, Some(t));
+        }
+    }
+
+    #[test]
+    fn topical_lookup() {
+        let mut rng = DetRng::new(5);
+        let inst = generate_instances(200, 1.3, &mut rng);
+        let ai = topical_instances(&inst, Topic::Ai);
+        assert!(!ai.is_empty());
+        for id in ai {
+            assert_eq!(inst[id.index()].topic, Some(Topic::Ai));
+        }
+    }
+
+    #[test]
+    fn created_before_study() {
+        let mut rng = DetRng::new(6);
+        let inst = generate_instances(100, 1.3, &mut rng);
+        assert!(inst.iter().all(|i| i.created < Day(0)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        let ia = generate_instances(300, 1.3, &mut a);
+        let ib = generate_instances(300, 1.3, &mut b);
+        assert_eq!(
+            ia.iter().map(|i| (&i.domain, i.created)).collect::<Vec<_>>(),
+            ib.iter().map(|i| (&i.domain, i.created)).collect::<Vec<_>>()
+        );
+    }
+}

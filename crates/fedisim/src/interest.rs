@@ -1,0 +1,185 @@
+//! Search-interest time series (Fig. 1).
+//!
+//! The paper opens with Google-Trends interest for "Twitter alternatives"
+//! and for Mastodon/Koo/Hive Social, spiking on Oct 28, 2022 (the day after
+//! the takeover). Google Trends is a closed external service, so we model
+//! the series the way trends data behaves: a baseline, event-driven
+//! impulses with exponential decay, weekly seasonality, and noise —
+//! normalized to a 0–100 scale like the real product.
+
+use flock_core::{Day, DetRng};
+use serde::{Deserialize, Serialize};
+
+/// A named 0–100 interest series over the study window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterestSeries {
+    pub name: String,
+    /// One value per study day (index = day offset).
+    pub values: Vec<f64>,
+}
+
+/// All four series of Fig. 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterestReport {
+    /// Fig. 1a: "Twitter alternatives".
+    pub twitter_alternatives: InterestSeries,
+    /// Fig. 1b.
+    pub mastodon: InterestSeries,
+    pub koo: InterestSeries,
+    pub hive: InterestSeries,
+}
+
+/// One event impulse: search interest jumps at the event and decays.
+struct Impulse {
+    day: Day,
+    magnitude: f64,
+    decay_days: f64,
+}
+
+fn series(
+    name: &str,
+    baseline: f64,
+    impulses: &[Impulse],
+    rng: &mut DetRng,
+) -> InterestSeries {
+    let mut raw: Vec<f64> = Vec::with_capacity(Day::STUDY_LEN);
+    for day in Day::study_days() {
+        let mut v = baseline;
+        for imp in impulses {
+            let dt = day - imp.day;
+            if dt >= 0 {
+                v += imp.magnitude * (-(dt as f64) / imp.decay_days).exp();
+            }
+        }
+        // Weekend dip (trends for news-ish terms sag on weekends) + noise.
+        let weekday = day.weekday();
+        if weekday >= 5 {
+            v *= 0.9;
+        }
+        v *= 1.0 + rng.normal(0.0, 0.04);
+        raw.push(v.max(0.0));
+    }
+    // Normalize to Google's 0–100 scale.
+    let max = raw.iter().cloned().fold(f64::MIN, f64::max).max(1e-9);
+    InterestSeries {
+        name: name.to_string(),
+        values: raw.iter().map(|v| (v / max * 100.0).round()).collect(),
+    }
+}
+
+/// Generate the Fig. 1 report.
+pub fn generate_interest(rng: &mut DetRng) -> InterestReport {
+    let takeover_spike = Day::TRENDS_SPIKE; // Oct 28, the spike the paper notes
+    InterestReport {
+        twitter_alternatives: series(
+            "Twitter alternatives",
+            1.5,
+            &[
+                Impulse { day: takeover_spike, magnitude: 100.0, decay_days: 3.0 },
+                Impulse { day: Day::LAYOFFS, magnitude: 25.0, decay_days: 3.0 },
+                Impulse { day: Day::RESIGNATIONS, magnitude: 30.0, decay_days: 3.5 },
+            ],
+            rng,
+        ),
+        mastodon: series(
+            "Mastodon",
+            4.0,
+            &[
+                Impulse { day: takeover_spike, magnitude: 70.0, decay_days: 4.0 },
+                Impulse { day: Day::LAYOFFS, magnitude: 55.0, decay_days: 5.0 },
+                Impulse { day: Day::RESIGNATIONS, magnitude: 60.0, decay_days: 5.0 },
+            ],
+            rng,
+        ),
+        koo: series(
+            "Koo",
+            1.0,
+            &[
+                Impulse { day: takeover_spike, magnitude: 12.0, decay_days: 3.0 },
+                Impulse { day: Day::LAYOFFS, magnitude: 6.0, decay_days: 3.0 },
+            ],
+            rng,
+        ),
+        hive: series(
+            "Hive Social",
+            0.5,
+            &[
+                Impulse { day: takeover_spike, magnitude: 5.0, decay_days: 3.0 },
+                // Hive's moment came with the resignation wave in mid-November.
+                Impulse { day: Day::RESIGNATIONS - 1, magnitude: 18.0, decay_days: 4.0 },
+            ],
+            rng,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> InterestReport {
+        generate_interest(&mut DetRng::new(1))
+    }
+
+    #[test]
+    fn series_cover_study_window_in_range() {
+        let r = report();
+        for s in [&r.twitter_alternatives, &r.mastodon, &r.koo, &r.hive] {
+            assert_eq!(s.values.len(), Day::STUDY_LEN);
+            assert!(s.values.iter().all(|v| (0.0..=100.0).contains(v)));
+            assert!(s.values.iter().any(|v| *v == 100.0), "{} never peaks", s.name);
+        }
+    }
+
+    #[test]
+    fn alternatives_spike_lands_on_oct_28() {
+        let r = report();
+        let s = &r.twitter_alternatives.values;
+        let peak = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(Day(peak as i32), Day::TRENDS_SPIKE);
+        // Pre-takeover interest is flat and low.
+        assert!(s[..25].iter().all(|v| *v < 20.0));
+    }
+
+    #[test]
+    fn mastodon_interest_dwarfs_koo_and_hive_after_takeover() {
+        let r = report();
+        // Compare un-normalized scale via post-takeover mean relative to the
+        // series' own peak: Mastodon stays elevated, Koo decays fast.
+        let post_mean = |s: &InterestSeries| {
+            s.values[27..].iter().sum::<f64>() / (s.values.len() - 27) as f64
+        };
+        assert!(post_mean(&r.mastodon) > 25.0);
+        assert!(post_mean(&r.koo) < post_mean(&r.mastodon));
+    }
+
+    #[test]
+    fn hive_peaks_late() {
+        let r = report();
+        let peak = r
+            .hive
+            .values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(
+            (Day::RESIGNATIONS.offset() - 2..=Day::RESIGNATIONS.offset() + 3)
+                .contains(&(peak as i32)),
+            "hive peak at day {peak}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_interest(&mut DetRng::new(9));
+        let b = generate_interest(&mut DetRng::new(9));
+        assert_eq!(a.mastodon.values, b.mastodon.values);
+    }
+}

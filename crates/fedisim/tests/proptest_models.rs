@@ -1,0 +1,99 @@
+//! Property-based tests over the generative models.
+
+use flock_core::{DetRng, TwitterUserId};
+use flock_fedisim::graph::{build_friend_graph, realize_followees};
+use flock_fedisim::instances::generate_instances;
+use flock_fedisim::migration::{migration_intensity, sample_migration_day, InstanceSampler};
+use flock_core::Day;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn friend_graph_invariants_hold_for_any_params(
+        seed in any::<u64>(),
+        n in 2usize..400,
+        m_median in 1.0f64..30.0,
+        sigma in 0.1f64..1.5,
+        loner in 0.0f64..0.3,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let g = build_friend_graph(n, m_median, sigma, loner, &mut rng);
+        prop_assert_eq!(g.len(), n);
+        for (i, friends) in (0..n).map(|i| (i, g.friends(i))) {
+            let mut sorted = friends.to_vec();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), friends.len(), "duplicate edge at {}", i);
+            for &f in friends {
+                prop_assert!((f as usize) < n);
+                prop_assert_ne!(f as usize, i, "self loop");
+                prop_assert!(
+                    g.friends(f as usize).contains(&(i as u32)),
+                    "asymmetric edge {} -> {}", i, f
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn realized_followees_are_unique_and_self_free(
+        seed in any::<u64>(),
+        n_friends in 0usize..40,
+        target in 0usize..200,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let me = TwitterUserId(0);
+        let friends: Vec<TwitterUserId> = (1..=n_friends as u64).map(TwitterUserId).collect();
+        let pool: Vec<TwitterUserId> = (1_000..2_000).map(TwitterUserId).collect();
+        let list = realize_followees(me, &friends, target, &pool, &mut rng);
+        let mut unique = list.clone();
+        unique.sort();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), list.len(), "duplicates");
+        prop_assert!(!list.contains(&me));
+        // All friends present; size at least max(friends, ~target reachable).
+        for f in &friends {
+            prop_assert!(list.contains(f));
+        }
+        prop_assert!(list.len() >= n_friends);
+    }
+
+    #[test]
+    fn instance_sampler_never_escapes_bounds(
+        n in 1usize..3000,
+        s in 0.3f64..3.5,
+        seed in any::<u64>(),
+    ) {
+        let sampler = InstanceSampler::new(n, s);
+        let mut rng = DetRng::new(seed);
+        for _ in 0..200 {
+            let eng = 0.1 + rng.f64() * 4.0;
+            prop_assert!(sampler.sample(eng, &mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn instance_generation_scales(n in 10usize..2000, s in 0.5f64..3.0, seed in any::<u64>()) {
+        let mut rng = DetRng::new(seed);
+        let instances = generate_instances(n, s, &mut rng);
+        prop_assert_eq!(instances.len(), n);
+        prop_assert!(instances[0].flagship);
+        let mut seen = std::collections::HashSet::new();
+        for (i, inst) in instances.iter().enumerate() {
+            prop_assert_eq!(inst.id.index(), i);
+            prop_assert!(seen.insert(inst.domain.clone()), "dup domain {}", inst.domain);
+            prop_assert!(inst.created < Day(0));
+        }
+    }
+
+    #[test]
+    fn migration_days_always_in_collection_window(seed in any::<u64>()) {
+        let mut rng = DetRng::new(seed);
+        for _ in 0..200 {
+            let d = sample_migration_day(&mut rng);
+            prop_assert!(d.in_collection_window());
+            prop_assert!(migration_intensity(d) > 0.0);
+        }
+    }
+}

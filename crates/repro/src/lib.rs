@@ -1,0 +1,24 @@
+//! # flock-repro — the figure-regeneration harness
+//!
+//! One entry point, [`MigrationStudy::run`], executes the entire
+//! reproduction (world → API server → crawl → analysis) and renders every
+//! figure of the paper as text, next to the paper's own numbers.
+//!
+//! The `repro` binary exposes each figure as a subcommand:
+//!
+//! ```text
+//! cargo run -p flock-repro --release -- --scale medium headline
+//! cargo run -p flock-repro --release -- fig5
+//! cargo run -p flock-repro --release -- all
+//! cargo run -p flock-repro --release -- experiments-md > EXPERIMENTS.md
+//! ```
+
+pub mod csv;
+pub mod render;
+pub mod study;
+
+pub mod prelude {
+    pub use crate::study::{FigureId, MigrationStudy};
+}
+
+pub use prelude::*;

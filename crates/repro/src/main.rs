@@ -1,0 +1,134 @@
+//! `repro` — regenerate any figure of the paper from a fresh simulation.
+//!
+//! ```text
+//! repro [--scale small|medium|paper] [--seed N] <artifact>...
+//!
+//! artifacts: fig1 .. fig16, headline, all, experiments-md, retention,
+//!            dump-dataset[=path] (anonymized JSON release, §3.4), verify,
+//!            csv[=dir] (per-figure CSV export)
+//! ```
+
+use flock_fedisim::WorldConfig;
+use flock_repro::{FigureId, MigrationStudy};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: repro [--scale small|medium|paper] [--seed N] <fig1..fig16|headline|all|experiments-md>..."
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = WorldConfig::medium();
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                config = match v.as_str() {
+                    "small" => WorldConfig::small(),
+                    "medium" => WorldConfig::medium(),
+                    "paper" => WorldConfig::paper(),
+                    other => {
+                        eprintln!("unknown scale {other:?}; {}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--seed" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--seed needs an integer; {}", usage());
+                    return ExitCode::FAILURE;
+                };
+                config.seed = v;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => artifacts.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if artifacts.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    eprintln!(
+        "[repro] generating world (seed {}, {} users, {} instances) and crawling…",
+        config.seed, config.n_searchable_users, config.n_instances
+    );
+    let study = match MigrationStudy::run(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[repro] pipeline failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[repro] identified {} migrants on {} instances ({} API requests)",
+        study.dataset.matched.len(),
+        study.dataset.landing_instances().len(),
+        study.dataset.stats.requests
+    );
+
+    for a in &artifacts {
+        match a.as_str() {
+            "all" => {
+                println!("{}", study.render_all());
+                println!("{}", study.render_retention());
+                println!("{}", study.render_topics());
+            }
+            "retention" => println!("{}", study.render_retention()),
+            "topics" => println!("{}", study.render_topics()),
+            "verify" => {
+                let r = study.headline();
+                println!("{}", r.to_verify_table());
+                let (_, _, fails) = r.verdict_counts();
+                if fails > 0 {
+                    eprintln!("[repro] {fails} metrics FAILED reproduction bands");
+                }
+            }
+            "experiments-md" => println!("{}", study.experiments_markdown(&config)),
+            other if other.starts_with("csv") => {
+                let dir = other
+                    .split_once('=')
+                    .map(|(_, p)| p.to_string())
+                    .unwrap_or_else(|| "figures-csv".to_string());
+                match study.export_csv(std::path::Path::new(&dir)) {
+                    Ok(n) => eprintln!("[repro] wrote {n} CSV files to {dir}/"),
+                    Err(e) => {
+                        eprintln!("[repro] csv export failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other if other.starts_with("dump-dataset") => {
+                let path = other
+                    .split_once('=')
+                    .map(|(_, p)| p.to_string())
+                    .unwrap_or_else(|| "dataset.anon.json".to_string());
+                let anon = study.dataset.anonymized(config.seed);
+                if let Err(e) = anon.save(std::path::Path::new(&path)) {
+                    eprintln!("[repro] dump failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[repro] wrote anonymized dataset to {path}");
+            }
+            other => match other.parse::<FigureId>() {
+                Ok(id) => println!("{}", study.render(id)),
+                Err(e) => {
+                    eprintln!("{e}; {}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+    ExitCode::SUCCESS
+}

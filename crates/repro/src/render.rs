@@ -1,0 +1,121 @@
+//! Plain-text rendering of figure data: sparklines, bars, and CDF tables.
+//!
+//! The reproduction target is the *data* behind each figure; these helpers
+//! make that data readable in a terminal without a plotting stack.
+
+use flock_analysis::Ecdf;
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render a numeric series as a sparkline.
+pub fn sparkline(values: &[f64]) -> String {
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    if values.is_empty() || !max.is_finite() || !min.is_finite() {
+        return String::new();
+    }
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            SPARK[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Render a labelled horizontal bar.
+pub fn bar(label: &str, value: f64, max: f64, width: usize) -> String {
+    let filled = if max > 0.0 {
+        ((value / max) * width as f64).round() as usize
+    } else {
+        0
+    };
+    format!(
+        "{:<32} {:>10.0} |{}{}|",
+        truncate(label, 32),
+        value,
+        "█".repeat(filled.min(width)),
+        " ".repeat(width.saturating_sub(filled)),
+    )
+}
+
+/// Summarize an ECDF as a quantile row.
+pub fn quantiles(label: &str, e: &Ecdf) -> String {
+    if e.is_empty() {
+        return format!("{label:<28} (no samples)");
+    }
+    format!(
+        "{:<28} n={:<6} p10={:<9.3} p25={:<9.3} p50={:<9.3} p75={:<9.3} p90={:<9.3} mean={:.3}",
+        truncate(label, 28),
+        e.len(),
+        e.quantile(0.10),
+        e.quantile(0.25),
+        e.quantile(0.50),
+        e.quantile(0.75),
+        e.quantile(0.90),
+        e.mean(),
+    )
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n - 1).collect();
+        format!("{cut}…")
+    }
+}
+
+/// A two-column comparison line for paper-vs-measured values.
+pub fn compare(name: &str, paper: f64, measured: f64, unit: &str) -> String {
+    format!("  {name:<52} paper {paper:>9.2}{unit:<3} measured {measured:>9.2}{unit}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 2.0, 1.0, 0.0]);
+        assert_eq!(s.chars().count(), 7);
+        assert!(s.starts_with('▁'));
+        assert!(s.contains('█'));
+        assert_eq!(sparkline(&[]), "");
+        // Constant series stays at the bottom glyph.
+        let flat = sparkline(&[5.0, 5.0, 5.0]);
+        assert!(flat.chars().all(|c| c == '▁'));
+    }
+
+    #[test]
+    fn bar_bounds() {
+        let b = bar("mastodon.social", 100.0, 100.0, 20);
+        assert!(b.contains(&"█".repeat(20)));
+        let none = bar("x", 0.0, 100.0, 20);
+        assert!(!none.contains('█'));
+        let zero_max = bar("x", 5.0, 0.0, 20);
+        assert!(!zero_max.contains('█'));
+    }
+
+    #[test]
+    fn quantiles_rendering() {
+        let e = Ecdf::new((1..=100).map(f64::from).collect());
+        let q = quantiles("followers", &e);
+        assert!(q.contains("p50=50"));
+        assert!(q.contains("n=100"));
+        let empty = quantiles("none", &Ecdf::new(vec![]));
+        assert!(empty.contains("no samples"));
+    }
+
+    #[test]
+    fn truncate_long_labels() {
+        let b = bar(
+            "an-extremely-long-instance-domain-name.would.overflow.example",
+            1.0,
+            1.0,
+            5,
+        );
+        assert!(b.contains('…'));
+    }
+}

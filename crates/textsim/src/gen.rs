@@ -1,0 +1,277 @@
+//! The synthetic post generator used by the world simulator.
+//!
+//! Posts are bags of topic words + general filler + platform-appropriate
+//! hashtags. The generator also provides the two transformations the
+//! cross-platform similarity analysis (Fig. 14) needs:
+//!
+//! * [`PostGenerator::paraphrase`] — a light rewrite that keeps ≥ 75% of
+//!   content words, guaranteeing cosine similarity above the paper's 0.7
+//!   threshold (this is what a manually mirrored post looks like);
+//! * [`PostGenerator::toxicify`] — injects enough insult vocabulary to push
+//!   the post over the Perspective-style 0.5 toxicity threshold (Fig. 16).
+
+use crate::topic::{Topic, GENERAL_WORDS};
+use crate::toxicity::{mild_lexicon, strong_lexicon};
+use flock_core::{DetRng, Platform};
+
+/// Tunable knobs for post generation.
+#[derive(Debug, Clone)]
+pub struct PostGenerator {
+    /// Minimum content words per post.
+    pub min_words: usize,
+    /// Maximum content words per post.
+    pub max_words: usize,
+    /// Probability that a generated word is a general filler word rather
+    /// than a topic word.
+    pub filler_ratio: f64,
+    /// Fraction of content words preserved by [`Self::paraphrase`].
+    pub paraphrase_keep: f64,
+}
+
+impl Default for PostGenerator {
+    fn default() -> Self {
+        PostGenerator {
+            min_words: 6,
+            max_words: 16,
+            filler_ratio: 0.35,
+            paraphrase_keep: 0.85,
+        }
+    }
+}
+
+impl PostGenerator {
+    /// Generate body text (no hashtags) about a topic.
+    pub fn generate(&self, topic: Topic, rng: &mut DetRng) -> String {
+        let n = rng.range_i64(self.min_words as i64, self.max_words as i64) as usize;
+        let words = topic.words();
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            if rng.chance(self.filler_ratio) {
+                out.push(*rng.choose(GENERAL_WORDS));
+            } else {
+                out.push(*rng.choose(words));
+            }
+        }
+        out.join(" ")
+    }
+
+    /// Generate a full post: body + up to `max_hashtags` platform-specific
+    /// hashtags for the topic.
+    pub fn compose(
+        &self,
+        topic: Topic,
+        platform: Platform,
+        max_hashtags: usize,
+        rng: &mut DetRng,
+    ) -> String {
+        let mut text = self.generate(topic, rng);
+        if max_hashtags > 0 {
+            let tags = topic.hashtags(platform);
+            let n = rng.below_usize(max_hashtags + 1).min(tags.len());
+            let mut chosen: Vec<&str> = Vec::with_capacity(n);
+            while chosen.len() < n {
+                let t = *rng.choose(tags);
+                if !chosen.contains(&t) {
+                    chosen.push(t);
+                }
+            }
+            for t in chosen {
+                text.push(' ');
+                text.push_str(t);
+            }
+        }
+        text
+    }
+
+    /// Produce a light rewrite of `text`: each non-hashtag token is kept
+    /// with probability [`Self::paraphrase_keep`] and otherwise replaced
+    /// with a general filler word (which the embedding ignores), with a
+    /// floor of 75% kept so the result always clears the similarity
+    /// threshold. Hashtags are always kept — users mirror their tags.
+    pub fn paraphrase(&self, text: &str, rng: &mut DetRng) -> String {
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        let content_idx: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.starts_with('#'))
+            .map(|(i, _)| i)
+            .collect();
+        let max_replacements = (content_idx.len() / 4).max(1); // keep ≥ 75%, change ≥ 1
+        let mut replaced = 0usize;
+        let mut out: Vec<String> = Vec::with_capacity(tokens.len());
+        // Pre-pick one forced replacement so a paraphrase is never the
+        // identical string (mirroring by hand always edits something).
+        let forced = if content_idx.is_empty() {
+            usize::MAX
+        } else {
+            content_idx[rng.below_usize(content_idx.len())]
+        };
+        for (i, tok) in tokens.iter().enumerate() {
+            let is_content = content_idx.contains(&i);
+            if is_content
+                && replaced < max_replacements
+                && (i == forced || !rng.chance(self.paraphrase_keep))
+            {
+                out.push((*rng.choose(GENERAL_WORDS)).to_string());
+                replaced += 1;
+            } else {
+                out.push((*tok).to_string());
+            }
+        }
+        out.join(" ")
+    }
+
+    /// Inject insult vocabulary into `text` so the toxicity scorer rates it
+    /// above the 0.5 threshold: two or three strong insults plus one mild
+    /// word, appended in sentence position.
+    pub fn toxicify(&self, text: &str, rng: &mut DetRng) -> String {
+        let strong = strong_lexicon();
+        let mild = mild_lexicon();
+        let n_strong = 2 + rng.below_usize(2); // 2 or 3
+        let mut out = String::from(text);
+        for _ in 0..n_strong {
+            out.push(' ');
+            out.push_str(rng.choose::<&str>(strong));
+        }
+        if rng.chance(0.5) {
+            out.push(' ');
+            out.push_str(rng.choose::<&str>(mild));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::{cosine, embed, SIMILARITY_THRESHOLD};
+    use crate::token::extract_hashtags;
+    use crate::toxicity::ToxicityScorer;
+
+    #[test]
+    fn generate_respects_word_bounds() {
+        let g = PostGenerator::default();
+        let mut rng = DetRng::new(1);
+        for _ in 0..100 {
+            let text = g.generate(Topic::Tech, &mut rng);
+            let n = text.split_whitespace().count();
+            assert!((g.min_words..=g.max_words).contains(&n), "{n} words");
+        }
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let g = PostGenerator::default();
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        assert_eq!(g.generate(Topic::Food, &mut a), g.generate(Topic::Food, &mut b));
+    }
+
+    #[test]
+    fn compose_adds_platform_hashtags() {
+        let g = PostGenerator::default();
+        let mut rng = DetRng::new(2);
+        let mut saw_tag = false;
+        for _ in 0..50 {
+            let post = g.compose(Topic::Migration, Platform::Twitter, 3, &mut rng);
+            let tags = extract_hashtags(&post);
+            if !tags.is_empty() {
+                saw_tag = true;
+                for t in &tags {
+                    let expected: Vec<String> = Topic::Migration
+                        .hashtags(Platform::Twitter)
+                        .iter()
+                        .map(|s| s.to_ascii_lowercase())
+                        .collect();
+                    assert!(expected.contains(t), "unexpected tag {t}");
+                }
+            }
+        }
+        assert!(saw_tag);
+    }
+
+    #[test]
+    fn compose_zero_hashtags() {
+        let g = PostGenerator::default();
+        let mut rng = DetRng::new(3);
+        let post = g.compose(Topic::Sports, Platform::Mastodon, 0, &mut rng);
+        assert!(extract_hashtags(&post).is_empty());
+    }
+
+    #[test]
+    fn paraphrase_is_similar_never_identical_guaranteed() {
+        let g = PostGenerator::default();
+        let mut rng = DetRng::new(4);
+        for i in 0..200 {
+            let mut post_rng = DetRng::new(1000 + i);
+            let post = g.compose(Topic::Ai, Platform::Twitter, 2, &mut post_rng);
+            let para = g.paraphrase(&post, &mut rng);
+            let sim = cosine(&embed(&post), &embed(&para));
+            assert!(
+                sim > SIMILARITY_THRESHOLD,
+                "paraphrase fell below threshold: {sim}\n  a={post}\n  b={para}"
+            );
+        }
+    }
+
+    #[test]
+    fn paraphrase_keeps_hashtags() {
+        let g = PostGenerator::default();
+        let mut rng = DetRng::new(5);
+        let post = "model training dataset neural #ai #machinelearning";
+        for _ in 0..20 {
+            let para = g.paraphrase(post, &mut rng);
+            let tags = extract_hashtags(&para);
+            assert!(tags.contains(&"#ai".to_string()));
+            assert!(tags.contains(&"#machinelearning".to_string()));
+        }
+    }
+
+    #[test]
+    fn toxicify_crosses_threshold() {
+        let g = PostGenerator::default();
+        let scorer = ToxicityScorer::new();
+        let mut rng = DetRng::new(6);
+        for i in 0..100 {
+            let mut post_rng = DetRng::new(2000 + i);
+            let post = g.generate(Topic::Politics, &mut post_rng);
+            assert!(!scorer.is_toxic(&post), "clean post scored toxic: {post}");
+            let toxic = g.toxicify(&post, &mut rng);
+            assert!(scorer.is_toxic(&toxic), "toxicified post not toxic: {toxic}");
+        }
+    }
+
+    #[test]
+    fn different_topics_rarely_similar() {
+        let g = PostGenerator::default();
+        let mut rng = DetRng::new(8);
+        let mut similar = 0;
+        let n = 300;
+        for _ in 0..n {
+            let a = g.generate(Topic::GameDev, &mut rng);
+            let b = g.generate(Topic::Food, &mut rng);
+            if cosine(&embed(&a), &embed(&b)) > SIMILARITY_THRESHOLD {
+                similar += 1;
+            }
+        }
+        assert!(similar < n / 50, "{similar}/{n} cross-topic pairs similar");
+    }
+
+    #[test]
+    fn same_topic_independent_posts_mostly_dissimilar() {
+        let g = PostGenerator::default();
+        let mut rng = DetRng::new(9);
+        let mut similar = 0;
+        let n = 300;
+        for _ in 0..n {
+            let a = g.generate(Topic::Fediverse, &mut rng);
+            let b = g.generate(Topic::Fediverse, &mut rng);
+            if cosine(&embed(&a), &embed(&b)) > SIMILARITY_THRESHOLD {
+                similar += 1;
+            }
+        }
+        // Independent posts about the same topic should usually NOT read as
+        // the same post; allow a small accidental-overlap rate.
+        assert!(similar < n / 10, "{similar}/{n} same-topic pairs similar");
+    }
+}

@@ -1,0 +1,97 @@
+//! Tokenization and hashtag extraction.
+
+/// Split text into lowercase word tokens. Hashtags are kept *with* their
+/// `#` so that downstream consumers can distinguish `#mastodon` (the tag)
+/// from `mastodon` (the word); URLs are kept whole; everything else is
+/// split on non-alphanumeric boundaries.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    for raw in text.split_whitespace() {
+        if raw.starts_with("http://") || raw.starts_with("https://") {
+            tokens.push(trim_trailing_punct(raw).to_ascii_lowercase());
+            continue;
+        }
+        if let Some(tag) = raw.strip_prefix('#') {
+            let tag: String = tag
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !tag.is_empty() {
+                tokens.push(format!("#{}", tag.to_ascii_lowercase()));
+                continue;
+            }
+        }
+        let mut current = String::new();
+        for c in raw.chars() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '\'' {
+                current.extend(c.to_lowercase());
+            } else if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            tokens.push(current);
+        }
+    }
+    tokens
+}
+
+/// Extract the hashtags from a post, lowercased, `#` included, in order of
+/// appearance with duplicates preserved (frequency analyses count them).
+pub fn extract_hashtags(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| t.starts_with('#'))
+        .collect()
+}
+
+fn trim_trailing_punct(s: &str) -> &str {
+    s.trim_end_matches(|c: char| !c.is_ascii_alphanumeric() && c != '/')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(
+            tokenize("Hello, World! It's me."),
+            vec!["hello", "world", "it's", "me"]
+        );
+    }
+
+    #[test]
+    fn hashtags_kept_intact() {
+        assert_eq!(
+            tokenize("leaving. #ByeByeTwitter forever"),
+            vec!["leaving", "#byebyetwitter", "forever"]
+        );
+    }
+
+    #[test]
+    fn hashtag_trailing_punctuation_stripped() {
+        assert_eq!(extract_hashtags("so long! #RIPTwitter."), vec!["#riptwitter"]);
+    }
+
+    #[test]
+    fn urls_kept_whole() {
+        let t = tokenize("find me at https://mas.to/@alice!");
+        assert!(t.contains(&"https://mas.to/@alice".to_string()));
+    }
+
+    #[test]
+    fn extract_hashtags_in_order_with_duplicates() {
+        assert_eq!(
+            extract_hashtags("#a text #B more #a"),
+            vec!["#a", "#b", "#a"]
+        );
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("... !!! ???").is_empty());
+        assert!(extract_hashtags("# #!").is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! Render every figure of the paper from one simulated world.
+//!
+//! ```sh
+//! cargo run --release --example figure_gallery            # all figures
+//! cargo run --release --example figure_gallery -- fig5    # just one
+//! ```
+
+use flock::prelude::*;
+
+fn main() {
+    let config = WorldConfig::small().with_seed(7);
+    let study = MigrationStudy::run(&config).expect("pipeline");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print!("{}", study.render_all());
+        return;
+    }
+    for a in args {
+        match a.parse::<FigureId>() {
+            Ok(id) => print!("{}", study.render(id)),
+            Err(e) => eprintln!("{e}"),
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The crawler may only ever *undercount* — everything it reports must be
+//! backed by ground truth, and its blind spots must be exactly the ones
+//! the API surface imposes.
+
+use flock::apis::ApiServer;
+use flock::crawler::prelude::*;
+use flock::fedisim::users::AccountFate;
+use flock::fedisim::{World, WorldConfig};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+fn fixture() -> &'static (Arc<World>, Dataset) {
+    static CELL: OnceLock<(Arc<World>, Dataset)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let world = Arc::new(World::generate(&WorldConfig::small().with_seed(404)).unwrap());
+        let api = ApiServer::with_defaults(world.clone());
+        let ds = crawl(&api).unwrap();
+        (world, ds)
+    })
+}
+
+#[test]
+fn no_false_positives() {
+    let (world, ds) = fixture();
+    for m in &ds.matched {
+        let truth = world
+            .account_by_handle(&m.handle)
+            .unwrap_or_else(|| panic!("phantom account {}", m.handle));
+        assert_eq!(truth.owner, m.twitter_id, "{} mapped to the wrong user", m.handle);
+    }
+}
+
+#[test]
+fn every_bio_announcer_with_metadata_is_found() {
+    let (world, ds) = fixture();
+    let found: std::collections::HashSet<_> =
+        ds.matched.iter().map(|m| m.twitter_id).collect();
+    for a in &world.accounts {
+        if !a.in_bio {
+            continue;
+        }
+        // Bio matching works through the collection-time user expansion,
+        // which requires the user to have tweeted something collectable —
+        // every migrant announces, so they all qualify.
+        assert!(
+            found.contains(&a.owner),
+            "bio announcer {} ({}) missed",
+            a.owner,
+            a.first_handle
+        );
+    }
+}
+
+#[test]
+fn missed_migrants_are_exactly_the_invisible_ones() {
+    let (world, ds) = fixture();
+    let found: std::collections::HashSet<_> =
+        ds.matched.iter().map(|m| m.twitter_id).collect();
+    for a in &world.accounts {
+        if found.contains(&a.owner) {
+            continue;
+        }
+        let user = world.user(a.owner).unwrap();
+        let tweet_matchable = a.in_tweet && a.first_handle.username() == user.username;
+        assert!(
+            !a.in_bio && !tweet_matchable,
+            "migrant {} was identifiable (bio={}, tweet={}, same-name={}) but missed",
+            a.first_handle,
+            a.in_bio,
+            a.in_tweet,
+            a.first_handle.username() == user.username,
+        );
+    }
+}
+
+#[test]
+fn twitter_timelines_match_ground_truth_posts() {
+    let (world, ds) = fixture();
+    for (uid, timeline) in &ds.twitter_timelines {
+        let truth_count = world
+            .tweets_of(*uid)
+            .iter()
+            .filter(|tid| world.tweets[tid.index()].day.in_study_window())
+            .count();
+        assert_eq!(timeline.len(), truth_count, "timeline size mismatch for {uid}");
+    }
+}
+
+#[test]
+fn twitter_outcomes_match_fates() {
+    let (world, ds) = fixture();
+    for (uid, outcome) in &ds.twitter_outcomes {
+        let expected = match world.user(*uid).unwrap().fate {
+            AccountFate::Active => TwitterCrawlOutcome::Ok,
+            AccountFate::Suspended => TwitterCrawlOutcome::Suspended,
+            AccountFate::Deleted => TwitterCrawlOutcome::Deleted,
+            AccountFate::Protected => TwitterCrawlOutcome::Protected,
+        };
+        assert_eq!(*outcome, expected, "outcome mismatch for {uid}");
+    }
+}
+
+#[test]
+fn mastodon_down_outcomes_match_down_instances() {
+    let (world, ds) = fixture();
+    for (uid, outcome) in &ds.mastodon_outcomes {
+        let acct = world.account_of_user(*uid).unwrap();
+        let down_current = world.instances[acct.instance.index()].down_at_crawl;
+        let down_first = world.instances[acct.first_instance.index()].down_at_crawl;
+        if *outcome == MastodonCrawlOutcome::InstanceDown {
+            assert!(
+                down_current || down_first,
+                "InstanceDown for {} but instances are up",
+                acct.handle
+            );
+        }
+        if *outcome == MastodonCrawlOutcome::Ok {
+            assert!(!down_current || !down_first, "Ok but everything down");
+        }
+    }
+}
+
+#[test]
+fn mastodon_timelines_are_subsets_of_truth() {
+    let (world, ds) = fixture();
+    for (handle, timeline) in &ds.mastodon_timelines {
+        let acct = world.account_by_handle(handle).unwrap();
+        let truth = world.statuses_of(acct.id);
+        assert!(
+            timeline.len() <= truth.len(),
+            "{handle} crawled more statuses than exist"
+        );
+        // Every crawled status text exists in ground truth.
+        let truth_texts: std::collections::HashSet<&str> = truth
+            .iter()
+            .map(|sid| world.statuses[sid.index()].text.as_str())
+            .collect();
+        for s in timeline {
+            assert!(truth_texts.contains(s.text.as_str()));
+        }
+    }
+}
+
+#[test]
+fn followee_lists_equal_ground_truth() {
+    let (world, ds) = fixture();
+    for (uid, rec) in &ds.followees {
+        let acct = world.account_of_user(*uid).unwrap();
+        let mut truth = world.twitter_followees[acct.id.index()].clone();
+        let mut got = rec.twitter.clone();
+        truth.sort();
+        got.sort();
+        assert_eq!(got, truth, "followee list mismatch for {uid}");
+    }
+}
+
+#[test]
+fn observed_switchers_are_true_switchers() {
+    let (world, ds) = fixture();
+    for m in &ds.matched {
+        let truth = world.account_by_handle(&m.handle).unwrap();
+        if m.switched() {
+            let sw = truth.switch.as_ref().expect("claimed switcher never moved");
+            assert_eq!(
+                m.resolved_handle.instance(),
+                world.instances[sw.to.index()].domain,
+                "wrong destination for {}",
+                m.handle
+            );
+        }
+    }
+}

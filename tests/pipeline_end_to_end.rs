@@ -1,0 +1,295 @@
+//! End-to-end integration: world → APIs → crawl → analysis, with shape
+//! assertions for every figure. These encode the paper's *qualitative*
+//! findings — who wins, which direction, where the mass sits — which any
+//! healthy run must reproduce regardless of seed.
+
+use flock::prelude::*;
+use flock_analysis::prelude::*;
+use std::sync::OnceLock;
+
+fn study() -> &'static MigrationStudy {
+    static CELL: OnceLock<MigrationStudy> = OnceLock::new();
+    CELL.get_or_init(|| MigrationStudy::run(&WorldConfig::small().with_seed(31)).expect("study"))
+}
+
+#[test]
+fn identification_is_a_plausible_lower_bound() {
+    let s = study();
+    let truth = s.world.n_migrants();
+    let found = s.dataset.matched.len();
+    assert!(found > truth / 2, "found {found} of {truth}");
+    assert!(found < truth, "the §3.1 method cannot find everyone");
+    // Far more users were searched than mapped (paper: 1.02M vs 136k).
+    assert!(s.dataset.searched_users > found * 3);
+}
+
+#[test]
+fn fig2_collection_peaks_after_takeover() {
+    let f = fig2_collection(&study().dataset);
+    let takeover_idx = (flock::core::Day::TAKEOVER.offset()
+        - flock::core::Day::COLLECTION_START.offset()) as usize;
+    let pre: u64 = f.keywords_and_hashtags[..takeover_idx].iter().sum();
+    let pre_days = takeover_idx as f64;
+    let post: u64 = f.keywords_and_hashtags[takeover_idx..].iter().sum();
+    let post_days = (f.days.len() - takeover_idx) as f64;
+    assert!(
+        post as f64 / post_days > 3.0 * (pre as f64 / pre_days).max(1.0),
+        "collection must spike after the takeover"
+    );
+}
+
+#[test]
+fn fig4_flagship_wins() {
+    let rows = fig4_top_instances(&study().dataset, 30);
+    assert!(!rows.is_empty());
+    assert_eq!(rows[0].domain, "mastodon.social");
+    // Pre-takeover accounts exist but are the minority everywhere visible.
+    let before: usize = rows.iter().map(|r| r.before).sum();
+    let after: usize = rows.iter().map(|r| r.after).sum();
+    assert!(before > 0);
+    assert!(after > before * 2);
+}
+
+#[test]
+fn fig5_centralization_shape() {
+    let c = fig5_centralization(&study().dataset);
+    // At test scale the curve is flatter than the paper's 96%, but the
+    // concentration must be unmistakable.
+    assert!(
+        c.top_quartile_share > 0.70,
+        "top quartile holds {:.1}% — no centralization",
+        c.top_quartile_share * 100.0
+    );
+    assert!(c.gini > 0.55, "gini {:.2}", c.gini);
+    // The curve is monotone and ends at 1.
+    for w in c.curve.windows(2) {
+        assert!(w[1].1 >= w[0].1);
+    }
+    assert!((c.curve.last().unwrap().1 - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn fig6_small_instances_attract_active_users() {
+    let f = fig6_size_analysis(&study().dataset);
+    assert!(f.single_user_instance_fraction > 0.0);
+    // The paradox: users on the smallest instances are MORE active. The
+    // singleton bucket alone is tiny at test scale, so pool the two small
+    // buckets (≤ 10 users) against the largest and compare medians.
+    let small: Vec<f64> = f.buckets[..2]
+        .iter()
+        .flat_map(|b| b.statuses.samples().iter().copied())
+        .collect();
+    let small_followees: Vec<f64> = f.buckets[..2]
+        .iter()
+        .flat_map(|b| b.followees.samples().iter().copied())
+        .collect();
+    // The biggest populated bucket (at small scale no instance may clear
+    // 100 users).
+    let largest = f
+        .buckets
+        .iter()
+        .rev()
+        .find(|b| b.n_users >= 5)
+        .expect("no populated large bucket");
+    assert!(small.len() >= 5, "small buckets too thin to compare");
+    let small_statuses = flock_analysis::Ecdf::new(small);
+    let small_followees = flock_analysis::Ecdf::new(small_followees);
+    assert!(
+        small_statuses.median() > largest.statuses.median(),
+        "small-instance median statuses {} vs large-instance {}",
+        small_statuses.median(),
+        largest.statuses.median()
+    );
+    assert!(
+        small_followees.median() >= largest.followees.median(),
+        "small-instance median followees {} vs large-instance {}",
+        small_followees.median(),
+        largest.followees.median()
+    );
+}
+
+#[test]
+fn fig7_twitter_networks_dwarf_mastodon_networks() {
+    let f = fig7_social_networks(&study().dataset);
+    assert!(f.twitter_follower_median > 5.0 * f.mastodon_follower_median);
+    assert!(f.twitter_followee_median > 5.0 * f.mastodon_followee_median);
+    assert!(f.twitter_median_age_years > 5.0);
+    assert!(f.mastodon_median_age_days < 60.0);
+    // Some users start from zero on Mastodon; almost nobody does on Twitter.
+    assert!(f.mastodon_no_followers_pct > f.twitter_no_followers_pct);
+}
+
+#[test]
+fn fig8_minority_of_ego_network_migrates() {
+    let f = fig8_influence(&study().dataset);
+    assert!(f.n_sampled > 10);
+    assert!(
+        f.mean_migrated_pct < 20.0,
+        "most of the ego network must stay behind: {:.1}%",
+        f.mean_migrated_pct
+    );
+    assert!(f.mean_same_instance_pct > 3.0, "network effect visible");
+    // Same-instance fraction is dominated by, but not exclusive to, the
+    // flagship.
+    assert!(f.same_instance_on_flagship_pct > 10.0);
+    assert!(f.same_instance_on_flagship_pct < 90.0);
+}
+
+#[test]
+fn fig9_switches_flow_from_general_instances() {
+    let f = fig9_switching(&study().dataset);
+    assert!(f.n_switchers > 0);
+    assert!(f.switcher_pct > 1.0 && f.switcher_pct < 10.0);
+    assert!(f.post_takeover_pct > 80.0);
+    // The heaviest flow starts at a well-known general instance.
+    let top = &f.flows[0];
+    assert!(
+        ["mastodon.social", "mastodon.online", "mstdn.social", "mas.to"]
+            .contains(&top.from.as_str()),
+        "top flow from {}",
+        top.from
+    );
+}
+
+#[test]
+fn fig10_switchers_move_toward_their_friends() {
+    let f = fig10_switcher_influence(&study().dataset);
+    if f.n_switchers_with_followees == 0 {
+        return; // tiny worlds may lack sampled switchers
+    }
+    assert!(
+        f.mean_at_second_pct > f.mean_at_first_pct,
+        "destination must hold more friends than origin: {:.1} vs {:.1}",
+        f.mean_at_second_pct,
+        f.mean_at_first_pct
+    );
+    assert!(f.mean_second_before_pct > 50.0, "friends mostly arrive first");
+}
+
+#[test]
+fn fig11_twitter_activity_does_not_collapse() {
+    let f = fig11_activity(&study().dataset);
+    assert!(f.twitter_last_over_first_week > 0.7);
+    // Mastodon activity grows from (near) zero to a sustained level.
+    let first_week: u64 = f.statuses[..7].iter().sum();
+    let last_week: u64 = f.statuses[f.statuses.len() - 7..].iter().sum();
+    assert!(last_week > first_week * 2, "{first_week} -> {last_week}");
+}
+
+#[test]
+fn fig12_crossposters_surge() {
+    let rows = fig12_sources(&study().dataset, 30);
+    assert_eq!(rows[0].source, "Twitter Web App", "official client dominates");
+    for tool in ["Mastodon-Twitter Crossposter", "Moa Bridge"] {
+        let row = rows.iter().find(|r| r.source == tool).unwrap_or_else(|| {
+            panic!("{tool} missing from top sources")
+        });
+        assert!(
+            row.growth_pct() > 300.0 || row.growth_pct().is_infinite(),
+            "{tool} grew {:.0}%",
+            row.growth_pct()
+        );
+    }
+}
+
+#[test]
+fn fig13_tool_usage_rises_then_falls() {
+    let f = fig13_crossposters(&study().dataset);
+    assert!(f.ever_used_pct > 2.0 && f.ever_used_pct < 12.0);
+    let mid: u64 = f.users_per_day[40..48].iter().sum();
+    let pre: u64 = f.users_per_day[..25].iter().sum();
+    let tail: u64 = f.users_per_day[57..].iter().sum();
+    assert!(mid > pre, "usage must rise after the takeover");
+    assert!(
+        (tail as f64 / 4.0) < (mid as f64 / 8.0),
+        "usage must decline at the end of November (tools broke)"
+    );
+}
+
+#[test]
+fn fig14_identical_is_rare_similar_is_uncommon() {
+    let f = fig14_similarity(&study().dataset);
+    assert!(f.n_users > 100);
+    assert!(f.mean_identical_pct < f.mean_similar_pct);
+    assert!(f.mean_identical_pct < 8.0);
+    assert!(f.fully_different_pct > 60.0);
+}
+
+#[test]
+fn fig15_hashtag_landscapes_differ() {
+    let f = fig15_hashtags(&study().dataset, 30);
+    let top_mastodon: Vec<&str> = f.mastodon.iter().take(5).map(|r| r.tag.as_str()).collect();
+    let fediverse_family = [
+        "#fediverse", "#twittermigration", "#mastodon", "#activitypub", "#introduction",
+        "#newhere", "#twitterrefugee", "#introductions", "#migration", "#mastodontips",
+    ];
+    assert!(
+        top_mastodon.iter().filter(|t| fediverse_family.contains(t)).count() >= 3,
+        "mastodon top tags {top_mastodon:?} not dominated by fediverse/migration talk"
+    );
+    // Twitter's list is more diverse: its top tag holds a smaller share.
+    let share = |rows: &[HashtagRow]| {
+        let total: u64 = rows.iter().map(|r| r.count).sum();
+        rows[0].count as f64 / total as f64
+    };
+    assert!(share(&f.twitter) < share(&f.mastodon) + 0.25);
+}
+
+#[test]
+fn fig16_mastodon_less_toxic() {
+    let f = fig16_toxicity(&study().dataset);
+    assert!(f.twitter_corpus_pct > f.mastodon_corpus_pct);
+    assert!(f.twitter_user_mean_pct > f.mastodon_user_mean_pct);
+    assert!(f.twitter_corpus_pct < 15.0, "discourse is mostly non-toxic");
+    assert!(f.toxic_on_both_pct > 1.0);
+}
+
+#[test]
+fn headline_report_metrics_are_finite_and_mostly_in_band() {
+    let r = study().headline();
+    let mut close = 0;
+    for m in &r.metrics {
+        assert!(m.measured.is_finite(), "{} not finite", m.name);
+        if m.relative_error() < 0.5 {
+            close += 1;
+        }
+    }
+    // At test scale most—not all—metrics land within 50% of the paper.
+    assert!(
+        close * 10 >= r.metrics.len() * 6,
+        "only {close}/{} metrics within 50% relative error",
+        r.metrics.len()
+    );
+}
+
+#[test]
+fn extension_topical_instances_are_coherent() {
+    let r = flock_analysis::topic_report(&study().dataset, 5);
+    // Some topical server must be far more coherent than the flagship.
+    if let Some(top) = r.profiles.first() {
+        assert!(
+            top.coherence > r.flagship_coherence + 0.2,
+            "top {} at {:.2} vs flagship {:.2}",
+            top.domain,
+            top.coherence,
+            r.flagship_coherence
+        );
+    }
+    // Switching toward friends/topics must not *reduce* alignment.
+    assert!(r.switcher_alignment_pct >= r.pre_switch_alignment_pct);
+}
+
+#[test]
+fn extension_retention_is_partial() {
+    let r = flock_analysis::retention(&study().dataset);
+    assert!(r.n_users > 100);
+    // Abandonment exists but is not total.
+    assert!(
+        (40.0..98.0).contains(&r.mastodon_retention_pct),
+        "retention {:.1}%",
+        r.mastodon_retention_pct
+    );
+    assert!(r.returned_pct > 1.0, "some users must return to Twitter");
+    // Weekly activity ramps up from the takeover week.
+    assert!(r.weekly_active_users.last().unwrap() > r.weekly_active_users.first().unwrap());
+}
