@@ -34,7 +34,11 @@ pub enum Activity {
     /// `actor` publishes a note; fanned out to follower instances.
     Create { actor: ActorUri, note: Note },
     /// `actor` boosts (`Announce`s) a note.
-    Announce { actor: ActorUri, note_id: u64, origin: ActorUri },
+    Announce {
+        actor: ActorUri,
+        note_id: u64,
+        origin: ActorUri,
+    },
     /// `actor` moves their account to `target`. Follower instances respond
     /// by unfollowing `actor` and following `target` on behalf of their
     /// local followers.
@@ -90,13 +94,35 @@ mod tests {
             published: Day(0),
         };
         let acts = [
-            Activity::Follow { actor: a.clone(), object: b.clone() },
-            Activity::Accept { actor: a.clone(), object: b.clone() },
-            Activity::Reject { actor: a.clone(), object: b.clone() },
-            Activity::Create { actor: a.clone(), note },
-            Activity::Announce { actor: a.clone(), note_id: 1, origin: b.clone() },
-            Activity::Move { actor: a.clone(), target: b.clone() },
-            Activity::UndoFollow { actor: a.clone(), object: b },
+            Activity::Follow {
+                actor: a.clone(),
+                object: b.clone(),
+            },
+            Activity::Accept {
+                actor: a.clone(),
+                object: b.clone(),
+            },
+            Activity::Reject {
+                actor: a.clone(),
+                object: b.clone(),
+            },
+            Activity::Create {
+                actor: a.clone(),
+                note,
+            },
+            Activity::Announce {
+                actor: a.clone(),
+                note_id: 1,
+                origin: b.clone(),
+            },
+            Activity::Move {
+                actor: a.clone(),
+                target: b.clone(),
+            },
+            Activity::UndoFollow {
+                actor: a.clone(),
+                object: b,
+            },
         ];
         for act in &acts {
             assert_eq!(act.actor(), &a);
@@ -108,8 +134,14 @@ mod tests {
     fn kinds_are_distinct() {
         let a = uri("a");
         let b = uri("b");
-        let f = Activity::Follow { actor: a.clone(), object: b.clone() };
-        let u = Activity::UndoFollow { actor: a, object: b };
+        let f = Activity::Follow {
+            actor: a.clone(),
+            object: b.clone(),
+        };
+        let u = Activity::UndoFollow {
+            actor: a,
+            object: b,
+        };
         assert_ne!(f.kind(), u.kind());
     }
 }

@@ -98,9 +98,7 @@ impl FediverseNetwork {
     /// Register an instance (idempotent).
     pub fn register_instance(&mut self, domain: &str) {
         let domain = domain.to_ascii_lowercase();
-        self.nodes
-            .entry(domain.clone())
-            .or_insert_with(Node::new);
+        self.nodes.entry(domain.clone()).or_insert_with(Node::new);
     }
 
     /// Register a local actor, creating its instance if needed.
@@ -113,7 +111,8 @@ impl FediverseNetwork {
                 "actor {uri} already registered"
             )));
         }
-        node.actors.insert(uri.name.clone(), Actor::new(uri.clone()));
+        node.actors
+            .insert(uri.name.clone(), Actor::new(uri.clone()));
         Ok(uri)
     }
 
@@ -149,7 +148,9 @@ impl FediverseNetwork {
 
     /// The federated timeline of an instance (remote notes it received).
     pub fn federated_timeline(&self, domain: &str) -> Option<&[Note]> {
-        self.nodes.get(domain).map(|n| n.federated_timeline.as_slice())
+        self.nodes
+            .get(domain)
+            .map(|n| n.federated_timeline.as_slice())
     }
 
     /// Activity-processing counters.
@@ -223,12 +224,7 @@ impl FediverseNetwork {
 
     /// Publish a note; returns its id. The note is fanned out once per
     /// distinct remote follower instance.
-    pub fn publish_note(
-        &mut self,
-        author: &ActorUri,
-        content: &str,
-        day: Day,
-    ) -> Result<u64> {
+    pub fn publish_note(&mut self, author: &ActorUri, content: &str, day: Day) -> Result<u64> {
         let note_id = self.next_note_id;
         let (note, remote_domains) = {
             let a = self
@@ -341,7 +337,12 @@ impl FediverseNetwork {
 
     /// Rewrite one follower's relationship from `old` to `new` (used on the
     /// follower's own instance).
-    fn rewrite_follow(&mut self, follower: &ActorUri, old: &ActorUri, new: &ActorUri) -> Result<()> {
+    fn rewrite_follow(
+        &mut self,
+        follower: &ActorUri,
+        old: &ActorUri,
+        new: &ActorUri,
+    ) -> Result<()> {
         if let Some(f) = self.actor_mut(follower) {
             f.remove_following(old);
         }
@@ -477,7 +478,10 @@ impl FediverseNetwork {
                     *n.boosts.entry(note_id).or_insert(0) += 1;
                 }
             }
-            Activity::Move { actor: old, target: new } => {
+            Activity::Move {
+                actor: old,
+                target: new,
+            } => {
                 self.counts.r#move += 1;
                 // Rewrite every local follower of `old` to follow `new`.
                 let local_followers: Vec<ActorUri> = self
@@ -720,7 +724,10 @@ mod tests {
         for f in &fans {
             assert!(n.following_of(f).unwrap().contains(&hub));
         }
-        assert!(n.transport_stats().lost_attempts > 0, "faults were injected");
+        assert!(
+            n.transport_stats().lost_attempts > 0,
+            "faults were injected"
+        );
     }
 
     #[test]
@@ -742,10 +749,7 @@ mod tests {
                 n.follow(&f, &hub).unwrap();
             }
             n.run_to_quiescence(200);
-            (
-                n.followers_of(&hub).unwrap().to_vec(),
-                n.transport_stats(),
-            )
+            (n.followers_of(&hub).unwrap().to_vec(), n.transport_stats())
         };
         assert_eq!(build(5), build(5));
     }

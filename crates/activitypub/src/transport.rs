@@ -253,7 +253,10 @@ mod tests {
             }
         }
         assert_eq!(delivered + t.dead_letters().len(), 100);
-        assert!(delivered >= 99, "with 32 attempts at 50% loss, loss of an envelope is ~2^-32");
+        assert!(
+            delivered >= 99,
+            "with 32 attempts at 50% loss, loss of an envelope is ~2^-32"
+        );
         assert!(t.stats().lost_attempts > 0);
     }
 

@@ -12,9 +12,7 @@ fn assert_mirrored(net: &FediverseNetwork, actors: &[ActorUri]) {
     for a in actors {
         for b in net.following_of(a).unwrap() {
             assert!(
-                net.followers_of(b)
-                    .map(|f| f.contains(a))
-                    .unwrap_or(false),
+                net.followers_of(b).map(|f| f.contains(a)).unwrap_or(false),
                 "{a} follows {b} but is not in its followers"
             );
         }
@@ -142,7 +140,10 @@ fn lossy_transport_converges_to_the_lossless_graph() {
             }
         }
         net.run_to_quiescence(5_000);
-        assert!(net.transport_stats().dead_lettered == 0, "retries exhausted");
+        assert!(
+            net.transport_stats().dead_lettered == 0,
+            "retries exhausted"
+        );
         let mut edges: Vec<(String, String)> = actors
             .iter()
             .flat_map(|a| {
@@ -196,7 +197,10 @@ fn notes_and_boosts_never_corrupt_relationships() {
     // Federated timelines only hold notes by remote authors.
     for domain in ["inst0.example", "inst3.example"] {
         for note in net.federated_timeline(domain).unwrap() {
-            assert_ne!(note.attributed_to.domain, domain, "local note federated to itself");
+            assert_ne!(
+                note.attributed_to.domain, domain,
+                "local note federated to itself"
+            );
         }
     }
 }

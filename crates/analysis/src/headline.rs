@@ -102,7 +102,12 @@ impl HeadlineReport {
             .count() as f64
             / n
             * 100.0;
-        metrics.push(Metric::new("same username on both platforms", 72.0, same_username, "%"));
+        metrics.push(Metric::new(
+            "same username on both platforms",
+            72.0,
+            same_username,
+            "%",
+        ));
         let verified = ds.matched.iter().filter(|m| m.verified).count() as f64 / n * 100.0;
         metrics.push(Metric::new("legacy-verified migrants", 4.0, verified, "%"));
 
@@ -118,9 +123,24 @@ impl HeadlineReport {
             tw_outcome(TwitterCrawlOutcome::Ok),
             "%",
         ));
-        metrics.push(Metric::new("  suspended", 0.08, tw_outcome(TwitterCrawlOutcome::Suspended), "%"));
-        metrics.push(Metric::new("  deleted/deactivated", 2.26, tw_outcome(TwitterCrawlOutcome::Deleted), "%"));
-        metrics.push(Metric::new("  protected", 2.78, tw_outcome(TwitterCrawlOutcome::Protected), "%"));
+        metrics.push(Metric::new(
+            "  suspended",
+            0.08,
+            tw_outcome(TwitterCrawlOutcome::Suspended),
+            "%",
+        ));
+        metrics.push(Metric::new(
+            "  deleted/deactivated",
+            2.26,
+            tw_outcome(TwitterCrawlOutcome::Deleted),
+            "%",
+        ));
+        metrics.push(Metric::new(
+            "  protected",
+            2.78,
+            tw_outcome(TwitterCrawlOutcome::Protected),
+            "%",
+        ));
         let ms_outcome = |o: MastodonCrawlOutcome| {
             ds.mastodon_outcomes.values().filter(|x| **x == o).count() as f64
                 / ds.mastodon_outcomes.len().max(1) as f64
@@ -132,8 +152,18 @@ impl HeadlineReport {
             ms_outcome(MastodonCrawlOutcome::Ok),
             "%",
         ));
-        metrics.push(Metric::new("  never posted", 9.20, ms_outcome(MastodonCrawlOutcome::NoStatuses), "%"));
-        metrics.push(Metric::new("  instance down", 11.58, ms_outcome(MastodonCrawlOutcome::InstanceDown), "%"));
+        metrics.push(Metric::new(
+            "  never posted",
+            9.20,
+            ms_outcome(MastodonCrawlOutcome::NoStatuses),
+            "%",
+        ));
+        metrics.push(Metric::new(
+            "  instance down",
+            11.58,
+            ms_outcome(MastodonCrawlOutcome::InstanceDown),
+            "%",
+        ));
 
         // §4 centralization.
         let c = fig5_centralization(ds);
@@ -183,21 +213,81 @@ impl HeadlineReport {
 
         // §5.1 social networks.
         let f7 = fig7_social_networks(ds);
-        metrics.push(Metric::new("median Twitter followers", 744.0, f7.twitter_follower_median, ""));
-        metrics.push(Metric::new("median Twitter followees", 787.0, f7.twitter_followee_median, ""));
-        metrics.push(Metric::new("median Mastodon followers", 38.0, f7.mastodon_follower_median, ""));
-        metrics.push(Metric::new("median Mastodon followees", 48.0, f7.mastodon_followee_median, ""));
-        metrics.push(Metric::new("no Mastodon followers", 6.01, f7.mastodon_no_followers_pct, "%"));
-        metrics.push(Metric::new("follow nobody on Mastodon", 3.6, f7.mastodon_no_followees_pct, "%"));
-        metrics.push(Metric::new("median Twitter account age", 11.5, f7.twitter_median_age_years, "yr"));
-        metrics.push(Metric::new("median Mastodon account age", 35.0, f7.mastodon_median_age_days, "d"));
+        metrics.push(Metric::new(
+            "median Twitter followers",
+            744.0,
+            f7.twitter_follower_median,
+            "",
+        ));
+        metrics.push(Metric::new(
+            "median Twitter followees",
+            787.0,
+            f7.twitter_followee_median,
+            "",
+        ));
+        metrics.push(Metric::new(
+            "median Mastodon followers",
+            38.0,
+            f7.mastodon_follower_median,
+            "",
+        ));
+        metrics.push(Metric::new(
+            "median Mastodon followees",
+            48.0,
+            f7.mastodon_followee_median,
+            "",
+        ));
+        metrics.push(Metric::new(
+            "no Mastodon followers",
+            6.01,
+            f7.mastodon_no_followers_pct,
+            "%",
+        ));
+        metrics.push(Metric::new(
+            "follow nobody on Mastodon",
+            3.6,
+            f7.mastodon_no_followees_pct,
+            "%",
+        ));
+        metrics.push(Metric::new(
+            "median Twitter account age",
+            11.5,
+            f7.twitter_median_age_years,
+            "yr",
+        ));
+        metrics.push(Metric::new(
+            "median Mastodon account age",
+            35.0,
+            f7.mastodon_median_age_days,
+            "d",
+        ));
 
         // §5.2 migration influence.
         let f8 = fig8_influence(ds);
-        metrics.push(Metric::new("mean followees that migrated", 5.99, f8.mean_migrated_pct, "%"));
-        metrics.push(Metric::new("users with no migrated followee", 3.94, f8.none_migrated_pct, "%"));
-        metrics.push(Metric::new("first movers in their ego net", 4.98, f8.first_mover_pct, "%"));
-        metrics.push(Metric::new("last movers in their ego net", 4.58, f8.last_mover_pct, "%"));
+        metrics.push(Metric::new(
+            "mean followees that migrated",
+            5.99,
+            f8.mean_migrated_pct,
+            "%",
+        ));
+        metrics.push(Metric::new(
+            "users with no migrated followee",
+            3.94,
+            f8.none_migrated_pct,
+            "%",
+        ));
+        metrics.push(Metric::new(
+            "first movers in their ego net",
+            4.98,
+            f8.first_mover_pct,
+            "%",
+        ));
+        metrics.push(Metric::new(
+            "last movers in their ego net",
+            4.58,
+            f8.last_mover_pct,
+            "%",
+        ));
         metrics.push(Metric::new(
             "migrated followees moving before user",
             45.76,
@@ -219,8 +309,18 @@ impl HeadlineReport {
 
         // §5.3 switching.
         let f9 = fig9_switching(ds);
-        metrics.push(Metric::new("users who switched instance", 4.09, f9.switcher_pct, "%"));
-        metrics.push(Metric::new("switches after the takeover", 97.22, f9.post_takeover_pct, "%"));
+        metrics.push(Metric::new(
+            "users who switched instance",
+            4.09,
+            f9.switcher_pct,
+            "%",
+        ));
+        metrics.push(Metric::new(
+            "switches after the takeover",
+            97.22,
+            f9.post_takeover_pct,
+            "%",
+        ));
         let f10 = fig10_switcher_influence(ds);
         metrics.push(Metric::new(
             "switchers' followees at first instance",
@@ -243,17 +343,62 @@ impl HeadlineReport {
 
         // §6 content.
         let f13 = fig13_crossposters(ds);
-        metrics.push(Metric::new("users who used a cross-poster", 5.73, f13.ever_used_pct, "%"));
+        metrics.push(Metric::new(
+            "users who used a cross-poster",
+            5.73,
+            f13.ever_used_pct,
+            "%",
+        ));
         let f14 = fig14_similarity(ds);
-        metrics.push(Metric::new("mean identical statuses", 1.53, f14.mean_identical_pct, "%"));
-        metrics.push(Metric::new("mean similar statuses", 16.57, f14.mean_similar_pct, "%"));
-        metrics.push(Metric::new("users with fully different content", 84.45, f14.fully_different_pct, "%"));
+        metrics.push(Metric::new(
+            "mean identical statuses",
+            1.53,
+            f14.mean_identical_pct,
+            "%",
+        ));
+        metrics.push(Metric::new(
+            "mean similar statuses",
+            16.57,
+            f14.mean_similar_pct,
+            "%",
+        ));
+        metrics.push(Metric::new(
+            "users with fully different content",
+            84.45,
+            f14.fully_different_pct,
+            "%",
+        ));
         let f16 = fig16_toxicity(ds);
-        metrics.push(Metric::new("toxic tweets (corpus)", 5.49, f16.twitter_corpus_pct, "%"));
-        metrics.push(Metric::new("toxic statuses (corpus)", 2.80, f16.mastodon_corpus_pct, "%"));
-        metrics.push(Metric::new("mean toxic tweets per user", 4.02, f16.twitter_user_mean_pct, "%"));
-        metrics.push(Metric::new("mean toxic statuses per user", 2.07, f16.mastodon_user_mean_pct, "%"));
-        metrics.push(Metric::new("users toxic on both platforms", 14.26, f16.toxic_on_both_pct, "%"));
+        metrics.push(Metric::new(
+            "toxic tweets (corpus)",
+            5.49,
+            f16.twitter_corpus_pct,
+            "%",
+        ));
+        metrics.push(Metric::new(
+            "toxic statuses (corpus)",
+            2.80,
+            f16.mastodon_corpus_pct,
+            "%",
+        ));
+        metrics.push(Metric::new(
+            "mean toxic tweets per user",
+            4.02,
+            f16.twitter_user_mean_pct,
+            "%",
+        ));
+        metrics.push(Metric::new(
+            "mean toxic statuses per user",
+            2.07,
+            f16.mastodon_user_mean_pct,
+            "%",
+        ));
+        metrics.push(Metric::new(
+            "users toxic on both platforms",
+            14.26,
+            f16.toxic_on_both_pct,
+            "%",
+        ));
 
         HeadlineReport {
             n_matched: ds.matched.len(),
@@ -292,7 +437,10 @@ impl HeadlineReport {
             ));
         }
         let (p, w, f) = self.verdict_counts();
-        out.push_str(&format!("\n{p} pass, {w} warn, {f} fail of {} metrics\n", self.metrics.len()));
+        out.push_str(&format!(
+            "\n{p} pass, {w} warn, {f} fail of {} metrics\n",
+            self.metrics.len()
+        ));
         out
     }
 

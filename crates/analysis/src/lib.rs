@@ -36,6 +36,7 @@ pub mod util;
 
 pub mod prelude {
     pub use crate::headline::{HeadlineReport, Metric, Verdict};
+    pub use crate::retention::{retention, RetentionClass, RetentionReport};
     pub use crate::rq1::{
         fig4_top_instances, fig5_centralization, fig6_size_analysis, instance_sizes,
         pre_takeover_account_fraction, Fig4Row, Fig5Centralization, Fig6InstanceSizes,
@@ -49,7 +50,6 @@ pub mod prelude {
         fig16_toxicity, fig2_collection, Fig11Activity, Fig13CrossPosters, Fig14Similarity,
         Fig15Hashtags, Fig16Toxicity, Fig2Collection, HashtagRow, SourceRow,
     };
-    pub use crate::retention::{retention, RetentionClass, RetentionReport};
     pub use crate::stats::{cumulative_share, gini, mean, top_fraction_share, Ecdf};
     pub use crate::topics::{infer_interests, topic_report, InstanceTopicProfile, TopicReport};
 }

@@ -142,8 +142,8 @@ pub fn retention(ds: &Dataset) -> RetentionReport {
 mod tests {
     use super::*;
     use flock_apis::types::MastodonAccountObject;
-    use flock_crawler::dataset::{MatchSource, MatchedUser, TimelineStatus, TimelineTweet};
     use flock_core::TweetId;
+    use flock_crawler::dataset::{MatchSource, MatchedUser, TimelineStatus, TimelineTweet};
 
     fn user(i: u64) -> MatchedUser {
         let h = format!("@u{i}@x.example");
@@ -181,7 +181,10 @@ mod tests {
     }
 
     fn status(day: i32) -> TimelineStatus {
-        TimelineStatus { day: Day(day), text: "text".into() }
+        TimelineStatus {
+            day: Day(day),
+            text: "text".into(),
+        }
     }
 
     fn ds() -> Dataset {
@@ -190,14 +193,18 @@ mod tests {
         ds.matched.push(user(0));
         ds.twitter_timelines
             .insert(TwitterUserId(0), vec![tweet(58)]);
-        ds.mastodon_timelines
-            .insert("@u0@x.example".parse().unwrap(), vec![status(30), status(59)]);
+        ds.mastodon_timelines.insert(
+            "@u0@x.example".parse().unwrap(),
+            vec![status(30), status(59)],
+        );
         // u1: tweeted late, mastodon quiet after day 35 → Returned.
         ds.matched.push(user(1));
         ds.twitter_timelines
             .insert(TwitterUserId(1), vec![tweet(59)]);
-        ds.mastodon_timelines
-            .insert("@u1@x.example".parse().unwrap(), vec![status(30), status(35)]);
+        ds.mastodon_timelines.insert(
+            "@u1@x.example".parse().unwrap(),
+            vec![status(30), status(35)],
+        );
         // u2: only mastodon in the final week → FullyMigrated.
         ds.matched.push(user(2));
         ds.twitter_timelines

@@ -138,7 +138,9 @@ pub fn fig6_size_analysis(ds: &Dataset) -> Fig6InstanceSizes {
     for m in &ds.matched {
         total_matched += 1;
         let Some(acct) = &m.account else { continue };
-        let Some(created) = first_created_day(m) else { continue };
+        let Some(created) = first_created_day(m) else {
+            continue;
+        };
         if !in_age_window(created) {
             continue;
         }
@@ -151,7 +153,8 @@ pub fn fig6_size_analysis(ds: &Dataset) -> Fig6InstanceSizes {
         });
     }
 
-    let bucket_defs: [(&str, fn(usize) -> bool); 4] = [
+    type BucketDef = (&'static str, fn(usize) -> bool);
+    let bucket_defs: [BucketDef; 4] = [
         ("1 user", |s| s == 1),
         ("2-10 users", |s| (2..=10).contains(&s)),
         ("11-100 users", |s| (11..=100).contains(&s)),
@@ -282,13 +285,14 @@ mod tests {
         // 6 users on the flagship, 2 on a mid instance, 2 single-user
         // instances with very active users.
         for i in 0..6 {
-            ds.matched
-                .push(user(i, "mastodon.social", Day(27), 10, 20));
+            ds.matched.push(user(i, "mastodon.social", Day(27), 10, 20));
         }
         ds.matched.push(user(10, "mid.example", Day(28), 12, 25));
         ds.matched.push(user(11, "mid.example", Day(20), 15, 30)); // pre-takeover
-        ds.matched.push(user(20, "solo-one.example", Day(28), 50, 90));
-        ds.matched.push(user(21, "solo-two.example", Day(29), 40, 80));
+        ds.matched
+            .push(user(20, "solo-one.example", Day(28), 50, 90));
+        ds.matched
+            .push(user(21, "solo-two.example", Day(29), 40, 80));
         ds
     }
 

@@ -33,8 +33,18 @@ pub struct Fig7SocialNetworks {
 
 /// Compute Fig. 7 over every matched user with a reachable account.
 pub fn fig7_social_networks(ds: &Dataset) -> Fig7SocialNetworks {
-    let tw_followers = Ecdf::new(ds.matched.iter().map(|m| m.twitter_followers as f64).collect());
-    let tw_followees = Ecdf::new(ds.matched.iter().map(|m| m.twitter_followees as f64).collect());
+    let tw_followers = Ecdf::new(
+        ds.matched
+            .iter()
+            .map(|m| m.twitter_followers as f64)
+            .collect(),
+    );
+    let tw_followees = Ecdf::new(
+        ds.matched
+            .iter()
+            .map(|m| m.twitter_followees as f64)
+            .collect(),
+    );
     let with_account: Vec<&MatchedUser> =
         ds.matched.iter().filter(|m| m.account.is_some()).collect();
     let ms_followers = Ecdf::new(
@@ -68,17 +78,41 @@ pub fn fig7_social_networks(ds: &Dataset) -> Fig7SocialNetworks {
             .collect(),
     );
     Fig7SocialNetworks {
-        twitter_follower_median: if tw_followers.is_empty() { 0.0 } else { tw_followers.median() },
-        twitter_followee_median: if tw_followees.is_empty() { 0.0 } else { tw_followees.median() },
-        mastodon_follower_median: if ms_followers.is_empty() { 0.0 } else { ms_followers.median() },
-        mastodon_followee_median: if ms_followees.is_empty() { 0.0 } else { ms_followees.median() },
+        twitter_follower_median: if tw_followers.is_empty() {
+            0.0
+        } else {
+            tw_followers.median()
+        },
+        twitter_followee_median: if tw_followees.is_empty() {
+            0.0
+        } else {
+            tw_followees.median()
+        },
+        mastodon_follower_median: if ms_followers.is_empty() {
+            0.0
+        } else {
+            ms_followers.median()
+        },
+        mastodon_followee_median: if ms_followees.is_empty() {
+            0.0
+        } else {
+            ms_followees.median()
+        },
         twitter_no_followers_pct: tw_followers.fraction_zero() * 100.0,
         twitter_no_followees_pct: tw_followees.fraction_zero() * 100.0,
         mastodon_no_followers_pct: ms_followers.fraction_zero() * 100.0,
         mastodon_no_followees_pct: ms_followees.fraction_zero() * 100.0,
         more_on_mastodon_pct: more * 100.0,
-        twitter_median_age_years: if tw_ages.is_empty() { 0.0 } else { tw_ages.median() },
-        mastodon_median_age_days: if ms_ages.is_empty() { 0.0 } else { ms_ages.median() },
+        twitter_median_age_years: if tw_ages.is_empty() {
+            0.0
+        } else {
+            tw_ages.median()
+        },
+        mastodon_median_age_days: if ms_ages.is_empty() {
+            0.0
+        } else {
+            ms_ages.median()
+        },
         twitter_followers: tw_followers,
         twitter_followees: tw_followees,
         mastodon_followers: ms_followers,
@@ -302,9 +336,7 @@ pub fn fig10_switcher_influence(ds: &Dataset) -> Fig10SwitcherInfluence {
         let at = |inst: &str| {
             migrated
                 .iter()
-                .filter(|f| {
-                    first_instance(f) == inst || f.resolved_handle.instance() == inst
-                })
+                .filter(|f| first_instance(f) == inst || f.resolved_handle.instance() == inst)
                 .count()
         };
         let n_first = at(first);
@@ -314,8 +346,7 @@ pub fn fig10_switcher_influence(ds: &Dataset) -> Fig10SwitcherInfluence {
         let before = migrated
             .iter()
             .filter(|f| {
-                let there =
-                    first_instance(f) == second || f.resolved_handle.instance() == second;
+                let there = first_instance(f) == second || f.resolved_handle.instance() == second;
                 let arrived = if first_instance(f) == second {
                     first_created(f)
                 } else {
@@ -363,13 +394,7 @@ mod tests {
         }
     }
 
-    fn user(
-        i: u64,
-        inst: &str,
-        created: Day,
-        tw_followers: u64,
-        ms_followers: u64,
-    ) -> MatchedUser {
+    fn user(i: u64, inst: &str, created: Day, tw_followers: u64, ms_followers: u64) -> MatchedUser {
         let h = format!("@u{i}@{inst}");
         MatchedUser {
             twitter_id: TwitterUserId(i),
@@ -399,12 +424,19 @@ mod tests {
         let mut ds = Dataset::default();
         // u0 joined day 27 on flagship; followees u1 (day 26, same
         // instance), u2 (day 30, elsewhere), u3..u5 not migrated.
-        ds.matched.push(user(0, "mastodon.social", Day(27), 500, 30));
-        ds.matched.push(user(1, "mastodon.social", Day(26), 200, 20));
+        ds.matched
+            .push(user(0, "mastodon.social", Day(27), 500, 30));
+        ds.matched
+            .push(user(1, "mastodon.social", Day(26), 200, 20));
         ds.matched.push(user(2, "other.example", Day(30), 300, 0));
         // u9 switches from flagship to niche on day 45.
-        ds.matched
-            .push(switcher(9, "mastodon.social", "sigmoid.social", Day(27), Day(45)));
+        ds.matched.push(switcher(
+            9,
+            "mastodon.social",
+            "sigmoid.social",
+            Day(27),
+            Day(45),
+        ));
         // u1's own record (followee of u9) joined sigmoid? No — keep u1 on
         // flagship; add u4 on sigmoid joined day 30 (before u9's switch).
         ds.matched.push(user(4, "sigmoid.social", Day(30), 150, 5));

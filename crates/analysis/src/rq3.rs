@@ -3,7 +3,9 @@
 use crate::stats::{mean, Ecdf};
 use flock_core::{Day, MastodonHandle, TwitterUserId};
 use flock_crawler::dataset::Dataset;
-use flock_textsim::{cosine, embed, extract_hashtags, Embedding, ToxicityScorer, SIMILARITY_THRESHOLD};
+use flock_textsim::{
+    cosine, embed, extract_hashtags, Embedding, ToxicityScorer, SIMILARITY_THRESHOLD,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
@@ -164,22 +166,27 @@ pub struct Fig14Similarity {
 /// against the user's tweets (exact match for *identical*; embedding cosine
 /// above [`SIMILARITY_THRESHOLD`] for *similar*).
 pub fn fig14_similarity(ds: &Dataset) -> Fig14Similarity {
-    let handle_by_user: HashMap<TwitterUserId, &MastodonHandle> = ds
+    // Work items in `matched` order, not HashMap order: the per-user fracs
+    // feed floating-point accumulators, so iteration order is part of the
+    // deterministic contract regardless of how many workers run below.
+    let pairs: Vec<_> = ds
         .matched
         .iter()
-        .map(|m| (m.twitter_id, &m.resolved_handle))
+        .filter_map(|m| {
+            let tweets = ds.twitter_timelines.get(&m.twitter_id)?;
+            let statuses = ds.mastodon_timelines.get(&m.resolved_handle)?;
+            (!tweets.is_empty() && !statuses.is_empty()).then_some((tweets, statuses))
+        })
         .collect();
-    let mut identical_fracs = Vec::new();
-    let mut similar_fracs = Vec::new();
-    for (uid, tweets) in &ds.twitter_timelines {
-        let Some(handle) = handle_by_user.get(uid) else { continue };
-        let Some(statuses) = ds.mastodon_timelines.get(*handle) else { continue };
-        if statuses.is_empty() || tweets.is_empty() {
-            continue;
-        }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    // Embedding every status against every tweet embedding dominates the
+    // figure pipeline; users are independent, so fan them out.
+    let fracs = flock_crawler::worker_pool::run(workers, &pairs, |_, &(tweets, statuses)| {
         let tweet_texts: HashSet<&str> = tweets.iter().map(|t| t.text.as_str()).collect();
-        let tweet_embeddings: Vec<Embedding> =
-            tweets.iter().map(|t| embed(&t.text)).collect();
+        let tweet_embeddings: Vec<Embedding> = tweets.iter().map(|t| embed(&t.text)).collect();
         let mut identical = 0usize;
         let mut similar = 0usize;
         for s in statuses {
@@ -196,9 +203,13 @@ pub fn fig14_similarity(ds: &Dataset) -> Fig14Similarity {
                 similar += 1;
             }
         }
-        identical_fracs.push(identical as f64 / statuses.len() as f64);
-        similar_fracs.push(similar as f64 / statuses.len() as f64);
-    }
+        (
+            identical as f64 / statuses.len() as f64,
+            similar as f64 / statuses.len() as f64,
+        )
+    });
+    let identical_fracs: Vec<f64> = fracs.iter().map(|p| p.0).collect();
+    let similar_fracs: Vec<f64> = fracs.iter().map(|p| p.1).collect();
     Fig14Similarity {
         mean_identical_pct: mean(identical_fracs.iter().copied()) * 100.0,
         mean_similar_pct: mean(similar_fracs.iter().copied()) * 100.0,
@@ -377,10 +388,10 @@ pub fn fig2_collection(ds: &Dataset) -> Fig2Collection {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flock_core::TweetId;
     use flock_crawler::dataset::{
         CollectedTweet, MatchSource, MatchedUser, QueryKind, TimelineStatus, TimelineTweet,
     };
-    use flock_core::TweetId;
 
     fn matched(i: u64, inst: &str) -> MatchedUser {
         let h = format!("@u{i}@{inst}");
@@ -495,7 +506,12 @@ mod tests {
         assert_eq!(moa.after, 1);
         assert!(moa.growth_pct().is_infinite());
         assert_eq!(
-            SourceRow { source: "x".into(), before: 10, after: 120 }.growth_pct(),
+            SourceRow {
+                source: "x".into(),
+                before: 10,
+                after: 120
+            }
+            .growth_pct(),
             1100.0
         );
     }

@@ -58,7 +58,7 @@ pub fn infer_interests(ds: &Dataset) -> HashMap<TwitterUserId, InferredInterest>
     for m in &ds.matched {
         let mut counts: HashMap<Topic, usize> = HashMap::new();
         let mut n_tags = 0usize;
-        let mut bump = |text: &str, counts: &mut HashMap<Topic, usize>, n: &mut usize| {
+        let bump = |text: &str, counts: &mut HashMap<Topic, usize>, n: &mut usize| {
             for tag in extract_hashtags(text) {
                 if let Some(topic) = table.get(&tag) {
                     if !matches!(topic, Topic::Fediverse | Topic::Migration) {
@@ -124,7 +124,10 @@ pub fn topic_report(ds: &Dataset, min_users: usize) -> TopicReport {
     // Group typed users by current instance.
     let mut by_instance: HashMap<&str, Vec<Topic>> = HashMap::new();
     for m in &ds.matched {
-        if let Some(InferredInterest { dominant: Some(t), .. }) = interests.get(&m.twitter_id) {
+        if let Some(InferredInterest {
+            dominant: Some(t), ..
+        }) = interests.get(&m.twitter_id)
+        {
             by_instance
                 .entry(m.resolved_handle.instance())
                 .or_default()
@@ -184,7 +187,9 @@ pub fn topic_report(ds: &Dataset, min_users: usize) -> TopicReport {
     let mut aligned_before = 0usize;
     let mut typed_switchers = 0usize;
     for m in ds.matched.iter().filter(|m| m.switched()) {
-        let Some(InferredInterest { dominant: Some(me), .. }) = interests.get(&m.twitter_id)
+        let Some(InferredInterest {
+            dominant: Some(me), ..
+        }) = interests.get(&m.twitter_id)
         else {
             continue;
         };
@@ -207,8 +212,8 @@ pub fn topic_report(ds: &Dataset, min_users: usize) -> TopicReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flock_crawler::dataset::{MatchSource, MatchedUser, TimelineTweet};
     use flock_core::{Day, TweetId};
+    use flock_crawler::dataset::{MatchSource, MatchedUser, TimelineTweet};
 
     fn user(i: u64, inst: &str, resolved: &str) -> MatchedUser {
         MatchedUser {
@@ -256,7 +261,8 @@ mod tests {
             );
         }
         // One switcher with AI interests who moved flagship → sigmoid.
-        ds.matched.push(user(10, "mastodon.social", "sigmoid.social"));
+        ds.matched
+            .push(user(10, "mastodon.social", "sigmoid.social"));
         ds.twitter_timelines.insert(
             TwitterUserId(10),
             vec![tweet("training runs all week #machinelearning #ai")],

@@ -20,8 +20,12 @@ pub fn first_created(m: &MatchedUser) -> Option<Moment> {
     // Account unreachable (down instance): fall back to the announcement
     // tweet's day, with a deterministic pseudo time-of-day so same-day
     // comparisons stay total.
-    m.first_seen
-        .map(|d| (d, (m.twitter_id.raw().wrapping_mul(2_654_435_761) % 86_400) as u32))
+    m.first_seen.map(|d| {
+        (
+            d,
+            (m.twitter_id.raw().wrapping_mul(2_654_435_761) % 86_400) as u32,
+        )
+    })
 }
 
 /// The creation day only (for day-granular analyses like Fig. 4).

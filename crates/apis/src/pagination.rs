@@ -34,8 +34,8 @@ pub fn decode(scope: &str, cursor: Option<&str>) -> Result<usize> {
     let (hash_hex, offset_part) = rest
         .split_once('o')
         .ok_or_else(|| FlockError::BadCursor(cursor.to_string()))?;
-    let hash = u64::from_str_radix(hash_hex, 16)
-        .map_err(|_| FlockError::BadCursor(cursor.to_string()))?;
+    let hash =
+        u64::from_str_radix(hash_hex, 16).map_err(|_| FlockError::BadCursor(cursor.to_string()))?;
     if hash != fingerprint(scope) {
         return Err(FlockError::BadCursor(format!(
             "cursor does not belong to this request: {cursor}"

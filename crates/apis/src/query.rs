@@ -62,6 +62,24 @@ impl TweetDoc {
     }
 }
 
+/// Posting-list statistics the query planner consults when choosing which
+/// token of a multi-token term to demand from the index.
+pub trait TermStats {
+    /// Number of indexed documents containing `token` (0 when absent).
+    fn doc_frequency(&self, token: &str) -> usize;
+}
+
+/// Planner statistics that know nothing: every token looks equally common,
+/// so ties resolve to the first token (the pre-statistics behaviour).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformStats;
+
+impl TermStats for UniformStats {
+    fn doc_frequency(&self, _token: &str) -> usize {
+        1
+    }
+}
+
 impl Query {
     /// Parse a query string.
     pub fn parse(input: &str) -> Result<Query> {
@@ -93,15 +111,28 @@ impl Query {
 
     /// The positive terms of the query (used by the index to pick posting
     /// lists): every `Word`/`Hashtag` that must be present in *all* matches.
-    pub fn required_tokens(&self) -> Vec<String> {
+    ///
+    /// A `Phrase` contributes exactly one representative token; `stats`
+    /// decides which — the token with the smallest posting list prunes the
+    /// candidate set hardest (a phrase like `"bye bye twitter"` used to pin
+    /// the index to its *first* token, which for common leading words made
+    /// the candidate set orders of magnitude larger than necessary).
+    pub fn required_tokens(&self, stats: &dyn TermStats) -> Vec<String> {
         match self {
             Query::Word(w) => vec![w.clone()],
             Query::Hashtag(h) => vec![h.clone()],
             Query::Phrase(p) => {
-                // Any token of the phrase is required.
-                tokenize(p).into_iter().take(1).collect()
+                // Any single token of the phrase is required; demand the
+                // rarest one (ties go to the earliest token).
+                tokenize(p)
+                    .into_iter()
+                    .enumerate()
+                    .min_by_key(|(i, t)| (stats.doc_frequency(t), *i))
+                    .map(|(_, t)| t)
+                    .into_iter()
+                    .collect()
             }
-            Query::And(qs) => qs.iter().flat_map(|q| q.required_tokens()).collect(),
+            Query::And(qs) => qs.iter().flat_map(|q| q.required_tokens(stats)).collect(),
             // OR / NOT / url: / from: give no single required token.
             _ => Vec::new(),
         }
@@ -148,9 +179,7 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
                         Some('"') => break,
                         Some(ch) => s.push(ch),
                         None => {
-                            return Err(FlockError::InvalidQuery(
-                                "unterminated quote".to_string(),
-                            ))
+                            return Err(FlockError::InvalidQuery("unterminated quote".to_string()))
                         }
                     }
                 }
@@ -380,7 +409,7 @@ mod tests {
         // \u{b} (vertical tab) and friends are whitespace Rust knows but a
         // naive lexer might not: they must not hang the parser.
         for ws in ['\u{b}', '\u{c}', '\u{a0}', '\u{2028}'] {
-            let q: String = std::iter::repeat(ws).take(40).collect();
+            let q: String = String::from(ws).repeat(40);
             assert!(Query::parse(&q).is_err());
             let mixed = format!("mastodon{ws}migration");
             let parsed = Query::parse(&mixed).unwrap();
@@ -390,7 +419,15 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        for bad in ["", "\"unterminated", "mastodon OR", "(unclosed", ")", "#", "weird:"] {
+        for bad in [
+            "",
+            "\"unterminated",
+            "mastodon OR",
+            "(unclosed",
+            ")",
+            "#",
+            "weird:",
+        ] {
             assert!(Query::parse(bad).is_err(), "{bad:?} parsed");
         }
         assert!(Query::parse("unknown:value").is_err());
@@ -398,16 +435,54 @@ mod tests {
 
     #[test]
     fn required_tokens_for_index() {
-        assert_eq!(Query::parse("mastodon migration").unwrap().required_tokens(),
-                   vec!["mastodon", "migration"]);
-        assert_eq!(Query::parse("#Mastodon").unwrap().required_tokens(), vec!["#mastodon"]);
-        // Phrases contribute their first token.
+        let stats = UniformStats;
         assert_eq!(
-            Query::parse("\"bye bye twitter\"").unwrap().required_tokens(),
+            Query::parse("mastodon migration")
+                .unwrap()
+                .required_tokens(&stats),
+            vec!["mastodon", "migration"]
+        );
+        assert_eq!(
+            Query::parse("#Mastodon").unwrap().required_tokens(&stats),
+            vec!["#mastodon"]
+        );
+        // Without statistics, ties resolve to the phrase's first token.
+        assert_eq!(
+            Query::parse("\"bye bye twitter\"")
+                .unwrap()
+                .required_tokens(&stats),
             vec!["bye"]
         );
         // OR queries cannot promise any single token.
-        assert!(Query::parse("a OR b").unwrap().required_tokens().is_empty());
+        assert!(Query::parse("a OR b")
+            .unwrap()
+            .required_tokens(&stats)
+            .is_empty());
+    }
+
+    /// Document frequencies backed by a fixed table (everything absent is 0).
+    struct TableStats(Vec<(&'static str, usize)>);
+
+    impl TermStats for TableStats {
+        fn doc_frequency(&self, token: &str) -> usize {
+            self.0
+                .iter()
+                .find(|(t, _)| *t == token)
+                .map(|(_, n)| *n)
+                .unwrap_or(0)
+        }
+    }
+
+    #[test]
+    fn phrase_planner_picks_rarest_token() {
+        // "bye" is everywhere, "twitter" is rare: the planner must demand
+        // the rare token so the candidate set shrinks from 5000 docs to 40.
+        let stats = TableStats(vec![("bye", 5000), ("twitter", 40)]);
+        let q = Query::parse("\"bye bye twitter\"").unwrap();
+        assert_eq!(q.required_tokens(&stats), vec!["twitter"]);
+        // The choice holds inside conjunctions too.
+        let q = Query::parse("mastodon \"bye bye twitter\"").unwrap();
+        assert_eq!(q.required_tokens(&stats), vec!["mastodon", "twitter"]);
     }
 
     #[test]

@@ -22,24 +22,36 @@ pub struct RatePolicy {
 impl RatePolicy {
     /// Twitter full-archive search: 300 requests / 15 minutes.
     pub fn twitter_search() -> Self {
-        RatePolicy { capacity: 300, window_secs: 900 }
+        RatePolicy {
+            capacity: 300,
+            window_secs: 900,
+        }
     }
 
     /// Twitter follows endpoint: 15 requests / 15 minutes — the limit that
     /// forced the paper's 10% sample.
     pub fn twitter_follows() -> Self {
-        RatePolicy { capacity: 15, window_secs: 900 }
+        RatePolicy {
+            capacity: 15,
+            window_secs: 900,
+        }
     }
 
     /// Twitter user lookup: 300 / 15 minutes.
     pub fn twitter_users() -> Self {
-        RatePolicy { capacity: 300, window_secs: 900 }
+        RatePolicy {
+            capacity: 300,
+            window_secs: 900,
+        }
     }
 
     /// Mastodon's default per-client limit: 300 requests / 5 minutes,
     /// enforced per instance.
     pub fn mastodon() -> Self {
-        RatePolicy { capacity: 300, window_secs: 300 }
+        RatePolicy {
+            capacity: 300,
+            window_secs: 300,
+        }
     }
 
     /// Tokens refilled per virtual second.
@@ -101,7 +113,13 @@ mod tests {
 
     #[test]
     fn burst_up_to_capacity_then_reject() {
-        let mut b = TokenBucket::new(RatePolicy { capacity: 5, window_secs: 100 }, 0);
+        let mut b = TokenBucket::new(
+            RatePolicy {
+                capacity: 5,
+                window_secs: 100,
+            },
+            0,
+        );
         for _ in 0..5 {
             assert!(b.try_acquire(0).is_ok());
         }
@@ -111,7 +129,13 @@ mod tests {
 
     #[test]
     fn refills_over_time() {
-        let mut b = TokenBucket::new(RatePolicy { capacity: 10, window_secs: 100 }, 0);
+        let mut b = TokenBucket::new(
+            RatePolicy {
+                capacity: 10,
+                window_secs: 100,
+            },
+            0,
+        );
         for _ in 0..10 {
             b.try_acquire(0).unwrap();
         }
@@ -123,7 +147,13 @@ mod tests {
 
     #[test]
     fn retry_after_is_honest() {
-        let mut b = TokenBucket::new(RatePolicy { capacity: 2, window_secs: 60 }, 0);
+        let mut b = TokenBucket::new(
+            RatePolicy {
+                capacity: 2,
+                window_secs: 60,
+            },
+            0,
+        );
         b.try_acquire(0).unwrap();
         b.try_acquire(0).unwrap();
         let wait = b.try_acquire(0).unwrap_err();
@@ -133,7 +163,13 @@ mod tests {
 
     #[test]
     fn never_exceeds_capacity() {
-        let mut b = TokenBucket::new(RatePolicy { capacity: 3, window_secs: 10 }, 0);
+        let mut b = TokenBucket::new(
+            RatePolicy {
+                capacity: 3,
+                window_secs: 10,
+            },
+            0,
+        );
         // A long idle period must not accumulate more than `capacity`.
         assert!(b.try_acquire(1_000_000).is_ok());
         assert!(b.try_acquire(1_000_000).is_ok());
@@ -143,7 +179,10 @@ mod tests {
 
     #[test]
     fn sustained_rate_matches_policy() {
-        let policy = RatePolicy { capacity: 300, window_secs: 900 };
+        let policy = RatePolicy {
+            capacity: 300,
+            window_secs: 900,
+        };
         let mut b = TokenBucket::new(policy, 0);
         let mut now = 0u64;
         let mut granted = 0u64;

@@ -21,7 +21,7 @@
 //! before retrying.
 
 use crate::pagination::{decode, Page};
-use crate::query::{Query, TweetDoc};
+use crate::query::{Query, TermStats, TweetDoc};
 use crate::ratelimit::{RatePolicy, TokenBucket};
 use crate::types::{
     ActivityRow, MastodonAccountObject, StatusObject, TweetObject, TwitterUserObject,
@@ -33,6 +33,7 @@ use flock_fedisim::users::AccountFate;
 use flock_fedisim::World;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Server tuning knobs.
@@ -50,6 +51,12 @@ pub struct ApiConfig {
     pub following_page_size: usize,
     /// Probability that any request fails transiently (fault injection).
     pub transient_error_rate: f64,
+    /// Simulated network latency per granted request, in microseconds
+    /// (a real `thread::sleep`, taken **outside** every lock). Zero — the
+    /// default — keeps tests instant; throughput benches switch it on to
+    /// measure what the worker pool actually buys a network-bound crawl:
+    /// overlapping request latency.
+    pub request_latency_micros: u64,
     pub search_policy: RatePolicy,
     pub users_policy: RatePolicy,
     pub follows_policy: RatePolicy,
@@ -65,6 +72,7 @@ impl Default for ApiConfig {
             statuses_page_size: 40,
             following_page_size: 80,
             transient_error_rate: 0.0,
+            request_latency_micros: 0,
             search_policy: RatePolicy::twitter_search(),
             users_policy: RatePolicy::twitter_users(),
             follows_policy: RatePolicy::twitter_follows(),
@@ -73,59 +81,156 @@ impl Default for ApiConfig {
     }
 }
 
-struct ServerState {
-    clock: u64,
-    search_bucket: TokenBucket,
-    users_bucket: TokenBucket,
-    follows_bucket: TokenBucket,
-    mastodon_buckets: HashMap<InstanceId, TokenBucket>,
+/// Mutable state of one endpoint family: its token bucket plus its own
+/// fault-injection RNG, so the fault sequence a family sees depends only on
+/// the order of requests *to that family* — never on how worker threads
+/// interleave requests to other families.
+struct FamilyState {
+    bucket: TokenBucket,
     fault_rng: DetRng,
 }
 
-/// The API façade over a generated world.
-pub struct ApiServer {
-    world: Arc<World>,
-    config: ApiConfig,
-    state: Mutex<ServerState>,
-    /// token → sorted tweet indexes (the search inverted index).
-    index: HashMap<String, Vec<u32>>,
+impl FamilyState {
+    fn new(policy: RatePolicy, rng: &mut DetRng, label: &str) -> Mutex<FamilyState> {
+        Mutex::new(FamilyState {
+            bucket: TokenBucket::new(policy, 0),
+            fault_rng: rng.fork(label),
+        })
+    }
 }
 
-impl ApiServer {
-    /// Build a server (constructs the search index; `O(total tokens)`).
-    pub fn new(world: Arc<World>, config: ApiConfig) -> Self {
-        let mut index: HashMap<String, Vec<u32>> = HashMap::new();
-        for (i, t) in world.tweets.iter().enumerate() {
-            for tok in flock_textsim::tokenize(&t.text) {
+/// Number of shards the per-instance Mastodon buckets spread over. Workers
+/// crawling different instances then contend only when their instances
+/// happen to share a shard.
+const MASTODON_SHARDS: usize = 16;
+
+/// One shard of the per-instance Mastodon bucket map.
+struct MastodonShard {
+    buckets: HashMap<InstanceId, TokenBucket>,
+    fault_rng: DetRng,
+}
+
+/// The search index: per-token posting lists plus every tweet prepared for
+/// matching **once** at build time. Before the document cache, every query
+/// re-tokenized each candidate tweet (`TweetDoc::new` per candidate per
+/// query); the §3.1 collection runs thousands of queries over the same
+/// corpus, so the re-tokenization dominated search cost.
+struct SearchIndex {
+    /// token → tweet indexes, strictly ascending.
+    postings: HashMap<String, Vec<u32>>,
+    /// `docs[i]` is tweet `i` prepared for [`Query::matches`].
+    docs: Vec<TweetDoc>,
+}
+
+impl SearchIndex {
+    fn build(world: &World) -> SearchIndex {
+        let docs: Vec<TweetDoc> = world
+            .tweets
+            .iter()
+            .map(|t| TweetDoc::new(&t.text, &world.users[t.author.index()].username))
+            .collect();
+        let mut postings: HashMap<String, Vec<u32>> = HashMap::new();
+        for (i, doc) in docs.iter().enumerate() {
+            for tok in &doc.tokens {
                 // URL tokens additionally index their host (and its parent
                 // domains) under reserved keys, so `url:domain` queries
                 // avoid a corpus scan.
-                if let Some(host) = url_host(&tok) {
+                if let Some(host) = url_host(tok) {
                     for suffix in host_suffixes(host) {
-                        index
+                        postings
                             .entry(format!("{URL_KEY_PREFIX}{suffix}"))
                             .or_default()
                             .push(i as u32);
                     }
                 }
-                index.entry(tok).or_default().push(i as u32);
+                postings.entry(tok.clone()).or_default().push(i as u32);
             }
         }
-        for list in index.values_mut() {
+        // The outer loop runs in ascending `i`, so every list is sorted;
+        // duplicates (two URLs in one tweet sharing a host) are adjacent.
+        for list in postings.values_mut() {
             list.dedup();
         }
-        let state = ServerState {
-            clock: 0,
-            search_bucket: TokenBucket::new(config.search_policy, 0),
-            users_bucket: TokenBucket::new(config.users_policy, 0),
-            follows_bucket: TokenBucket::new(config.follows_policy, 0),
-            mastodon_buckets: HashMap::new(),
-            fault_rng: DetRng::new(world.config.seed ^ 0xA91),
-        };
+        SearchIndex { postings, docs }
+    }
+
+    fn posting(&self, token: &str) -> &[u32] {
+        self.postings
+            .get(token)
+            .map(Vec::as_slice)
+            .unwrap_or(EMPTY_POSTING)
+    }
+
+    /// Tweet indexes present in **every** posting list of `required`
+    /// (`None` = no token to demand, caller must scan). Lists are
+    /// intersected smallest-first with a galloping merge, so one rare term
+    /// keeps the whole intersection near its size.
+    fn candidates(&self, required: &[String]) -> Option<Vec<u32>> {
+        if required.is_empty() {
+            return None;
+        }
+        let mut lists: Vec<&[u32]> = required.iter().map(|t| self.posting(t)).collect();
+        lists.sort_by_key(|l| l.len());
+        let mut acc = lists[0].to_vec();
+        for list in &lists[1..] {
+            if acc.is_empty() {
+                break;
+            }
+            acc = gallop_intersect(&acc, list);
+        }
+        Some(acc)
+    }
+}
+
+impl TermStats for SearchIndex {
+    fn doc_frequency(&self, token: &str) -> usize {
+        self.posting(token).len()
+    }
+}
+
+/// The API façade over a generated world.
+///
+/// All mutable state is sharded so concurrent crawler workers only contend
+/// where they genuinely share a resource: the virtual clock is a single
+/// atomic, each Twitter endpoint family has its own lock, and the
+/// per-instance Mastodon buckets spread over [`MASTODON_SHARDS`] locks.
+pub struct ApiServer {
+    world: Arc<World>,
+    config: ApiConfig,
+    /// Virtual time in seconds. Advancing is a `fetch_add`; readers never
+    /// block a rate-limit decision in another family.
+    clock: AtomicU64,
+    search: Mutex<FamilyState>,
+    users: Mutex<FamilyState>,
+    follows: Mutex<FamilyState>,
+    mastodon: Vec<Mutex<MastodonShard>>,
+    index: SearchIndex,
+}
+
+impl ApiServer {
+    /// Build a server (constructs the search index; `O(total tokens)`).
+    pub fn new(world: Arc<World>, config: ApiConfig) -> Self {
+        let index = SearchIndex::build(&world);
+        let mut rng = DetRng::new(world.config.seed ^ 0xA91);
+        let search = FamilyState::new(config.search_policy, &mut rng, "search");
+        let users = FamilyState::new(config.users_policy, &mut rng, "users");
+        let follows = FamilyState::new(config.follows_policy, &mut rng, "follows");
+        let mastodon = (0..MASTODON_SHARDS)
+            .map(|i| {
+                Mutex::new(MastodonShard {
+                    buckets: HashMap::new(),
+                    fault_rng: rng.fork(&format!("mastodon-{i}")),
+                })
+            })
+            .collect();
         ApiServer {
             world,
             config,
-            state: Mutex::new(state),
+            clock: AtomicU64::new(0),
+            search,
+            users,
+            follows,
+            mastodon,
             index,
         }
     }
@@ -143,43 +248,78 @@ impl ApiServer {
 
     /// Current virtual time in seconds.
     pub fn now(&self) -> u64 {
-        self.state.lock().clock
+        self.clock.load(Ordering::SeqCst)
     }
 
     /// Advance the virtual clock (the caller's "sleep").
     pub fn advance_clock(&self, secs: u64) {
-        self.state.lock().clock += secs;
+        self.clock.fetch_add(secs, Ordering::SeqCst);
     }
 
-    fn inject_fault(&self) -> Result<()> {
-        if self.config.transient_error_rate > 0.0 {
-            let mut s = self.state.lock();
-            if s.fault_rng.chance(self.config.transient_error_rate) {
-                return Err(FlockError::InstanceUnavailable(
-                    "transient upstream error".to_string(),
-                ));
-            }
+    /// Which shard of the Mastodon bucket map an instance lives in
+    /// (splitmix-style hash of the instance id).
+    fn shard_of(inst: InstanceId) -> usize {
+        let mut h = inst.index() as u64;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        (h % MASTODON_SHARDS as u64) as usize
+    }
+
+    /// Fault-inject and rate-limit one request against an endpoint family,
+    /// under that family's lock alone. A fault costs no token (the request
+    /// never reached the bucket), matching the pre-sharding behaviour.
+    fn acquire(&self, which: Endpoint) -> Result<()> {
+        self.acquire_inner(which)?;
+        // Simulated network time, spent with no lock held: concurrent
+        // requests overlap their latency exactly as real HTTP calls would.
+        if self.config.request_latency_micros > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(
+                self.config.request_latency_micros,
+            ));
         }
         Ok(())
     }
 
-    fn acquire(&self, which: Endpoint) -> Result<()> {
-        let mut s = self.state.lock();
-        let clock = s.clock;
-        let bucket = match which {
-            Endpoint::Search => &mut s.search_bucket,
-            Endpoint::Users => &mut s.users_bucket,
-            Endpoint::Follows => &mut s.follows_bucket,
-            Endpoint::Mastodon(inst) => {
-                let policy = self.config.mastodon_policy;
-                s.mastodon_buckets
-                    .entry(inst)
-                    .or_insert_with(|| TokenBucket::new(policy, clock))
+    fn acquire_inner(&self, which: Endpoint) -> Result<()> {
+        let clock = self.now();
+        let rate = self.config.transient_error_rate;
+        let check = |bucket: &mut TokenBucket, rng: &mut DetRng| -> Result<()> {
+            if rate > 0.0 && rng.chance(rate) {
+                return Err(FlockError::InstanceUnavailable(
+                    "transient upstream error".to_string(),
+                ));
             }
+            bucket
+                .try_acquire(clock)
+                .map_err(|retry_after_secs| FlockError::RateLimited { retry_after_secs })
         };
-        bucket
-            .try_acquire(clock)
-            .map_err(|retry_after_secs| FlockError::RateLimited { retry_after_secs })
+        match which {
+            Endpoint::Search => {
+                let mut s = self.search.lock();
+                let FamilyState { bucket, fault_rng } = &mut *s;
+                check(bucket, fault_rng)
+            }
+            Endpoint::Users => {
+                let mut s = self.users.lock();
+                let FamilyState { bucket, fault_rng } = &mut *s;
+                check(bucket, fault_rng)
+            }
+            Endpoint::Follows => {
+                let mut s = self.follows.lock();
+                let FamilyState { bucket, fault_rng } = &mut *s;
+                check(bucket, fault_rng)
+            }
+            Endpoint::Mastodon(inst) => {
+                let mut shard = self.mastodon[Self::shard_of(inst)].lock();
+                let MastodonShard { buckets, fault_rng } = &mut *shard;
+                let policy = self.config.mastodon_policy;
+                let bucket = buckets
+                    .entry(inst)
+                    .or_insert_with(|| TokenBucket::new(policy, clock));
+                check(bucket, fault_rng)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -208,7 +348,6 @@ impl ApiServer {
         end: Day,
         cursor: Option<&str>,
     ) -> Result<Page<TweetObject>> {
-        self.inject_fault()?;
         self.acquire(Endpoint::Search)?;
         let query = Query::parse(query_str)?;
         let scope = format!("search:{query_str}:{}:{}", start.offset(), end.offset());
@@ -219,17 +358,13 @@ impl ApiServer {
         let matches = self.eval_query(&query, start, end);
         let page = Page::slice(&matches, &scope, offset, self.config.search_page_size);
         Ok(Page {
-            items: page
-                .items
-                .iter()
-                .map(|&i| self.tweet_object(i))
-                .collect(),
+            items: page.items.iter().map(|&i| self.tweet_object(i)).collect(),
             next: page.next,
         })
     }
 
     fn eval_query(&self, query: &Query, start: Day, end: Day) -> Vec<u32> {
-        let mut required = query.required_tokens();
+        let mut required = query.required_tokens(&self.index);
         // A bare `url:host` query (or one AND-ed into a conjunction) can be
         // served from the host index; the final `Query::matches` check below
         // still verifies every candidate.
@@ -250,31 +385,66 @@ impl ApiServer {
                 }
             }
         }
-        let candidates: Vec<u32> = if let Some(smallest) = required
-            .iter()
-            .map(|t| {
-                self.index
-                    .get(t)
-                    .map(|l| l.as_slice())
-                    .unwrap_or(EMPTY_POSTING)
-            })
-            .min_by_key(|l| l.len())
-        {
-            smallest.to_vec()
-        } else {
-            (0..self.world.tweets.len() as u32).collect()
-        };
+        // Intersect *all* required posting lists (the old code only scanned
+        // the smallest one, so every other conjunct was re-verified against
+        // candidates the index could already have excluded).
+        let candidates: Vec<u32> = self
+            .index
+            .candidates(&required)
+            .unwrap_or_else(|| (0..self.world.tweets.len() as u32).collect());
         candidates
             .into_iter()
             .filter(|&i| {
                 let t = &self.world.tweets[i as usize];
-                if t.day < start || t.day > end {
-                    return false;
-                }
-                let author = &self.world.users[t.author.index()].username;
-                query.matches(&TweetDoc::new(&t.text, author))
+                t.day >= start && t.day <= end && query.matches(&self.index.docs[i as usize])
             })
             .collect()
+    }
+
+    /// Documents containing `token` (planner statistics; diagnostics and
+    /// benches).
+    pub fn term_doc_frequency(&self, token: &str) -> usize {
+        self.index.doc_frequency(token)
+    }
+
+    /// Diagnostic search: the ids of every tweet in `[start, end]` matching
+    /// `query_str`, served from the index and the cached documents.
+    /// Unpaginated and **not** rate limited — benchmarks and ground-truth
+    /// comparisons only; the crawler goes through [`Self::twitter_search`].
+    pub fn search_ids_indexed(
+        &self,
+        query_str: &str,
+        start: Day,
+        end: Day,
+    ) -> Result<Vec<TweetId>> {
+        let query = Query::parse(query_str)?;
+        Ok(self
+            .eval_query(&query, start, end)
+            .into_iter()
+            .map(|i| self.world.tweets[i as usize].id)
+            .collect())
+    }
+
+    /// Diagnostic twin of [`Self::search_ids_indexed`] that answers the way
+    /// the server did before document caching: scan the whole corpus and
+    /// re-tokenize every tweet. Exists so benches can measure what the
+    /// cached documents and the posting-list intersection buy.
+    pub fn search_ids_scan(&self, query_str: &str, start: Day, end: Day) -> Result<Vec<TweetId>> {
+        let query = Query::parse(query_str)?;
+        Ok(self
+            .world
+            .tweets
+            .iter()
+            .filter(|t| {
+                t.day >= start
+                    && t.day <= end
+                    && query.matches(&TweetDoc::new(
+                        &t.text,
+                        &self.world.users[t.author.index()].username,
+                    ))
+            })
+            .map(|t| t.id)
+            .collect())
     }
 
     fn tweet_object(&self, idx: u32) -> TweetObject {
@@ -296,7 +466,6 @@ impl ApiServer {
         &self,
         ids: &[TwitterUserId],
     ) -> Result<Vec<TwitterUserObject>> {
-        self.inject_fault()?;
         self.acquire(Endpoint::Search)?;
         if ids.len() > 100 {
             return Err(FlockError::InvalidQuery(format!(
@@ -325,7 +494,6 @@ impl ApiServer {
 
     /// Batch user lookup (max 100 ids per request, like the real API).
     pub fn twitter_users_lookup(&self, ids: &[TwitterUserId]) -> Result<Vec<TwitterUserObject>> {
-        self.inject_fault()?;
         self.acquire(Endpoint::Users)?;
         if ids.len() > 100 {
             return Err(FlockError::InvalidQuery(format!(
@@ -333,10 +501,7 @@ impl ApiServer {
                 ids.len()
             )));
         }
-        Ok(ids
-            .iter()
-            .filter_map(|id| self.user_object(*id))
-            .collect())
+        Ok(ids.iter().filter_map(|id| self.user_object(*id)).collect())
     }
 
     fn user_object(&self, id: TwitterUserId) -> Option<TwitterUserObject> {
@@ -366,7 +531,6 @@ impl ApiServer {
         end: Day,
         cursor: Option<&str>,
     ) -> Result<Page<TweetObject>> {
-        self.inject_fault()?;
         self.acquire(Endpoint::Search)?; // timelines share the search family
         let u = self
             .world
@@ -380,7 +544,9 @@ impl ApiServer {
                 return Err(FlockError::NotFound(format!("{user} no longer exists")))
             }
             AccountFate::Protected => {
-                return Err(FlockError::Forbidden(format!("{user} has protected tweets")))
+                return Err(FlockError::Forbidden(format!(
+                    "{user} has protected tweets"
+                )))
             }
             AccountFate::Active => {}
         }
@@ -413,7 +579,6 @@ impl ApiServer {
         user: TwitterUserId,
         cursor: Option<&str>,
     ) -> Result<Page<TwitterUserId>> {
-        self.inject_fault()?;
         self.acquire(Endpoint::Follows)?;
         let u = self
             .world
@@ -437,7 +602,12 @@ impl ApiServer {
             .unwrap_or(&[]);
         let scope = format!("following:{user}");
         let offset = decode(&scope, cursor)?;
-        Ok(Page::slice(list, &scope, offset, self.config.follows_page_size))
+        Ok(Page::slice(
+            list,
+            &scope,
+            offset,
+            self.config.follows_page_size,
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -457,8 +627,10 @@ impl ApiServer {
 
     /// Account lookup on an instance. Works for both pre- and post-move
     /// handles; a moved account reports `moved_to`.
-    pub fn mastodon_lookup_account(&self, handle: &MastodonHandle) -> Result<MastodonAccountObject> {
-        self.inject_fault()?;
+    pub fn mastodon_lookup_account(
+        &self,
+        handle: &MastodonHandle,
+    ) -> Result<MastodonAccountObject> {
         let inst = self.instance_checked(handle.instance())?;
         self.acquire(Endpoint::Mastodon(inst))?;
         let account = self
@@ -526,7 +698,6 @@ impl ApiServer {
         handle: &MastodonHandle,
         cursor: Option<&str>,
     ) -> Result<Page<StatusObject>> {
-        self.inject_fault()?;
         let inst = self.instance_checked(handle.instance())?;
         self.acquire(Endpoint::Mastodon(inst))?;
         let account = self
@@ -560,25 +731,23 @@ impl ApiServer {
         handle: &MastodonHandle,
         cursor: Option<&str>,
     ) -> Result<Page<MastodonHandle>> {
-        self.inject_fault()?;
         let inst = self.instance_checked(handle.instance())?;
         self.acquire(Endpoint::Mastodon(inst))?;
         let account = self
             .world
             .account_by_handle(handle)
             .ok_or_else(|| FlockError::NotFound(handle.to_string()))?;
-        let handles: Vec<MastodonHandle> =
-            if account.switch.is_some() && *handle == account.first_handle {
-                Vec::new() // drained by the Move
-            } else {
-                self.world
-                    .mastodon_following(account)
-                    .iter()
-                    .map(|a| {
-                        MastodonHandle::new(&a.name, &a.domain).expect("actors carry valid names")
-                    })
-                    .collect()
-            };
+        let handles: Vec<MastodonHandle> = if account.switch.is_some()
+            && *handle == account.first_handle
+        {
+            Vec::new() // drained by the Move
+        } else {
+            self.world
+                .mastodon_following(account)
+                .iter()
+                .map(|a| MastodonHandle::new(&a.name, &a.domain).expect("actors carry valid names"))
+                .collect()
+        };
         let scope = format!("following:{handle}");
         let offset = decode(&scope, cursor)?;
         Ok(Page::slice(
@@ -592,7 +761,6 @@ impl ApiServer {
     /// Public instance metadata (`/api/v1/instance`): registered users and
     /// statuses including the untracked background population.
     pub fn mastodon_instance_info(&self, domain: &str) -> Result<crate::types::InstanceInfoObject> {
-        self.inject_fault()?;
         let inst = self.instance_checked(domain)?;
         self.acquire(Endpoint::Mastodon(inst))?;
         let weeks = self
@@ -615,7 +783,6 @@ impl ApiServer {
 
     /// Weekly activity (`/api/v1/instance/activity`): the last 12 weeks.
     pub fn mastodon_instance_activity(&self, domain: &str) -> Result<Vec<ActivityRow>> {
-        self.inject_fault()?;
         let inst = self.instance_checked(domain)?;
         self.acquire(Endpoint::Mastodon(inst))?;
         let weeks = self
@@ -652,6 +819,52 @@ enum Endpoint {
 const URL_KEY_PREFIX: &str = "\0url:";
 const EMPTY_POSTING: &[u32] = &[];
 
+/// First index `i >= lo` with `b[i] >= x`: gallop out of `lo`, then binary
+/// search the bracketed range. `O(log d)` in the distance `d` advanced.
+fn lower_bound_from(b: &[u32], lo: usize, x: u32) -> usize {
+    if lo >= b.len() || b[lo] >= x {
+        return lo;
+    }
+    let mut below = lo; // invariant: b[below] < x
+    let mut step = 1usize;
+    loop {
+        let probe = below.saturating_add(step);
+        if probe >= b.len() || b[probe] >= x {
+            let (mut l, mut r) = (below + 1, probe.min(b.len()));
+            while l < r {
+                let m = l + (r - l) / 2;
+                if b[m] < x {
+                    l = m + 1;
+                } else {
+                    r = m;
+                }
+            }
+            return l;
+        }
+        below = probe;
+        step <<= 1;
+    }
+}
+
+/// Intersect two strictly ascending lists; `a` should be the shorter one.
+/// Each element of `a` gallops forward in `b`, so the cost is
+/// `O(|a| log(|b|/|a|))` rather than `O(|a| + |b|)` when `b` dwarfs `a`.
+fn gallop_intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let mut j = 0usize;
+    for &x in a {
+        j = lower_bound_from(b, j, x);
+        if j == b.len() {
+            break;
+        }
+        if b[j] == x {
+            out.push(x);
+            j += 1;
+        }
+    }
+    out
+}
+
 /// Extract the host of a URL token, if it is one.
 fn url_host(token: &str) -> Option<&str> {
     let rest = token
@@ -682,8 +895,12 @@ mod tests {
         let mut out = Vec::new();
         let mut cursor: Option<String> = None;
         loop {
-            match api.twitter_search(q, Day::COLLECTION_START, Day::COLLECTION_END, cursor.as_deref())
-            {
+            match api.twitter_search(
+                q,
+                Day::COLLECTION_START,
+                Day::COLLECTION_END,
+                cursor.as_deref(),
+            ) {
                 Ok(page) => {
                     out.extend(page.items);
                     match page.next {
@@ -706,9 +923,15 @@ mod tests {
         let hits = drain_search(&api, "mastodon");
         assert!(!hits.is_empty());
         for t in &hits {
-            assert!(t.text.to_lowercase().split_whitespace().any(|w| w.trim_matches(|c: char| !c.is_alphanumeric()) == "mastodon")
-                || t.text.to_lowercase().contains("mastodon"),
-                "non-matching hit: {}", t.text);
+            assert!(
+                t.text
+                    .to_lowercase()
+                    .split_whitespace()
+                    .any(|w| w.trim_matches(|c: char| !c.is_alphanumeric()) == "mastodon")
+                    || t.text.to_lowercase().contains("mastodon"),
+                "non-matching hit: {}",
+                t.text
+            );
             assert!(t.day.in_collection_window());
         }
     }
@@ -734,8 +957,13 @@ mod tests {
     #[test]
     fn rate_limit_enforced_and_recoverable() {
         let world = Arc::new(World::generate(&WorldConfig::small().with_seed(7)).unwrap());
-        let mut config = ApiConfig::default();
-        config.follows_policy = RatePolicy { capacity: 2, window_secs: 60 };
+        let config = ApiConfig {
+            follows_policy: RatePolicy {
+                capacity: 2,
+                window_secs: 60,
+            },
+            ..ApiConfig::default()
+        };
         let api = ApiServer::new(world.clone(), config);
         let migrant = world.users[world.migrant_users[0]].id;
         let mut limited = false;
@@ -759,13 +987,7 @@ mod tests {
     fn timeline_respects_account_fate() {
         let api = server();
         let world = api.ground_truth();
-        let find = |fate: AccountFate| {
-            world
-                .users
-                .iter()
-                .find(|u| u.fate == fate)
-                .map(|u| u.id)
-        };
+        let find = |fate: AccountFate| world.users.iter().find(|u| u.fate == fate).map(|u| u.id);
         if let Some(id) = find(AccountFate::Protected) {
             assert!(matches!(
                 api.twitter_timeline(id, Day(0), Day(60), None),
@@ -799,7 +1021,10 @@ mod tests {
         let got = api.twitter_users_lookup(&ids[..100]).unwrap();
         for u in &got {
             let truth = world.user(u.id).unwrap();
-            assert!(!matches!(truth.fate, AccountFate::Deleted | AccountFate::Suspended));
+            assert!(!matches!(
+                truth.fate,
+                AccountFate::Deleted | AccountFate::Suspended
+            ));
             assert_eq!(u.username, truth.username);
         }
     }
@@ -857,7 +1082,9 @@ mod tests {
             .mastodon_account_statuses(&switcher.first_handle, None)
             .unwrap();
         assert!(old_statuses.items.iter().all(|s| s.day < sw_day));
-        let new_statuses = api.mastodon_account_statuses(&switcher.handle, None).unwrap();
+        let new_statuses = api
+            .mastodon_account_statuses(&switcher.handle, None)
+            .unwrap();
         assert!(new_statuses.items.iter().all(|s| s.day >= sw_day));
     }
 
@@ -886,8 +1113,10 @@ mod tests {
     #[test]
     fn transient_faults_injected_when_configured() {
         let world = Arc::new(World::generate(&WorldConfig::small().with_seed(9)).unwrap());
-        let mut config = ApiConfig::default();
-        config.transient_error_rate = 0.5;
+        let config = ApiConfig {
+            transient_error_rate: 0.5,
+            ..ApiConfig::default()
+        };
         let api = ApiServer::new(world, config);
         let mut failures = 0;
         for _ in 0..50 {
@@ -907,6 +1136,110 @@ mod tests {
 }
 
 #[cfg(test)]
+mod intersection_tests {
+    use super::*;
+
+    #[test]
+    fn gallop_intersect_agrees_with_naive() {
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[], &[1, 2, 3]),
+            (&[1, 2, 3], &[]),
+            (&[1, 3, 5, 7], &[2, 3, 4, 7, 9]),
+            (&[0, 100, 200], &[0, 1, 2, 3, 100, 150, 199, 200, 201]),
+            (&[5], &[1, 2, 3, 4, 5]),
+            (&[1, 2, 3], &[1, 2, 3]),
+            (&[10, 20], &[1, 2, 3]),
+        ];
+        for (a, b) in cases {
+            let naive: Vec<u32> = a.iter().copied().filter(|x| b.contains(x)).collect();
+            assert_eq!(gallop_intersect(a, b), naive, "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn gallop_intersect_handles_large_skews() {
+        let a: Vec<u32> = (0..10_000).map(|i| i * 7).collect();
+        let b: Vec<u32> = (0..1_000).map(|i| i * 91).collect();
+        let naive: Vec<u32> = b
+            .iter()
+            .copied()
+            .filter(|x| a.binary_search(x).is_ok())
+            .collect();
+        assert_eq!(gallop_intersect(&b, &a), naive);
+    }
+
+    #[test]
+    fn lower_bound_from_is_a_lower_bound() {
+        let b = [2u32, 4, 4, 8, 16, 32];
+        for lo in 0..=b.len() {
+            for x in 0..40u32 {
+                let got = lower_bound_from(&b, lo, x);
+                let want = (lo..b.len()).find(|&i| b[i] >= x).unwrap_or(b.len());
+                assert_eq!(got, want, "lo={lo} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_intersects_all_required_lists() {
+        let postings: HashMap<String, Vec<u32>> = [
+            ("common".to_string(), (0..100).collect::<Vec<u32>>()),
+            ("rare".to_string(), vec![3, 50, 99]),
+            ("other".to_string(), vec![2, 3, 99]),
+        ]
+        .into_iter()
+        .collect();
+        let index = SearchIndex {
+            postings,
+            docs: Vec::new(),
+        };
+        assert_eq!(index.candidates(&[]), None);
+        let got = index
+            .candidates(&["common".into(), "rare".into(), "other".into()])
+            .unwrap();
+        assert_eq!(got, vec![3, 99]);
+        // An absent token annihilates the conjunction.
+        let got = index
+            .candidates(&["common".into(), "missing".into()])
+            .unwrap();
+        assert!(got.is_empty());
+    }
+
+    /// The planner demands the *rarest* phrase token, so the candidate set
+    /// an index-assisted phrase search walks is the small posting list, not
+    /// the large one (this is the satellite-fix regression test: the old
+    /// planner always took the phrase's first token).
+    #[test]
+    fn phrase_candidates_shrink_with_term_stats() {
+        use flock_fedisim::WorldConfig;
+        let world = Arc::new(World::generate(&WorldConfig::small().with_seed(321)).unwrap());
+        let api = ApiServer::with_defaults(world);
+        let q = Query::parse("\"bye bye twitter\"").unwrap();
+        let chosen = q.required_tokens(&api.index);
+        assert_eq!(chosen.len(), 1);
+        let chosen_df = api.term_doc_frequency(&chosen[0]);
+        for tok in flock_textsim::tokenize("bye bye twitter") {
+            assert!(
+                chosen_df <= api.term_doc_frequency(&tok),
+                "planner picked {:?} (df {}), but {:?} has df {}",
+                chosen[0],
+                chosen_df,
+                tok,
+                api.term_doc_frequency(&tok)
+            );
+        }
+        // And the shrink is real on generated corpora: "bye" (a common
+        // farewell word) outnumbers "twitter"-bearing phrase candidates.
+        let candidates = api.index.candidates(&chosen).unwrap().len();
+        let first_token_candidates = api.index.posting("bye").len();
+        assert!(
+            candidates <= first_token_candidates,
+            "rarest-token candidates {candidates} vs first-token {first_token_candidates}"
+        );
+    }
+}
+
+#[cfg(test)]
 mod index_differential_tests {
     use super::*;
     use crate::query::{Query, TweetDoc};
@@ -918,8 +1251,7 @@ mod index_differential_tests {
     /// tweets as a brute-force scan of the corpus.
     #[test]
     fn index_matches_brute_force_scan() {
-        let world =
-            Arc::new(World::generate(&WorldConfig::small().with_seed(888)).unwrap());
+        let world = Arc::new(World::generate(&WorldConfig::small().with_seed(888)).unwrap());
         let api = ApiServer::with_defaults(world.clone());
         let mut queries: Vec<String> = vec![
             "mastodon".into(),
@@ -976,6 +1308,22 @@ mod index_differential_tests {
                 indexed_sorted, brute_sorted,
                 "index and scan disagree for {q:?}"
             );
+
+            // The diagnostic twins must agree with each other (and with the
+            // paginated API) for every query as well.
+            let fast = api
+                .search_ids_indexed(&q, Day::COLLECTION_START, Day::COLLECTION_END)
+                .unwrap();
+            let slow = api
+                .search_ids_scan(&q, Day::COLLECTION_START, Day::COLLECTION_END)
+                .unwrap();
+            assert_eq!(fast, slow, "diagnostic paths disagree for {q:?}");
+            let mut fast_sorted = fast;
+            fast_sorted.sort();
+            assert_eq!(
+                fast_sorted, brute_sorted,
+                "diagnostic vs paginated for {q:?}"
+            );
         }
     }
 }
@@ -1014,7 +1362,10 @@ mod instance_info_tests {
             .find(|i| i.topic.is_some() && !i.down_at_crawl)
             .expect("some topical instance is up");
         let info = api.mastodon_instance_info(&topical.domain).unwrap();
-        assert_eq!(info.topic.as_deref(), Some(topical.topic.unwrap().to_string().as_str()));
+        assert_eq!(
+            info.topic.as_deref(),
+            Some(topical.topic.unwrap().to_string().as_str())
+        );
 
         assert!(matches!(
             api.mastodon_instance_info("nope.example"),

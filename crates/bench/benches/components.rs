@@ -31,7 +31,12 @@ fn bench_query(c: &mut Criterion) {
         b.iter(|| black_box(Query::parse("mastodon")).unwrap())
     });
     group.bench_function("parse_complex", |b| {
-        b.iter(|| black_box(Query::parse("(mastodon OR koo) \"bye bye twitter\" -#ad url:\"mastodon.social\"")).unwrap())
+        b.iter(|| {
+            black_box(Query::parse(
+                "(mastodon OR koo) \"bye bye twitter\" -#ad url:\"mastodon.social\"",
+            ))
+            .unwrap()
+        })
     });
     let q = Query::parse("#twittermigration \"bye bye twitter\"").unwrap();
     let doc = TweetDoc::new(
@@ -61,7 +66,9 @@ fn bench_text(c: &mut Criterion) {
     let (ea, eb) = (embed(&post_a), embed(&post_b));
     group.bench_function("cosine", |b| b.iter(|| black_box(cosine(&ea, &eb))));
     let scorer = ToxicityScorer::new();
-    group.bench_function("toxicity_score", |b| b.iter(|| black_box(scorer.score(&post_a))));
+    group.bench_function("toxicity_score", |b| {
+        b.iter(|| black_box(scorer.score(&post_a)))
+    });
     group.bench_function("generate_post", |b| {
         b.iter(|| black_box(gen.generate(Topic::Tech, &mut rng)))
     });
@@ -76,7 +83,9 @@ fn bench_rng(c: &mut Criterion) {
     let mut group = c.benchmark_group("rng");
     group.bench_function("next_u64", |b| b.iter(|| black_box(rng.next_u64())));
     group.bench_function("zipf_1000", |b| b.iter(|| black_box(rng.zipf(1000, 1.2))));
-    group.bench_function("lognormal", |b| b.iter(|| black_box(rng.lognormal(0.0, 1.0))));
+    group.bench_function("lognormal", |b| {
+        b.iter(|| black_box(rng.lognormal(0.0, 1.0)))
+    });
     group.bench_function("poisson_4", |b| b.iter(|| black_box(rng.poisson(4.0))));
     group.finish();
 }

@@ -69,12 +69,16 @@ fn fig7(c: &mut Criterion) {
 
 fn fig8(c: &mut Criterion) {
     let ds = bench_dataset();
-    c.bench_function("fig8_influence", |b| b.iter(|| black_box(fig8_influence(ds))));
+    c.bench_function("fig8_influence", |b| {
+        b.iter(|| black_box(fig8_influence(ds)))
+    });
 }
 
 fn fig9(c: &mut Criterion) {
     let ds = bench_dataset();
-    c.bench_function("fig9_switching", |b| b.iter(|| black_box(fig9_switching(ds))));
+    c.bench_function("fig9_switching", |b| {
+        b.iter(|| black_box(fig9_switching(ds)))
+    });
 }
 
 fn fig10(c: &mut Criterion) {
@@ -86,12 +90,16 @@ fn fig10(c: &mut Criterion) {
 
 fn fig11(c: &mut Criterion) {
     let ds = bench_dataset();
-    c.bench_function("fig11_activity", |b| b.iter(|| black_box(fig11_activity(ds))));
+    c.bench_function("fig11_activity", |b| {
+        b.iter(|| black_box(fig11_activity(ds)))
+    });
 }
 
 fn fig12(c: &mut Criterion) {
     let ds = bench_dataset();
-    c.bench_function("fig12_sources", |b| b.iter(|| black_box(fig12_sources(ds, 30))));
+    c.bench_function("fig12_sources", |b| {
+        b.iter(|| black_box(fig12_sources(ds, 30)))
+    });
 }
 
 fn fig13(c: &mut Criterion) {

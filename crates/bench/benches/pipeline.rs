@@ -86,5 +86,10 @@ fn bench_full_crawl(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(pipeline, bench_world_generation, bench_api_server, bench_full_crawl);
+criterion_group!(
+    pipeline,
+    bench_world_generation,
+    bench_api_server,
+    bench_full_crawl
+);
 criterion_main!(pipeline);

@@ -4,10 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flock_activitypub::{FediverseNetwork, NetworkConfig};
 use flock_core::DetRng;
+use flock_core::TwitterUserId;
 use flock_fedisim::graph::{build_friend_graph, realize_followees};
 use flock_fedisim::instances::generate_instances;
 use flock_fedisim::migration::InstanceSampler;
-use flock_core::TwitterUserId;
 use std::hint::black_box;
 
 fn bench_friend_graph(c: &mut Criterion) {

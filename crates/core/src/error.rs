@@ -77,12 +77,17 @@ mod tests {
             retry_after_secs: 900,
         };
         assert!(e.to_string().contains("900"));
-        assert!(FlockError::NotFound("tw:1".into()).to_string().contains("tw:1"));
+        assert!(FlockError::NotFound("tw:1".into())
+            .to_string()
+            .contains("tw:1"));
     }
 
     #[test]
     fn retryability_classification() {
-        assert!(FlockError::RateLimited { retry_after_secs: 1 }.is_retryable());
+        assert!(FlockError::RateLimited {
+            retry_after_secs: 1
+        }
+        .is_retryable());
         assert!(FlockError::InstanceUnavailable("x".into()).is_retryable());
         assert!(!FlockError::NotFound("x".into()).is_retryable());
         assert!(!FlockError::Forbidden("x".into()).is_retryable());

@@ -84,7 +84,10 @@ impl FromStr for MastodonHandle {
     /// `https://domain/users/user`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let s = s.trim();
-        if let Some(rest) = s.strip_prefix("https://").or_else(|| s.strip_prefix("http://")) {
+        if let Some(rest) = s
+            .strip_prefix("https://")
+            .or_else(|| s.strip_prefix("http://"))
+        {
             let (domain, path) = rest
                 .split_once('/')
                 .ok_or_else(|| FlockError::InvalidHandle(format!("no path in URL: {s:?}")))?;
@@ -110,8 +113,7 @@ impl FromStr for MastodonHandle {
 pub fn is_valid_username(s: &str) -> bool {
     !s.is_empty()
         && s.len() <= MAX_USERNAME_LEN
-        && s.bytes()
-            .all(|b| b.is_ascii_alphanumeric() || b == b'_')
+        && s.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
 }
 
 /// `true` if `s` is a plausible instance domain: at least two labels, each
@@ -175,7 +177,8 @@ pub fn extract_handles(text: &str) -> Vec<MastodonHandle> {
                 }
             }
             i += 1;
-        } else if b == b'h' && (text[i..].starts_with("https://") || text[i..].starts_with("http://"))
+        } else if b == b'h'
+            && (text[i..].starts_with("https://") || text[i..].starts_with("http://"))
         {
             if let Some((handle, consumed)) = scan_url(&text[i..]) {
                 push(handle, &mut out);
@@ -250,9 +253,7 @@ fn scan_url(s: &str) -> Option<(MastodonHandle, usize)> {
 fn scan_domain_len(s: &str) -> Option<usize> {
     let mut len = s
         .bytes()
-        .take_while(|&b| {
-            b.is_ascii_alphanumeric() || b == b'-' || b == b'.' || b == b'_'
-        })
+        .take_while(|&b| b.is_ascii_alphanumeric() || b == b'-' || b == b'.' || b == b'_')
         .count();
     // Trim trailing dots (end-of-sentence) and underscores (invalid in DNS).
     while len > 0 && (s.as_bytes()[len - 1] == b'.' || s.as_bytes()[len - 1] == b'_') {
@@ -317,7 +318,9 @@ mod tests {
         assert!("@alice@localhost".parse::<MastodonHandle>().is_err()); // single label
         assert!("@al ice@example.com".parse::<MastodonHandle>().is_err());
         assert!("https://example.com/".parse::<MastodonHandle>().is_err());
-        assert!("https://example.com/about".parse::<MastodonHandle>().is_err());
+        assert!("https://example.com/about"
+            .parse::<MastodonHandle>()
+            .is_err());
     }
 
     #[test]
@@ -347,8 +350,7 @@ mod tests {
 
     #[test]
     fn extract_webfinger_from_bio() {
-        let found =
-            extract_handles("ex-birdsite. now @alice@mastodon.social — DMs open");
+        let found = extract_handles("ex-birdsite. now @alice@mastodon.social — DMs open");
         assert_eq!(found, vec![h("alice", "mastodon.social")]);
     }
 
@@ -362,9 +364,8 @@ mod tests {
 
     #[test]
     fn extract_multiple_and_dedup() {
-        let found = extract_handles(
-            "main: @a@one.example alt: @b@two.example again: @a@one.example",
-        );
+        let found =
+            extract_handles("main: @a@one.example alt: @b@two.example again: @a@one.example");
         assert_eq!(found, vec![h("a", "one.example"), h("b", "two.example")]);
     }
 

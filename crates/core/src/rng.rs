@@ -71,10 +71,7 @@ impl DetRng {
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -390,7 +387,10 @@ mod tests {
         for &m in &[0.5, 4.0, 100.0] {
             let n = 20_000;
             let mean = (0..n).map(|_| rng.poisson(m) as f64).sum::<f64>() / n as f64;
-            assert!((mean - m).abs() < 0.15 * m.max(1.0), "lambda={m} got {mean}");
+            assert!(
+                (mean - m).abs() < 0.15 * m.max(1.0),
+                "lambda={m} got {mean}"
+            );
         }
         assert_eq!(rng.poisson(0.0), 0);
     }

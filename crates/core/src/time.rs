@@ -293,7 +293,7 @@ mod tests {
         assert_eq!(w.monday(), Day(2));
         assert_eq!(Day(8).week(), w); // Sunday Oct 9
         assert_ne!(Day(9).week(), w); // Monday Oct 10
-        // Saturday Oct 1 belongs to the previous week.
+                                      // Saturday Oct 1 belongs to the previous week.
         assert_eq!(Day(0).week().monday(), Day(-5));
     }
 

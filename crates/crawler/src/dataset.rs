@@ -130,7 +130,7 @@ pub struct CrawlStats {
 }
 
 /// The §3 dataset.
-#[derive(Debug, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Dataset {
     /// The instances.social-style seed list.
     pub instance_list: Vec<String>,
@@ -191,7 +191,6 @@ impl Dataset {
         self.matched.iter().find(|m| m.twitter_id == id)
     }
 }
-
 
 /// Serialize maps with non-string keys (ids, handles) as JSON pair lists.
 pub(crate) mod as_pairs {

@@ -25,6 +25,7 @@
 pub mod dataset;
 pub mod persist;
 pub mod pipeline;
+pub mod worker_pool;
 
 pub mod prelude {
     pub use crate::dataset::{

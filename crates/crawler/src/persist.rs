@@ -165,7 +165,10 @@ struct Pseudonyms {
 
 impl Pseudonyms {
     fn new(salt: u64) -> Self {
-        Pseudonyms { salt, map: HashMap::new() }
+        Pseudonyms {
+            salt,
+            map: HashMap::new(),
+        }
     }
 
     /// Pseudonym for a username (stable within one anonymization pass).
@@ -191,8 +194,10 @@ mod tests {
     use flock_core::{Day, TweetId, TwitterUserId};
 
     fn sample() -> Dataset {
-        let mut ds = Dataset::default();
-        ds.instance_list = vec!["mastodon.social".into()];
+        let mut ds = Dataset {
+            instance_list: vec!["mastodon.social".into()],
+            ..Dataset::default()
+        };
         ds.matched.push(MatchedUser {
             twitter_id: TwitterUserId(1),
             twitter_username: "quiet_otter".into(),

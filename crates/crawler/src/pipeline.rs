@@ -24,13 +24,13 @@ use crate::dataset::{
     CollectedTweet, CrawlStats, Dataset, FolloweeRecord, MastodonCrawlOutcome, MatchSource,
     MatchedUser, QueryKind, TimelineStatus, TimelineTweet, TwitterCrawlOutcome,
 };
+use crate::worker_pool;
 use flock_apis::server::ApiServer;
 use flock_apis::types::TwitterUserObject;
 use flock_core::handle::extract_handles;
 use flock_core::{Day, DetRng, FlockError, MastodonHandle, Result, TweetId, TwitterUserId};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// Crawl tuning.
 #[derive(Debug, Clone)]
@@ -122,18 +122,8 @@ impl<'a> Crawler<'a> {
     /// Run the §3 pipeline and produce the dataset.
     pub fn run(&self) -> Result<Dataset> {
         let start_virtual = self.api.now();
-        let mut ds = Dataset {
-            instance_list: self.api.instances_social_list(),
-            ..Dataset::default()
-        };
-
-        self.collect_tweets(&mut ds)?;
-        self.match_users(&mut ds)?;
-        self.crawl_twitter_timelines(&mut ds);
-        self.crawl_mastodon_timelines(&mut ds);
-        self.crawl_followees(&mut ds);
-        self.crawl_weekly_activity(&mut ds);
-
+        let mut ds = self.discover()?;
+        self.expand(&mut ds);
         ds.stats = CrawlStats {
             requests: self.stats.requests.load(Ordering::Relaxed),
             rate_limited: self.stats.rate_limited.load(Ordering::Relaxed),
@@ -141,6 +131,30 @@ impl<'a> Crawler<'a> {
             virtual_secs: self.api.now() - start_virtual,
         };
         Ok(ds)
+    }
+
+    /// The §3.1 discovery phase: tweet collection and hierarchical handle
+    /// matching. Serial by nature — every query deduplicates against the
+    /// tweets all earlier queries collected.
+    pub fn discover(&self) -> Result<Dataset> {
+        let mut ds = Dataset {
+            instance_list: self.api.instances_social_list(),
+            ..Dataset::default()
+        };
+        self.collect_tweets(&mut ds)?;
+        self.match_users(&mut ds)?;
+        Ok(ds)
+    }
+
+    /// The §3.2–§3.3 crawl phases plus the Fig. 3 activity cross-check:
+    /// per-user work fanned out over [`worker_pool`], results merged in
+    /// matched-index order. Public (separately from [`Crawler::run`]) so
+    /// benches can time the parallel phases against a fixed discovery.
+    pub fn expand(&self, ds: &mut Dataset) {
+        self.crawl_twitter_timelines(ds);
+        self.crawl_mastodon_timelines(ds);
+        self.crawl_followees(ds);
+        self.crawl_weekly_activity(ds);
     }
 
     /// Rate-limit-aware, transient-retrying request wrapper.
@@ -155,7 +169,9 @@ impl<'a> Crawler<'a> {
                     self.api.advance_clock(retry_after_secs);
                 }
                 Err(e) if e.is_retryable() => {
-                    self.stats.transient_failures.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .transient_failures
+                        .fetch_add(1, Ordering::Relaxed);
                     transient += 1;
                     if transient > self.config.max_transient_retries {
                         return Err(e);
@@ -192,8 +208,8 @@ impl<'a> Crawler<'a> {
                     Err(e) => return Err(e),
                 };
                 for t in page.items {
-                    if !seen.contains_key(&t.id) {
-                        seen.insert(t.id, ds.collected_tweets.len());
+                    if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(t.id) {
+                        e.insert(ds.collected_tweets.len());
                         ds.collected_tweets.push(CollectedTweet {
                             id: t.id,
                             author: t.author_id,
@@ -219,8 +235,7 @@ impl<'a> Crawler<'a> {
     // ---- §3.1 phase B: hierarchical handle matching ----------------------
 
     fn match_users(&self, ds: &mut Dataset) -> Result<()> {
-        let instance_set: HashSet<&str> =
-            ds.instance_list.iter().map(String::as_str).collect();
+        let instance_set: HashSet<&str> = ds.instance_list.iter().map(String::as_str).collect();
         // Collection-time author metadata, batched.
         let mut authors: Vec<TwitterUserId> = ds
             .collected_tweets
@@ -248,18 +263,16 @@ impl<'a> Crawler<'a> {
                 continue;
             };
             // Step 1: profile metadata (any username accepted).
-            let mut found: Option<(MastodonHandle, MatchSource)> = extract_handles(
-                &meta.description,
-            )
-            .into_iter()
-            .find(|h| instance_set.contains(h.instance()))
-            .map(|h| (h, MatchSource::Bio));
+            let mut found: Option<(MastodonHandle, MatchSource)> =
+                extract_handles(&meta.description)
+                    .into_iter()
+                    .find(|h| instance_set.contains(h.instance()))
+                    .map(|h| (h, MatchSource::Bio));
             // Step 2: tweet text, only when usernames are identical.
             if found.is_none() {
                 'outer: for &ti in tweets_by_author.get(&author).into_iter().flatten() {
                     for h in extract_handles(&ds.collected_tweets[ti].text) {
-                        if instance_set.contains(h.instance()) && h.username() == meta.username
-                        {
+                        if instance_set.contains(h.instance()) && h.username() == meta.username {
                             found = Some((h, MatchSource::TweetText));
                             break 'outer;
                         }
@@ -277,9 +290,7 @@ impl<'a> Crawler<'a> {
                         Some(target) => {
                             let target = target.clone();
                             match self.request(|| self.api.mastodon_lookup_account(&target)) {
-                                Ok(new_acct) => {
-                                    (Some(new_acct), Some(acct), target.clone())
-                                }
+                                Ok(new_acct) => (Some(new_acct), Some(acct), target.clone()),
                                 Err(_) => (None, Some(acct), target.clone()),
                             }
                         }
@@ -321,41 +332,10 @@ impl<'a> Crawler<'a> {
     // ---- §3.2: timelines --------------------------------------------------
 
     fn crawl_twitter_timelines(&self, ds: &mut Dataset) {
-        for m in &ds.matched {
-            let mut timeline = Vec::new();
-            let mut cursor: Option<String> = None;
-            let outcome = loop {
-                match self.request(|| {
-                    self.api.twitter_timeline(
-                        m.twitter_id,
-                        Day::STUDY_START,
-                        Day::STUDY_END,
-                        cursor.as_deref(),
-                    )
-                }) {
-                    Ok(page) => {
-                        timeline.extend(page.items.into_iter().map(|t| TimelineTweet {
-                            id: t.id,
-                            day: t.day,
-                            text: t.text,
-                            source: t.source,
-                        }));
-                        match page.next {
-                            Some(c) => cursor = Some(c),
-                            None => break TwitterCrawlOutcome::Ok,
-                        }
-                    }
-                    Err(FlockError::Forbidden(msg)) => {
-                        break if msg.contains("suspended") {
-                            TwitterCrawlOutcome::Suspended
-                        } else {
-                            TwitterCrawlOutcome::Protected
-                        };
-                    }
-                    Err(FlockError::NotFound(_)) => break TwitterCrawlOutcome::Deleted,
-                    Err(_) => break TwitterCrawlOutcome::Deleted,
-                }
-            };
+        let results = worker_pool::run(self.config.workers, &ds.matched, |_, m| {
+            self.crawl_one_twitter_timeline(m)
+        });
+        for (m, (timeline, outcome)) in ds.matched.iter().zip(results) {
             if outcome == TwitterCrawlOutcome::Ok {
                 ds.twitter_timelines.insert(m.twitter_id, timeline);
             }
@@ -363,38 +343,57 @@ impl<'a> Crawler<'a> {
         }
     }
 
-    fn crawl_mastodon_timelines(&self, ds: &mut Dataset) {
-        // Fan out over worker threads; each worker pulls matched users off a
-        // shared index and pushes results into shared maps.
-        let results: Mutex<Vec<(TwitterUserId, MastodonHandle, Vec<TimelineStatus>, MastodonCrawlOutcome)>> =
-            Mutex::new(Vec::new());
-        let next = AtomicU64::new(0);
-        let matched = &ds.matched;
-        let n_workers = self.config.workers.max(1);
-        crossbeam::scope(|scope| {
-            for _ in 0..n_workers {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
-                    if i >= matched.len() {
-                        break;
+    fn crawl_one_twitter_timeline(
+        &self,
+        m: &MatchedUser,
+    ) -> (Vec<TimelineTweet>, TwitterCrawlOutcome) {
+        let mut timeline = Vec::new();
+        let mut cursor: Option<String> = None;
+        let outcome = loop {
+            match self.request(|| {
+                self.api.twitter_timeline(
+                    m.twitter_id,
+                    Day::STUDY_START,
+                    Day::STUDY_END,
+                    cursor.as_deref(),
+                )
+            }) {
+                Ok(page) => {
+                    timeline.extend(page.items.into_iter().map(|t| TimelineTweet {
+                        id: t.id,
+                        day: t.day,
+                        text: t.text,
+                        source: t.source,
+                    }));
+                    match page.next {
+                        Some(c) => cursor = Some(c),
+                        None => break TwitterCrawlOutcome::Ok,
                     }
-                    let m = &matched[i];
-                    let r = self.crawl_one_mastodon_timeline(m);
-                    results.lock().unwrap().push((
-                        m.twitter_id,
-                        m.resolved_handle.clone(),
-                        r.0,
-                        r.1,
-                    ));
-                });
+                }
+                Err(FlockError::Forbidden(msg)) => {
+                    break if msg.contains("suspended") {
+                        TwitterCrawlOutcome::Suspended
+                    } else {
+                        TwitterCrawlOutcome::Protected
+                    };
+                }
+                Err(FlockError::NotFound(_)) => break TwitterCrawlOutcome::Deleted,
+                Err(_) => break TwitterCrawlOutcome::Deleted,
             }
-        })
-        .expect("worker panicked");
-        for (tid, handle, statuses, outcome) in results.into_inner().unwrap() {
+        };
+        (timeline, outcome)
+    }
+
+    fn crawl_mastodon_timelines(&self, ds: &mut Dataset) {
+        let results = worker_pool::run(self.config.workers, &ds.matched, |_, m| {
+            self.crawl_one_mastodon_timeline(m)
+        });
+        for (m, (statuses, outcome)) in ds.matched.iter().zip(results) {
             if outcome == MastodonCrawlOutcome::Ok {
-                ds.mastodon_timelines.insert(handle, statuses);
+                ds.mastodon_timelines
+                    .insert(m.resolved_handle.clone(), statuses);
             }
-            ds.mastodon_outcomes.insert(tid, outcome);
+            ds.mastodon_outcomes.insert(m.twitter_id, outcome);
         }
     }
 
@@ -412,8 +411,7 @@ impl<'a> Crawler<'a> {
         for src in sources {
             let mut cursor: Option<String> = None;
             loop {
-                match self.request(|| self.api.mastodon_account_statuses(&src, cursor.as_deref()))
-                {
+                match self.request(|| self.api.mastodon_account_statuses(&src, cursor.as_deref())) {
                     Ok(page) => {
                         statuses.extend(page.items.into_iter().map(|s| TimelineStatus {
                             day: s.day,
@@ -486,60 +484,61 @@ impl<'a> Crawler<'a> {
 
     fn crawl_followees(&self, ds: &mut Dataset) {
         let sample = self.sample_for_followees(ds);
-        for id in sample {
-            let m = ds.matched_by_id(id).expect("sampled from matched").clone();
-            // Twitter side (the brutally rate-limited endpoint).
-            let mut twitter = Vec::new();
-            let mut cursor: Option<String> = None;
-            let mut tw_ok = true;
-            loop {
-                match self.request(|| self.api.twitter_following(id, cursor.as_deref())) {
-                    Ok(page) => {
-                        twitter.extend(page.items);
-                        match page.next {
-                            Some(c) => cursor = Some(c),
-                            None => break,
-                        }
-                    }
-                    Err(_) => {
-                        tw_ok = false;
-                        break;
-                    }
-                }
-            }
-            // Mastodon side.
-            let mut mastodon = Vec::new();
-            let mut cursor: Option<String> = None;
-            loop {
-                match self.request(|| {
-                    self.api
-                        .mastodon_account_following(&m.resolved_handle, cursor.as_deref())
-                }) {
-                    Ok(page) => {
-                        mastodon.extend(page.items);
-                        match page.next {
-                            Some(c) => cursor = Some(c),
-                            None => break,
-                        }
-                    }
-                    Err(_) => break,
-                }
-            }
-            if tw_ok {
-                ds.followees.insert(id, FolloweeRecord { twitter, mastodon });
+        let targets: Vec<MatchedUser> = sample
+            .iter()
+            .map(|id| ds.matched_by_id(*id).expect("sampled from matched").clone())
+            .collect();
+        let results = worker_pool::run(self.config.workers, &targets, |_, m| {
+            self.crawl_one_followees(m)
+        });
+        for (m, rec) in targets.iter().zip(results) {
+            if let Some(rec) = rec {
+                ds.followees.insert(m.twitter_id, rec);
             }
         }
+    }
+
+    /// Both followee lists for one sampled user; `None` when the Twitter
+    /// side (the endpoint the record hinges on) is unavailable.
+    fn crawl_one_followees(&self, m: &MatchedUser) -> Option<FolloweeRecord> {
+        // Twitter side (the brutally rate-limited endpoint).
+        let mut twitter = Vec::new();
+        let mut cursor: Option<String> = None;
+        loop {
+            match self.request(|| self.api.twitter_following(m.twitter_id, cursor.as_deref())) {
+                Ok(page) => {
+                    twitter.extend(page.items);
+                    match page.next {
+                        Some(c) => cursor = Some(c),
+                        None => break,
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+        // Mastodon side.
+        let mut mastodon = Vec::new();
+        let mut cursor: Option<String> = None;
+        while let Ok(page) = self.request(|| {
+            self.api
+                .mastodon_account_following(&m.resolved_handle, cursor.as_deref())
+        }) {
+            mastodon.extend(page.items);
+            match page.next {
+                Some(c) => cursor = Some(c),
+                None => break,
+            }
+        }
+        Some(FolloweeRecord { twitter, mastodon })
     }
 
     // ---- Fig. 3 cross-check: weekly activity --------------------------------
 
     fn crawl_weekly_activity(&self, ds: &mut Dataset) {
         for domain in ds.landing_instances() {
-            match self.request(|| self.api.mastodon_instance_activity(&domain)) {
-                Ok(rows) => {
-                    ds.weekly_activity.insert(domain, rows);
-                }
-                Err(_) => {} // down instances simply stay absent
+            // Down instances simply stay absent.
+            if let Ok(rows) = self.request(|| self.api.mastodon_instance_activity(&domain)) {
+                ds.weekly_activity.insert(domain, rows);
             }
         }
     }
@@ -563,8 +562,7 @@ mod tests {
     fn shared() -> &'static (Arc<World>, Dataset) {
         static CELL: OnceLock<(Arc<World>, Dataset)> = OnceLock::new();
         CELL.get_or_init(|| {
-            let world =
-                Arc::new(World::generate(&WorldConfig::small().with_seed(2024)).unwrap());
+            let world = Arc::new(World::generate(&WorldConfig::small().with_seed(2024)).unwrap());
             let api = ApiServer::with_defaults(world.clone());
             let ds = crawl(&api).unwrap();
             (world, ds)
@@ -590,8 +588,7 @@ mod tests {
             .filter(|a| {
                 a.in_bio
                     || (a.in_tweet
-                        && a.first_handle.username()
-                            == world.users[a.owner.index()].username)
+                        && a.first_handle.username() == world.users[a.owner.index()].username)
             })
             .count();
         assert!(
@@ -600,7 +597,10 @@ mod tests {
             ds.matched.len(),
             identifiable
         );
-        assert!(ds.matched.len() < world.n_migrants(), "method must undercount");
+        assert!(
+            ds.matched.len() < world.n_migrants(),
+            "method must undercount"
+        );
         // The search saw many more users than it could map (paper: 1.02M vs
         // 136k).
         assert!(ds.searched_users > ds.matched.len() * 2);
@@ -732,8 +732,10 @@ mod tests {
     #[test]
     fn survives_transient_faults() {
         let world = Arc::new(World::generate(&WorldConfig::small().with_seed(3030)).unwrap());
-        let mut api_cfg = flock_apis::ApiConfig::default();
-        api_cfg.transient_error_rate = 0.05;
+        let api_cfg = flock_apis::ApiConfig {
+            transient_error_rate: 0.05,
+            ..Default::default()
+        };
         let api = ApiServer::new(world, api_cfg);
         let ds = crawl(&api).unwrap();
         assert!(ds.stats.transient_failures > 0);

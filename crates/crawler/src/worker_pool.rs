@@ -1,0 +1,102 @@
+//! A small fixed-size worker pool over crossbeam scoped threads.
+//!
+//! Every parallel crawl phase has the same shape: a read-only slice of work
+//! items, a per-item function that talks to the API server, and a need for
+//! the combined result to be **independent of scheduling** — the paper
+//! pipeline promises bit-identical datasets for a given seed no matter how
+//! many workers run. This helper centralises that shape:
+//!
+//! * workers pull item *indexes* off a shared atomic counter (dynamic load
+//!   balancing, no per-item channel traffic);
+//! * results carry their input index and are merged back **in input
+//!   order**, so downstream code never observes completion order;
+//! * a panic in any worker propagates to the caller (no half-merged data).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `f` over every item of `items` on up to `workers` threads and return
+/// the results in input order. `f` receives `(index, &item)`.
+///
+/// With `workers <= 1` (or a single item) the pool degrades to a plain
+/// in-place loop — same code path the multi-worker case reduces to, so a
+/// one-worker crawl and an eight-worker crawl produce identical output by
+/// construction.
+pub fn run<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                slots.lock().push((i, r));
+            });
+        }
+    })
+    .expect("crawl worker panicked");
+    let mut out = slots.into_inner();
+    // Completion order is scheduling noise; input order is the contract.
+    out.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(out.len(), items.len());
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..500).collect();
+        let out = run(8, &items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_counts_agree() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial = run(1, &items, |_, &x| x * x + 1);
+        for w in [2, 3, 8, 64] {
+            assert_eq!(run(w, &items, |_, &x| x * x + 1), serial, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let items: Vec<usize> = (0..1000).collect();
+        let hits = AtomicUsize::new(0);
+        let out = run(8, &items, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(out.len(), items.len());
+        assert_eq!(hits.load(Ordering::Relaxed), items.len());
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(run(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(run(8, &[42u8], |_, &x| x), vec![42]);
+    }
+}

@@ -100,9 +100,7 @@ pub fn build_ledger(
 
     for inst in instances {
         let share = inst.popularity / pop_sum;
-        let base_reg = config.background_weekly_registrations
-            * share
-            * instances.len() as f64;
+        let base_reg = config.background_weekly_registrations * share * instances.len() as f64;
         let entry = per_instance.get_mut(inst.id.index()).expect("dense ids");
         for &w in &weeks {
             // Instances that did not exist yet have no activity.

@@ -257,7 +257,9 @@ impl WorldConfig {
             ));
         }
         if self.n_instances < 10 {
-            return Err(FlockError::InvalidConfig("need at least 10 instances".into()));
+            return Err(FlockError::InvalidConfig(
+                "need at least 10 instances".into(),
+            ));
         }
         if self.expected_migrants() < 20 {
             return Err(FlockError::InvalidConfig(

@@ -19,7 +19,7 @@
 use crate::config::WorldConfig;
 use crate::migration::MastodonAccount;
 use crate::users::TwitterUser;
-use flock_core::{Day, DetRng, MastodonAccountId, StatusId, TweetId, TwitterUserId, Platform};
+use flock_core::{Day, DetRng, MastodonAccountId, Platform, StatusId, TweetId, TwitterUserId};
 use flock_textsim::{PostGenerator, Topic};
 use serde::{Deserialize, Serialize};
 
@@ -354,9 +354,8 @@ pub fn generate_content(
                     {
                         // Paraphrase one of today's tweets: similar, not
                         // identical (Fig. 14's middle band).
-                        let src = &out.tweets[todays_tweets
-                            [rng.below_usize(todays_tweets.len())]
-                        .index()];
+                        let src = &out.tweets
+                            [todays_tweets[rng.below_usize(todays_tweets.len())].index()];
                         let text = gen.paraphrase(&src.text.clone(), rng);
                         status_id(&mut out, account.id, day, text);
                     }
@@ -413,9 +412,15 @@ mod tests {
     use crate::instances::generate_instances;
     use crate::migration::run_migration;
     use crate::users::generate_users;
-    use flock_textsim::{ToxicityScorer, extract_hashtags};
+    use flock_textsim::{extract_hashtags, ToxicityScorer};
 
-    fn build() -> (WorldConfig, Vec<TwitterUser>, Vec<usize>, Vec<MastodonAccount>, Corpora) {
+    fn build() -> (
+        WorldConfig,
+        Vec<TwitterUser>,
+        Vec<usize>,
+        Vec<MastodonAccount>,
+        Corpora,
+    ) {
         let config = WorldConfig::small().with_seed(41);
         let mut rng = DetRng::new(config.seed);
         let mut users = generate_users(&config, &mut rng.fork("users"));
@@ -431,8 +436,14 @@ mod tests {
             config.instance_zipf_exponent,
             &mut rng.fork("inst"),
         );
-        let accounts =
-            run_migration(&users, &migrants, &graph, &instances, &config, &mut rng.fork("mig"));
+        let accounts = run_migration(
+            &users,
+            &migrants,
+            &graph,
+            &instances,
+            &config,
+            &mut rng.fork("mig"),
+        );
         let corpora = generate_content(
             &mut users,
             &migrants,
@@ -445,7 +456,10 @@ mod tests {
 
     #[test]
     fn source_constants_point_at_the_tools() {
-        assert_eq!(SOURCES[SOURCE_CROSSPOSTER as usize].0, "Mastodon-Twitter Crossposter");
+        assert_eq!(
+            SOURCES[SOURCE_CROSSPOSTER as usize].0,
+            "Mastodon-Twitter Crossposter"
+        );
         assert_eq!(SOURCES[SOURCE_MOA as usize].0, "Moa Bridge");
     }
 
@@ -485,10 +499,7 @@ mod tests {
         for (mi, &np) in corpora.never_posted.iter().enumerate() {
             if np {
                 assert!(
-                    !corpora
-                        .statuses
-                        .iter()
-                        .any(|s| s.account.index() == mi),
+                    !corpora.statuses.iter().any(|s| s.account.index() == mi),
                     "never-posted migrant {mi} has statuses"
                 );
             }
@@ -543,7 +554,11 @@ mod tests {
             if let MirrorBehavior::CrossPoster { source } = b {
                 let uid = users[migrants[mi]].id;
                 let aid = accounts[mi].id;
-                for t in corpora.tweets.iter().filter(|t| t.author == uid && t.source == *source) {
+                for t in corpora
+                    .tweets
+                    .iter()
+                    .filter(|t| t.author == uid && t.source == *source)
+                {
                     tool_tweets += 1;
                     assert!(
                         corpora
@@ -576,19 +591,25 @@ mod tests {
             config.instance_zipf_exponent,
             &mut rng.fork("inst"),
         );
-        let accounts =
-            run_migration(&users, &migrants, &graph, &instances, &config, &mut rng.fork("mig"));
+        let accounts = run_migration(
+            &users,
+            &migrants,
+            &graph,
+            &instances,
+            &config,
+            &mut rng.fork("mig"),
+        );
         let corpora = generate_content(
-            &mut users, &migrants, &accounts, &config, &mut rng.fork("content"),
+            &mut users,
+            &migrants,
+            &accounts,
+            &config,
+            &mut rng.fork("content"),
         );
         let scorer = ToxicityScorer::new();
         let sample = |texts: Vec<&String>| {
             let n = texts.len().min(20_000);
-            let toxic = texts
-                .iter()
-                .take(n)
-                .filter(|t| scorer.is_toxic(t))
-                .count();
+            let toxic = texts.iter().take(n).filter(|t| scorer.is_toxic(t)).count();
             toxic as f64 / n as f64
         };
         let tw = sample(corpora.tweets.iter().map(|t| &t.text).collect());
@@ -656,10 +677,21 @@ mod abandonment_tests {
             config.instance_zipf_exponent,
             &mut rng.fork("i"),
         );
-        let accounts =
-            run_migration(&users, &migrants, &graph, &instances, &config, &mut rng.fork("m"));
-        let corpora =
-            generate_content(&mut users, &migrants, &accounts, &config, &mut rng.fork("c"));
+        let accounts = run_migration(
+            &users,
+            &migrants,
+            &graph,
+            &instances,
+            &config,
+            &mut rng.fork("m"),
+        );
+        let corpora = generate_content(
+            &mut users,
+            &migrants,
+            &accounts,
+            &config,
+            &mut rng.fork("c"),
+        );
         (accounts, corpora)
     }
 
@@ -684,9 +716,8 @@ mod abandonment_tests {
             "abandonment must thin late statuses: {late} vs {late_keep}"
         );
         // Twitter posting is unaffected by Mastodon abandonment.
-        let late_tweets = |c: &Corpora| {
-            c.tweets.iter().filter(|t| t.day.offset() >= 55).count() as f64
-        };
+        let late_tweets =
+            |c: &Corpora| c.tweets.iter().filter(|t| t.day.offset() >= 55).count() as f64;
         let ratio = late_tweets(&corpora) / late_tweets(&keep);
         assert!((0.8..1.2).contains(&ratio), "tweet ratio {ratio}");
         assert_eq!(accounts.len(), keep.never_posted.len());

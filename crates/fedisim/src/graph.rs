@@ -76,7 +76,9 @@ pub fn build_friend_graph(
 
     // Loners contribute no stubs and are never chosen as targets: these are
     // the migrants none of whose followees migrate (§5.2's 3.94%).
-    let loner: Vec<bool> = (0..n_migrants).map(|_| rng.chance(loner_fraction)).collect();
+    let loner: Vec<bool> = (0..n_migrants)
+        .map(|_| rng.chance(loner_fraction))
+        .collect();
 
     // Repeated-nodes trick for preferential attachment: `targets` holds one
     // entry per degree endpoint, so uniform sampling from it is
@@ -218,14 +220,20 @@ mod tests {
         degrees.sort_unstable();
         let median = degrees[degrees.len() / 2] as f64;
         let max = *degrees.last().unwrap() as f64;
-        assert!(max > median * 5.0, "hub-free graph: median {median}, max {max}");
+        assert!(
+            max > median * 5.0,
+            "hub-free graph: median {median}, max {max}"
+        );
     }
 
     #[test]
     fn tiny_graphs() {
         let mut rng = DetRng::new(5);
         assert_eq!(build_friend_graph(0, 10.0, 1.0, 0.0, &mut rng).len(), 0);
-        assert_eq!(build_friend_graph(1, 10.0, 1.0, 0.0, &mut rng).adj[0].len(), 0);
+        assert_eq!(
+            build_friend_graph(1, 10.0, 1.0, 0.0, &mut rng).adj[0].len(),
+            0
+        );
         let g2 = build_friend_graph(2, 10.0, 1.0, 0.0, &mut rng);
         assert_eq!(g2.len(), 2);
     }

@@ -76,15 +76,17 @@ const TOPICAL_DOMAINS: &[(&str, Topic)] = &[
 ];
 
 const SYNTH_PREFIXES: &[&str] = &[
-    "toot", "fedi", "masto", "social", "den", "hive", "nest", "flock", "roost", "perch",
-    "aviary", "murmur", "chirp", "echo", "plume",
+    "toot", "fedi", "masto", "social", "den", "hive", "nest", "flock", "roost", "perch", "aviary",
+    "murmur", "chirp", "echo", "plume",
 ];
 const SYNTH_MIDDLES: &[&str] = &[
-    "berlin", "tokyo", "austin", "oslo", "quebec", "lisbon", "seoul", "cymru", "bavaria",
-    "norden", "pacific", "alpine", "harbor", "prairie", "tundra", "valley", "meadow", "summit",
-    "delta", "citadel", "village", "garden", "grove", "haven", "harvest",
+    "berlin", "tokyo", "austin", "oslo", "quebec", "lisbon", "seoul", "cymru", "bavaria", "norden",
+    "pacific", "alpine", "harbor", "prairie", "tundra", "valley", "meadow", "summit", "delta",
+    "citadel", "village", "garden", "grove", "haven", "harvest",
 ];
-const SYNTH_TLDS: &[&str] = &["social", "online", "club", "city", "zone", "cafe", "space", "town"];
+const SYNTH_TLDS: &[&str] = &[
+    "social", "online", "club", "city", "zone", "cafe", "space", "town",
+];
 
 /// Generate the instance population, popularity-ranked.
 ///
@@ -109,8 +111,8 @@ pub fn generate_instances(n: usize, zipf_exponent: f64, rng: &mut DetRng) -> Vec
     while domains.len() < n {
         let p = SYNTH_PREFIXES[counter % SYNTH_PREFIXES.len()];
         let m = SYNTH_MIDDLES[(counter / SYNTH_PREFIXES.len()) % SYNTH_MIDDLES.len()];
-        let t = SYNTH_TLDS[(counter / (SYNTH_PREFIXES.len() * SYNTH_MIDDLES.len()))
-            % SYNTH_TLDS.len()];
+        let t =
+            SYNTH_TLDS[(counter / (SYNTH_PREFIXES.len() * SYNTH_MIDDLES.len())) % SYNTH_TLDS.len()];
         let overflow = counter / (SYNTH_PREFIXES.len() * SYNTH_MIDDLES.len() * SYNTH_TLDS.len());
         let domain = if overflow == 0 {
             format!("{p}.{m}.{t}")
@@ -231,8 +233,12 @@ mod tests {
         let ia = generate_instances(300, 1.3, &mut a);
         let ib = generate_instances(300, 1.3, &mut b);
         assert_eq!(
-            ia.iter().map(|i| (&i.domain, i.created)).collect::<Vec<_>>(),
-            ib.iter().map(|i| (&i.domain, i.created)).collect::<Vec<_>>()
+            ia.iter()
+                .map(|i| (&i.domain, i.created))
+                .collect::<Vec<_>>(),
+            ib.iter()
+                .map(|i| (&i.domain, i.created))
+                .collect::<Vec<_>>()
         );
     }
 }

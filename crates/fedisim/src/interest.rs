@@ -36,12 +36,7 @@ struct Impulse {
     decay_days: f64,
 }
 
-fn series(
-    name: &str,
-    baseline: f64,
-    impulses: &[Impulse],
-    rng: &mut DetRng,
-) -> InterestSeries {
+fn series(name: &str, baseline: f64, impulses: &[Impulse], rng: &mut DetRng) -> InterestSeries {
     let mut raw: Vec<f64> = Vec::with_capacity(Day::STUDY_LEN);
     for day in Day::study_days() {
         let mut v = baseline;
@@ -75,9 +70,21 @@ pub fn generate_interest(rng: &mut DetRng) -> InterestReport {
             "Twitter alternatives",
             1.5,
             &[
-                Impulse { day: takeover_spike, magnitude: 100.0, decay_days: 3.0 },
-                Impulse { day: Day::LAYOFFS, magnitude: 25.0, decay_days: 3.0 },
-                Impulse { day: Day::RESIGNATIONS, magnitude: 30.0, decay_days: 3.5 },
+                Impulse {
+                    day: takeover_spike,
+                    magnitude: 100.0,
+                    decay_days: 3.0,
+                },
+                Impulse {
+                    day: Day::LAYOFFS,
+                    magnitude: 25.0,
+                    decay_days: 3.0,
+                },
+                Impulse {
+                    day: Day::RESIGNATIONS,
+                    magnitude: 30.0,
+                    decay_days: 3.5,
+                },
             ],
             rng,
         ),
@@ -85,9 +92,21 @@ pub fn generate_interest(rng: &mut DetRng) -> InterestReport {
             "Mastodon",
             4.0,
             &[
-                Impulse { day: takeover_spike, magnitude: 70.0, decay_days: 4.0 },
-                Impulse { day: Day::LAYOFFS, magnitude: 55.0, decay_days: 5.0 },
-                Impulse { day: Day::RESIGNATIONS, magnitude: 60.0, decay_days: 5.0 },
+                Impulse {
+                    day: takeover_spike,
+                    magnitude: 70.0,
+                    decay_days: 4.0,
+                },
+                Impulse {
+                    day: Day::LAYOFFS,
+                    magnitude: 55.0,
+                    decay_days: 5.0,
+                },
+                Impulse {
+                    day: Day::RESIGNATIONS,
+                    magnitude: 60.0,
+                    decay_days: 5.0,
+                },
             ],
             rng,
         ),
@@ -95,8 +114,16 @@ pub fn generate_interest(rng: &mut DetRng) -> InterestReport {
             "Koo",
             1.0,
             &[
-                Impulse { day: takeover_spike, magnitude: 12.0, decay_days: 3.0 },
-                Impulse { day: Day::LAYOFFS, magnitude: 6.0, decay_days: 3.0 },
+                Impulse {
+                    day: takeover_spike,
+                    magnitude: 12.0,
+                    decay_days: 3.0,
+                },
+                Impulse {
+                    day: Day::LAYOFFS,
+                    magnitude: 6.0,
+                    decay_days: 3.0,
+                },
             ],
             rng,
         ),
@@ -104,9 +131,17 @@ pub fn generate_interest(rng: &mut DetRng) -> InterestReport {
             "Hive Social",
             0.5,
             &[
-                Impulse { day: takeover_spike, magnitude: 5.0, decay_days: 3.0 },
+                Impulse {
+                    day: takeover_spike,
+                    magnitude: 5.0,
+                    decay_days: 3.0,
+                },
                 // Hive's moment came with the resignation wave in mid-November.
-                Impulse { day: Day::RESIGNATIONS - 1, magnitude: 18.0, decay_days: 4.0 },
+                Impulse {
+                    day: Day::RESIGNATIONS - 1,
+                    magnitude: 18.0,
+                    decay_days: 4.0,
+                },
             ],
             rng,
         ),
@@ -127,7 +162,7 @@ mod tests {
         for s in [&r.twitter_alternatives, &r.mastodon, &r.koo, &r.hive] {
             assert_eq!(s.values.len(), Day::STUDY_LEN);
             assert!(s.values.iter().all(|v| (0.0..=100.0).contains(v)));
-            assert!(s.values.iter().any(|v| *v == 100.0), "{} never peaks", s.name);
+            assert!(s.values.contains(&100.0), "{} never peaks", s.name);
         }
     }
 
@@ -151,9 +186,8 @@ mod tests {
         let r = report();
         // Compare un-normalized scale via post-takeover mean relative to the
         // series' own peak: Mastodon stays elevated, Koo decays fast.
-        let post_mean = |s: &InterestSeries| {
-            s.values[27..].iter().sum::<f64>() / (s.values.len() - 27) as f64
-        };
+        let post_mean =
+            |s: &InterestSeries| s.values[27..].iter().sum::<f64>() / (s.values.len() - 27) as f64;
         assert!(post_mean(&r.mastodon) > 25.0);
         assert!(post_mean(&r.koo) < post_mean(&r.mastodon));
     }

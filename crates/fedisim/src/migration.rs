@@ -115,11 +115,7 @@ pub fn sample_migration_day(rng: &mut DetRng) -> Day {
 
 /// Derive the Mastodon username: identical to the Twitter one with
 /// probability `same_username_rate`, otherwise a recognizable variant.
-fn mastodon_username(
-    twitter_username: &str,
-    same_rate: f64,
-    rng: &mut DetRng,
-) -> (String, bool) {
+fn mastodon_username(twitter_username: &str, same_rate: f64, rng: &mut DetRng) -> (String, bool) {
     if rng.chance(same_rate) {
         (twitter_username.to_string(), true)
     } else {
@@ -316,8 +312,7 @@ pub fn run_migration(
         );
         chosen_instance[mi] = Some(inst);
 
-        let (m_username, _same) =
-            mastodon_username(&user.username, config.same_username_rate, rng);
+        let (m_username, _same) = mastodon_username(&user.username, config.same_username_rate, rng);
         let handle = MastodonHandle::new(&m_username, &instances[inst.index()].domain)
             .expect("generated names are valid");
 
@@ -360,7 +355,10 @@ pub fn run_migration(
         });
     }
 
-    accounts.into_iter().map(|a| a.expect("all filled")).collect()
+    accounts
+        .into_iter()
+        .map(|a| a.expect("all filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -370,7 +368,13 @@ mod tests {
     use crate::instances::generate_instances;
     use crate::users::generate_users;
 
-    fn setup() -> (WorldConfig, Vec<TwitterUser>, Vec<usize>, MigrantFriendGraph, Vec<Instance>) {
+    fn setup() -> (
+        WorldConfig,
+        Vec<TwitterUser>,
+        Vec<usize>,
+        MigrantFriendGraph,
+        Vec<Instance>,
+    ) {
         let config = WorldConfig::small().with_seed(21);
         let mut rng = DetRng::new(config.seed);
         let users = generate_users(&config, &mut rng.fork("users"));
@@ -381,8 +385,11 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         let graph = build_friend_graph(migrants.len(), 12.0, 0.9, 0.04, &mut rng.fork("graph"));
-        let instances =
-            generate_instances(config.n_instances, config.instance_zipf_exponent, &mut rng.fork("inst"));
+        let instances = generate_instances(
+            config.n_instances,
+            config.instance_zipf_exponent,
+            &mut rng.fork("inst"),
+        );
         (config, users, migrants, graph, instances)
     }
 
@@ -421,10 +428,7 @@ mod tests {
             assert_eq!(a.id.index(), i);
             assert_eq!(a.owner, users[migrants[i]].id);
             assert_eq!(a.instance, a.first_instance);
-            assert_eq!(
-                a.handle.instance(),
-                instances[a.instance.index()].domain
-            );
+            assert_eq!(a.handle.instance(), instances[a.instance.index()].domain);
             assert!(a.created <= Day::COLLECTION_END);
             assert!(a.announced.in_collection_window());
             assert!(a.switch.is_none());
@@ -442,7 +446,10 @@ mod tests {
             .filter(|(i, a)| a.same_username(&users[migrants[*i]].username))
             .count() as f64
             / accounts.len() as f64;
-        assert!((same - config.same_username_rate).abs() < 0.08, "same-rate {same}");
+        assert!(
+            (same - config.same_username_rate).abs() < 0.08,
+            "same-rate {same}"
+        );
     }
 
     #[test]
@@ -455,7 +462,10 @@ mod tests {
             .filter(|a| !a.created.is_post_takeover())
             .count() as f64
             / accounts.len() as f64;
-        assert!((early - config.early_adopter_rate).abs() < 0.09, "early rate {early}");
+        assert!(
+            (early - config.early_adopter_rate).abs() < 0.09,
+            "early rate {early}"
+        );
     }
 
     #[test]
@@ -539,7 +549,10 @@ mod sampler_tests {
         let sampler = InstanceSampler::new(500, 2.25);
         let mut rng = DetRng::new(2);
         let mean_rank = |eng: f64, rng: &mut DetRng| -> f64 {
-            (0..20_000).map(|_| sampler.sample(eng, rng) as f64).sum::<f64>() / 20_000.0
+            (0..20_000)
+                .map(|_| sampler.sample(eng, rng) as f64)
+                .sum::<f64>()
+                / 20_000.0
         };
         let casual = mean_rank(0.7, &mut rng);
         let dedicated = mean_rank(3.0, &mut rng);
@@ -586,8 +599,14 @@ mod sampler_tests {
             config.instance_zipf_exponent,
             &mut rng.fork("i"),
         );
-        let accounts =
-            run_migration(&users, &migrants, &graph, &instances, &config, &mut rng.fork("m"));
+        let accounts = run_migration(
+            &users,
+            &migrants,
+            &graph,
+            &instances,
+            &config,
+            &mut rng.fork("m"),
+        );
         // Users alone on their instance, deep in the tail, must all be
         // dedicated (the self-hoster rule).
         let mut count_per_instance = std::collections::HashMap::new();

@@ -31,7 +31,9 @@ fn modal_friend_instance(
     }
     let mut counts: HashMap<InstanceId, usize> = HashMap::new();
     for &f in friends {
-        *counts.entry(accounts[f as usize].first_instance).or_insert(0) += 1;
+        *counts
+            .entry(accounts[f as usize].first_instance)
+            .or_insert(0) += 1;
     }
     let (inst, c) = counts
         .into_iter()
@@ -43,11 +45,7 @@ fn modal_friend_instance(
 /// 97.22%), after the user has had time to gain experience on the first
 /// instance, and late enough that most of their friends are already on the
 /// destination.
-fn switch_day(
-    account: &MastodonAccount,
-    config: &WorldConfig,
-    rng: &mut DetRng,
-) -> Day {
+fn switch_day(account: &MastodonAccount, config: &WorldConfig, rng: &mut DetRng) -> Day {
     let pre_takeover_possible = account.created.offset() < 24;
     if pre_takeover_possible && !rng.chance(config.switch_post_takeover_rate) {
         // Rare pre-takeover switch by an early adopter.
@@ -102,14 +100,12 @@ pub fn run_switching(
         .collect();
     rng.shuffle(&mut scored);
 
-    let mut switchers: Vec<(usize, InstanceId)> =
-        scored.into_iter().take(target).collect();
+    let mut switchers: Vec<(usize, InstanceId)> = scored.into_iter().take(target).collect();
 
     // Fill the remainder with topic-driven switches: users on big general
     // instances moving to their niche's server.
     if switchers.len() < target {
-        let taken: std::collections::HashSet<usize> =
-            switchers.iter().map(|&(mi, _)| mi).collect();
+        let taken: std::collections::HashSet<usize> = switchers.iter().map(|&(mi, _)| mi).collect();
         for mi in 0..n {
             if switchers.len() >= target {
                 break;
@@ -189,8 +185,14 @@ mod tests {
             config.instance_zipf_exponent,
             &mut rng.fork("inst"),
         );
-        let accounts =
-            run_migration(&users, &migrants, &graph, &instances, &config, &mut rng.fork("mig"));
+        let accounts = run_migration(
+            &users,
+            &migrants,
+            &graph,
+            &instances,
+            &config,
+            &mut rng.fork("mig"),
+        );
         (config, users, migrants, graph, instances, accounts)
     }
 
@@ -199,7 +201,13 @@ mod tests {
         let (config, users, migrants, graph, instances, mut accounts) = build();
         let mut rng = DetRng::new(1);
         let switched = run_switching(
-            &mut accounts, &users, &migrants, &graph, &instances, &config, &mut rng,
+            &mut accounts,
+            &users,
+            &migrants,
+            &graph,
+            &instances,
+            &config,
+            &mut rng,
         );
         let rate = switched.len() as f64 / accounts.len() as f64;
         assert!(
@@ -214,7 +222,13 @@ mod tests {
         let (config, users, migrants, graph, instances, mut accounts) = build();
         let mut rng = DetRng::new(2);
         let switched = run_switching(
-            &mut accounts, &users, &migrants, &graph, &instances, &config, &mut rng,
+            &mut accounts,
+            &users,
+            &migrants,
+            &graph,
+            &instances,
+            &config,
+            &mut rng,
         );
         assert!(!switched.is_empty());
         for &mi in &switched {
@@ -235,7 +249,13 @@ mod tests {
         let (config, users, migrants, graph, instances, mut accounts) = build();
         let mut rng = DetRng::new(3);
         let switched = run_switching(
-            &mut accounts, &users, &migrants, &graph, &instances, &config, &mut rng,
+            &mut accounts,
+            &users,
+            &migrants,
+            &graph,
+            &instances,
+            &config,
+            &mut rng,
         );
         let post = switched
             .iter()
@@ -251,7 +271,13 @@ mod tests {
         let mut rng = DetRng::new(4);
         let before = accounts.clone();
         let switched = run_switching(
-            &mut accounts, &users, &migrants, &graph, &instances, &config, &mut rng,
+            &mut accounts,
+            &users,
+            &migrants,
+            &graph,
+            &instances,
+            &config,
+            &mut rng,
         );
         // For switchers chosen from the friend-cluster pool, the share of
         // friends at the destination must exceed the share at the origin.
@@ -288,7 +314,13 @@ mod tests {
         config.switch_rate = 0.0;
         let mut rng = DetRng::new(5);
         let switched = run_switching(
-            &mut accounts, &users, &migrants, &graph, &instances, &config, &mut rng,
+            &mut accounts,
+            &users,
+            &migrants,
+            &graph,
+            &instances,
+            &config,
+            &mut rng,
         );
         assert!(switched.is_empty());
         assert!(accounts.iter().all(|a| a.switch.is_none()));

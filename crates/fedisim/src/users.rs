@@ -65,14 +65,36 @@ pub struct TwitterUser {
 }
 
 const NAME_ADJECTIVES: &[&str] = &[
-    "quiet", "bright", "mossy", "rapid", "velvet", "cosmic", "amber", "silver", "crimson",
-    "wandering", "curious", "patient", "fuzzy", "sleepy", "electric", "northern", "salty",
-    "gentle", "lunar", "verdant", "rusty", "hollow", "golden", "misty", "bold",
+    "quiet",
+    "bright",
+    "mossy",
+    "rapid",
+    "velvet",
+    "cosmic",
+    "amber",
+    "silver",
+    "crimson",
+    "wandering",
+    "curious",
+    "patient",
+    "fuzzy",
+    "sleepy",
+    "electric",
+    "northern",
+    "salty",
+    "gentle",
+    "lunar",
+    "verdant",
+    "rusty",
+    "hollow",
+    "golden",
+    "misty",
+    "bold",
 ];
 const NAME_NOUNS: &[&str] = &[
-    "otter", "falcon", "badger", "fern", "comet", "harbor", "willow", "ember", "raven",
-    "maple", "cedar", "drift", "spark", "quill", "marsh", "summit", "pebble", "gale",
-    "thicket", "lantern", "anchor", "sprout", "beacon", "prism", "burrow",
+    "otter", "falcon", "badger", "fern", "comet", "harbor", "willow", "ember", "raven", "maple",
+    "cedar", "drift", "spark", "quill", "marsh", "summit", "pebble", "gale", "thicket", "lantern",
+    "anchor", "sprout", "beacon", "prism", "burrow",
 ];
 
 /// Generate a unique username for the `i`-th user.
@@ -108,7 +130,9 @@ pub fn generate_users(config: &WorldConfig, rng: &mut DetRng) -> Vec<TwitterUser
         let is_migrant = rng.chance(config.migrant_fraction);
         let engagement = rng.lognormal(0.0, 0.6);
         // Account age: log-normal in days, median ≈ 11.5 years (§5.1).
-        let age_days = rng.lognormal((4200.0f64).ln(), 0.55).clamp(30.0, 16.5 * 365.0);
+        let age_days = rng
+            .lognormal((4200.0f64).ln(), 0.55)
+            .clamp(30.0, 16.5 * 365.0);
         let primary_topic = Topic::ALL[rng.choose_weighted(&weights)];
         let secondary_topic = Topic::ALL[rng.choose_weighted(&weights)];
         let verified = rng.chance(config.verified_rate);
@@ -116,12 +140,14 @@ pub fn generate_users(config: &WorldConfig, rng: &mut DetRng) -> Vec<TwitterUser
         // engagement (active users follow and are followed more), and
         // boosted for verified accounts.
         let deg_boost = engagement.powf(0.5) * if verified { 4.0 } else { 1.0 };
-        let follower_count = (rng
-            .lognormal(config.twitter_follower_median.ln(), config.twitter_degree_sigma)
-            * deg_boost) as u64;
-        let followee_count = (rng
-            .lognormal(config.twitter_followee_median.ln(), config.twitter_degree_sigma)
-            * engagement.powf(0.3))
+        let follower_count = (rng.lognormal(
+            config.twitter_follower_median.ln(),
+            config.twitter_degree_sigma,
+        ) * deg_boost) as u64;
+        let followee_count = (rng.lognormal(
+            config.twitter_followee_median.ln(),
+            config.twitter_degree_sigma,
+        ) * engagement.powf(0.3))
         .clamp(1.0, 100_000.0) as u64;
         let fate = {
             let r = rng.f64();
@@ -129,10 +155,9 @@ pub fn generate_users(config: &WorldConfig, rng: &mut DetRng) -> Vec<TwitterUser
                 AccountFate::Suspended
             } else if r < config.twitter_suspended_rate + config.twitter_deleted_rate {
                 AccountFate::Deleted
-            } else if r
-                < config.twitter_suspended_rate
-                    + config.twitter_deleted_rate
-                    + config.twitter_protected_rate
+            } else if r < config.twitter_suspended_rate
+                + config.twitter_deleted_rate
+                + config.twitter_protected_rate
             {
                 AccountFate::Protected
             } else {
@@ -153,7 +178,11 @@ pub fn generate_users(config: &WorldConfig, rng: &mut DetRng) -> Vec<TwitterUser
             bio: format!(
                 "{} enthusiast. opinions my own. {}",
                 primary_topic.to_string().to_lowercase(),
-                if verified { "press inquiries via dm." } else { "" }
+                if verified {
+                    "press inquiries via dm."
+                } else {
+                    ""
+                }
             )
             .trim_end()
             .to_string(),

@@ -27,8 +27,8 @@ use crate::switching::run_switching;
 use crate::users::{generate_users, TwitterUser};
 use flock_activitypub::{ActorUri, FediverseNetwork, NetworkConfig};
 use flock_core::{
-    DetRng, FlockError, InstanceId, MastodonAccountId, MastodonHandle, Result, StatusId,
-    TweetId, TwitterUserId,
+    DetRng, FlockError, InstanceId, MastodonAccountId, MastodonHandle, Result, StatusId, TweetId,
+    TwitterUserId,
 };
 use std::collections::HashMap;
 
@@ -185,17 +185,16 @@ impl World {
         // smallest-first with some randomness, until the share of migrants
         // on down instances reaches the configured rate. The flagship and
         // next few giants stay up (they did in reality).
-        assign_downtime(&mut instances, &accounts, config, &mut root.fork("downtime"));
+        assign_downtime(
+            &mut instances,
+            &accounts,
+            config,
+            &mut root.fork("downtime"),
+        );
 
         // ---- indexes ----------------------------------------------------
-        let instance_by_domain = instances
-            .iter()
-            .map(|i| (i.domain.clone(), i.id))
-            .collect();
-        let user_by_username = users
-            .iter()
-            .map(|u| (u.username.clone(), u.id))
-            .collect();
+        let instance_by_domain = instances.iter().map(|i| (i.domain.clone(), i.id)).collect();
+        let user_by_username = users.iter().map(|u| (u.username.clone(), u.id)).collect();
         let account_by_owner = accounts.iter().map(|a| (a.owner, a.id)).collect();
         let mut account_by_handle: HashMap<MastodonHandle, MastodonAccountId> = HashMap::new();
         for a in &accounts {
@@ -390,8 +389,8 @@ fn build_fediverse(
                 if !invisible[mi] {
                     // Twitter fame and Mastodon activeness both attract
                     // discovery follows.
-                    acc += (users[ui].follower_count as f64).sqrt()
-                        * users[ui].engagement.powf(1.5);
+                    acc +=
+                        (users[ui].follower_count as f64).sqrt() * users[ui].engagement.powf(1.5);
                 }
                 acc
             })
@@ -409,8 +408,7 @@ fn build_fediverse(
         }
         let me = &actors[mi];
         let engagement = users[migrant_users[mi]].engagement;
-        let refollow_p =
-            (config.mastodon_refollow_rate * (0.55 + 0.45 * engagement)).min(0.98);
+        let refollow_p = (config.mastodon_refollow_rate * (0.55 + 0.45 * engagement)).min(0.98);
         for &f in graph.friends(mi) {
             // Friends find even invisible accounts (they knew the person),
             // but far less reliably.
@@ -434,7 +432,9 @@ fn build_fediverse(
                 locals[rng.below_usize(locals.len())]
             } else if total_weight > 0.0 {
                 let x = rng.f64() * total_weight;
-                cumulative.partition_point(|c| *c < x).min(accounts.len() - 1)
+                cumulative
+                    .partition_point(|c| *c < x)
+                    .min(accounts.len() - 1)
             } else {
                 continue;
             };
@@ -456,7 +456,10 @@ fn build_fediverse(
         net.set_also_known_as(&new, old)?;
         // The mover re-follows from the new account (Mastodon's follow
         // export/import step), then the Move transfers the followers.
-        let following = net.following_of(old).map(|s| s.to_vec()).unwrap_or_default();
+        let following = net
+            .following_of(old)
+            .map(|s| s.to_vec())
+            .unwrap_or_default();
         for f in following {
             net.undo_follow(old, &f)?;
             // A followee may itself be a moved-away identity by now; the
@@ -570,8 +573,14 @@ mod tests {
             }
         }
         let n = w.accounts.len();
-        assert!(with_following > n * 8 / 10, "{with_following}/{n} follow someone");
-        assert!(with_followers > n * 7 / 10, "{with_followers}/{n} have followers");
+        assert!(
+            with_following > n * 8 / 10,
+            "{with_following}/{n} follow someone"
+        );
+        assert!(
+            with_followers > n * 7 / 10,
+            "{with_followers}/{n} have followers"
+        );
     }
 
     #[test]
@@ -619,12 +628,26 @@ mod tests {
         assert_eq!(a.tweets.len(), b.tweets.len());
         assert_eq!(a.statuses.len(), b.statuses.len());
         assert_eq!(
-            a.accounts.iter().map(|x| x.handle.to_string()).collect::<Vec<_>>(),
-            b.accounts.iter().map(|x| x.handle.to_string()).collect::<Vec<_>>()
+            a.accounts
+                .iter()
+                .map(|x| x.handle.to_string())
+                .collect::<Vec<_>>(),
+            b.accounts
+                .iter()
+                .map(|x| x.handle.to_string())
+                .collect::<Vec<_>>()
         );
         assert_eq!(
-            a.tweets.iter().map(|t| t.text.clone()).take(500).collect::<Vec<_>>(),
-            b.tweets.iter().map(|t| t.text.clone()).take(500).collect::<Vec<_>>()
+            a.tweets
+                .iter()
+                .map(|t| t.text.clone())
+                .take(500)
+                .collect::<Vec<_>>(),
+            b.tweets
+                .iter()
+                .map(|t| t.text.clone())
+                .take(500)
+                .collect::<Vec<_>>()
         );
     }
 
@@ -633,8 +656,16 @@ mod tests {
         let a = World::generate(&WorldConfig::small().with_seed(5)).unwrap();
         let b = World::generate(&WorldConfig::small().with_seed(6)).unwrap();
         assert_ne!(
-            a.tweets.iter().map(|t| t.text.clone()).take(200).collect::<Vec<_>>(),
-            b.tweets.iter().map(|t| t.text.clone()).take(200).collect::<Vec<_>>()
+            a.tweets
+                .iter()
+                .map(|t| t.text.clone())
+                .take(200)
+                .collect::<Vec<_>>(),
+            b.tweets
+                .iter()
+                .map(|t| t.text.clone())
+                .take(200)
+                .collect::<Vec<_>>()
         );
     }
 

@@ -1,10 +1,10 @@
 //! Property-based tests over the generative models.
 
+use flock_core::Day;
 use flock_core::{DetRng, TwitterUserId};
 use flock_fedisim::graph::{build_friend_graph, realize_followees};
 use flock_fedisim::instances::generate_instances;
 use flock_fedisim::migration::{migration_intensity, sample_migration_day, InstanceSampler};
-use flock_core::Day;
 use proptest::prelude::*;
 
 proptest! {

@@ -46,7 +46,12 @@ impl MigrationStudy {
             let r = &self.world.interest;
             for series in [&r.twitter_alternatives, &r.mastodon, &r.koo, &r.hive] {
                 for (i, v) in series.values.iter().enumerate() {
-                    let _ = writeln!(s, "{},{},{v}", flock_core::Day(i as i32), field(&series.name));
+                    let _ = writeln!(
+                        s,
+                        "{},{},{v}",
+                        flock_core::Day(i as i32),
+                        field(&series.name)
+                    );
                 }
             }
             write("fig1.csv", s)?;
@@ -56,7 +61,11 @@ impl MigrationStudy {
             let f = fig2_collection(&self.dataset);
             let mut s = String::from("day,instance_links,keywords_hashtags\n");
             for (i, day) in f.days.iter().enumerate() {
-                let _ = writeln!(s, "{day},{},{}", f.instance_links[i], f.keywords_and_hashtags[i]);
+                let _ = writeln!(
+                    s,
+                    "{day},{},{}",
+                    f.instance_links[i], f.keywords_and_hashtags[i]
+                );
             }
             write("fig2.csv", s)?;
         }
@@ -142,7 +151,13 @@ impl MigrationStudy {
             let f = fig9_switching(&self.dataset);
             let mut s = String::from("from,to,count\n");
             for flow in &f.flows {
-                let _ = writeln!(s, "{},{},{}", field(&flow.from), field(&flow.to), flow.count);
+                let _ = writeln!(
+                    s,
+                    "{},{},{}",
+                    field(&flow.from),
+                    field(&flow.to),
+                    flow.count
+                );
             }
             write("fig9.csv", s)?;
         }
@@ -255,7 +270,13 @@ mod tests {
         let dir = std::env::temp_dir().join("flock_csv_test");
         let n = study().export_csv(&dir).unwrap();
         assert_eq!(n, 18, "16 figures + headline + retention");
-        for name in ["fig1.csv", "fig5.csv", "fig9.csv", "fig16.csv", "headline.csv"] {
+        for name in [
+            "fig1.csv",
+            "fig5.csv",
+            "fig9.csv",
+            "fig16.csv",
+            "headline.csv",
+        ] {
             let content = std::fs::read_to_string(dir.join(name)).unwrap();
             assert!(content.lines().count() > 1, "{name} is empty");
             // Every row has the same number of fields as the header

@@ -59,14 +59,18 @@ impl FigureId {
     /// What the artifact shows, as captioned in the paper.
     pub fn caption(self) -> &'static str {
         match self {
-            FigureId::Fig1 => "Fig 1: search interest for Twitter alternatives / Mastodon / Koo / Hive",
+            FigureId::Fig1 => {
+                "Fig 1: search interest for Twitter alternatives / Mastodon / Koo / Hive"
+            }
             FigureId::Fig2 => "Fig 2: daily tweets with instance links vs migration keywords",
             FigureId::Fig3 => "Fig 3: weekly activity on Mastodon instances",
             FigureId::Fig4 => "Fig 4: top 30 Mastodon instances Twitter users migrated to",
             FigureId::Fig5 => "Fig 5: percentage of users on top-% instances",
             FigureId::Fig6 => "Fig 6: instance sizes and per-size follower/followee/status CDFs",
             FigureId::Fig7 => "Fig 7: follower/followee CDFs on Twitter vs Mastodon",
-            FigureId::Fig8 => "Fig 8: fraction of Twitter followees that migrated / earlier / same instance",
+            FigureId::Fig8 => {
+                "Fig 8: fraction of Twitter followees that migrated / earlier / same instance"
+            }
             FigureId::Fig9 => "Fig 9: chord flows of instance switching",
             FigureId::Fig10 => "Fig 10: switchers' followees at first/second instance",
             FigureId::Fig11 => "Fig 11: daily tweets and statuses of migrated users",
@@ -179,7 +183,13 @@ impl MigrationStudy {
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                 .map(|(i, _)| Day(i as i32))
                 .unwrap();
-            let _ = writeln!(out, "{:<22} {}  peak {}", s.name, sparkline(&s.values), peak);
+            let _ = writeln!(
+                out,
+                "{:<22} {}  peak {}",
+                s.name,
+                sparkline(&s.values),
+                peak
+            );
         }
         let _ = writeln!(
             out,
@@ -257,12 +267,24 @@ impl MigrationStudy {
         let c = fig5_centralization(&self.dataset);
         for pct in [5, 10, 15, 20, 25, 50, 75, 100] {
             let share = flock_analysis::top_fraction_share(
-                &instance_sizes(&self.dataset).values().copied().collect::<Vec<_>>(),
+                &instance_sizes(&self.dataset)
+                    .values()
+                    .copied()
+                    .collect::<Vec<_>>(),
                 pct as f64 / 100.0,
             );
-            let _ = writeln!(out, "top {pct:>3}% of instances -> {:>6.2}% of users", share * 100.0);
+            let _ = writeln!(
+                out,
+                "top {pct:>3}% of instances -> {:>6.2}% of users",
+                share * 100.0
+            );
         }
-        out.push_str(&compare("users on top 25% of instances", 96.0, c.top_quartile_share * 100.0, "%"));
+        out.push_str(&compare(
+            "users on top 25% of instances",
+            96.0,
+            c.top_quartile_share * 100.0,
+            "%",
+        ));
         let _ = writeln!(out);
         let _ = writeln!(
             out,
@@ -279,7 +301,11 @@ impl MigrationStudy {
             f.single_user_instance_fraction * 100.0
         );
         for b in &f.buckets {
-            let _ = writeln!(out, "  {:<14} {:>5} instances {:>6} users", b.label, b.n_instances, b.n_users);
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>5} instances {:>6} users",
+                b.label, b.n_instances, b.n_users
+            );
         }
         let head: Vec<String> = f
             .size_histogram
@@ -288,63 +314,170 @@ impl MigrationStudy {
             .map(|(size, n)| format!("{size}u×{n}"))
             .collect();
         let _ = writeln!(out, "  size histogram head: {}", head.join("  "));
-        let _ = writeln!(out, "(b) followers   (c) followees   (d) statuses — per-user CDFs by bucket:");
+        let _ = writeln!(
+            out,
+            "(b) followers   (c) followees   (d) statuses — per-user CDFs by bucket:"
+        );
         for b in &f.buckets {
             let _ = writeln!(out, "  [{}]", b.label);
             let _ = writeln!(out, "    {}", quantiles("followers", &b.followers));
             let _ = writeln!(out, "    {}", quantiles("followees", &b.followees));
             let _ = writeln!(out, "    {}", quantiles("statuses", &b.statuses));
         }
-        out.push_str(&compare("single-user follower advantage", 64.88, f.single_vs_rest_followers_pct, "%"));
+        out.push_str(&compare(
+            "single-user follower advantage",
+            64.88,
+            f.single_vs_rest_followers_pct,
+            "%",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("single-user followee advantage", 99.04, f.single_vs_rest_followees_pct, "%"));
+        out.push_str(&compare(
+            "single-user followee advantage",
+            99.04,
+            f.single_vs_rest_followees_pct,
+            "%",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("single-user status advantage", 121.14, f.single_vs_rest_statuses_pct, "%"));
+        out.push_str(&compare(
+            "single-user status advantage",
+            121.14,
+            f.single_vs_rest_statuses_pct,
+            "%",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("users entering the analysis", 50.59, f.analyzed_user_fraction * 100.0, "%"));
+        out.push_str(&compare(
+            "users entering the analysis",
+            50.59,
+            f.analyzed_user_fraction * 100.0,
+            "%",
+        ));
         let _ = writeln!(out);
     }
 
     fn fig7(&self, out: &mut String) {
         let f = fig7_social_networks(&self.dataset);
-        let _ = writeln!(out, "{}", quantiles("twitter followers", &f.twitter_followers));
-        let _ = writeln!(out, "{}", quantiles("twitter followees", &f.twitter_followees));
-        let _ = writeln!(out, "{}", quantiles("mastodon followers", &f.mastodon_followers));
-        let _ = writeln!(out, "{}", quantiles("mastodon followees", &f.mastodon_followees));
-        out.push_str(&compare("median twitter followers", 744.0, f.twitter_follower_median, ""));
+        let _ = writeln!(
+            out,
+            "{}",
+            quantiles("twitter followers", &f.twitter_followers)
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            quantiles("twitter followees", &f.twitter_followees)
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            quantiles("mastodon followers", &f.mastodon_followers)
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            quantiles("mastodon followees", &f.mastodon_followees)
+        );
+        out.push_str(&compare(
+            "median twitter followers",
+            744.0,
+            f.twitter_follower_median,
+            "",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("median twitter followees", 787.0, f.twitter_followee_median, ""));
+        out.push_str(&compare(
+            "median twitter followees",
+            787.0,
+            f.twitter_followee_median,
+            "",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("median mastodon followers", 38.0, f.mastodon_follower_median, ""));
+        out.push_str(&compare(
+            "median mastodon followers",
+            38.0,
+            f.mastodon_follower_median,
+            "",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("median mastodon followees", 48.0, f.mastodon_followee_median, ""));
+        out.push_str(&compare(
+            "median mastodon followees",
+            48.0,
+            f.mastodon_followee_median,
+            "",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("no mastodon followers", 6.01, f.mastodon_no_followers_pct, "%"));
+        out.push_str(&compare(
+            "no mastodon followers",
+            6.01,
+            f.mastodon_no_followers_pct,
+            "%",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("median twitter age (years)", 11.5, f.twitter_median_age_years, ""));
+        out.push_str(&compare(
+            "median twitter age (years)",
+            11.5,
+            f.twitter_median_age_years,
+            "",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("median mastodon age (days)", 35.0, f.mastodon_median_age_days, ""));
+        out.push_str(&compare(
+            "median mastodon age (days)",
+            35.0,
+            f.mastodon_median_age_days,
+            "",
+        ));
         let _ = writeln!(out);
     }
 
     fn fig8(&self, out: &mut String) {
         let f = fig8_influence(&self.dataset);
         let _ = writeln!(out, "{}", quantiles("frac migrated", &f.frac_migrated));
-        let _ = writeln!(out, "{}", quantiles("frac migrated before", &f.frac_migrated_before));
-        let _ = writeln!(out, "{}", quantiles("frac same instance", &f.frac_same_instance));
-        out.push_str(&compare("mean followees migrated", 5.99, f.mean_migrated_pct, "%"));
+        let _ = writeln!(
+            out,
+            "{}",
+            quantiles("frac migrated before", &f.frac_migrated_before)
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            quantiles("frac same instance", &f.frac_same_instance)
+        );
+        out.push_str(&compare(
+            "mean followees migrated",
+            5.99,
+            f.mean_migrated_pct,
+            "%",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("no followee migrated", 3.94, f.none_migrated_pct, "%"));
+        out.push_str(&compare(
+            "no followee migrated",
+            3.94,
+            f.none_migrated_pct,
+            "%",
+        ));
         let _ = writeln!(out);
         out.push_str(&compare("first movers", 4.98, f.first_mover_pct, "%"));
         let _ = writeln!(out);
         out.push_str(&compare("last movers", 4.58, f.last_mover_pct, "%"));
         let _ = writeln!(out);
-        out.push_str(&compare("migrated followees earlier", 45.76, f.mean_migrated_before_pct, "%"));
+        out.push_str(&compare(
+            "migrated followees earlier",
+            45.76,
+            f.mean_migrated_before_pct,
+            "%",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("migrated followees same instance", 14.72, f.mean_same_instance_pct, "%"));
+        out.push_str(&compare(
+            "migrated followees same instance",
+            14.72,
+            f.mean_same_instance_pct,
+            "%",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("co-location on mastodon.social", 30.68, f.same_instance_on_flagship_pct, "%"));
+        out.push_str(&compare(
+            "co-location on mastodon.social",
+            30.68,
+            f.same_instance_on_flagship_pct,
+            "%",
+        ));
         let _ = writeln!(out);
         let _ = writeln!(out, "  sampled users with followee data: {}", f.n_sampled);
     }
@@ -356,28 +489,69 @@ impl MigrationStudy {
             let _ = writeln!(
                 out,
                 "{}",
-                bar(&format!("{} -> {}", flow.from, flow.to), flow.count as f64, max, 30)
+                bar(
+                    &format!("{} -> {}", flow.from, flow.to),
+                    flow.count as f64,
+                    max,
+                    30
+                )
             );
         }
         out.push_str(&compare("users who switched", 4.09, f.switcher_pct, "%"));
         let _ = writeln!(out);
-        out.push_str(&compare("switches post-takeover", 97.22, f.post_takeover_pct, "%"));
+        out.push_str(&compare(
+            "switches post-takeover",
+            97.22,
+            f.post_takeover_pct,
+            "%",
+        ));
         let _ = writeln!(out);
         let _ = writeln!(out, "  switchers observed: {}", f.n_switchers);
     }
 
     fn fig10(&self, out: &mut String) {
         let f = fig10_switcher_influence(&self.dataset);
-        let _ = writeln!(out, "{}", quantiles("frac at first instance", &f.frac_at_first));
-        let _ = writeln!(out, "{}", quantiles("frac at second instance", &f.frac_at_second));
-        let _ = writeln!(out, "{}", quantiles("frac at second (before)", &f.frac_at_second_before));
-        out.push_str(&compare("followees at first instance", 11.4, f.mean_at_first_pct, "%"));
+        let _ = writeln!(
+            out,
+            "{}",
+            quantiles("frac at first instance", &f.frac_at_first)
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            quantiles("frac at second instance", &f.frac_at_second)
+        );
+        let _ = writeln!(
+            out,
+            "{}",
+            quantiles("frac at second (before)", &f.frac_at_second_before)
+        );
+        out.push_str(&compare(
+            "followees at first instance",
+            11.4,
+            f.mean_at_first_pct,
+            "%",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("followees at second instance", 46.98, f.mean_at_second_pct, "%"));
+        out.push_str(&compare(
+            "followees at second instance",
+            46.98,
+            f.mean_at_second_pct,
+            "%",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("at second before switcher", 77.42, f.mean_second_before_pct, "%"));
+        out.push_str(&compare(
+            "at second before switcher",
+            77.42,
+            f.mean_second_before_pct,
+            "%",
+        ));
         let _ = writeln!(out);
-        let _ = writeln!(out, "  switchers with followee data: {}", f.n_switchers_with_followees);
+        let _ = writeln!(
+            out,
+            "  switchers with followee data: {}",
+            f.n_switchers_with_followees
+        );
     }
 
     fn fig11(&self, out: &mut String) {
@@ -399,7 +573,11 @@ impl MigrationStudy {
 
     fn fig12(&self, out: &mut String) {
         let rows = fig12_sources(&self.dataset, 30);
-        let _ = writeln!(out, "{:<32} {:>10} {:>10} {:>10}", "source", "before", "after", "growth%");
+        let _ = writeln!(
+            out,
+            "{:<32} {:>10} {:>10} {:>10}",
+            "source", "before", "after", "growth%"
+        );
         for r in &rows {
             let growth = r.growth_pct();
             let _ = writeln!(
@@ -415,9 +593,17 @@ impl MigrationStudy {
                 }
             );
         }
-        for (tool, paper) in [("Mastodon-Twitter Crossposter", 1128.95), ("Moa Bridge", 1732.26)] {
+        for (tool, paper) in [
+            ("Mastodon-Twitter Crossposter", 1128.95),
+            ("Moa Bridge", 1732.26),
+        ] {
             if let Some(r) = rows.iter().find(|r| r.source == tool) {
-                out.push_str(&compare(&format!("{tool} growth"), paper, r.growth_pct(), "%"));
+                out.push_str(&compare(
+                    &format!("{tool} growth"),
+                    paper,
+                    r.growth_pct(),
+                    "%",
+                ));
                 let _ = writeln!(out);
             }
         }
@@ -427,7 +613,12 @@ impl MigrationStudy {
         let f = fig13_crossposters(&self.dataset);
         let series: Vec<f64> = f.users_per_day.iter().map(|v| *v as f64).collect();
         let _ = writeln!(out, "daily cross-poster users  {}", sparkline(&series));
-        out.push_str(&compare("users ever using a cross-poster", 5.73, f.ever_used_pct, "%"));
+        out.push_str(&compare(
+            "users ever using a cross-poster",
+            5.73,
+            f.ever_used_pct,
+            "%",
+        ));
         let _ = writeln!(out);
         let _ = writeln!(
             out,
@@ -439,18 +630,33 @@ impl MigrationStudy {
         let f = fig14_similarity(&self.dataset);
         let _ = writeln!(out, "{}", quantiles("identical fraction", &f.identical));
         let _ = writeln!(out, "{}", quantiles("similar fraction", &f.similar));
-        out.push_str(&compare("mean identical statuses", 1.53, f.mean_identical_pct, "%"));
+        out.push_str(&compare(
+            "mean identical statuses",
+            1.53,
+            f.mean_identical_pct,
+            "%",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("mean similar statuses", 16.57, f.mean_similar_pct, "%"));
+        out.push_str(&compare(
+            "mean similar statuses",
+            16.57,
+            f.mean_similar_pct,
+            "%",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("fully different users", 84.45, f.fully_different_pct, "%"));
+        out.push_str(&compare(
+            "fully different users",
+            84.45,
+            f.fully_different_pct,
+            "%",
+        ));
         let _ = writeln!(out);
         let _ = writeln!(out, "  users with both timelines: {}", f.n_users);
     }
 
     fn fig15(&self, out: &mut String) {
         let f = fig15_hashtags(&self.dataset, 30);
-        let _ = writeln!(out, "{:<36} | {}", "twitter", "mastodon");
+        let _ = writeln!(out, "{:<36} | mastodon", "twitter");
         for i in 0..30 {
             let left = f
                 .twitter
@@ -477,15 +683,40 @@ impl MigrationStudy {
         let f = fig16_toxicity(&self.dataset);
         let _ = writeln!(out, "{}", quantiles("toxic frac (twitter)", &f.twitter));
         let _ = writeln!(out, "{}", quantiles("toxic frac (mastodon)", &f.mastodon));
-        out.push_str(&compare("toxic tweets (corpus)", 5.49, f.twitter_corpus_pct, "%"));
+        out.push_str(&compare(
+            "toxic tweets (corpus)",
+            5.49,
+            f.twitter_corpus_pct,
+            "%",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("toxic statuses (corpus)", 2.80, f.mastodon_corpus_pct, "%"));
+        out.push_str(&compare(
+            "toxic statuses (corpus)",
+            2.80,
+            f.mastodon_corpus_pct,
+            "%",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("mean toxic tweets per user", 4.02, f.twitter_user_mean_pct, "%"));
+        out.push_str(&compare(
+            "mean toxic tweets per user",
+            4.02,
+            f.twitter_user_mean_pct,
+            "%",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("mean toxic statuses per user", 2.07, f.mastodon_user_mean_pct, "%"));
+        out.push_str(&compare(
+            "mean toxic statuses per user",
+            2.07,
+            f.mastodon_user_mean_pct,
+            "%",
+        ));
         let _ = writeln!(out);
-        out.push_str(&compare("toxic on both platforms", 14.26, f.toxic_on_both_pct, "%"));
+        out.push_str(&compare(
+            "toxic on both platforms",
+            14.26,
+            f.toxic_on_both_pct,
+            "%",
+        ));
         let _ = writeln!(out);
     }
 
@@ -500,18 +731,42 @@ impl MigrationStudy {
         let share = |c: RetentionClass| {
             *r.counts.get(&c).unwrap_or(&0) as f64 / r.n_users.max(1) as f64 * 100.0
         };
-        let _ = writeln!(out, "last-week behaviour of {} crawlable migrants:", r.n_users);
-        let _ = writeln!(out, "  dual citizens (both platforms)   {:>6.2}%", share(RetentionClass::DualCitizen));
-        let _ = writeln!(out, "  fully migrated (Mastodon only)   {:>6.2}%", share(RetentionClass::FullyMigrated));
-        let _ = writeln!(out, "  returned to Twitter              {:>6.2}%", share(RetentionClass::Returned));
-        let _ = writeln!(out, "  dormant everywhere               {:>6.2}%", share(RetentionClass::Dormant));
+        let _ = writeln!(
+            out,
+            "last-week behaviour of {} crawlable migrants:",
+            r.n_users
+        );
+        let _ = writeln!(
+            out,
+            "  dual citizens (both platforms)   {:>6.2}%",
+            share(RetentionClass::DualCitizen)
+        );
+        let _ = writeln!(
+            out,
+            "  fully migrated (Mastodon only)   {:>6.2}%",
+            share(RetentionClass::FullyMigrated)
+        );
+        let _ = writeln!(
+            out,
+            "  returned to Twitter              {:>6.2}%",
+            share(RetentionClass::Returned)
+        );
+        let _ = writeln!(
+            out,
+            "  dormant everywhere               {:>6.2}%",
+            share(RetentionClass::Dormant)
+        );
         let _ = writeln!(
             out,
             "mastodon retention {:.2}%   returned {:.2}%   late joiners (post-resignations accounts) {:.2}%",
             r.mastodon_retention_pct, r.returned_pct, r.late_joiner_pct
         );
         let curve: Vec<f64> = r.weekly_active_users.iter().map(|v| *v as f64).collect();
-        let _ = writeln!(out, "weekly active status posters     {}", sparkline(&curve));
+        let _ = writeln!(
+            out,
+            "weekly active status posters     {}",
+            sparkline(&curve)
+        );
         out
     }
 
@@ -524,7 +779,10 @@ impl MigrationStudy {
             "=== Extension: topical alignment (quantifying §5.2/§5.3) ==="
         );
         let r = topic_report(&self.dataset, 5);
-        let _ = writeln!(out, "most topically coherent instances (≥5 interest-typed users):");
+        let _ = writeln!(
+            out,
+            "most topically coherent instances (≥5 interest-typed users):"
+        );
         for p in r.profiles.iter().take(10) {
             let _ = writeln!(
                 out,
@@ -580,11 +838,7 @@ impl MigrationStudy {
             let _ = writeln!(out, "```text");
             let rendered = self.render(id);
             // Drop the duplicate banner line.
-            let body: String = rendered
-                .lines()
-                .skip(1)
-                .collect::<Vec<_>>()
-                .join("\n");
+            let body: String = rendered.lines().skip(1).collect::<Vec<_>>().join("\n");
             out.push_str(&body);
             let _ = writeln!(out, "\n```\n");
         }
@@ -599,7 +853,10 @@ impl MigrationStudy {
         let _ = writeln!(out, "```\n");
         for (title, body) in [
             ("retention (§8 future work)", self.render_retention()),
-            ("topical alignment (§5.2/§5.3 quantified)", self.render_topics()),
+            (
+                "topical alignment (§5.2/§5.3 quantified)",
+                self.render_topics(),
+            ),
         ] {
             let _ = writeln!(out, "## Extension: {title}\n");
             let _ = writeln!(out, "```text");

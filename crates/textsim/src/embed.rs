@@ -145,7 +145,11 @@ mod tests {
         // a retagged hashtag looks like.
         let a = "instance federation server admin timeline boost toot activitypub decentralized moderation";
         let b = "instance federation server admin timeline boost toot activitypub decentralized community";
-        assert!(is_similar(a, b), "cosine = {}", cosine(&embed(a), &embed(b)));
+        assert!(
+            is_similar(a, b),
+            "cosine = {}",
+            cosine(&embed(a), &embed(b))
+        );
     }
 
     #[test]
@@ -154,13 +158,19 @@ mod tests {
         let b = "recipe sourdough espresso ramen roast fermented seasonal bakery";
         let sim = cosine(&embed(a), &embed(b));
         assert!(sim < SIMILARITY_THRESHOLD, "cosine = {sim}");
-        assert!(sim.abs() < 0.5, "unrelated posts should be near-orthogonal: {sim}");
+        assert!(
+            sim.abs() < 0.5,
+            "unrelated posts should be near-orthogonal: {sim}"
+        );
     }
 
     #[test]
     fn similarity_is_symmetric() {
         let pairs = [
-            ("match goal league transfer", "coach penalty fixture stadium"),
+            (
+                "match goal league transfer",
+                "coach penalty fixture stadium",
+            ),
             ("model training dataset", "model training dataset neural"),
         ];
         for (a, b) in pairs {

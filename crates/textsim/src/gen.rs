@@ -164,7 +164,10 @@ mod tests {
         let g = PostGenerator::default();
         let mut a = DetRng::new(7);
         let mut b = DetRng::new(7);
-        assert_eq!(g.generate(Topic::Food, &mut a), g.generate(Topic::Food, &mut b));
+        assert_eq!(
+            g.generate(Topic::Food, &mut a),
+            g.generate(Topic::Food, &mut b)
+        );
     }
 
     #[test]
@@ -237,7 +240,10 @@ mod tests {
             let post = g.generate(Topic::Politics, &mut post_rng);
             assert!(!scorer.is_toxic(&post), "clean post scored toxic: {post}");
             let toxic = g.toxicify(&post, &mut rng);
-            assert!(scorer.is_toxic(&toxic), "toxicified post not toxic: {toxic}");
+            assert!(
+                scorer.is_toxic(&toxic),
+                "toxicified post not toxic: {toxic}"
+            );
         }
     }
 

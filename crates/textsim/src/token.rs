@@ -71,7 +71,10 @@ mod tests {
 
     #[test]
     fn hashtag_trailing_punctuation_stripped() {
-        assert_eq!(extract_hashtags("so long! #RIPTwitter."), vec!["#riptwitter"]);
+        assert_eq!(
+            extract_hashtags("so long! #RIPTwitter."),
+            vec!["#riptwitter"]
+        );
     }
 
     #[test]

@@ -69,87 +69,556 @@ impl Topic {
     pub fn words(self) -> &'static [&'static str] {
         match self {
             Topic::Fediverse => &[
-                "instance", "federation", "server", "admin", "timeline", "boost", "toot",
-                "activitypub", "decentralized", "moderation", "defederate", "local", "remote",
-                "fediverse", "interoperable", "opensource", "community", "onboarding",
-                "webfinger", "handle", "mutuals", "verification", "hashtags", "filters", "blocklist", "selfhosted", "protocol", "migrate", "followers", "threads", "replies", "favourite", "contentwarning", "altext", "discoverability", "serverside", "uptime", "donations", "sysadmin", "registrations",
+                "instance",
+                "federation",
+                "server",
+                "admin",
+                "timeline",
+                "boost",
+                "toot",
+                "activitypub",
+                "decentralized",
+                "moderation",
+                "defederate",
+                "local",
+                "remote",
+                "fediverse",
+                "interoperable",
+                "opensource",
+                "community",
+                "onboarding",
+                "webfinger",
+                "handle",
+                "mutuals",
+                "verification",
+                "hashtags",
+                "filters",
+                "blocklist",
+                "selfhosted",
+                "protocol",
+                "migrate",
+                "followers",
+                "threads",
+                "replies",
+                "favourite",
+                "contentwarning",
+                "altext",
+                "discoverability",
+                "serverside",
+                "uptime",
+                "donations",
+                "sysadmin",
+                "registrations",
             ],
             Topic::Migration => &[
-                "leaving", "moving", "account", "followers", "migration", "birdsite", "quit",
-                "joined", "alternative", "platform", "deactivate", "goodbye", "welcome",
-                "newhere", "introduction", "finding", "friends", "exodus",
-                "bridges", "crossposting", "archive", "export", "verified", "checkmark", "timeline", "algorithm", "chronological", "adfree", "community", "culture", "etiquette", "learning", "curve", "signup", "invite", "wave", "newbies", "veterans", "settled", "staying",
+                "leaving",
+                "moving",
+                "account",
+                "followers",
+                "migration",
+                "birdsite",
+                "quit",
+                "joined",
+                "alternative",
+                "platform",
+                "deactivate",
+                "goodbye",
+                "welcome",
+                "newhere",
+                "introduction",
+                "finding",
+                "friends",
+                "exodus",
+                "bridges",
+                "crossposting",
+                "archive",
+                "export",
+                "verified",
+                "checkmark",
+                "timeline",
+                "algorithm",
+                "chronological",
+                "adfree",
+                "community",
+                "culture",
+                "etiquette",
+                "learning",
+                "curve",
+                "signup",
+                "invite",
+                "wave",
+                "newbies",
+                "veterans",
+                "settled",
+                "staying",
             ],
             Topic::Entertainment => &[
-                "album", "song", "playlist", "concert", "radio", "episode", "season", "movie",
-                "trailer", "series", "band", "vinyl", "gig", "festival", "soundtrack", "remix",
-                "premiere", "chart",
-                "actor", "director", "screening", "binge", "finale", "cliffhanger", "spoilers", "cast", "script", "reboot", "sequel", "documentary", "animation", "karaoke", "setlist", "encore", "acoustic", "lyrics", "producer", "mixtape", "headliner", "ballad",
+                "album",
+                "song",
+                "playlist",
+                "concert",
+                "radio",
+                "episode",
+                "season",
+                "movie",
+                "trailer",
+                "series",
+                "band",
+                "vinyl",
+                "gig",
+                "festival",
+                "soundtrack",
+                "remix",
+                "premiere",
+                "chart",
+                "actor",
+                "director",
+                "screening",
+                "binge",
+                "finale",
+                "cliffhanger",
+                "spoilers",
+                "cast",
+                "script",
+                "reboot",
+                "sequel",
+                "documentary",
+                "animation",
+                "karaoke",
+                "setlist",
+                "encore",
+                "acoustic",
+                "lyrics",
+                "producer",
+                "mixtape",
+                "headliner",
+                "ballad",
             ],
             Topic::Celebrities => &[
-                "interview", "redcarpet", "gossip", "paparazzi", "scandal", "premiere",
-                "fashion", "award", "nominee", "couple", "rumor", "stylist", "fans", "idol",
-                "tabloid", "feud",
-                "engagement", "divorce", "memoir", "lookalike", "entourage", "brand", "endorsement", "glamour", "diva", "heartthrob", "spotlight", "publicist", "meltdown", "comeback", "cameo", "bodyguard", "yacht", "mansion", "chart", "gala",
+                "interview",
+                "redcarpet",
+                "gossip",
+                "paparazzi",
+                "scandal",
+                "premiere",
+                "fashion",
+                "award",
+                "nominee",
+                "couple",
+                "rumor",
+                "stylist",
+                "fans",
+                "idol",
+                "tabloid",
+                "feud",
+                "engagement",
+                "divorce",
+                "memoir",
+                "lookalike",
+                "entourage",
+                "brand",
+                "endorsement",
+                "glamour",
+                "diva",
+                "heartthrob",
+                "spotlight",
+                "publicist",
+                "meltdown",
+                "comeback",
+                "cameo",
+                "bodyguard",
+                "yacht",
+                "mansion",
+                "chart",
+                "gala",
             ],
             Topic::Politics => &[
-                "election", "parliament", "policy", "minister", "vote", "campaign", "reform",
-                "sanctions", "ukraine", "protest", "budget", "coalition", "debate", "ballot",
-                "referendum", "manifesto", "democracy", "legislation",
-                "inflation", "healthcare", "immigration", "senate", "congress", "filibuster", "lobbying", "subsidy", "tariff", "diplomacy", "treaty", "summit", "veto", "amendment", "gerrymander", "turnout", "polling", "constituency", "austerity", "pension", "strike", "union",
+                "election",
+                "parliament",
+                "policy",
+                "minister",
+                "vote",
+                "campaign",
+                "reform",
+                "sanctions",
+                "ukraine",
+                "protest",
+                "budget",
+                "coalition",
+                "debate",
+                "ballot",
+                "referendum",
+                "manifesto",
+                "democracy",
+                "legislation",
+                "inflation",
+                "healthcare",
+                "immigration",
+                "senate",
+                "congress",
+                "filibuster",
+                "lobbying",
+                "subsidy",
+                "tariff",
+                "diplomacy",
+                "treaty",
+                "summit",
+                "veto",
+                "amendment",
+                "gerrymander",
+                "turnout",
+                "polling",
+                "constituency",
+                "austerity",
+                "pension",
+                "strike",
+                "union",
             ],
             Topic::Tech => &[
-                "rust", "compiler", "database", "kernel", "deploy", "container", "latency",
-                "api", "framework", "typescript", "refactor", "benchmark", "release", "bug",
-                "patch", "terminal", "protocol", "encryption",
-                "microservice", "monolith", "regression", "linter", "runtime", "allocator", "scheduler", "firmware", "opensource", "maintainer", "pullrequest", "changelog", "dependency", "sandbox", "telemetry", "observability", "incident", "oncall", "rollback", "pipelines", "cache", "shard",
+                "rust",
+                "compiler",
+                "database",
+                "kernel",
+                "deploy",
+                "container",
+                "latency",
+                "api",
+                "framework",
+                "typescript",
+                "refactor",
+                "benchmark",
+                "release",
+                "bug",
+                "patch",
+                "terminal",
+                "protocol",
+                "encryption",
+                "microservice",
+                "monolith",
+                "regression",
+                "linter",
+                "runtime",
+                "allocator",
+                "scheduler",
+                "firmware",
+                "opensource",
+                "maintainer",
+                "pullrequest",
+                "changelog",
+                "dependency",
+                "sandbox",
+                "telemetry",
+                "observability",
+                "incident",
+                "oncall",
+                "rollback",
+                "pipelines",
+                "cache",
+                "shard",
             ],
             Topic::GameDev => &[
-                "shader", "engine", "sprite", "gamejam", "indiedev", "unity", "godot",
-                "pixelart", "playtest", "roguelike", "devlog", "prototype", "voxel", "collision",
-                "leveldesign", "tilemap",
-                "raycast", "particles", "animation", "rigging", "soundtrack", "publisher", "steamdeck", "controller", "speedrun", "procedural", "dungeon", "quest", "inventory", "dialogue", "cutscene", "framerate", "optimization", "beta", "patchnotes", "modding",
+                "shader",
+                "engine",
+                "sprite",
+                "gamejam",
+                "indiedev",
+                "unity",
+                "godot",
+                "pixelart",
+                "playtest",
+                "roguelike",
+                "devlog",
+                "prototype",
+                "voxel",
+                "collision",
+                "leveldesign",
+                "tilemap",
+                "raycast",
+                "particles",
+                "animation",
+                "rigging",
+                "soundtrack",
+                "publisher",
+                "steamdeck",
+                "controller",
+                "speedrun",
+                "procedural",
+                "dungeon",
+                "quest",
+                "inventory",
+                "dialogue",
+                "cutscene",
+                "framerate",
+                "optimization",
+                "beta",
+                "patchnotes",
+                "modding",
             ],
             Topic::Ai => &[
-                "model", "training", "dataset", "neural", "transformer", "inference",
-                "gradient", "benchmark", "alignment", "embedding", "diffusion", "finetune",
-                "paper", "arxiv", "overfitting", "tokenizer",
-                "attention", "pretraining", "distillation", "quantization", "hallucination", "prompt", "reinforcement", "reward", "agents", "robotics", "vision", "segmentation", "classifier", "regression", "baseline", "ablation", "checkpoint", "epochs", "loss", "convergence",
+                "model",
+                "training",
+                "dataset",
+                "neural",
+                "transformer",
+                "inference",
+                "gradient",
+                "benchmark",
+                "alignment",
+                "embedding",
+                "diffusion",
+                "finetune",
+                "paper",
+                "arxiv",
+                "overfitting",
+                "tokenizer",
+                "attention",
+                "pretraining",
+                "distillation",
+                "quantization",
+                "hallucination",
+                "prompt",
+                "reinforcement",
+                "reward",
+                "agents",
+                "robotics",
+                "vision",
+                "segmentation",
+                "classifier",
+                "regression",
+                "baseline",
+                "ablation",
+                "checkpoint",
+                "epochs",
+                "loss",
+                "convergence",
             ],
             Topic::History => &[
-                "archive", "medieval", "empire", "manuscript", "excavation", "dynasty",
-                "archaeology", "treaty", "antiquity", "chronicle", "artifact", "century",
-                "reign", "translation", "primary", "sources",
-                "crusade", "plague", "renaissance", "monastery", "cartography", "numismatics", "epigraphy", "oralhistory", "colonial", "abolition", "suffrage", "industrial", "revolution", "dynastic", "siege", "fortress", "parchment", "scriptorium", "heraldry", "genealogy",
+                "archive",
+                "medieval",
+                "empire",
+                "manuscript",
+                "excavation",
+                "dynasty",
+                "archaeology",
+                "treaty",
+                "antiquity",
+                "chronicle",
+                "artifact",
+                "century",
+                "reign",
+                "translation",
+                "primary",
+                "sources",
+                "crusade",
+                "plague",
+                "renaissance",
+                "monastery",
+                "cartography",
+                "numismatics",
+                "epigraphy",
+                "oralhistory",
+                "colonial",
+                "abolition",
+                "suffrage",
+                "industrial",
+                "revolution",
+                "dynastic",
+                "siege",
+                "fortress",
+                "parchment",
+                "scriptorium",
+                "heraldry",
+                "genealogy",
             ],
             Topic::Sports => &[
-                "match", "goal", "league", "transfer", "coach", "penalty", "fixture",
-                "stadium", "worldcup", "qualifier", "injury", "derby", "champions", "kit",
-                "referee", "offside",
-                "marathon", "sprint", "podium", "medal", "tournament", "bracket", "playoff", "overtime", "hattrick", "cleansheet", "relegation", "promotion", "scouting", "academy", "captain", "substitute", "freekick", "tiebreak", "grandslam", "paddock",
+                "match",
+                "goal",
+                "league",
+                "transfer",
+                "coach",
+                "penalty",
+                "fixture",
+                "stadium",
+                "worldcup",
+                "qualifier",
+                "injury",
+                "derby",
+                "champions",
+                "kit",
+                "referee",
+                "offside",
+                "marathon",
+                "sprint",
+                "podium",
+                "medal",
+                "tournament",
+                "bracket",
+                "playoff",
+                "overtime",
+                "hattrick",
+                "cleansheet",
+                "relegation",
+                "promotion",
+                "scouting",
+                "academy",
+                "captain",
+                "substitute",
+                "freekick",
+                "tiebreak",
+                "grandslam",
+                "paddock",
             ],
             Topic::Art => &[
-                "sketch", "watercolor", "gallery", "exhibition", "portrait", "canvas",
-                "commission", "illustration", "photography", "lens", "exposure", "print",
-                "sculpture", "mural", "palette", "studio",
-                "charcoal", "gouache", "linocut", "etching", "ceramics", "glaze", "kiln", "weaving", "textile", "collage", "perspective", "composition", "vignette", "monochrome", "bokeh", "aperture", "darkroom", "filmgrain", "curator", "biennale",
+                "sketch",
+                "watercolor",
+                "gallery",
+                "exhibition",
+                "portrait",
+                "canvas",
+                "commission",
+                "illustration",
+                "photography",
+                "lens",
+                "exposure",
+                "print",
+                "sculpture",
+                "mural",
+                "palette",
+                "studio",
+                "charcoal",
+                "gouache",
+                "linocut",
+                "etching",
+                "ceramics",
+                "glaze",
+                "kiln",
+                "weaving",
+                "textile",
+                "collage",
+                "perspective",
+                "composition",
+                "vignette",
+                "monochrome",
+                "bokeh",
+                "aperture",
+                "darkroom",
+                "filmgrain",
+                "curator",
+                "biennale",
             ],
             Topic::Science => &[
-                "experiment", "telescope", "genome", "climate", "fossil", "quantum",
-                "molecule", "spacecraft", "vaccine", "hypothesis", "peerreview", "lab",
-                "asteroid", "neuron", "enzyme", "plasma",
-                "spectroscopy", "supernova", "exoplanet", "mitochondria", "crispr", "protein", "catalyst", "isotope", "seismograph", "glacier", "biodiversity", "ecosystem", "pollinator", "microbiome", "radiocarbon", "superconductor", "photosynthesis", "tectonics", "entropy", "collider",
+                "experiment",
+                "telescope",
+                "genome",
+                "climate",
+                "fossil",
+                "quantum",
+                "molecule",
+                "spacecraft",
+                "vaccine",
+                "hypothesis",
+                "peerreview",
+                "lab",
+                "asteroid",
+                "neuron",
+                "enzyme",
+                "plasma",
+                "spectroscopy",
+                "supernova",
+                "exoplanet",
+                "mitochondria",
+                "crispr",
+                "protein",
+                "catalyst",
+                "isotope",
+                "seismograph",
+                "glacier",
+                "biodiversity",
+                "ecosystem",
+                "pollinator",
+                "microbiome",
+                "radiocarbon",
+                "superconductor",
+                "photosynthesis",
+                "tectonics",
+                "entropy",
+                "collider",
             ],
             Topic::Food => &[
-                "recipe", "sourdough", "espresso", "ramen", "roast", "fermented", "seasonal",
-                "bakery", "curry", "harvest", "tasting", "vegan", "brunch", "marinade",
-                "dumplings", "pastry",
-                "braise", "umami", "charcuterie", "gnocchi", "paella", "kimchi", "miso", "tahini", "saffron", "zest", "caramelize", "proofing", "crumb", "ganache", "meringue", "brine", "skillet", "mandoline", "julienne", "confit",
+                "recipe",
+                "sourdough",
+                "espresso",
+                "ramen",
+                "roast",
+                "fermented",
+                "seasonal",
+                "bakery",
+                "curry",
+                "harvest",
+                "tasting",
+                "vegan",
+                "brunch",
+                "marinade",
+                "dumplings",
+                "pastry",
+                "braise",
+                "umami",
+                "charcuterie",
+                "gnocchi",
+                "paella",
+                "kimchi",
+                "miso",
+                "tahini",
+                "saffron",
+                "zest",
+                "caramelize",
+                "proofing",
+                "crumb",
+                "ganache",
+                "meringue",
+                "brine",
+                "skillet",
+                "mandoline",
+                "julienne",
+                "confit",
             ],
             Topic::Smalltalk => &[
-                "morning", "coffee", "weekend", "weather", "commute", "garden", "cat", "dog",
-                "walk", "rain", "sunset", "nap", "tea", "monday", "holiday", "cozy",
-                "laundry", "errands", "groceries", "podcast", "crossword", "jigsaw", "knitting", "houseplant", "balcony", "neighbour", "traffic", "umbrella", "sweater", "fireplace", "leftovers", "alarm", "snooze", "daydream", "stroll", "picnic",
+                "morning",
+                "coffee",
+                "weekend",
+                "weather",
+                "commute",
+                "garden",
+                "cat",
+                "dog",
+                "walk",
+                "rain",
+                "sunset",
+                "nap",
+                "tea",
+                "monday",
+                "holiday",
+                "cozy",
+                "laundry",
+                "errands",
+                "groceries",
+                "podcast",
+                "crossword",
+                "jigsaw",
+                "knitting",
+                "houseplant",
+                "balcony",
+                "neighbour",
+                "traffic",
+                "umbrella",
+                "sweater",
+                "fireplace",
+                "leftovers",
+                "alarm",
+                "snooze",
+                "daydream",
+                "stroll",
+                "picnic",
             ],
         }
     }
@@ -183,9 +652,13 @@ impl Topic {
                 "#introductions",
                 "#migration",
             ],
-            (Topic::Entertainment, Platform::Twitter) => {
-                &["#NowPlaying", "#BBC6Music", "#Eurovision", "#StrangerThings", "#TheCrown"]
-            }
+            (Topic::Entertainment, Platform::Twitter) => &[
+                "#NowPlaying",
+                "#BBC6Music",
+                "#Eurovision",
+                "#StrangerThings",
+                "#TheCrown",
+            ],
             (Topic::Entertainment, Platform::Mastodon) => {
                 &["#NowPlaying", "#music", "#film", "#tvshows"]
             }
@@ -223,9 +696,7 @@ impl Topic {
             }
             (Topic::Sports, Platform::Mastodon) => &["#football", "#sports"],
             (Topic::Art, Platform::Twitter) => &["#ArtistOnTwitter", "#photography", "#inktober"],
-            (Topic::Art, Platform::Mastodon) => {
-                &["#mastoart", "#photography", "#art", "#fediart"]
-            }
+            (Topic::Art, Platform::Mastodon) => &["#mastoart", "#photography", "#art", "#fediart"],
             (Topic::Science, Platform::Twitter) => &["#SciComm", "#ClimateAction", "#Artemis1"],
             (Topic::Science, Platform::Mastodon) => &["#science", "#astronomy", "#climate"],
             (Topic::Food, Platform::Twitter) => &["#FoodTwitter", "#baking"],
@@ -241,12 +712,7 @@ impl Topic {
     pub fn has_topical_instance(self) -> bool {
         matches!(
             self,
-            Topic::GameDev
-                | Topic::Ai
-                | Topic::History
-                | Topic::Tech
-                | Topic::Art
-                | Topic::Science
+            Topic::GameDev | Topic::Ai | Topic::History | Topic::Tech | Topic::Art | Topic::Science
         )
     }
 }

@@ -17,14 +17,40 @@ pub const TOXICITY_THRESHOLD: f64 = 0.5;
 /// *scoring mechanics*, not the lexicon contents, are what the reproduction
 /// exercises.)
 const STRONG: &[&str] = &[
-    "idiot", "moron", "idiots", "morons", "pathetic", "scumbag", "garbage", "trash", "clown",
-    "clowns", "loser", "losers", "disgusting", "fraud", "liar", "liars", "stupid", "imbecile",
+    "idiot",
+    "moron",
+    "idiots",
+    "morons",
+    "pathetic",
+    "scumbag",
+    "garbage",
+    "trash",
+    "clown",
+    "clowns",
+    "loser",
+    "losers",
+    "disgusting",
+    "fraud",
+    "liar",
+    "liars",
+    "stupid",
+    "imbecile",
 ];
 
 /// Mild negativity; contributes but does not cross the threshold alone.
 const MILD: &[&str] = &[
-    "hate", "awful", "terrible", "worst", "dumb", "shut", "ridiculous", "useless", "nonsense",
-    "whining", "annoying", "ugly",
+    "hate",
+    "awful",
+    "terrible",
+    "worst",
+    "dumb",
+    "shut",
+    "ridiculous",
+    "useless",
+    "nonsense",
+    "whining",
+    "annoying",
+    "ugly",
 ];
 
 const BASE_LOGIT: f64 = -3.2;

@@ -35,7 +35,5 @@ fn main() {
             f5.n_instances
         );
     }
-    println!(
-        "\npaper: same-instance mean 14.72% — herding strength is the lever behind it."
-    );
+    println!("\npaper: same-instance mean 14.72% — herding strength is the lever behind it.");
 }

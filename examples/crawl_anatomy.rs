@@ -23,11 +23,15 @@ fn main() {
     );
 
     // Inject a little transient failure so the retry path is visible.
-    let mut api_config = ApiConfig::default();
-    api_config.transient_error_rate = 0.01;
+    let api_config = ApiConfig {
+        transient_error_rate: 0.01,
+        ..ApiConfig::default()
+    };
     let api = ApiServer::new(world.clone(), api_config);
 
-    let ds = Crawler::new(&api, CrawlerConfig::default()).run().expect("crawl");
+    let ds = Crawler::new(&api, CrawlerConfig::default())
+        .run()
+        .expect("crawl");
 
     println!("== §3.1 collection ==");
     let authors: HashSet<_> = ds.collected_tweets.iter().map(|t| t.author).collect();
@@ -45,7 +49,11 @@ fn main() {
     );
 
     println!("\n== §3.1 matching ==");
-    let bio = ds.matched.iter().filter(|m| m.matched_via == MatchSource::Bio).count();
+    let bio = ds
+        .matched
+        .iter()
+        .filter(|m| m.matched_via == MatchSource::Bio)
+        .count();
     println!(
         "identified {} migrants ({} via bio, {} via tweet text)",
         ds.matched.len(),
@@ -82,7 +90,10 @@ fn main() {
         "sampled {} users ({} switchers force-included); {} twitter followee edges",
         ds.followees.len(),
         ds.matched.iter().filter(|m| m.switched()).count(),
-        ds.followees.values().map(|r| r.twitter.len()).sum::<usize>()
+        ds.followees
+            .values()
+            .map(|r| r.twitter.len())
+            .sum::<usize>()
     );
 
     println!("\n== crawl economics ==");

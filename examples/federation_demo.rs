@@ -80,14 +80,11 @@ fn main() {
             .map(|a| a.to_string())
             .collect::<Vec<_>>()
     );
-    println!(
-        "a late follow of the old identity is rejected: {:?}",
-        {
-            let dave = net.register_actor("dave", "mas.to").unwrap();
-            net.follow(&dave, &alice).unwrap();
-            net.run_to_quiescence(200);
-            net.following_of(&dave).unwrap().len()
-        }
-    );
+    println!("a late follow of the old identity is rejected: {:?}", {
+        let dave = net.register_actor("dave", "mas.to").unwrap();
+        net.follow(&dave, &alice).unwrap();
+        net.run_to_quiescence(200);
+        net.following_of(&dave).unwrap().len()
+    });
     println!("activity counters: {:?}", net.counts());
 }

@@ -13,7 +13,6 @@
 
 use flock::crawler::prelude::*;
 use flock::prelude::*;
-use flock_analysis::prelude::*;
 
 fn main() {
     let config = WorldConfig::small().with_seed(2023);

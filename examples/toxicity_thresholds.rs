@@ -53,7 +53,11 @@ fn main() {
         };
         let tw = rate(&tweet_scores);
         let ms = rate(&status_scores);
-        let marker = if (threshold - 0.5).abs() < 1e-9 { "  <- paper" } else { "" };
+        let marker = if (threshold - 0.5).abs() < 1e-9 {
+            "  <- paper"
+        } else {
+            ""
+        };
         println!(
             "{:>10.1} | {:>16.2} | {:>16.2} | {:>8.2}{marker}",
             threshold,
@@ -72,7 +76,9 @@ fn main() {
     let mut both = 0;
     let mut evaluable = 0;
     for m in &ds.matched {
-        let Some(tweets) = ds.twitter_timelines.get(&m.twitter_id) else { continue };
+        let Some(tweets) = ds.twitter_timelines.get(&m.twitter_id) else {
+            continue;
+        };
         let Some(statuses) = handle_by_user
             .get(&m.twitter_id)
             .and_then(|h| ds.mastodon_timelines.get(*h))

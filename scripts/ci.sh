@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, the tier-1 build + test suite, and a
+# smoke pass over every bench target (including the throughput bench, which
+# in --test mode does not rewrite the committed BENCH_pipeline.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo bench -p flock-bench -- --test (smoke)"
+cargo bench -p flock-bench -- --test
+
+echo "CI gate passed."

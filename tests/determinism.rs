@@ -36,12 +36,16 @@ fn identical_seeds_identical_datasets() {
     let fa: Vec<_> = {
         let mut v: Vec<_> = a.followees.iter().collect();
         v.sort_by_key(|(id, _)| **id);
-        v.into_iter().map(|(id, r)| (*id, r.twitter.clone())).collect()
+        v.into_iter()
+            .map(|(id, r)| (*id, r.twitter.clone()))
+            .collect()
     };
     let fb: Vec<_> = {
         let mut v: Vec<_> = b.followees.iter().collect();
         v.sort_by_key(|(id, _)| **id);
-        v.into_iter().map(|(id, r)| (*id, r.twitter.clone())).collect()
+        v.into_iter()
+            .map(|(id, r)| (*id, r.twitter.clone()))
+            .collect()
     };
     assert_eq!(fa, fb);
 }
@@ -61,6 +65,35 @@ fn identical_seeds_identical_headlines() {
             y.measured
         );
     }
+}
+
+/// The worker count is an execution detail, not an input: a one-worker and
+/// an eight-worker crawl of the same seeded world must produce the same
+/// dataset byte for byte, and therefore the same headline table.
+#[test]
+fn worker_count_does_not_change_the_dataset() {
+    let world = Arc::new(World::generate(&WorldConfig::small().with_seed(4242)).unwrap());
+    let run_with = |workers: usize| -> Dataset {
+        let api = ApiServer::with_defaults(world.clone());
+        let config = CrawlerConfig {
+            workers,
+            ..CrawlerConfig::default()
+        };
+        let mut ds = Crawler::new(&api, config).run().unwrap();
+        // Crawl *accounting* (who ate which rate-limit wait) legitimately
+        // depends on scheduling; the observed data must not.
+        ds.stats = CrawlStats::default();
+        ds
+    };
+    let serial = run_with(1);
+    let parallel = run_with(8);
+    let a = serde_json::to_string(&serial).unwrap();
+    let b = serde_json::to_string(&parallel).unwrap();
+    assert_eq!(a, b, "dataset bytes differ between workers=1 and workers=8");
+    assert_eq!(
+        HeadlineReport::compute(&serial).to_table(),
+        HeadlineReport::compute(&parallel).to_table()
+    );
 }
 
 #[test]

@@ -14,11 +14,16 @@ fn world(seed: u64) -> Arc<World> {
 #[test]
 fn heavy_transient_faults_still_produce_a_consistent_dataset() {
     let w = world(1);
-    let mut cfg = ApiConfig::default();
-    cfg.transient_error_rate = 0.10;
+    let cfg = ApiConfig {
+        transient_error_rate: 0.10,
+        ..ApiConfig::default()
+    };
     let api = ApiServer::new(w.clone(), cfg);
     let ds = crawl(&api).expect("crawl should survive 10% fault rate");
-    assert!(ds.stats.transient_failures > 0, "faults must have been injected");
+    assert!(
+        ds.stats.transient_failures > 0,
+        "faults must have been injected"
+    );
     // Consistency under faults: no phantom matches.
     for m in &ds.matched {
         assert!(w.account_by_handle(&m.handle).is_some());
@@ -32,8 +37,10 @@ fn heavy_transient_faults_still_produce_a_consistent_dataset() {
 fn fault_free_and_faulty_crawls_agree_on_the_matched_set() {
     let w = world(2);
     let clean = crawl(&ApiServer::with_defaults(w.clone())).unwrap();
-    let mut cfg = ApiConfig::default();
-    cfg.transient_error_rate = 0.05;
+    let cfg = ApiConfig {
+        transient_error_rate: 0.05,
+        ..ApiConfig::default()
+    };
     let faulty = crawl(&ApiServer::new(w.clone(), cfg)).unwrap();
     // Transient faults are retried to completion, so identification must
     // not lose users.
@@ -47,10 +54,21 @@ fn draconian_rate_limits_cost_time_not_data() {
     let w = world(3);
     let default_ds = crawl(&ApiServer::with_defaults(w.clone())).unwrap();
 
-    let mut cfg = ApiConfig::default();
-    cfg.search_policy = RatePolicy { capacity: 10, window_secs: 900 };
-    cfg.follows_policy = RatePolicy { capacity: 2, window_secs: 900 };
-    cfg.mastodon_policy = RatePolicy { capacity: 30, window_secs: 300 };
+    let cfg = ApiConfig {
+        search_policy: RatePolicy {
+            capacity: 10,
+            window_secs: 900,
+        },
+        follows_policy: RatePolicy {
+            capacity: 2,
+            window_secs: 900,
+        },
+        mastodon_policy: RatePolicy {
+            capacity: 30,
+            window_secs: 300,
+        },
+        ..ApiConfig::default()
+    };
     let api = ApiServer::new(w.clone(), cfg);
     let ds = crawl(&api).unwrap();
 

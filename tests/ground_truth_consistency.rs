@@ -26,15 +26,18 @@ fn no_false_positives() {
         let truth = world
             .account_by_handle(&m.handle)
             .unwrap_or_else(|| panic!("phantom account {}", m.handle));
-        assert_eq!(truth.owner, m.twitter_id, "{} mapped to the wrong user", m.handle);
+        assert_eq!(
+            truth.owner, m.twitter_id,
+            "{} mapped to the wrong user",
+            m.handle
+        );
     }
 }
 
 #[test]
 fn every_bio_announcer_with_metadata_is_found() {
     let (world, ds) = fixture();
-    let found: std::collections::HashSet<_> =
-        ds.matched.iter().map(|m| m.twitter_id).collect();
+    let found: std::collections::HashSet<_> = ds.matched.iter().map(|m| m.twitter_id).collect();
     for a in &world.accounts {
         if !a.in_bio {
             continue;
@@ -54,8 +57,7 @@ fn every_bio_announcer_with_metadata_is_found() {
 #[test]
 fn missed_migrants_are_exactly_the_invisible_ones() {
     let (world, ds) = fixture();
-    let found: std::collections::HashSet<_> =
-        ds.matched.iter().map(|m| m.twitter_id).collect();
+    let found: std::collections::HashSet<_> = ds.matched.iter().map(|m| m.twitter_id).collect();
     for a in &world.accounts {
         if found.contains(&a.owner) {
             continue;
@@ -82,7 +84,11 @@ fn twitter_timelines_match_ground_truth_posts() {
             .iter()
             .filter(|tid| world.tweets[tid.index()].day.in_study_window())
             .count();
-        assert_eq!(timeline.len(), truth_count, "timeline size mismatch for {uid}");
+        assert_eq!(
+            timeline.len(),
+            truth_count,
+            "timeline size mismatch for {uid}"
+        );
     }
 }
 

@@ -4,7 +4,6 @@
 //! healthy run must reproduce regardless of seed.
 
 use flock::prelude::*;
-use flock_analysis::prelude::*;
 use std::sync::OnceLock;
 
 fn study() -> &'static MigrationStudy {
@@ -144,8 +143,13 @@ fn fig9_switches_flow_from_general_instances() {
     // The heaviest flow starts at a well-known general instance.
     let top = &f.flows[0];
     assert!(
-        ["mastodon.social", "mastodon.online", "mstdn.social", "mas.to"]
-            .contains(&top.from.as_str()),
+        [
+            "mastodon.social",
+            "mastodon.online",
+            "mstdn.social",
+            "mas.to"
+        ]
+        .contains(&top.from.as_str()),
         "top flow from {}",
         top.from
     );
@@ -163,7 +167,10 @@ fn fig10_switchers_move_toward_their_friends() {
         f.mean_at_second_pct,
         f.mean_at_first_pct
     );
-    assert!(f.mean_second_before_pct > 50.0, "friends mostly arrive first");
+    assert!(
+        f.mean_second_before_pct > 50.0,
+        "friends mostly arrive first"
+    );
 }
 
 #[test]
@@ -179,11 +186,15 @@ fn fig11_twitter_activity_does_not_collapse() {
 #[test]
 fn fig12_crossposters_surge() {
     let rows = fig12_sources(&study().dataset, 30);
-    assert_eq!(rows[0].source, "Twitter Web App", "official client dominates");
+    assert_eq!(
+        rows[0].source, "Twitter Web App",
+        "official client dominates"
+    );
     for tool in ["Mastodon-Twitter Crossposter", "Moa Bridge"] {
-        let row = rows.iter().find(|r| r.source == tool).unwrap_or_else(|| {
-            panic!("{tool} missing from top sources")
-        });
+        let row = rows
+            .iter()
+            .find(|r| r.source == tool)
+            .unwrap_or_else(|| panic!("{tool} missing from top sources"));
         assert!(
             row.growth_pct() > 300.0 || row.growth_pct().is_infinite(),
             "{tool} grew {:.0}%",
@@ -220,11 +231,23 @@ fn fig15_hashtag_landscapes_differ() {
     let f = fig15_hashtags(&study().dataset, 30);
     let top_mastodon: Vec<&str> = f.mastodon.iter().take(5).map(|r| r.tag.as_str()).collect();
     let fediverse_family = [
-        "#fediverse", "#twittermigration", "#mastodon", "#activitypub", "#introduction",
-        "#newhere", "#twitterrefugee", "#introductions", "#migration", "#mastodontips",
+        "#fediverse",
+        "#twittermigration",
+        "#mastodon",
+        "#activitypub",
+        "#introduction",
+        "#newhere",
+        "#twitterrefugee",
+        "#introductions",
+        "#migration",
+        "#mastodontips",
     ];
     assert!(
-        top_mastodon.iter().filter(|t| fediverse_family.contains(t)).count() >= 3,
+        top_mastodon
+            .iter()
+            .filter(|t| fediverse_family.contains(t))
+            .count()
+            >= 3,
         "mastodon top tags {top_mastodon:?} not dominated by fediverse/migration talk"
     );
     // Twitter's list is more diverse: its top tag holds a smaller share.

@@ -1,0 +1,228 @@
+//! In-tree benchmarking shim with the slice of the `criterion` API this
+//! workspace uses (see `vendor/README.md`). Each `Bencher::iter` call
+//! self-calibrates the iteration count to a small wall-clock budget and
+//! prints one `ns/iter` line. Passing `--test` (as `cargo bench -- --test`
+//! does) switches to smoke mode: every closure runs exactly once.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of a benchmark; recorded for display only.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark identifier (`function/parameter` style).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new<A: std::fmt::Display, B: std::fmt::Display>(function: A, parameter: B) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// The timing loop driver handed to benchmark closures.
+pub struct Bencher {
+    smoke: bool,
+    budget: Duration,
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke {
+            black_box(routine());
+            self.last_ns_per_iter = 0.0;
+            return;
+        }
+        // Calibrate: grow the batch until it fills the time budget.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget || iters >= 1 << 24 {
+                self.last_ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters = iters.saturating_mul(if elapsed.is_zero() {
+                16
+            } else {
+                ((self.budget.as_nanos() / elapsed.as_nanos().max(1)) as u64 + 1).clamp(2, 16)
+            });
+        }
+    }
+
+    /// Mean nanoseconds per iteration measured by the last `iter` call.
+    pub fn last_ns_per_iter(&self) -> f64 {
+        self.last_ns_per_iter
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, smoke: bool, budget: Duration, mut f: F) -> f64 {
+    let mut b = Bencher {
+        smoke,
+        budget,
+        last_ns_per_iter: 0.0,
+    };
+    f(&mut b);
+    if smoke {
+        println!("test {label} ... ok (smoke)");
+    } else {
+        println!("bench {label:<52} {:>14.0} ns/iter", b.last_ns_per_iter);
+    }
+    b.last_ns_per_iter
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    smoke: bool,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            smoke: std::env::args().any(|a| a == "--test"),
+            budget: Duration::from_millis(60),
+        }
+    }
+}
+
+impl Criterion {
+    /// Whether `--test` smoke mode is active.
+    pub fn is_smoke(&self) -> bool {
+        self.smoke
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.0, self.smoke, self.budget, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; sampling here is time-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not currently shown.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.criterion.smoke, self.criterion.budget, f);
+        self
+    }
+
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.criterion.smoke, self.criterion.budget, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion_group!`: defines a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Mirror of `criterion_main!`: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut calls = 0u32;
+        let mut b = Bencher {
+            smoke: true,
+            budget: Duration::from_millis(1),
+            last_ns_per_iter: 1.0,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.last_ns_per_iter(), 0.0);
+    }
+
+    #[test]
+    fn timing_mode_reports_positive_ns() {
+        let ns = run_one("self_test", false, Duration::from_millis(5), |b| {
+            b.iter(|| black_box(1u64 + 1))
+        });
+        assert!(ns > 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! In-tree shim exposing the `crossbeam` scoped-thread API this workspace
+//! uses, implemented over `std::thread::scope` (stable since Rust 1.63).
+//! See `vendor/README.md` for why third-party dependencies are vendored.
+//!
+//! Semantics match `crossbeam::scope` closely enough for this codebase:
+//! spawned closures receive the scope again (so they can spawn nested
+//! tasks), all threads are joined before `scope` returns, and the caller
+//! gets a `thread::Result`. The one divergence: if a spawned thread panics,
+//! `std::thread::scope` re-raises the panic after joining instead of
+//! returning `Err`, so callers' `.unwrap()`/`.expect()` still abort the
+//! test the same way — just with the child's panic message.
+
+pub mod thread {
+    /// A handle to a spawned scoped thread; `join()` returns
+    /// `std::thread::Result<T>` exactly like crossbeam's.
+    pub type ScopedJoinHandle<'scope, T> = std::thread::ScopedJoinHandle<'scope, T>;
+
+    /// Wrapper over [`std::thread::Scope`] whose `spawn` passes the scope
+    /// into the closure, crossbeam-style (`|_| { ... }`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. All spawned threads are joined on exit.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::{scope, Scope, ScopedJoinHandle};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_locals_and_join() {
+        let counter = AtomicU64::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_receives_scope() {
+        let counter = AtomicU64::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Deserialization half of the shim.
+
+use crate::Value;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Error trait deserializer implementations expose (signature-compatible
+/// subset of `serde::de::Error`).
+pub trait Error: Sized + std::fmt::Display {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self;
+}
+
+impl Error for crate::Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        crate::Error(msg.to_string())
+    }
+}
+
+/// A data format that can produce a value tree.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can reconstruct itself from a value tree.
+///
+/// Deserialization is strict: wrong shapes and missing required fields are
+/// errors (corrupt snapshots must be rejected, not silently defaulted).
+pub trait Deserialize<'de>: Sized {
+    fn from_value(value: &Value) -> Result<Self, crate::Error>;
+
+    /// What a missing struct field deserializes to. Errors by default;
+    /// `Option` overrides this to `None`, mirroring serde's behaviour.
+    fn missing(field: &str) -> Result<Self, crate::Error> {
+        Err(crate::Error(format!("missing field `{field}`")))
+    }
+
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        let value = deserializer.into_value()?;
+        Self::from_value(&value).map_err(D::Error::custom)
+    }
+}
+
+/// Owned deserialization, as in `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+fn unexpected(expected: &str, got: &Value) -> crate::Error {
+    crate::Error(format!("expected {expected}, found {}", got.kind()))
+}
+
+/// Integer extraction with range checking; accepts either integer variant.
+fn as_i128(value: &Value) -> Option<i128> {
+    match value {
+        Value::I64(n) => Some(i128::from(*n)),
+        Value::U64(n) => Some(i128::from(*n)),
+        _ => None,
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, crate::Error> {
+                let n = as_i128(value).ok_or_else(|| unexpected("integer", value))?;
+                <$t>::try_from(n)
+                    .map_err(|_| crate::Error(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, crate::Error> {
+        match value {
+            Value::F64(n) => Ok(*n),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN),
+            _ => Err(unexpected("number", value)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, crate::Error> {
+        f64::from_value(value).map(|n| n as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, crate::Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(unexpected("bool", value)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, crate::Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(unexpected("string", value)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, crate::Error> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(crate::Error(format!("expected single char, found {s:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, crate::Error> {
+        Ok(value.clone())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, crate::Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing(_field: &str) -> Result<Self, crate::Error> {
+        Ok(None)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, crate::Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(unexpected("array", value)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, crate::Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+/// Recover a typed key from a JSON object key: try it as a string first
+/// (covers `String` and unit-enum keys), then as a stringified number.
+fn key_from_string<'de, K: Deserialize<'de>>(key: &str) -> Result<K, crate::Error> {
+    if let Ok(k) = K::from_value(&Value::Str(key.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        return K::from_value(&Value::U64(n));
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        return K::from_value(&Value::I64(n));
+    }
+    Err(crate::Error(format!("cannot deserialize map key `{key}`")))
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+{
+    fn from_value(value: &Value) -> Result<Self, crate::Error> {
+        match value {
+            Value::Map(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            _ => Err(unexpected("map", value)),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal: $($name:ident : $idx:tt),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, crate::Error> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(crate::Error(format!(
+                        "expected array of length {}, found length {}",
+                        $len,
+                        items.len()
+                    ))),
+                    other => Err(unexpected("array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+de_tuple! {
+    (1: A: 0)
+    (2: A: 0, B: 1)
+    (3: A: 0, B: 1, C: 2)
+    (4: A: 0, B: 1, C: 2, D: 3)
+}

@@ -1,0 +1,71 @@
+//! In-tree serde shim.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serde replacement (see `vendor/README.md`). Instead of
+//! serde's visitor-driven zero-copy architecture, this shim routes
+//! everything through an owned [`Value`] tree: `Serialize` renders a value
+//! tree, `Deserialize` reads one back. The public trait *signatures* that
+//! workspace code relies on are kept compatible — `Serialize::serialize<S:
+//! Serializer>`, `Deserialize::deserialize<D: Deserializer>`,
+//! `de::DeserializeOwned`, the `ser::Error`/`de::Error` traits — so modules
+//! like the crawler's `as_pairs` field codec compile unchanged.
+
+pub mod de;
+pub mod ser;
+mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+/// The one concrete error type used by the value-tree paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Internal plumbing the derive macro expands against. Not a public API.
+#[doc(hidden)]
+pub mod __private {
+    use crate::{Error, Value};
+
+    /// A [`crate::Serializer`] whose output *is* the value tree.
+    pub struct ValueSerializer;
+
+    impl crate::Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = Error;
+
+        fn serialize_value(self, value: Value) -> Result<Value, Error> {
+            Ok(value)
+        }
+    }
+
+    /// A [`crate::Deserializer`] reading from an owned value tree.
+    pub struct ValueDeserializer(pub Value);
+
+    impl<'de> crate::Deserializer<'de> for ValueDeserializer {
+        type Error = Error;
+
+        fn into_value(self) -> Result<Value, Error> {
+            Ok(self.0)
+        }
+    }
+
+    /// Run a `#[serde(with = "...")]`-style serialize fn against the value
+    /// serializer. The value path is infallible unless the codec itself
+    /// calls `Error::custom`, which none of ours do.
+    pub fn with_to_value<F>(f: F) -> Value
+    where
+        F: FnOnce(ValueSerializer) -> Result<Value, Error>,
+    {
+        f(ValueSerializer).unwrap_or(Value::Null)
+    }
+}

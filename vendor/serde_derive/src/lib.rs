@@ -1,0 +1,561 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the in-tree serde
+//! shim (see `vendor/README.md`).
+//!
+//! With no network access there is no `syn`/`quote`, so this macro walks the
+//! raw `proc_macro::TokenTree`s itself and emits the impl as source text.
+//! It supports exactly the shapes this workspace uses: non-generic named
+//! structs, tuple structs, and externally-tagged enums with unit, newtype,
+//! tuple, and struct variants, plus the `#[serde(transparent)]`,
+//! `#[serde(default)]`, and `#[serde(with = "path")]` attributes.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct SerdeOpts {
+    transparent: bool,
+    default: bool,
+    with: Option<String>,
+}
+
+struct Field {
+    name: String,
+    opts: SerdeOpts,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    opts: SerdeOpts,
+    kind: Kind,
+}
+
+// ---------------------------------------------------------------------------
+// Token cursor
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek_punct(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consume any leading outer attributes, folding `#[serde(...)]` options
+/// into `opts` and discarding the rest (doc comments arrive here too).
+fn parse_attrs(cur: &mut Cursor, opts: &mut SerdeOpts) {
+    while cur.peek_punct('#') {
+        cur.next();
+        let group = match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde derive: malformed attribute, found {other:?}"),
+        };
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) => g.stream(),
+            _ => continue,
+        };
+        let mut acur = Cursor::new(args);
+        while let Some(tok) = acur.next() {
+            let TokenTree::Ident(id) = tok else { continue };
+            match id.to_string().as_str() {
+                "transparent" => opts.transparent = true,
+                "default" => opts.default = true,
+                "with" => {
+                    if !acur.eat_punct('=') {
+                        panic!("serde derive: expected `with = \"path\"`");
+                    }
+                    match acur.next() {
+                        Some(TokenTree::Literal(lit)) => {
+                            let raw = lit.to_string();
+                            opts.with = Some(raw.trim_matches('"').to_string());
+                        }
+                        other => panic!("serde derive: expected path literal, found {other:?}"),
+                    }
+                }
+                other => panic!("serde derive: unsupported serde attribute `{other}`"),
+            }
+        }
+    }
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(cur: &mut Cursor) {
+    if cur.eat_ident("pub") {
+        if let Some(TokenTree::Group(g)) = cur.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                cur.next();
+            }
+        }
+    }
+}
+
+/// Skip a type, stopping before a top-level `,` (or at end of stream).
+fn skip_type(cur: &mut Cursor) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = cur.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                _ => {}
+            }
+        }
+        cur.next();
+    }
+}
+
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let mut cur = Cursor::new(group.stream());
+    let mut fields = Vec::new();
+    loop {
+        let mut opts = SerdeOpts::default();
+        parse_attrs(&mut cur, &mut opts);
+        if cur.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut cur);
+        let name = cur.expect_ident("field name");
+        if !cur.eat_punct(':') {
+            panic!("serde derive: expected `:` after field `{name}`");
+        }
+        skip_type(&mut cur);
+        cur.eat_punct(',');
+        fields.push(Field { name, opts });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &Group) -> usize {
+    let mut cur = Cursor::new(group.stream());
+    let mut count = 0;
+    loop {
+        let mut opts = SerdeOpts::default();
+        parse_attrs(&mut cur, &mut opts);
+        if cur.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut cur);
+        skip_type(&mut cur);
+        cur.eat_punct(',');
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let mut cur = Cursor::new(group.stream());
+    let mut variants = Vec::new();
+    loop {
+        let mut opts = SerdeOpts::default();
+        parse_attrs(&mut cur, &mut opts);
+        if cur.peek().is_none() {
+            break;
+        }
+        let name = cur.expect_ident("variant name");
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g));
+                cur.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g));
+                cur.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant if one ever appears.
+        if cur.eat_punct('=') {
+            cur.next();
+        }
+        cur.eat_punct(',');
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut cur = Cursor::new(input);
+    let mut opts = SerdeOpts::default();
+    parse_attrs(&mut cur, &mut opts);
+    skip_visibility(&mut cur);
+    let is_enum = if cur.eat_ident("struct") {
+        false
+    } else if cur.eat_ident("enum") {
+        true
+    } else {
+        panic!(
+            "serde derive: expected `struct` or `enum`, found {:?}",
+            cur.peek()
+        );
+    };
+    let name = cur.expect_ident("type name");
+    if cur.peek_punct('<') {
+        panic!("serde derive (vendored shim): generic types are not supported, found on `{name}`");
+    }
+    let kind = if is_enum {
+        match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(&g))
+            }
+            other => panic!("serde derive: expected enum body, found {other:?}"),
+        }
+    } else {
+        match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(count_tuple_fields(g)))
+            }
+            _ => Kind::Struct(Fields::Unit),
+        }
+    };
+    Input { name, opts, kind }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn ser_named_fields(fields: &[Field], access: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, serde::Value)> = \
+         ::std::vec::Vec::with_capacity({});\n",
+        fields.len()
+    ));
+    for f in fields {
+        let expr = format!("{access}{}", f.name);
+        let value = match &f.opts.with {
+            Some(path) => {
+                format!("serde::__private::with_to_value(|__s| {path}::serialize(&{expr}, __s))")
+            }
+            None => format!("serde::Serialize::to_value(&{expr})"),
+        };
+        out.push_str(&format!(
+            "__fields.push((\"{n}\".to_string(), {value}));\n",
+            n = f.name
+        ));
+    }
+    out.push_str("serde::Value::Map(__fields)\n");
+    out
+}
+
+fn expand_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            if input.opts.transparent {
+                assert_eq!(fields.len(), 1, "transparent struct must have one field");
+                format!("serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                ser_named_fields(fields, "self.")
+            }
+        }
+        Kind::Struct(Fields::Tuple(1)) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Fields::Unit) => "serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                         serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                             serde::Value::Array(vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = ser_named_fields_from_bindings(fields);
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             serde::Value::Map(vec![(\"{vn}\".to_string(), __inner)])\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Like [`ser_named_fields`] but reading from match bindings instead of
+/// `self.`, leaving the map in `__inner`.
+fn ser_named_fields_from_bindings(fields: &[Field]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, serde::Value)> = \
+         ::std::vec::Vec::with_capacity({});\n",
+        fields.len()
+    ));
+    for f in fields {
+        out.push_str(&format!(
+            "__fields.push((\"{n}\".to_string(), serde::Serialize::to_value({n})));\n",
+            n = f.name
+        ));
+    }
+    out.push_str("let __inner = serde::Value::Map(__fields);\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Expression producing one named field's value from map `__value`.
+fn de_named_field(f: &Field, source: &str) -> String {
+    let n = &f.name;
+    let some_arm = match &f.opts.with {
+        Some(path) => {
+            format!("{path}::deserialize(serde::__private::ValueDeserializer(__v.clone()))?")
+        }
+        None => "serde::Deserialize::from_value(__v)?".to_string(),
+    };
+    let none_arm = if f.opts.default {
+        "::std::default::Default::default()".to_string()
+    } else if f.opts.with.is_some() {
+        format!(
+            "return ::std::result::Result::Err(serde::Error(\"missing field `{n}`\".to_string()))"
+        )
+    } else {
+        format!("serde::Deserialize::missing(\"{n}\")?")
+    };
+    format!(
+        "{n}: match {source}.get(\"{n}\") {{ \
+         ::std::option::Option::Some(__v) => {some_arm}, \
+         ::std::option::Option::None => {none_arm} }},\n"
+    )
+}
+
+fn expand_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            if input.opts.transparent {
+                assert_eq!(fields.len(), 1, "transparent struct must have one field");
+                format!(
+                    "::std::result::Result::Ok({name} {{ {f}: serde::Deserialize::from_value(__value)? }})",
+                    f = fields[0].name
+                )
+            } else {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&de_named_field(f, "__value"));
+                }
+                format!(
+                    "match __value {{\n\
+                     serde::Value::Map(_) => ::std::result::Result::Ok({name} {{\n{inits}}}),\n\
+                     __other => ::std::result::Result::Err(serde::Error(::std::format!(\n\
+                     \"expected map for struct {name}, found {{}}\", __other.kind()))),\n\
+                     }}"
+                )
+            }
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(__value)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __value {{\n\
+                 serde::Value::Array(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({items})),\n\
+                 __other => ::std::result::Result::Err(serde::Error(::std::format!(\n\
+                 \"expected array of {n} for {name}, found {{}}\", __other.kind()))),\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match __inner {{\n\
+                             serde::Value::Array(__items) if __items.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vn}({items})),\n\
+                             __other => ::std::result::Result::Err(serde::Error(::std::format!(\n\
+                             \"expected array of {n} for variant {vn}, found {{}}\", __other.kind()))),\n\
+                             }},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&de_named_field(f, "__inner"));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(serde::Error(::std::format!(\n\
+                 \"unknown variant `{{}}` of {name}\", __other))),\n\
+                 }},\n\
+                 serde::Value::Map(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => ::std::result::Result::Err(serde::Error(::std::format!(\n\
+                 \"unknown variant `{{}}` of {name}\", __other))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(serde::Error(::std::format!(\n\
+                 \"expected variant of {name}, found {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn from_value(__value: &serde::Value) -> ::std::result::Result<Self, serde::Error> {{\n\
+         {body}\n}}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    expand_serialize(&parsed)
+        .parse()
+        .expect("serde derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    expand_deserialize(&parsed)
+        .parse()
+        .expect("serde derive: generated invalid Deserialize impl")
+}
