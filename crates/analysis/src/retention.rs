@@ -17,11 +17,11 @@ use crate::util::first_created_day;
 use flock_core::{Day, MastodonHandle, TwitterUserId};
 use flock_crawler::dataset::Dataset;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// How a migrated user's cross-platform behaviour settled by the end of
 /// the window.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum RetentionClass {
     /// Posting on both platforms in the final week.
     DualCitizen,
@@ -37,7 +37,7 @@ pub enum RetentionClass {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RetentionReport {
     /// Class counts over users with at least one crawled timeline.
-    pub counts: HashMap<RetentionClass, usize>,
+    pub counts: BTreeMap<RetentionClass, usize>,
     /// Share of users still posting statuses in the last week, among users
     /// who ever posted a status.
     pub mastodon_retention_pct: f64,
@@ -60,13 +60,13 @@ fn last_week(day: Day) -> bool {
 
 /// Compute the retention report.
 pub fn retention(ds: &Dataset) -> RetentionReport {
-    let handle_by_user: HashMap<TwitterUserId, &MastodonHandle> = ds
+    let handle_by_user: BTreeMap<TwitterUserId, &MastodonHandle> = ds
         .matched
         .iter()
         .map(|m| (m.twitter_id, &m.resolved_handle))
         .collect();
 
-    let mut counts: HashMap<RetentionClass, usize> = HashMap::new();
+    let mut counts: BTreeMap<RetentionClass, usize> = BTreeMap::new();
     let mut ever_posted = 0usize;
     let mut retained = 0usize;
     let mut returned = 0usize;
@@ -74,7 +74,7 @@ pub fn retention(ds: &Dataset) -> RetentionReport {
 
     let takeover_week = Day::TAKEOVER.week();
     let last_week_idx = (Day::STUDY_END.week().0 - takeover_week.0) as usize;
-    let mut weekly_active = vec![std::collections::HashSet::new(); last_week_idx + 1];
+    let mut weekly_active = vec![std::collections::BTreeSet::new(); last_week_idx + 1];
 
     for m in &ds.matched {
         let tweets = ds.twitter_timelines.get(&m.twitter_id);

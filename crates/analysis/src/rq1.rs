@@ -5,7 +5,7 @@ use crate::util::{current_instance, first_created_day, first_instance};
 use flock_core::Day;
 use flock_crawler::dataset::Dataset;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One bar of Fig. 4: a destination instance with the pre/post-takeover
 /// split of account creations.
@@ -20,7 +20,7 @@ pub struct Fig4Row {
 
 /// Fig. 4: the top destination instances.
 pub fn fig4_top_instances(ds: &Dataset, top_n: usize) -> Vec<Fig4Row> {
-    let mut per: HashMap<&str, (usize, usize)> = HashMap::new();
+    let mut per: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
     for m in &ds.matched {
         let e = per.entry(first_instance(m)).or_insert((0, 0));
         match first_created_day(m) {
@@ -76,8 +76,8 @@ pub fn fig5_centralization(ds: &Dataset) -> Fig5Centralization {
 }
 
 /// Users per (current) instance.
-pub fn instance_sizes(ds: &Dataset) -> HashMap<String, usize> {
-    let mut sizes: HashMap<String, usize> = HashMap::new();
+pub fn instance_sizes(ds: &Dataset) -> BTreeMap<String, usize> {
+    let mut sizes: BTreeMap<String, usize> = BTreeMap::new();
     for m in &ds.matched {
         *sizes.entry(current_instance(m).to_string()).or_insert(0) += 1;
     }
@@ -184,7 +184,7 @@ pub fn fig6_size_analysis(ds: &Dataset) -> Fig6InstanceSizes {
         if v.is_empty() {
             return 0.0;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(|a, b| a.total_cmp(b));
         let k = v.len() / 20;
         let core = &v[k..v.len() - k];
         core.iter().sum::<f64>() / core.len().max(1) as f64
@@ -202,7 +202,7 @@ pub fn fig6_size_analysis(ds: &Dataset) -> Fig6InstanceSizes {
         }
     };
 
-    let mut histogram: HashMap<usize, usize> = HashMap::new();
+    let mut histogram: BTreeMap<usize, usize> = BTreeMap::new();
     for &s in sizes.values() {
         *histogram.entry(s).or_insert(0) += 1;
     }

@@ -2,10 +2,11 @@
 
 use crate::stats::{mean, Ecdf};
 use crate::util::{first_created, first_instance, switch_day};
+use flock_apis::types::MastodonAccountObject;
 use flock_core::{Day, TwitterUserId};
 use flock_crawler::dataset::{Dataset, MatchedUser};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Fig. 7 + the §5.1 size-of-network statistics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -45,23 +46,26 @@ pub fn fig7_social_networks(ds: &Dataset) -> Fig7SocialNetworks {
             .map(|m| m.twitter_followees as f64)
             .collect(),
     );
-    let with_account: Vec<&MatchedUser> =
-        ds.matched.iter().filter(|m| m.account.is_some()).collect();
+    let with_account: Vec<(&MatchedUser, &MastodonAccountObject)> = ds
+        .matched
+        .iter()
+        .filter_map(|m| m.account.as_ref().map(|a| (m, a)))
+        .collect();
     let ms_followers = Ecdf::new(
         with_account
             .iter()
-            .map(|m| m.account.as_ref().unwrap().followers_count as f64)
+            .map(|(_, a)| a.followers_count as f64)
             .collect(),
     );
     let ms_followees = Ecdf::new(
         with_account
             .iter()
-            .map(|m| m.account.as_ref().unwrap().following_count as f64)
+            .map(|(_, a)| a.following_count as f64)
             .collect(),
     );
     let more = with_account
         .iter()
-        .filter(|m| m.account.as_ref().unwrap().followers_count > m.twitter_followers)
+        .filter(|(m, a)| a.followers_count > m.twitter_followers)
         .count() as f64
         / with_account.len().max(1) as f64;
     let tw_ages = Ecdf::new(
@@ -152,7 +156,7 @@ pub struct Fig8Influence {
 
 /// Compute Fig. 8 over the followee sample.
 pub fn fig8_influence(ds: &Dataset) -> Fig8Influence {
-    let by_id: HashMap<TwitterUserId, &MatchedUser> =
+    let by_id: BTreeMap<TwitterUserId, &MatchedUser> =
         ds.matched.iter().map(|m| (m.twitter_id, m)).collect();
 
     let mut frac_migrated = Vec::new();
@@ -256,7 +260,7 @@ pub struct Fig9Switching {
 
 /// Compute Fig. 9.
 pub fn fig9_switching(ds: &Dataset) -> Fig9Switching {
-    let mut flows: HashMap<(String, String), usize> = HashMap::new();
+    let mut flows: BTreeMap<(String, String), usize> = BTreeMap::new();
     let mut post = 0usize;
     let mut dated = 0usize;
     let switchers: Vec<&MatchedUser> = ds.matched.iter().filter(|m| m.switched()).collect();
@@ -308,7 +312,7 @@ pub struct Fig10SwitcherInfluence {
 
 /// Compute Fig. 10 over switchers present in the followee sample.
 pub fn fig10_switcher_influence(ds: &Dataset) -> Fig10SwitcherInfluence {
-    let by_id: HashMap<TwitterUserId, &MatchedUser> =
+    let by_id: BTreeMap<TwitterUserId, &MatchedUser> =
         ds.matched.iter().map(|m| (m.twitter_id, m)).collect();
     let mut at_first = Vec::new();
     let mut at_second = Vec::new();

@@ -7,7 +7,7 @@ use flock_textsim::{
     cosine, embed, extract_hashtags, Embedding, ToxicityScorer, SIMILARITY_THRESHOLD,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The two cross-posting tools of Fig. 12/13 (source strings as they
 /// appear in the tweet `source` field).
@@ -83,7 +83,7 @@ impl SourceRow {
 
 /// Fig. 12: tweet sources before/after the takeover, top-N by volume.
 pub fn fig12_sources(ds: &Dataset, top_n: usize) -> Vec<SourceRow> {
-    let mut per: HashMap<&str, (u64, u64)> = HashMap::new();
+    let mut per: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
     for tl in ds.twitter_timelines.values() {
         for t in tl {
             let e = per.entry(t.source.as_str()).or_insert((0, 0));
@@ -124,8 +124,8 @@ pub struct Fig13CrossPosters {
 /// Compute Fig. 13.
 pub fn fig13_crossposters(ds: &Dataset) -> Fig13CrossPosters {
     let days: Vec<Day> = Day::study_days().collect();
-    let mut per_day: Vec<HashSet<TwitterUserId>> = vec![HashSet::new(); days.len()];
-    let mut ever: HashSet<TwitterUserId> = HashSet::new();
+    let mut per_day: Vec<BTreeSet<TwitterUserId>> = vec![BTreeSet::new(); days.len()];
+    let mut ever: BTreeSet<TwitterUserId> = BTreeSet::new();
     for (uid, tl) in &ds.twitter_timelines {
         for t in tl {
             if CROSSPOSTER_SOURCES.contains(&t.source.as_str()) && t.day.in_study_window() {
@@ -166,7 +166,7 @@ pub struct Fig14Similarity {
 /// against the user's tweets (exact match for *identical*; embedding cosine
 /// above [`SIMILARITY_THRESHOLD`] for *similar*).
 pub fn fig14_similarity(ds: &Dataset) -> Fig14Similarity {
-    // Work items in `matched` order, not HashMap order: the per-user fracs
+    // Work items in `matched` order, not map order: the per-user fracs
     // feed floating-point accumulators, so iteration order is part of the
     // deterministic contract regardless of how many workers run below.
     let pairs: Vec<_> = ds
@@ -185,7 +185,7 @@ pub fn fig14_similarity(ds: &Dataset) -> Fig14Similarity {
     // Embedding every status against every tweet embedding dominates the
     // figure pipeline; users are independent, so fan them out.
     let fracs = flock_crawler::worker_pool::run(workers, &pairs, |_, &(tweets, statuses)| {
-        let tweet_texts: HashSet<&str> = tweets.iter().map(|t| t.text.as_str()).collect();
+        let tweet_texts: BTreeSet<&str> = tweets.iter().map(|t| t.text.as_str()).collect();
         let tweet_embeddings: Vec<Embedding> = tweets.iter().map(|t| embed(&t.text)).collect();
         let mut identical = 0usize;
         let mut similar = 0usize;
@@ -239,7 +239,7 @@ pub struct Fig15Hashtags {
 /// Compute Fig. 15 from the crawled timelines.
 pub fn fig15_hashtags(ds: &Dataset, top_n: usize) -> Fig15Hashtags {
     let count = |texts: &mut dyn Iterator<Item = &str>| -> Vec<HashtagRow> {
-        let mut counts: HashMap<String, u64> = HashMap::new();
+        let mut counts: BTreeMap<String, u64> = BTreeMap::new();
         for text in texts {
             for tag in extract_hashtags(text) {
                 *counts.entry(tag).or_insert(0) += 1;
@@ -291,7 +291,7 @@ pub struct Fig16Toxicity {
 /// Compute Fig. 16 by scoring every crawled post.
 pub fn fig16_toxicity(ds: &Dataset) -> Fig16Toxicity {
     let scorer = ToxicityScorer::new();
-    let handle_by_user: HashMap<TwitterUserId, &MastodonHandle> = ds
+    let handle_by_user: BTreeMap<TwitterUserId, &MastodonHandle> = ds
         .matched
         .iter()
         .map(|m| (m.twitter_id, &m.resolved_handle))

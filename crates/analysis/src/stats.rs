@@ -14,7 +14,7 @@ impl Ecdf {
     /// Build from samples (NaNs are dropped).
     pub fn new(mut samples: Vec<f64>) -> Self {
         samples.retain(|x| !x.is_nan());
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(|a, b| a.total_cmp(b));
         Ecdf { sorted: samples }
     }
 
@@ -75,7 +75,7 @@ impl Ecdf {
             return Vec::new();
         }
         let lo = self.sorted[0];
-        let hi = *self.sorted.last().unwrap();
+        let hi = self.sorted[self.sorted.len() - 1];
         (0..=points)
             .map(|i| {
                 let x = lo + (hi - lo) * i as f64 / points as f64;
@@ -160,7 +160,7 @@ pub fn gini(values: &[usize]) -> f64 {
         return 0.0;
     }
     let mut v: Vec<f64> = values.iter().map(|&x| x as f64).collect();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     let n = v.len() as f64;
     let sum: f64 = v.iter().sum();
     if sum == 0.0 {

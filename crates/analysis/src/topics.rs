@@ -16,13 +16,13 @@ use flock_core::TwitterUserId;
 use flock_crawler::dataset::Dataset;
 use flock_textsim::{extract_hashtags, Topic};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Map a (lowercase) hashtag to the topic that emits it, if any. Built by
 /// inverting the generator's topic→hashtag tables for both platforms, so
 /// inference and generation cannot drift apart.
-fn hashtag_topic_table() -> HashMap<String, Topic> {
-    let mut table = HashMap::new();
+fn hashtag_topic_table() -> BTreeMap<String, Topic> {
+    let mut table = BTreeMap::new();
     for topic in Topic::ALL {
         for platform in flock_core::Platform::ALL {
             for tag in topic.hashtags(platform) {
@@ -47,18 +47,18 @@ pub struct InferredInterest {
 
 /// Infer interests for every matched user from their crawled tweets and
 /// statuses.
-pub fn infer_interests(ds: &Dataset) -> HashMap<TwitterUserId, InferredInterest> {
+pub fn infer_interests(ds: &Dataset) -> BTreeMap<TwitterUserId, InferredInterest> {
     let table = hashtag_topic_table();
-    let handle_by_user: HashMap<TwitterUserId, &flock_core::MastodonHandle> = ds
+    let handle_by_user: BTreeMap<TwitterUserId, &flock_core::MastodonHandle> = ds
         .matched
         .iter()
         .map(|m| (m.twitter_id, &m.resolved_handle))
         .collect();
-    let mut out = HashMap::new();
+    let mut out = BTreeMap::new();
     for m in &ds.matched {
-        let mut counts: HashMap<Topic, usize> = HashMap::new();
+        let mut counts: BTreeMap<Topic, usize> = BTreeMap::new();
         let mut n_tags = 0usize;
-        let bump = |text: &str, counts: &mut HashMap<Topic, usize>, n: &mut usize| {
+        let bump = |text: &str, counts: &mut BTreeMap<Topic, usize>, n: &mut usize| {
             for tag in extract_hashtags(text) {
                 if let Some(topic) = table.get(&tag) {
                     if !matches!(topic, Topic::Fediverse | Topic::Migration) {
@@ -122,7 +122,7 @@ pub struct TopicReport {
 pub fn topic_report(ds: &Dataset, min_users: usize) -> TopicReport {
     let interests = infer_interests(ds);
     // Group typed users by current instance.
-    let mut by_instance: HashMap<&str, Vec<Topic>> = HashMap::new();
+    let mut by_instance: BTreeMap<&str, Vec<Topic>> = BTreeMap::new();
     for m in &ds.matched {
         if let Some(InferredInterest {
             dominant: Some(t), ..
@@ -135,7 +135,7 @@ pub fn topic_report(ds: &Dataset, min_users: usize) -> TopicReport {
         }
     }
     let profile = |domain: &str, topics: &[Topic]| -> InstanceTopicProfile {
-        let mut counts: HashMap<Topic, usize> = HashMap::new();
+        let mut counts: BTreeMap<Topic, usize> = BTreeMap::new();
         for t in topics {
             *counts.entry(*t).or_insert(0) += 1;
         }
@@ -159,8 +159,7 @@ pub fn topic_report(ds: &Dataset, min_users: usize) -> TopicReport {
         .collect();
     profiles.sort_by(|a, b| {
         b.coherence
-            .partial_cmp(&a.coherence)
-            .unwrap()
+            .total_cmp(&a.coherence)
             .then(a.domain.cmp(&b.domain))
     });
     let flagship_coherence = by_instance
@@ -170,10 +169,10 @@ pub fn topic_report(ds: &Dataset, min_users: usize) -> TopicReport {
 
     // Switcher alignment: does the destination's modal topic match the
     // switcher's inferred interest, and did the move improve on the origin?
-    let modal_by_instance: HashMap<&str, Topic> = by_instance
+    let modal_by_instance: BTreeMap<&str, Topic> = by_instance
         .iter()
         .filter_map(|(d, topics)| {
-            let mut counts: HashMap<Topic, usize> = HashMap::new();
+            let mut counts: BTreeMap<Topic, usize> = BTreeMap::new();
             for t in topics {
                 *counts.entry(*t).or_insert(0) += 1;
             }

@@ -271,14 +271,17 @@ struct Parser {
 
 impl Parser {
     fn parse_or(&mut self) -> Result<Query> {
-        let mut parts = vec![self.parse_and()?];
+        let first = self.parse_and()?;
+        let mut rest = Vec::new();
         while self.peek() == Some(&Tok::Or) {
             self.pos += 1;
-            parts.push(self.parse_and()?);
+            rest.push(self.parse_and()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().unwrap()
+        Ok(if rest.is_empty() {
+            first
         } else {
+            let mut parts = vec![first];
+            parts.extend(rest);
             Query::Or(parts)
         })
     }
@@ -291,10 +294,13 @@ impl Parser {
             }
             parts.push(self.parse_term()?);
         }
-        match parts.len() {
-            0 => Err(FlockError::InvalidQuery("empty conjunction".to_string())),
-            1 => Ok(parts.pop().unwrap()),
-            _ => Ok(Query::And(parts)),
+        match parts.pop() {
+            None => Err(FlockError::InvalidQuery("empty conjunction".to_string())),
+            Some(only) if parts.is_empty() => Ok(only),
+            Some(last) => {
+                parts.push(last);
+                Ok(Query::And(parts))
+            }
         }
     }
 

@@ -737,17 +737,16 @@ impl ApiServer {
             .world
             .account_by_handle(handle)
             .ok_or_else(|| FlockError::NotFound(handle.to_string()))?;
-        let handles: Vec<MastodonHandle> = if account.switch.is_some()
-            && *handle == account.first_handle
-        {
-            Vec::new() // drained by the Move
-        } else {
-            self.world
-                .mastodon_following(account)
-                .iter()
-                .map(|a| MastodonHandle::new(&a.name, &a.domain).expect("actors carry valid names"))
-                .collect()
-        };
+        let handles: Vec<MastodonHandle> =
+            if account.switch.is_some() && *handle == account.first_handle {
+                Vec::new() // drained by the Move
+            } else {
+                self.world
+                    .mastodon_following(account)
+                    .iter()
+                    .map(|a| MastodonHandle::new(&a.name, &a.domain))
+                    .collect::<Result<_>>()?
+            };
         let scope = format!("following:{handle}");
         let offset = decode(&scope, cursor)?;
         Ok(Page::slice(

@@ -23,6 +23,7 @@ use std::sync::{Arc, OnceLock};
 pub fn bench_world() -> &'static Arc<World> {
     static CELL: OnceLock<Arc<World>> = OnceLock::new();
     CELL.get_or_init(|| {
+        // flock-lint: allow(panic) benches have no error channel; a broken world build must abort
         Arc::new(World::generate(&WorldConfig::small().with_seed(1234)).expect("world"))
     })
 }
@@ -32,6 +33,7 @@ pub fn bench_dataset() -> &'static Dataset {
     static CELL: OnceLock<Dataset> = OnceLock::new();
     CELL.get_or_init(|| {
         let api = ApiServer::with_defaults(bench_world().clone());
+        // flock-lint: allow(panic) benches have no error channel; a failed warm-up crawl must abort
         crawl(&api).expect("crawl")
     })
 }

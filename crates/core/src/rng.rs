@@ -246,6 +246,7 @@ impl DetRng {
         weights
             .iter()
             .rposition(|&w| w > 0.0)
+            // flock-lint: allow(panic) the positive-total assert above proves a positive weight exists
             .expect("checked above")
     }
 

@@ -7,7 +7,7 @@
 use flock_apis::types::{ActivityRow, InstanceInfoObject, MastodonAccountObject};
 use flock_core::{Day, MastodonHandle, TweetId, TwitterUserId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which §3.1 query family matched a collected tweet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -142,25 +142,25 @@ pub struct Dataset {
     pub matched: Vec<MatchedUser>,
     /// §3.2 Twitter timelines (only for `Ok` outcomes).
     #[serde(with = "as_pairs")]
-    pub twitter_timelines: HashMap<TwitterUserId, Vec<TimelineTweet>>,
+    pub twitter_timelines: BTreeMap<TwitterUserId, Vec<TimelineTweet>>,
     /// §3.2 crawl outcome per matched user.
     #[serde(with = "as_pairs")]
-    pub twitter_outcomes: HashMap<TwitterUserId, TwitterCrawlOutcome>,
+    pub twitter_outcomes: BTreeMap<TwitterUserId, TwitterCrawlOutcome>,
     /// §3.2 Mastodon timelines keyed by resolved handle.
     #[serde(with = "as_pairs")]
-    pub mastodon_timelines: HashMap<MastodonHandle, Vec<TimelineStatus>>,
+    pub mastodon_timelines: BTreeMap<MastodonHandle, Vec<TimelineStatus>>,
     /// §3.2 Mastodon outcome per matched user (keyed by Twitter id).
     #[serde(with = "as_pairs")]
-    pub mastodon_outcomes: HashMap<TwitterUserId, MastodonCrawlOutcome>,
+    pub mastodon_outcomes: BTreeMap<TwitterUserId, MastodonCrawlOutcome>,
     /// §3.3 followee sample (keyed by Twitter id; ~10% of matched users).
     #[serde(with = "as_pairs")]
-    pub followees: HashMap<TwitterUserId, FolloweeRecord>,
+    pub followees: BTreeMap<TwitterUserId, FolloweeRecord>,
     /// §3.1 cross-check: weekly activity per instance domain.
-    pub weekly_activity: HashMap<String, Vec<ActivityRow>>,
+    pub weekly_activity: BTreeMap<String, Vec<ActivityRow>>,
     /// Public per-instance metadata (registered users incl. background —
     /// what instances.social reported for the landing instances).
     #[serde(default)]
-    pub instance_info: HashMap<String, InstanceInfoObject>,
+    pub instance_info: BTreeMap<String, InstanceInfoObject>,
     /// Crawl accounting.
     pub stats: CrawlStats,
 }
@@ -196,24 +196,22 @@ impl Dataset {
 pub(crate) mod as_pairs {
     use serde::de::DeserializeOwned;
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::collections::HashMap;
-    use std::hash::Hash;
+    use std::collections::BTreeMap;
 
-    pub fn serialize<K, V, S>(map: &HashMap<K, V>, s: S) -> Result<S::Ok, S::Error>
+    pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, s: S) -> Result<S::Ok, S::Error>
     where
-        K: Serialize + Ord + Clone,
+        K: Serialize + Ord,
         V: Serialize,
         S: Serializer,
     {
-        // Sort for stable output.
-        let mut pairs: Vec<(&K, &V)> = map.iter().collect();
-        pairs.sort_by(|a, b| a.0.cmp(b.0));
+        // A BTreeMap already iterates in key order, so output is stable.
+        let pairs: Vec<(&K, &V)> = map.iter().collect();
         pairs.serialize(s)
     }
 
-    pub fn deserialize<'de, K, V, D>(d: D) -> Result<HashMap<K, V>, D::Error>
+    pub fn deserialize<'de, K, V, D>(d: D) -> Result<BTreeMap<K, V>, D::Error>
     where
-        K: DeserializeOwned + Eq + Hash,
+        K: DeserializeOwned + Ord,
         V: DeserializeOwned,
         D: Deserializer<'de>,
     {

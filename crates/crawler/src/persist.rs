@@ -11,7 +11,7 @@
 use crate::dataset::{Dataset, MatchedUser};
 use flock_core::handle::extract_handles;
 use flock_core::{FlockError, MastodonHandle, Result};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 impl Dataset {
@@ -44,7 +44,7 @@ impl Dataset {
     /// pseudonym derived from `salt`, both in the records and inside post
     /// text. Instance domains, dates, counts, sources and non-handle text
     /// are retained — they carry the scientific content.
-    pub fn anonymized(&self, salt: u64) -> Dataset {
+    pub fn anonymized(&self, salt: u64) -> Result<Dataset> {
         let mut names = Pseudonyms::new(salt);
         // Collect every username we must rewrite: matched users' Twitter
         // usernames and all handle usernames.
@@ -54,18 +54,17 @@ impl Dataset {
             names.assign(m.resolved_handle.username());
         }
 
-        let anon_handle = |h: &MastodonHandle, names: &mut Pseudonyms| -> MastodonHandle {
+        let anon_handle = |h: &MastodonHandle, names: &mut Pseudonyms| -> Result<MastodonHandle> {
             MastodonHandle::new(&names.assign(h.username()), h.instance())
-                .expect("pseudonyms are valid usernames")
         };
-        let anon_text = |text: &str, names: &mut Pseudonyms| -> String {
+        let anon_text = |text: &str, names: &mut Pseudonyms| -> Result<String> {
             let mut out = text.to_string();
             for h in extract_handles(text) {
-                let replacement = anon_handle(&h, names);
+                let replacement = anon_handle(&h, names)?;
                 out = out.replace(&h.to_string(), &replacement.to_string());
                 out = out.replace(&h.profile_url(), &replacement.profile_url());
             }
-            out
+            Ok(out)
         };
 
         let matched: Vec<MatchedUser> = self
@@ -74,100 +73,105 @@ impl Dataset {
             .map(|m| {
                 let mut a = m.clone();
                 a.twitter_username = names.assign(&m.twitter_username);
-                a.handle = anon_handle(&m.handle, &mut names);
-                a.resolved_handle = anon_handle(&m.resolved_handle, &mut names);
+                a.handle = anon_handle(&m.handle, &mut names)?;
+                a.resolved_handle = anon_handle(&m.resolved_handle, &mut names)?;
                 if let Some(acct) = &mut a.account {
-                    acct.handle = anon_handle(&acct.handle, &mut names);
+                    acct.handle = anon_handle(&acct.handle, &mut names)?;
                     if let Some(moved) = &acct.moved_to {
-                        acct.moved_to = Some(anon_handle(moved, &mut names));
+                        acct.moved_to = Some(anon_handle(moved, &mut names)?);
                     }
                 }
                 if let Some(acct) = &mut a.first_account {
-                    acct.handle = anon_handle(&acct.handle, &mut names);
+                    acct.handle = anon_handle(&acct.handle, &mut names)?;
                     if let Some(moved) = &acct.moved_to {
-                        acct.moved_to = Some(anon_handle(moved, &mut names));
+                        acct.moved_to = Some(anon_handle(moved, &mut names)?);
                     }
                 }
-                a
+                Ok(a)
             })
-            .collect();
+            .collect::<Result<_>>()?;
 
-        Dataset {
+        let collected_tweets = self
+            .collected_tweets
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                t.text = anon_text(&t.text, &mut names)?;
+                Ok(t)
+            })
+            .collect::<Result<_>>()?;
+        let twitter_timelines = self
+            .twitter_timelines
+            .iter()
+            .map(|(id, tl)| {
+                let tl = tl
+                    .iter()
+                    .map(|t| {
+                        let mut t = t.clone();
+                        t.text = anon_text(&t.text, &mut names)?;
+                        Ok(t)
+                    })
+                    .collect::<Result<_>>()?;
+                Ok((*id, tl))
+            })
+            .collect::<Result<_>>()?;
+        let mastodon_timelines = self
+            .mastodon_timelines
+            .iter()
+            .map(|(h, tl)| {
+                let tl = tl
+                    .iter()
+                    .map(|s| {
+                        let mut s = s.clone();
+                        s.text = anon_text(&s.text, &mut names)?;
+                        Ok(s)
+                    })
+                    .collect::<Result<_>>()?;
+                Ok((anon_handle(h, &mut names)?, tl))
+            })
+            .collect::<Result<_>>()?;
+        let followees = self
+            .followees
+            .iter()
+            .map(|(id, rec)| {
+                let mut rec = rec.clone();
+                rec.mastodon = rec
+                    .mastodon
+                    .iter()
+                    .map(|h| anon_handle(h, &mut names))
+                    .collect::<Result<_>>()?;
+                Ok((*id, rec))
+            })
+            .collect::<Result<_>>()?;
+
+        Ok(Dataset {
             instance_list: self.instance_list.clone(),
-            collected_tweets: self
-                .collected_tweets
-                .iter()
-                .map(|t| {
-                    let mut t = t.clone();
-                    t.text = anon_text(&t.text, &mut names);
-                    t
-                })
-                .collect(),
+            collected_tweets,
             searched_users: self.searched_users,
             matched,
-            twitter_timelines: self
-                .twitter_timelines
-                .iter()
-                .map(|(id, tl)| {
-                    let tl = tl
-                        .iter()
-                        .map(|t| {
-                            let mut t = t.clone();
-                            t.text = anon_text(&t.text, &mut names);
-                            t
-                        })
-                        .collect();
-                    (*id, tl)
-                })
-                .collect(),
+            twitter_timelines,
             twitter_outcomes: self.twitter_outcomes.clone(),
-            mastodon_timelines: self
-                .mastodon_timelines
-                .iter()
-                .map(|(h, tl)| {
-                    let tl = tl
-                        .iter()
-                        .map(|s| {
-                            let mut s = s.clone();
-                            s.text = anon_text(&s.text, &mut names);
-                            s
-                        })
-                        .collect();
-                    (anon_handle(h, &mut names), tl)
-                })
-                .collect(),
+            mastodon_timelines,
             mastodon_outcomes: self.mastodon_outcomes.clone(),
-            followees: self
-                .followees
-                .iter()
-                .map(|(id, rec)| {
-                    let mut rec = rec.clone();
-                    rec.mastodon = rec
-                        .mastodon
-                        .iter()
-                        .map(|h| anon_handle(h, &mut names))
-                        .collect();
-                    (*id, rec)
-                })
-                .collect(),
+            followees,
             weekly_activity: self.weekly_activity.clone(),
             instance_info: self.instance_info.clone(),
             stats: self.stats,
-        }
+        })
     }
 }
 
 /// Deterministic username → pseudonym assignment.
 struct Pseudonyms {
     salt: u64,
-    map: HashMap<String, String>,
+    map: BTreeMap<String, String>,
 }
 
 impl Pseudonyms {
     fn new(salt: u64) -> Self {
         Pseudonyms {
             salt,
-            map: HashMap::new(),
+            map: BTreeMap::new(),
         }
     }
 
@@ -258,7 +262,7 @@ mod tests {
     #[test]
     fn anonymization_scrubs_usernames_everywhere() {
         let ds = sample();
-        let anon = ds.anonymized(42);
+        let anon = ds.anonymized(42).unwrap();
         assert_ne!(anon.matched[0].twitter_username, "quiet_otter");
         assert_ne!(anon.matched[0].handle.username(), "quiet_otter");
         // The instance stays — it's the unit of analysis.
@@ -273,17 +277,17 @@ mod tests {
     #[test]
     fn anonymization_is_deterministic_and_salted() {
         let ds = sample();
-        let a = ds.anonymized(42);
-        let b = ds.anonymized(42);
+        let a = ds.anonymized(42).unwrap();
+        let b = ds.anonymized(42).unwrap();
         assert_eq!(a.matched[0].twitter_username, b.matched[0].twitter_username);
-        let c = ds.anonymized(43);
+        let c = ds.anonymized(43).unwrap();
         assert_ne!(a.matched[0].twitter_username, c.matched[0].twitter_username);
     }
 
     #[test]
     fn anonymization_preserves_structure() {
         let ds = sample();
-        let anon = ds.anonymized(7);
+        let anon = ds.anonymized(7).unwrap();
         assert_eq!(anon.matched.len(), ds.matched.len());
         assert_eq!(anon.collected_tweets.len(), ds.collected_tweets.len());
         assert_eq!(anon.matched[0].twitter_id, ds.matched[0].twitter_id);

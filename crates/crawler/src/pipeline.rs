@@ -29,7 +29,7 @@ use flock_apis::server::ApiServer;
 use flock_apis::types::TwitterUserObject;
 use flock_core::handle::extract_handles;
 use flock_core::{Day, DetRng, FlockError, MastodonHandle, Result, TweetId, TwitterUserId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Crawl tuning.
@@ -190,7 +190,7 @@ impl<'a> Crawler<'a> {
         for domain in &ds.instance_list {
             queries.push((format!("url:\"{domain}\""), QueryKind::InstanceLink));
         }
-        let mut seen: HashMap<TweetId, usize> = HashMap::new();
+        let mut seen: BTreeMap<TweetId, usize> = BTreeMap::new();
         for (q, kind) in queries {
             let mut cursor: Option<String> = None;
             loop {
@@ -208,7 +208,7 @@ impl<'a> Crawler<'a> {
                     Err(e) => return Err(e),
                 };
                 for t in page.items {
-                    if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(t.id) {
+                    if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(t.id) {
                         e.insert(ds.collected_tweets.len());
                         ds.collected_tweets.push(CollectedTweet {
                             id: t.id,
@@ -226,7 +226,7 @@ impl<'a> Crawler<'a> {
                 }
             }
         }
-        let authors: HashSet<TwitterUserId> =
+        let authors: BTreeSet<TwitterUserId> =
             ds.collected_tweets.iter().map(|t| t.author).collect();
         ds.searched_users = authors.len();
         Ok(())
@@ -235,17 +235,17 @@ impl<'a> Crawler<'a> {
     // ---- §3.1 phase B: hierarchical handle matching ----------------------
 
     fn match_users(&self, ds: &mut Dataset) -> Result<()> {
-        let instance_set: HashSet<&str> = ds.instance_list.iter().map(String::as_str).collect();
+        let instance_set: BTreeSet<&str> = ds.instance_list.iter().map(String::as_str).collect();
         // Collection-time author metadata, batched.
         let mut authors: Vec<TwitterUserId> = ds
             .collected_tweets
             .iter()
             .map(|t| t.author)
-            .collect::<HashSet<_>>()
+            .collect::<BTreeSet<_>>()
             .into_iter()
             .collect();
         authors.sort();
-        let mut metadata: HashMap<TwitterUserId, TwitterUserObject> = HashMap::new();
+        let mut metadata: BTreeMap<TwitterUserId, TwitterUserObject> = BTreeMap::new();
         for chunk in authors.chunks(100) {
             let users = self.request(|| self.api.twitter_search_user_expansion(chunk))?;
             for u in users {
@@ -253,7 +253,7 @@ impl<'a> Crawler<'a> {
             }
         }
         // Tweets per author, for the text fallback.
-        let mut tweets_by_author: HashMap<TwitterUserId, Vec<usize>> = HashMap::new();
+        let mut tweets_by_author: BTreeMap<TwitterUserId, Vec<usize>> = BTreeMap::new();
         for (i, t) in ds.collected_tweets.iter().enumerate() {
             tweets_by_author.entry(t.author).or_default().push(i);
         }
@@ -486,7 +486,7 @@ impl<'a> Crawler<'a> {
         let sample = self.sample_for_followees(ds);
         let targets: Vec<MatchedUser> = sample
             .iter()
-            .map(|id| ds.matched_by_id(*id).expect("sampled from matched").clone())
+            .filter_map(|id| ds.matched_by_id(*id).cloned())
             .collect();
         let results = worker_pool::run(self.config.workers, &targets, |_, m| {
             self.crawl_one_followees(m)

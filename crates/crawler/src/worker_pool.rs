@@ -50,6 +50,7 @@ where
             });
         }
     })
+    // flock-lint: allow(panic) a panicked worker already poisoned the crawl; re-raise on the coordinator
     .expect("crawl worker panicked");
     let mut out = slots.into_inner();
     // Completion order is scheduling noise; input order is the contract.

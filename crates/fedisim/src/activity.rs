@@ -101,7 +101,7 @@ pub fn build_ledger(
     for inst in instances {
         let share = inst.popularity / pop_sum;
         let base_reg = config.background_weekly_registrations * share * instances.len() as f64;
-        let entry = per_instance.get_mut(inst.id.index()).expect("dense ids");
+        let entry = &mut per_instance[inst.id.index()];
         for &w in &weeks {
             // Instances that did not exist yet have no activity.
             if w.monday() < inst.created {

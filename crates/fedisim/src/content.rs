@@ -443,7 +443,8 @@ mod tests {
             &instances,
             &config,
             &mut rng.fork("mig"),
-        );
+        )
+        .unwrap();
         let corpora = generate_content(
             &mut users,
             &migrants,
@@ -598,7 +599,8 @@ mod tests {
             &instances,
             &config,
             &mut rng.fork("mig"),
-        );
+        )
+        .unwrap();
         let corpora = generate_content(
             &mut users,
             &migrants,
@@ -684,7 +686,8 @@ mod abandonment_tests {
             &instances,
             &config,
             &mut rng.fork("m"),
-        );
+        )
+        .unwrap();
         let corpora = generate_content(
             &mut users,
             &migrants,

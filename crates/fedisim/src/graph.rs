@@ -151,7 +151,7 @@ pub fn realize_followees(
     if fill > 0 && !non_migrant_pool.is_empty() {
         // Sample without replacement when the pool is large relative to the
         // request; fall back to best-effort rejection otherwise.
-        let mut seen: std::collections::HashSet<TwitterUserId> = out.iter().copied().collect();
+        let mut seen: std::collections::BTreeSet<TwitterUserId> = out.iter().copied().collect();
         seen.insert(self_id);
         let mut added = 0;
         let mut attempts = 0;

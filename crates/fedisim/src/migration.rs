@@ -20,9 +20,11 @@ use crate::config::WorldConfig;
 use crate::graph::MigrantFriendGraph;
 use crate::instances::Instance;
 use crate::users::TwitterUser;
-use flock_core::{Day, DetRng, InstanceId, MastodonAccountId, MastodonHandle, TwitterUserId};
+use flock_core::{
+    Day, DetRng, FlockError, InstanceId, MastodonAccountId, MastodonHandle, Result, TwitterUserId,
+};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A completed instance switch (§5.3).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -179,13 +181,10 @@ impl InstanceSampler {
         let (_, table) = self
             .tables
             .iter()
-            .min_by(|a, b| {
-                (a.0 - damping)
-                    .abs()
-                    .partial_cmp(&(b.0 - damping).abs())
-                    .unwrap()
-            })
+            .min_by(|a, b| (a.0 - damping).abs().total_cmp(&(b.0 - damping).abs()))
+            // flock-lint: allow(panic) DAMPING_BUCKETS is a non-empty const, so `new` always builds >=1 table
             .expect("non-empty buckets");
+        // flock-lint: allow(panic) `new` builds each table with one entry per instance and n_instances >= 1
         let total = *table.last().expect("instances exist");
         let x = rng.f64() * total;
         table.partition_point(|c| *c < x).min(table.len() - 1)
@@ -209,16 +208,17 @@ pub fn choose_instance(
 ) -> InstanceId {
     // 1. Herding: join the friends' modal instance.
     if !friend_instances.is_empty() && rng.chance(config.herding_probability) {
-        let mut counts: HashMap<InstanceId, usize> = HashMap::new();
+        let mut counts: BTreeMap<InstanceId, usize> = BTreeMap::new();
         for &i in friend_instances {
             *counts.entry(i).or_insert(0) += 1;
         }
-        let modal = counts
+        if let Some(modal) = counts
             .iter()
             .max_by_key(|(id, c)| (**c, std::cmp::Reverse(id.raw())))
             .map(|(id, _)| *id)
-            .expect("non-empty");
-        return modal;
+        {
+            return modal;
+        }
     }
     // 2. Topical: dedicated users with a niche interest go to its server.
     if user.primary_topic.has_topical_instance() {
@@ -278,7 +278,7 @@ pub fn run_migration(
     instances: &[Instance],
     config: &WorldConfig,
     rng: &mut DetRng,
-) -> Vec<MastodonAccount> {
+) -> Result<Vec<MastodonAccount>> {
     let n = migrant_users.len();
     assert_eq!(graph.len(), n, "graph must cover the migrant set");
 
@@ -313,8 +313,7 @@ pub fn run_migration(
         chosen_instance[mi] = Some(inst);
 
         let (m_username, _same) = mastodon_username(&user.username, config.same_username_rate, rng);
-        let handle = MastodonHandle::new(&m_username, &instances[inst.index()].domain)
-            .expect("generated names are valid");
+        let handle = MastodonHandle::new(&m_username, &instances[inst.index()].domain)?;
 
         // 21% of accounts predate the takeover (early adopters who only
         // *announced* during the window); the rest are created when the
@@ -357,7 +356,12 @@ pub fn run_migration(
 
     accounts
         .into_iter()
-        .map(|a| a.expect("all filled"))
+        .enumerate()
+        .map(|(mi, a)| {
+            a.ok_or_else(|| {
+                FlockError::InvalidConfig(format!("migrant {mi} was never assigned an account"))
+            })
+        })
         .collect()
 }
 
@@ -422,7 +426,8 @@ mod tests {
     fn accounts_cover_all_migrants_with_valid_handles() {
         let (config, users, migrants, graph, instances) = setup();
         let mut rng = DetRng::new(99);
-        let accounts = run_migration(&users, &migrants, &graph, &instances, &config, &mut rng);
+        let accounts =
+            run_migration(&users, &migrants, &graph, &instances, &config, &mut rng).unwrap();
         assert_eq!(accounts.len(), migrants.len());
         for (i, a) in accounts.iter().enumerate() {
             assert_eq!(a.id.index(), i);
@@ -439,7 +444,8 @@ mod tests {
     fn same_username_rate_near_config() {
         let (config, users, migrants, graph, instances) = setup();
         let mut rng = DetRng::new(100);
-        let accounts = run_migration(&users, &migrants, &graph, &instances, &config, &mut rng);
+        let accounts =
+            run_migration(&users, &migrants, &graph, &instances, &config, &mut rng).unwrap();
         let same = accounts
             .iter()
             .enumerate()
@@ -456,7 +462,8 @@ mod tests {
     fn early_adopter_rate_near_config() {
         let (config, users, migrants, graph, instances) = setup();
         let mut rng = DetRng::new(101);
-        let accounts = run_migration(&users, &migrants, &graph, &instances, &config, &mut rng);
+        let accounts =
+            run_migration(&users, &migrants, &graph, &instances, &config, &mut rng).unwrap();
         let early = accounts
             .iter()
             .filter(|a| !a.created.is_post_takeover())
@@ -472,7 +479,8 @@ mod tests {
     fn flagship_attracts_the_most_users() {
         let (config, users, migrants, graph, instances) = setup();
         let mut rng = DetRng::new(102);
-        let accounts = run_migration(&users, &migrants, &graph, &instances, &config, &mut rng);
+        let accounts =
+            run_migration(&users, &migrants, &graph, &instances, &config, &mut rng).unwrap();
         let mut counts = vec![0usize; instances.len()];
         for a in &accounts {
             counts[a.instance.index()] += 1;
@@ -487,7 +495,8 @@ mod tests {
         let (mut config, users, migrants, graph, instances) = setup();
         let frac_same = |cfg: &WorldConfig, seed: u64| {
             let mut rng = DetRng::new(seed);
-            let accounts = run_migration(&users, &migrants, &graph, &instances, cfg, &mut rng);
+            let accounts =
+                run_migration(&users, &migrants, &graph, &instances, cfg, &mut rng).unwrap();
             let mut same = 0.0;
             let mut total = 0.0;
             for (i, a) in accounts.iter().enumerate() {
@@ -606,10 +615,11 @@ mod sampler_tests {
             &instances,
             &config,
             &mut rng.fork("m"),
-        );
+        )
+        .unwrap();
         // Users alone on their instance, deep in the tail, must all be
         // dedicated (the self-hoster rule).
-        let mut count_per_instance = std::collections::HashMap::new();
+        let mut count_per_instance = std::collections::BTreeMap::new();
         for a in &accounts {
             *count_per_instance.entry(a.first_instance).or_insert(0usize) += 1;
         }

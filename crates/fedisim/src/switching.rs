@@ -16,8 +16,8 @@ use crate::graph::MigrantFriendGraph;
 use crate::instances::Instance;
 use crate::migration::{MastodonAccount, SwitchRecord};
 use crate::users::TwitterUser;
-use flock_core::{Day, DetRng, InstanceId, MastodonHandle};
-use std::collections::HashMap;
+use flock_core::{Day, DetRng, InstanceId, MastodonHandle, Result};
+use std::collections::BTreeMap;
 
 /// The friends' modal instance and its share among migrated friends.
 fn modal_friend_instance(
@@ -29,7 +29,7 @@ fn modal_friend_instance(
     if friends.is_empty() {
         return None;
     }
-    let mut counts: HashMap<InstanceId, usize> = HashMap::new();
+    let mut counts: BTreeMap<InstanceId, usize> = BTreeMap::new();
     for &f in friends {
         *counts
             .entry(accounts[f as usize].first_instance)
@@ -76,11 +76,11 @@ pub fn run_switching(
     instances: &[Instance],
     config: &WorldConfig,
     rng: &mut DetRng,
-) -> Vec<usize> {
+) -> Result<Vec<usize>> {
     let n = accounts.len();
     let target = ((n as f64) * config.switch_rate).round() as usize;
     if target == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
 
     // Candidates: users who joined a big general-purpose instance (the
@@ -105,7 +105,8 @@ pub fn run_switching(
     // Fill the remainder with topic-driven switches: users on big general
     // instances moving to their niche's server.
     if switchers.len() < target {
-        let taken: std::collections::HashSet<usize> = switchers.iter().map(|&(mi, _)| mi).collect();
+        let taken: std::collections::BTreeSet<usize> =
+            switchers.iter().map(|&(mi, _)| mi).collect();
         for mi in 0..n {
             if switchers.len() >= target {
                 break;
@@ -138,8 +139,7 @@ pub fn run_switching(
         let new_handle = MastodonHandle::new(
             accounts[mi].first_handle.username(),
             &instances[dest.index()].domain,
-        )
-        .expect("valid");
+        )?;
         let from = accounts[mi].first_instance;
         accounts[mi].switch = Some(SwitchRecord {
             from,
@@ -151,7 +151,7 @@ pub fn run_switching(
         accounts[mi].handle = new_handle;
         switched.push(mi);
     }
-    switched
+    Ok(switched)
 }
 
 #[cfg(test)]
@@ -192,7 +192,8 @@ mod tests {
             &instances,
             &config,
             &mut rng.fork("mig"),
-        );
+        )
+        .unwrap();
         (config, users, migrants, graph, instances, accounts)
     }
 
@@ -208,7 +209,8 @@ mod tests {
             &instances,
             &config,
             &mut rng,
-        );
+        )
+        .unwrap();
         let rate = switched.len() as f64 / accounts.len() as f64;
         assert!(
             (rate - config.switch_rate).abs() < 0.01,
@@ -229,7 +231,8 @@ mod tests {
             &instances,
             &config,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert!(!switched.is_empty());
         for &mi in &switched {
             let a = &accounts[mi];
@@ -256,7 +259,8 @@ mod tests {
             &instances,
             &config,
             &mut rng,
-        );
+        )
+        .unwrap();
         let post = switched
             .iter()
             .filter(|&&mi| accounts[mi].switch.as_ref().unwrap().day.is_post_takeover())
@@ -278,7 +282,8 @@ mod tests {
             &instances,
             &config,
             &mut rng,
-        );
+        )
+        .unwrap();
         // For switchers chosen from the friend-cluster pool, the share of
         // friends at the destination must exceed the share at the origin.
         let mut better = 0;
@@ -321,7 +326,8 @@ mod tests {
             &instances,
             &config,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert!(switched.is_empty());
         assert!(accounts.iter().all(|a| a.switch.is_none()));
     }

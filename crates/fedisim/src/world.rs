@@ -30,7 +30,7 @@ use flock_core::{
     DetRng, FlockError, InstanceId, MastodonAccountId, MastodonHandle, Result, StatusId, TweetId,
     TwitterUserId,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The fully-generated two-platform world.
 #[derive(Debug)]
@@ -56,11 +56,11 @@ pub struct World {
     pub interest: InterestReport,
 
     // ---- indexes ---------------------------------------------------------
-    instance_by_domain: HashMap<String, InstanceId>,
-    user_by_username: HashMap<String, TwitterUserId>,
-    account_by_owner: HashMap<TwitterUserId, MastodonAccountId>,
-    account_by_handle: HashMap<MastodonHandle, MastodonAccountId>,
-    tweets_by_author: HashMap<TwitterUserId, Vec<TweetId>>,
+    instance_by_domain: BTreeMap<String, InstanceId>,
+    user_by_username: BTreeMap<String, TwitterUserId>,
+    account_by_owner: BTreeMap<TwitterUserId, MastodonAccountId>,
+    account_by_handle: BTreeMap<MastodonHandle, MastodonAccountId>,
+    tweets_by_author: BTreeMap<TwitterUserId, Vec<TweetId>>,
     statuses_by_account: Vec<Vec<StatusId>>,
 }
 
@@ -106,7 +106,7 @@ impl World {
             &instances,
             config,
             &mut root.fork("migration"),
-        );
+        )?;
 
         // Phase 3: Twitter followee lists (migrants only, like the paper).
         let non_migrant_pool: Vec<TwitterUserId> = users
@@ -144,7 +144,7 @@ impl World {
             &instances,
             config,
             &mut root.fork("switching"),
-        );
+        )?;
         let fediverse = build_fediverse(
             &instances,
             &users,
@@ -196,12 +196,12 @@ impl World {
         let instance_by_domain = instances.iter().map(|i| (i.domain.clone(), i.id)).collect();
         let user_by_username = users.iter().map(|u| (u.username.clone(), u.id)).collect();
         let account_by_owner = accounts.iter().map(|a| (a.owner, a.id)).collect();
-        let mut account_by_handle: HashMap<MastodonHandle, MastodonAccountId> = HashMap::new();
+        let mut account_by_handle: BTreeMap<MastodonHandle, MastodonAccountId> = BTreeMap::new();
         for a in &accounts {
             account_by_handle.insert(a.first_handle.clone(), a.id);
             account_by_handle.insert(a.handle.clone(), a.id);
         }
-        let mut tweets_by_author: HashMap<TwitterUserId, Vec<TweetId>> = HashMap::new();
+        let mut tweets_by_author: BTreeMap<TwitterUserId, Vec<TweetId>> = BTreeMap::new();
         for t in &tweets {
             tweets_by_author.entry(t.author).or_default().push(t.id);
         }
@@ -360,14 +360,11 @@ fn build_fediverse(
     // Register every account at its *first* handle.
     let actors: Vec<ActorUri> = accounts
         .iter()
-        .map(|a| {
-            net.register_actor(a.first_handle.username(), a.first_handle.instance())
-                .expect("unique usernames")
-        })
-        .collect();
+        .map(|a| net.register_actor(a.first_handle.username(), a.first_handle.instance()))
+        .collect::<Result<_>>()?;
 
     // Group accounts by first instance for local-discovery follows.
-    let mut by_instance: HashMap<InstanceId, Vec<usize>> = HashMap::new();
+    let mut by_instance: BTreeMap<InstanceId, Vec<usize>> = BTreeMap::new();
     for (mi, a) in accounts.iter().enumerate() {
         by_instance.entry(a.first_instance).or_default().push(mi);
     }

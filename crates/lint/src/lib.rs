@@ -1,0 +1,22 @@
+//! `flock-lint`: the workspace's static-analysis pass.
+//!
+//! The reproduction's claims rest on the pipeline being bit-reproducible
+//! (workers=1 and workers=8 must produce byte-identical datasets — see
+//! `tests/determinism.rs` at the workspace root). That guarantee is easy to
+//! lose one innocuous edit at a time: a `HashMap` iteration that reaches a
+//! CSV, an `Instant::now()` in a retry loop, a `.lock()` taken in the wrong
+//! order, an `unwrap()` on a path a malformed dataset can reach. This crate
+//! machine-checks those conventions as deny-by-default rules; see
+//! [`rules`] for the rule list and DESIGN.md §5 for the policy.
+//!
+//! The build environment is offline, so the implementation is a small
+//! hand-rolled lexer ([`lexer`]) rather than a real parser — the same
+//! trade-off as the vendored shims under `vendor/`.
+
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod walk;
+
+pub use manifest::LockManifest;
+pub use rules::{classify, lint_source, Finding};

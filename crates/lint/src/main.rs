@@ -1,0 +1,113 @@
+//! The `flock-lint` binary.
+//!
+//! ```text
+//! flock-lint --workspace            # lint every .rs file in the workspace
+//! flock-lint FILE…                  # lint specific files
+//! flock-lint --manifest PATH …      # override the lock-order manifest
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+
+use flock_lint::manifest::LockManifest;
+use flock_lint::rules::lint_source;
+use flock_lint::walk;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    manifest_override: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        manifest_override: None,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--manifest" => {
+                let path = it.next().ok_or("--manifest requires a path")?;
+                args.manifest_override = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                return Err("usage: flock-lint [--workspace | FILE…] [--manifest PATH]".to_string())
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => args.files.push(PathBuf::from(other)),
+        }
+    }
+    if !args.workspace && args.files.is_empty() {
+        return Err("nothing to lint: pass --workspace or file paths".to_string());
+    }
+    Ok(args)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    let root = walk::find_workspace_root(&cwd)
+        .ok_or("no [workspace] Cargo.toml above the current directory")?;
+
+    let manifest = match &args.manifest_override {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            LockManifest::parse(&text, &path.display().to_string())?
+        }
+        None => walk::load_lock_manifest(&root)?,
+    };
+
+    let (findings, scanned) = if args.workspace {
+        walk::lint_workspace(&root, &manifest).map_err(|e| format!("scan: {e}"))?
+    } else {
+        let mut findings = Vec::new();
+        for path in &args.files {
+            let rel = rel_to_root(&root, &cwd, path);
+            let src = std::fs::read_to_string(path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            findings.extend(lint_source(&rel, &src, &manifest));
+        }
+        let count = args.files.len();
+        (findings, count)
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("flock-lint: clean ({scanned} files scanned)");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!(
+            "flock-lint: {} finding(s) in {scanned} files scanned",
+            findings.len()
+        );
+        Ok(ExitCode::from(1))
+    }
+}
+
+/// Workspace-relative form of a CLI path (rule scoping keys off it).
+fn rel_to_root(root: &Path, cwd: &Path, path: &Path) -> String {
+    let abs = if path.is_absolute() {
+        path.to_path_buf()
+    } else {
+        cwd.join(path)
+    };
+    let rel = abs.strip_prefix(root).unwrap_or(&abs);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("flock-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

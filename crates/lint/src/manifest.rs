@@ -1,0 +1,96 @@
+//! The lock-hierarchy manifest.
+//!
+//! `crates/apis` declares its lock order in a plain-text manifest (the
+//! environment is offline, so no TOML dependency): one line per level,
+//! `<level> <name> [<name>…]`, lower levels must be acquired first. The
+//! `lock-order` rule flags any `.lock()` on a receiver that is not declared
+//! here (deny-by-default) and any acquisition that does not move strictly
+//! down the hierarchy while another lock is held.
+
+use std::collections::BTreeMap;
+
+/// Parsed lock hierarchy: receiver field name → level.
+#[derive(Debug, Clone, Default)]
+pub struct LockManifest {
+    levels: BTreeMap<String, u32>,
+    /// Where the manifest came from, for messages.
+    pub source: String,
+}
+
+impl LockManifest {
+    /// An empty manifest: every `.lock()` receiver is undeclared.
+    pub fn empty() -> LockManifest {
+        LockManifest::default()
+    }
+
+    /// Parse the manifest format. Lines: `<level> <name> [<name>…]`;
+    /// blank lines and `#` comments ignored.
+    pub fn parse(text: &str, source: &str) -> Result<LockManifest, String> {
+        let mut levels = BTreeMap::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let level: u32 = parts
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| format!("{source}:{}: expected `<level> <name>…`", lineno + 1))?;
+            let mut any = false;
+            for name in parts {
+                any = true;
+                if levels.insert(name.to_string(), level).is_some() {
+                    return Err(format!(
+                        "{source}:{}: lock `{name}` declared twice",
+                        lineno + 1
+                    ));
+                }
+            }
+            if !any {
+                return Err(format!(
+                    "{source}:{}: level {level} declares no locks",
+                    lineno + 1
+                ));
+            }
+        }
+        Ok(LockManifest {
+            levels,
+            source: source.to_string(),
+        })
+    }
+
+    /// The level of a declared lock receiver, if any.
+    pub fn level_of(&self, name: &str) -> Option<u32> {
+        self.levels.get(name).copied()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_levels_and_comments() {
+        let m = LockManifest::parse(
+            "# hierarchy\n1 clock\n2 search users follows\n3 mastodon # shards\n",
+            "test",
+        )
+        .expect("parse");
+        assert_eq!(m.level_of("clock"), Some(1));
+        assert_eq!(m.level_of("users"), Some(2));
+        assert_eq!(m.level_of("mastodon"), Some(3));
+        assert_eq!(m.level_of("other"), None);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_garbage() {
+        assert!(LockManifest::parse("1 a\n2 a\n", "t").is_err());
+        assert!(LockManifest::parse("x a\n", "t").is_err());
+        assert!(LockManifest::parse("3\n", "t").is_err());
+    }
+}

@@ -1,0 +1,457 @@
+//! The rule engine: walks a lexed token stream and emits findings.
+//!
+//! Three deny-by-default rule families guard the invariants the pipeline's
+//! reproducibility rests on (see DESIGN.md §5):
+//!
+//! * `determinism` — no wall-clock or ambient-randomness calls in pipeline
+//!   code; virtual time and seeded [`DetRng`]s only.
+//! * `hash-iter` — no `HashMap`/`HashSet` in the crates whose iteration
+//!   order can reach output (`fedisim`, `analysis`, `repro`, `crawler`);
+//!   use `BTreeMap`/`BTreeSet` or an explicit sort.
+//! * `lock-order` — `.lock()` receivers in `crates/apis` must be declared
+//!   in the lock-hierarchy manifest and acquired strictly downward.
+//! * `panic` — no `unwrap()`/`expect()`/`panic!` in library code; errors
+//!   propagate through `flock_core::error`.
+//!
+//! Test code is exempt everywhere: files under `tests/`, `benches/`,
+//! `examples/`, and items behind `#[cfg(test)]` / `#[test]`. The escape
+//! hatch is `// flock-lint: allow(<rule>) <reason>` on the offending line
+//! or the line above; the reason is mandatory.
+//!
+//! [`DetRng`]: flock_core::DetRng
+
+use crate::lexer::{lex, Lexed, Token};
+use crate::manifest::LockManifest;
+use std::collections::BTreeSet;
+
+pub const RULE_DETERMINISM: &str = "determinism";
+pub const RULE_HASH_ITER: &str = "hash-iter";
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+pub const RULE_PANIC: &str = "panic";
+/// Meta-rule for problems with the directives themselves.
+pub const RULE_DIRECTIVE: &str = "directive";
+
+/// Every rule name `allow(...)` may reference.
+pub const KNOWN_RULES: &[&str] = &[
+    RULE_DETERMINISM,
+    RULE_HASH_ITER,
+    RULE_LOCK_ORDER,
+    RULE_PANIC,
+];
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub path: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rule families apply to a file, derived from its workspace-relative
+/// path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileClass {
+    pub determinism: bool,
+    pub hash_iter: bool,
+    pub lock_order: bool,
+    pub panic: bool,
+}
+
+impl FileClass {
+    pub fn any(&self) -> bool {
+        self.determinism || self.hash_iter || self.lock_order || self.panic
+    }
+}
+
+/// Classify a workspace-relative path into the rules that apply to it.
+pub fn classify(rel_path: &str) -> FileClass {
+    let comps: Vec<&str> = rel_path
+        .split(['/', '\\'])
+        .filter(|c| !c.is_empty())
+        .collect();
+    // Not our code / not pipeline code: vendored shims, build output,
+    // lint fixtures (which must be free to contain violations).
+    if comps
+        .iter()
+        .any(|c| matches!(*c, "target" | "vendor" | ".git" | "fixtures"))
+    {
+        return FileClass::default();
+    }
+    // Test code is exempt from every family.
+    if comps
+        .iter()
+        .any(|c| matches!(*c, "tests" | "benches" | "examples"))
+    {
+        return FileClass::default();
+    }
+    let krate = match comps.first() {
+        Some(&"crates") => comps.get(1).copied().unwrap_or(""),
+        Some(&"src") => "flock",
+        _ => "",
+    };
+    FileClass {
+        // `crates/bench` measures wall-clock by design.
+        determinism: krate != "bench",
+        hash_iter: matches!(krate, "fedisim" | "analysis" | "repro" | "crawler"),
+        lock_order: krate == "apis",
+        panic: true,
+    }
+}
+
+/// Lint one file's source. `rel_path` is workspace-relative and selects the
+/// applicable rules; `manifest` backs the `lock-order` rule.
+pub fn lint_source(rel_path: &str, src: &str, manifest: &LockManifest) -> Vec<Finding> {
+    let class = classify(rel_path);
+    if !class.any() {
+        return Vec::new();
+    }
+    let lexed = lex(src);
+    let mut ctx = Ctx {
+        path: rel_path,
+        class,
+        manifest,
+        lexed: &lexed,
+        findings: Vec::new(),
+        hash_lines: BTreeSet::new(),
+        flagged_directives: BTreeSet::new(),
+    };
+    ctx.check_directives();
+    ctx.run();
+    ctx.findings.sort_by_key(|f| (f.line, f.rule));
+    ctx.findings
+}
+
+/// A lock currently held (lexically) while scanning.
+struct Held {
+    name: String,
+    level: u32,
+    depth: u32,
+    line: u32,
+}
+
+struct Ctx<'a> {
+    path: &'a str,
+    class: FileClass,
+    manifest: &'a LockManifest,
+    lexed: &'a Lexed,
+    findings: Vec<Finding>,
+    /// Lines already carrying a `hash-iter` finding (one per line).
+    hash_lines: BTreeSet<u32>,
+    /// Directive lines already reported as missing a reason.
+    flagged_directives: BTreeSet<u32>,
+}
+
+impl<'a> Ctx<'a> {
+    fn check_directives(&mut self) {
+        for &line in &self.lexed.malformed_directives {
+            self.findings.push(Finding {
+                path: self.path.to_string(),
+                line,
+                rule: RULE_DIRECTIVE,
+                message: "malformed control comment; expected \
+                          `flock-lint: allow(<rule>) <reason>`"
+                    .to_string(),
+            });
+        }
+        for d in &self.lexed.directives {
+            if !KNOWN_RULES.contains(&d.rule.as_str()) {
+                self.findings.push(Finding {
+                    path: self.path.to_string(),
+                    line: d.line,
+                    rule: RULE_DIRECTIVE,
+                    message: format!(
+                        "allow({}) names an unknown rule (known: {})",
+                        d.rule,
+                        KNOWN_RULES.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Report a violation unless an `allow` directive with a reason covers
+    /// its line; an `allow` *without* a reason is itself a finding.
+    fn emit(&mut self, line: u32, rule: &'static str, message: String) {
+        for d in &self.lexed.directives {
+            if d.rule == rule && (d.line == line || d.line + 1 == line) {
+                if d.reason.is_some() {
+                    return; // suppressed, justified
+                }
+                if self.flagged_directives.insert(d.line) {
+                    self.findings.push(Finding {
+                        path: self.path.to_string(),
+                        line: d.line,
+                        rule: RULE_DIRECTIVE,
+                        message: format!("allow({rule}) requires a reason"),
+                    });
+                }
+                return;
+            }
+        }
+        self.findings.push(Finding {
+            path: self.path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    fn run(&mut self) {
+        let t = &self.lexed.tokens;
+        let mut i = 0usize;
+        let mut depth = 0u32;
+        let mut held: Vec<Held> = Vec::new();
+        while i < t.len() {
+            // Attributes: skip their token span entirely, and skip the whole
+            // following item when the attribute marks test-only code.
+            if t[i].punct('#') {
+                let open = if t.get(i + 1).is_some_and(|n| n.punct('!')) {
+                    i + 2 // inner attribute `#![…]`
+                } else {
+                    i + 1
+                };
+                if t.get(open).is_some_and(|n| n.punct('[')) {
+                    let (is_test, after) = scan_attr(t, open);
+                    i = if is_test { skip_item(t, after) } else { after };
+                    continue;
+                }
+            }
+            let tok = &t[i];
+            if tok.punct('{') {
+                depth += 1;
+            } else if tok.punct('}') {
+                held.retain(|h| h.depth < depth);
+                depth = depth.saturating_sub(1);
+            }
+
+            if self.class.panic {
+                if tok.punct('.')
+                    && t.get(i + 1)
+                        .is_some_and(|n| n.is("unwrap") || n.is("expect"))
+                    && t.get(i + 2).is_some_and(|n| n.punct('('))
+                {
+                    let (line, what) = (t[i + 1].line, t[i + 1].text.clone());
+                    self.emit(
+                        line,
+                        RULE_PANIC,
+                        format!(
+                            ".{what}() in library code; propagate through \
+                             flock_core::error instead"
+                        ),
+                    );
+                } else if tok.is("panic") && t.get(i + 1).is_some_and(|n| n.punct('!')) {
+                    self.emit(
+                        tok.line,
+                        RULE_PANIC,
+                        "panic! in library code; return a FlockError instead".to_string(),
+                    );
+                }
+            }
+
+            if self.class.determinism {
+                let path2 = |a: &str, b: &str| {
+                    tok.is(a)
+                        && t.get(i + 1).is_some_and(|n| n.punct(':'))
+                        && t.get(i + 2).is_some_and(|n| n.punct(':'))
+                        && t.get(i + 3).is_some_and(|n| n.is(b))
+                };
+                let wall_clock = path2("Instant", "now")
+                    || path2("Utc", "now")
+                    || path2("Local", "now")
+                    || tok.is("SystemTime");
+                let ambient_rng = tok.is("thread_rng") || path2("rand", "random");
+                if wall_clock {
+                    self.emit(
+                        tok.line,
+                        RULE_DETERMINISM,
+                        format!(
+                            "wall-clock call `{}` in pipeline code; use the \
+                             virtual clock (ApiServer::now / flock_core::time)",
+                            tok.text
+                        ),
+                    );
+                } else if ambient_rng {
+                    self.emit(
+                        tok.line,
+                        RULE_DETERMINISM,
+                        format!(
+                            "ambient randomness `{}` in pipeline code; use a \
+                             seeded flock_core::DetRng",
+                            tok.text
+                        ),
+                    );
+                }
+            }
+
+            if self.class.hash_iter
+                && (tok.is("HashMap") || tok.is("HashSet"))
+                && !self.hash_lines.contains(&tok.line)
+            {
+                self.hash_lines.insert(tok.line);
+                self.emit(
+                    tok.line,
+                    RULE_HASH_ITER,
+                    format!(
+                        "{} in an output-affecting crate; iteration order is \
+                         nondeterministic — use BTreeMap/BTreeSet or sort \
+                         explicitly",
+                        tok.text
+                    ),
+                );
+            }
+
+            if self.class.lock_order
+                && tok.punct('.')
+                && t.get(i + 1).is_some_and(|n| n.is("lock"))
+                && t.get(i + 2).is_some_and(|n| n.punct('('))
+                && t.get(i + 3).is_some_and(|n| n.punct(')'))
+            {
+                let line = t[i + 1].line;
+                match receiver_of(t, i) {
+                    Some(name) => match self.manifest.level_of(&name) {
+                        Some(level) => {
+                            let violations: Vec<String> = held
+                                .iter()
+                                .filter(|h| level <= h.level)
+                                .map(|h| {
+                                    format!(
+                                        "acquiring `{name}` (level {level}) while \
+                                         holding `{}` (level {}, line {}); the \
+                                         manifest orders locks strictly downward",
+                                        h.name, h.level, h.line
+                                    )
+                                })
+                                .collect();
+                            for message in violations {
+                                self.emit(line, RULE_LOCK_ORDER, message);
+                            }
+                            // Conservatively held until the enclosing block
+                            // closes (lexical scope of a `let` guard).
+                            held.push(Held {
+                                name,
+                                level,
+                                depth,
+                                line,
+                            });
+                        }
+                        None => self.emit(
+                            line,
+                            RULE_LOCK_ORDER,
+                            format!(
+                                "`.lock()` on `{name}`, which is not declared in \
+                                 the lock-order manifest ({})",
+                                self.manifest.source
+                            ),
+                        ),
+                    },
+                    None => self.emit(
+                        line,
+                        RULE_LOCK_ORDER,
+                        "`.lock()` on an unrecognized receiver expression; \
+                         name the lock field so the manifest can order it"
+                            .to_string(),
+                    ),
+                }
+            }
+
+            i += 1;
+        }
+    }
+}
+
+/// Scan an attribute starting at its `[`; returns (marks test-only code,
+/// index just past the matching `]`).
+fn scan_attr(t: &[Token], open: usize) -> (bool, usize) {
+    let mut depth = 0u32;
+    let mut i = open;
+    let mut idents: Vec<&str> = Vec::new();
+    while i < t.len() {
+        let tok = &t[i];
+        if tok.punct('[') {
+            depth += 1;
+        } else if tok.punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                i += 1;
+                break;
+            }
+        } else if tok.is_ident {
+            idents.push(&tok.text);
+        }
+        i += 1;
+    }
+    let is_test = match idents.first() {
+        Some(&"test") => true,
+        // `#[cfg(test)]`, `#[cfg(all(test, …))]` — but not `#[cfg(not(test))]`.
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    };
+    (is_test, i)
+}
+
+/// Skip one item starting at `start` (which may open with further
+/// attributes): consume through the matching `}` of its body, or through a
+/// top-level `;` for body-less items. Returns the index just past the item.
+fn skip_item(t: &[Token], start: usize) -> usize {
+    let mut i = start;
+    // Leading attributes of the item being skipped.
+    while i < t.len() && t[i].punct('#') {
+        let open = if t.get(i + 1).is_some_and(|n| n.punct('!')) {
+            i + 2
+        } else {
+            i + 1
+        };
+        if t.get(open).is_some_and(|n| n.punct('[')) {
+            let (_, after) = scan_attr(t, open);
+            i = after;
+        } else {
+            break;
+        }
+    }
+    let mut depth = 0u32;
+    while i < t.len() {
+        let tok = &t[i];
+        if tok.punct('{') {
+            depth += 1;
+        } else if tok.punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if tok.punct(';') && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// The field identifier a `.lock()` call is made on: walks left from the
+/// `.` over an optional `[…]` index (`self.mastodon[shard].lock()`).
+fn receiver_of(t: &[Token], dot: usize) -> Option<String> {
+    let mut j = dot.checked_sub(1)?;
+    if t[j].punct(']') {
+        let mut depth = 1u32;
+        while depth > 0 {
+            j = j.checked_sub(1)?;
+            if t[j].punct(']') {
+                depth += 1;
+            } else if t[j].punct('[') {
+                depth -= 1;
+            }
+        }
+        j = j.checked_sub(1)?;
+    }
+    t[j].is_ident.then(|| t[j].text.clone())
+}

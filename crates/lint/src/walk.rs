@@ -1,0 +1,82 @@
+//! Workspace discovery: find the root, collect `.rs` files in a
+//! deterministic order, and run the rules over all of them.
+
+use crate::manifest::LockManifest;
+use crate::rules::{classify, lint_source, Finding};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+/// Where the `lock-order` manifest lives, workspace-relative.
+pub const LOCK_MANIFEST_PATH: &str = "crates/apis/lock-order.manifest";
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let cargo = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&cargo) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Every `.rs` file under `root`, workspace-relative with `/` separators,
+/// sorted (the scan order is part of the tool's output contract).
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Load the lock-order manifest from its conventional location. A missing
+/// manifest yields the empty manifest (every `.lock()` in scope is then an
+/// undeclared-lock finding, which is the deny-by-default we want).
+pub fn load_lock_manifest(root: &Path) -> Result<LockManifest, String> {
+    let path = root.join(LOCK_MANIFEST_PATH);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => LockManifest::parse(&text, LOCK_MANIFEST_PATH),
+        Err(_) => Ok(LockManifest::empty()),
+    }
+}
+
+/// Lint the whole workspace. Returns `(findings, files_scanned)`.
+pub fn lint_workspace(root: &Path, manifest: &LockManifest) -> io::Result<(Vec<Finding>, usize)> {
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for rel in collect_rs_files(root)? {
+        if !classify(&rel).any() {
+            continue;
+        }
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        scanned += 1;
+        findings.extend(lint_source(&rel, &src, manifest));
+    }
+    Ok((findings, scanned))
+}

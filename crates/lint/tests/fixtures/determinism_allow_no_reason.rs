@@ -1,0 +1,7 @@
+// Fixture: an escape hatch without a reason is itself a finding.
+use std::time::Instant;
+
+pub fn profile_once() -> Instant {
+    // flock-lint: allow(determinism)
+    Instant::now()
+}

@@ -1,0 +1,7 @@
+// Fixture: a justified escape hatch suppresses the finding.
+use std::time::Instant;
+
+pub fn profile_once() -> Instant {
+    // flock-lint: allow(determinism) one-off profiling hook, never reaches output
+    Instant::now()
+}

@@ -1,0 +1,13 @@
+// Fixture: pipeline code done right — virtual clock and seeded RNG only.
+use flock_core::DetRng;
+
+pub fn sample(seed: u64) -> f64 {
+    let mut rng = DetRng::new(seed);
+    rng.f64()
+}
+
+pub fn mentions_in_prose() {
+    // The words Instant and SystemTime in a comment are fine, as is
+    // "Instant::now()" inside a string:
+    let _doc = "never call Instant::now() here";
+}

@@ -1,0 +1,17 @@
+// Fixture: every determinism violation fires.
+use std::time::{Instant, SystemTime};
+
+pub fn timings() -> (Instant, SystemTime) {
+    let started = Instant::now();
+    let wall = SystemTime::now();
+    (started, wall)
+}
+
+pub fn jitter() -> f64 {
+    let mut rng = thread_rng();
+    rng.gen::<f64>() + rand::random::<f64>()
+}
+
+pub fn today() -> String {
+    format!("{:?}", Utc::now())
+}

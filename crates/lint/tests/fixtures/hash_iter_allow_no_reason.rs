@@ -1,0 +1,9 @@
+// Fixture: hash-iter escape hatch missing its reason.
+// flock-lint: allow(hash-iter)
+use std::collections::HashMap;
+
+// flock-lint: allow(hash-iter) probed only, never iterated
+pub fn cache() -> HashMap<String, usize> {
+    // flock-lint: allow(hash-iter) probed only, never iterated
+    HashMap::new()
+}

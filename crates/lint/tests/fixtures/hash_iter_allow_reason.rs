@@ -1,0 +1,8 @@
+// Fixture: a justified hash map (never iterated, only probed).
+// flock-lint: allow(hash-iter) membership-only cache, its iteration order never reaches output
+use std::collections::HashMap;
+
+// flock-lint: allow(hash-iter) membership-only cache, its iteration order never reaches output
+pub fn cache() -> HashMap<String, usize> {
+    HashMap::new() // flock-lint: allow(hash-iter) same cache as above
+}

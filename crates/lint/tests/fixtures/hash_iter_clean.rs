@@ -1,0 +1,12 @@
+// Fixture: ordered collections keep iteration deterministic.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(items: &[String]) -> Vec<(String, usize)> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for item in items {
+        *counts.entry(item.clone()).or_insert(0) += 1;
+    }
+    let seen: BTreeSet<&String> = items.iter().collect();
+    let _ = seen.len();
+    counts.into_iter().collect()
+}

@@ -1,0 +1,12 @@
+// Fixture: hash collections in an output-affecting crate.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(items: &[String]) -> Vec<(String, usize)> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for item in items {
+        *counts.entry(item.clone()).or_insert(0) += 1;
+    }
+    let seen: HashSet<&String> = items.iter().collect();
+    let _ = seen.len();
+    counts.into_iter().collect()
+}

@@ -1,0 +1,7 @@
+// Fixture: lock-order escape hatch missing its reason.
+pub fn drain(&self) {
+    let shard = self.mastodon[0].lock();
+    // flock-lint: allow(lock-order)
+    let time = self.clock.lock();
+    drop((shard, time));
+}

@@ -1,0 +1,7 @@
+// Fixture: a justified inversion (e.g. a drain path that owns both locks).
+pub fn drain(&self) {
+    let shard = self.mastodon[0].lock();
+    // flock-lint: allow(lock-order) shutdown drain; all workers are parked so inversion cannot deadlock
+    let time = self.clock.lock();
+    drop((shard, time));
+}

@@ -1,0 +1,18 @@
+// Fixture: locks taken strictly down the declared hierarchy, and sibling
+// blocks that each take one lock.
+pub fn respond(&self) {
+    let time = self.clock.lock();
+    let shard = self.mastodon[0].lock();
+    drop((time, shard));
+}
+
+pub fn siblings(&self) {
+    {
+        let users = self.users.lock();
+        drop(users);
+    }
+    {
+        let search = self.search.lock();
+        drop(search);
+    }
+}

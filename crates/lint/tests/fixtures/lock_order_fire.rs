@@ -1,0 +1,11 @@
+// Fixture: nested acquisition against the manifest order.
+pub fn respond(&self) {
+    let shard = self.mastodon[0].lock();
+    let time = self.clock.lock(); // wrong: clock (1) under mastodon (3)
+    drop((shard, time));
+}
+
+pub fn undeclared(&self) {
+    let q = self.reply_queue.lock(); // not in the manifest at all
+    drop(q);
+}

@@ -1,0 +1,5 @@
+// Fixture: panic escape hatch missing its reason.
+pub fn modal(counts: &[usize]) -> usize {
+    // flock-lint: allow(panic)
+    *counts.iter().max().expect("non-empty")
+}

@@ -1,0 +1,21 @@
+// Fixture: errors propagate; test modules may panic freely.
+use flock_core::{FlockError, Result};
+
+pub fn first(items: &[u32]) -> Result<u32> {
+    items
+        .first()
+        .copied()
+        .ok_or_else(|| FlockError::InvalidConfig("empty".to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(first(&[7]).unwrap(), 7);
+        let v: Vec<u32> = "1 2".split(' ').map(|s| s.parse().expect("n")).collect();
+        assert_eq!(v.len(), 2);
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: the three panic forms in library code.
+pub fn first(items: &[u32]) -> u32 {
+    *items.first().unwrap()
+}
+
+pub fn parse(text: &str) -> u32 {
+    text.parse().expect("a number")
+}
+
+pub fn forbid() {
+    panic!("unreachable by construction");
+}

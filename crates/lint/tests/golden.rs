@@ -1,0 +1,260 @@
+//! Golden-file self-tests: each rule family is run over fixture sources
+//! that must fire, stay clean, be suppressed by a justified `allow`, and
+//! flag an unjustified one.
+//!
+//! Fixtures live under `tests/fixtures/` (a path the workspace walk skips)
+//! but are linted under *pretend* workspace-relative paths, because the
+//! rules that apply to a file are derived from its location.
+
+use flock_lint::manifest::LockManifest;
+use flock_lint::rules::{
+    lint_source, Finding, RULE_DETERMINISM, RULE_DIRECTIVE, RULE_HASH_ITER, RULE_LOCK_ORDER,
+    RULE_PANIC,
+};
+use flock_lint::walk::{find_workspace_root, lint_workspace, load_lock_manifest};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn api_manifest() -> LockManifest {
+    LockManifest::parse(
+        "1 clock\n2 search users follows\n3 mastodon\n",
+        "test-manifest",
+    )
+    .expect("manifest parses")
+}
+
+fn lint_fixture(name: &str, pretend_path: &str) -> Vec<Finding> {
+    lint_source(pretend_path, &fixture(name), &api_manifest())
+}
+
+/// `(line, rule)` pairs, sorted — the shape golden assertions compare.
+fn shape(findings: &[Finding]) -> Vec<(u32, &'static str)> {
+    findings.iter().map(|f| (f.line, f.rule)).collect()
+}
+
+// --- determinism ---------------------------------------------------------
+
+#[test]
+fn determinism_fires_on_wall_clock_and_ambient_rng() {
+    let findings = lint_fixture("determinism_fire.rs", "crates/fedisim/src/fixture.rs");
+    assert_eq!(
+        shape(&findings),
+        vec![
+            (2, RULE_DETERMINISM),  // SystemTime in the import
+            (4, RULE_DETERMINISM),  // SystemTime in the signature
+            (5, RULE_DETERMINISM),  // Instant::now
+            (6, RULE_DETERMINISM),  // SystemTime::now
+            (11, RULE_DETERMINISM), // thread_rng
+            (12, RULE_DETERMINISM), // rand::random
+            (16, RULE_DETERMINISM), // Utc::now
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn determinism_clean_source_passes() {
+    let findings = lint_fixture("determinism_clean.rs", "crates/fedisim/src/fixture.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn determinism_allow_with_reason_suppresses() {
+    let findings = lint_fixture(
+        "determinism_allow_reason.rs",
+        "crates/fedisim/src/fixture.rs",
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn determinism_allow_without_reason_is_flagged() {
+    let findings = lint_fixture(
+        "determinism_allow_no_reason.rs",
+        "crates/fedisim/src/fixture.rs",
+    );
+    assert_eq!(shape(&findings), vec![(5, RULE_DIRECTIVE)], "{findings:#?}");
+    assert!(findings[0].message.contains("requires a reason"));
+}
+
+#[test]
+fn determinism_is_waived_for_bench_crate() {
+    let findings = lint_fixture("determinism_fire.rs", "crates/bench/src/fixture.rs");
+    assert!(
+        findings.iter().all(|f| f.rule != RULE_DETERMINISM),
+        "{findings:#?}"
+    );
+}
+
+// --- hash-iter -----------------------------------------------------------
+
+#[test]
+fn hash_iter_fires_in_output_affecting_crates() {
+    for krate in ["fedisim", "analysis", "repro", "crawler"] {
+        let path = format!("crates/{krate}/src/fixture.rs");
+        let findings = lint_fixture("hash_iter_fire.rs", &path);
+        assert_eq!(
+            shape(&findings),
+            vec![
+                (2, RULE_HASH_ITER),
+                (5, RULE_HASH_ITER),
+                (9, RULE_HASH_ITER)
+            ],
+            "{krate}: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn hash_iter_does_not_apply_outside_scoped_crates() {
+    let findings = lint_fixture("hash_iter_fire.rs", "crates/apis/src/fixture.rs");
+    assert!(
+        findings.iter().all(|f| f.rule != RULE_HASH_ITER),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn hash_iter_clean_source_passes() {
+    let findings = lint_fixture("hash_iter_clean.rs", "crates/analysis/src/fixture.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn hash_iter_allow_with_reason_suppresses() {
+    let findings = lint_fixture(
+        "hash_iter_allow_reason.rs",
+        "crates/analysis/src/fixture.rs",
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn hash_iter_allow_without_reason_is_flagged() {
+    let findings = lint_fixture(
+        "hash_iter_allow_no_reason.rs",
+        "crates/analysis/src/fixture.rs",
+    );
+    assert_eq!(shape(&findings), vec![(2, RULE_DIRECTIVE)], "{findings:#?}");
+}
+
+// --- lock-order ----------------------------------------------------------
+
+#[test]
+fn lock_order_fires_on_inversion_and_undeclared_locks() {
+    let findings = lint_fixture("lock_order_fire.rs", "crates/apis/src/fixture.rs");
+    assert_eq!(
+        shape(&findings),
+        vec![(4, RULE_LOCK_ORDER), (9, RULE_LOCK_ORDER)],
+        "{findings:#?}"
+    );
+    assert!(findings[0].message.contains("strictly downward"));
+    assert!(findings[1].message.contains("not declared"));
+}
+
+#[test]
+fn lock_order_clean_source_passes() {
+    let findings = lint_fixture("lock_order_clean.rs", "crates/apis/src/fixture.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn lock_order_allow_with_reason_suppresses() {
+    let findings = lint_fixture("lock_order_allow_reason.rs", "crates/apis/src/fixture.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn lock_order_allow_without_reason_is_flagged() {
+    let findings = lint_fixture(
+        "lock_order_allow_no_reason.rs",
+        "crates/apis/src/fixture.rs",
+    );
+    assert_eq!(shape(&findings), vec![(4, RULE_DIRECTIVE)], "{findings:#?}");
+}
+
+#[test]
+fn lock_order_does_not_apply_outside_apis() {
+    let findings = lint_fixture("lock_order_fire.rs", "crates/fedisim/src/fixture.rs");
+    assert!(
+        findings.iter().all(|f| f.rule != RULE_LOCK_ORDER),
+        "{findings:#?}"
+    );
+}
+
+// --- panic ---------------------------------------------------------------
+
+#[test]
+fn panic_fires_on_unwrap_expect_and_panic() {
+    let findings = lint_fixture("panic_fire.rs", "crates/core/src/fixture.rs");
+    assert_eq!(
+        shape(&findings),
+        vec![(3, RULE_PANIC), (7, RULE_PANIC), (11, RULE_PANIC)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn panic_clean_source_passes_and_test_modules_are_exempt() {
+    let findings = lint_fixture("panic_clean.rs", "crates/core/src/fixture.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn panic_allow_with_reason_suppresses() {
+    let findings = lint_fixture("panic_allow_reason.rs", "crates/core/src/fixture.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn panic_allow_without_reason_is_flagged() {
+    let findings = lint_fixture("panic_allow_no_reason.rs", "crates/core/src/fixture.rs");
+    assert_eq!(shape(&findings), vec![(3, RULE_DIRECTIVE)], "{findings:#?}");
+}
+
+// --- directive meta-rule -------------------------------------------------
+
+#[test]
+fn unknown_rule_names_and_malformed_directives_are_flagged() {
+    let src = "\
+// flock-lint: allow(nonsense) no such rule
+// flock-lint: disable everything
+pub fn f() {}
+";
+    let findings = lint_source("crates/core/src/fixture.rs", src, &LockManifest::empty());
+    assert_eq!(
+        shape(&findings),
+        vec![(1, RULE_DIRECTIVE), (2, RULE_DIRECTIVE)],
+        "{findings:#?}"
+    );
+    assert!(findings[0].message.contains("unknown rule"));
+    assert!(findings[1].message.contains("malformed"));
+}
+
+// --- the workspace itself ------------------------------------------------
+
+/// The acceptance gate: the real workspace must lint clean, and every
+/// `allow` in it must carry a reason (reason-less allows surface as
+/// `directive` findings, so one assertion covers both).
+#[test]
+fn workspace_is_clean() {
+    let here = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(here).expect("workspace root above crates/lint");
+    let manifest = load_lock_manifest(&root).expect("manifest parses");
+    let (findings, scanned) = lint_workspace(&root, &manifest).expect("walk succeeds");
+    assert!(scanned > 40, "suspiciously few files scanned: {scanned}");
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

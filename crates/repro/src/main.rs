@@ -114,7 +114,13 @@ fn main() -> ExitCode {
                     .split_once('=')
                     .map(|(_, p)| p.to_string())
                     .unwrap_or_else(|| "dataset.anon.json".to_string());
-                let anon = study.dataset.anonymized(config.seed);
+                let anon = match study.dataset.anonymized(config.seed) {
+                    Ok(anon) => anon,
+                    Err(e) => {
+                        eprintln!("[repro] anonymization failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
                 if let Err(e) = anon.save(std::path::Path::new(&path)) {
                     eprintln!("[repro] dump failed: {e}");
                     return ExitCode::FAILURE;

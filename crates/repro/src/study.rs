@@ -176,13 +176,15 @@ impl MigrationStudy {
     fn fig1(&self, out: &mut String) {
         let r = &self.world.interest;
         for s in [&r.twitter_alternatives, &r.mastodon, &r.koo, &r.hive] {
-            let peak = s
+            let Some(peak) = s
                 .values
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| Day(i as i32))
-                .unwrap();
+            else {
+                continue;
+            };
             let _ = writeln!(
                 out,
                 "{:<22} {}  peak {}",
@@ -205,9 +207,8 @@ impl MigrationStudy {
         let _ = writeln!(out, "keywords/hashtags     {}", sparkline(&kw));
         let _ = writeln!(
             out,
-            "window {} .. {}  collected {} tweets from {} users (paper: 2,090,940 / 1,024,577)",
-            f.days.first().unwrap(),
-            f.days.last().unwrap(),
+            "window {}  collected {} tweets from {} users (paper: 2,090,940 / 1,024,577)",
+            day_span(&f.days),
             f.total_tweets,
             f.total_users
         );
@@ -562,9 +563,8 @@ impl MigrationStudy {
         let _ = writeln!(out, "statuses  {}", sparkline(&statuses));
         let _ = writeln!(
             out,
-            "days {} .. {}; total tweets {} statuses {}; twitter last/first week ratio {:.2} (paper: no decline)",
-            f.days.first().unwrap(),
-            f.days.last().unwrap(),
+            "days {}; total tweets {} statuses {}; twitter last/first week ratio {:.2} (paper: no decline)",
+            day_span(&f.days),
             f.tweets.iter().sum::<u64>(),
             f.statuses.iter().sum::<u64>(),
             f.twitter_last_over_first_week,
@@ -865,6 +865,14 @@ impl MigrationStudy {
             let _ = writeln!(out, "\n```\n");
         }
         out
+    }
+}
+
+/// `"first .. last"` of a day series, or `"-"` when the series is empty.
+fn day_span(days: &[Day]) -> String {
+    match (days.first(), days.last()) {
+        (Some(a), Some(b)) => format!("{a} .. {b}"),
+        _ => "-".to_string(),
     }
 }
 

@@ -20,7 +20,7 @@ fn main() {
     let study = MigrationStudy::run(&config).expect("pipeline");
 
     let path = std::env::temp_dir().join("flock_release.json");
-    let anon = study.dataset.anonymized(config.seed);
+    let anon = study.dataset.anonymized(config.seed).expect("anonymize");
     anon.save(&path).expect("save");
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     println!(

@@ -11,6 +11,9 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo run -p flock-lint -- --workspace"
+cargo run -q -p flock-lint -- --workspace
+
 echo "==> cargo build --release"
 cargo build --release
 

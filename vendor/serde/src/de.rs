@@ -189,6 +189,31 @@ where
     }
 }
 
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn from_value(value: &Value) -> Result<Self, crate::Error> {
+        match value {
+            Value::Map(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            _ => Err(unexpected("map", value)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, crate::Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(unexpected("array", value)),
+        }
+    }
+}
+
 macro_rules! de_tuple {
     ($(($len:literal: $($name:ident : $idx:tt),+))*) => {$(
         impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
