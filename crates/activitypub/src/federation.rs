@@ -22,6 +22,7 @@ use crate::activity::{Activity, Note};
 use crate::actor::{Actor, ActorUri};
 use crate::transport::{Envelope, Transport, TransportConfig, TransportStats};
 use flock_core::{Day, FlockError, Result};
+use flock_obs::{Counter, Registry, Tier};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -75,6 +76,37 @@ pub struct ActivityCounts {
     pub undo_follow: u64,
 }
 
+/// Registry-backed mirror of [`ActivityCounts`]: one
+/// `flock.activitypub.federation.<kind>` counter per activity kind.
+/// Processing is single-threaded and seed-deterministic, so these are
+/// data-tier.
+#[derive(Debug)]
+struct FederationMetrics {
+    follow: Counter,
+    accept: Counter,
+    reject: Counter,
+    create: Counter,
+    announce: Counter,
+    r#move: Counter,
+    undo_follow: Counter,
+}
+
+impl FederationMetrics {
+    fn new(obs: &Registry) -> Self {
+        let c =
+            |kind: &str| obs.counter(&format!("flock.activitypub.federation.{kind}"), Tier::Data);
+        FederationMetrics {
+            follow: c("follow"),
+            accept: c("accept"),
+            reject: c("reject"),
+            create: c("create"),
+            announce: c("announce"),
+            r#move: c("move"),
+            undo_follow: c("undo_follow"),
+        }
+    }
+}
+
 /// The whole federated network: instances + transport.
 #[derive(Debug)]
 pub struct FediverseNetwork {
@@ -82,16 +114,24 @@ pub struct FediverseNetwork {
     transport: Transport,
     next_note_id: u64,
     counts: ActivityCounts,
+    m: FederationMetrics,
 }
 
 impl FediverseNetwork {
     /// Create an empty network.
     pub fn new(config: NetworkConfig, seed: u64) -> Self {
+        Self::with_registry(config, seed, &Registry::new())
+    }
+
+    /// [`FediverseNetwork::new`], additionally mirroring activity and
+    /// transport counters into `obs`.
+    pub fn with_registry(config: NetworkConfig, seed: u64, obs: &Registry) -> Self {
         FediverseNetwork {
             nodes: BTreeMap::new(),
-            transport: Transport::new(config.transport, seed),
+            transport: Transport::with_registry(config.transport, seed, obs),
             next_note_id: 0,
             counts: ActivityCounts::default(),
+            m: FederationMetrics::new(obs),
         }
     }
 
@@ -267,6 +307,7 @@ impl FediverseNetwork {
             let node = self.nodes.get_mut(&origin.domain).expect("checked");
             *node.boosts.entry(note_id).or_insert(0) += 1;
             self.counts.announce += 1;
+            self.m.announce.inc();
             return Ok(());
         }
         let act = Activity::Announce {
@@ -315,6 +356,7 @@ impl FediverseNetwork {
             std::mem::take(&mut o.followers)
         };
         self.counts.r#move += 1;
+        self.m.r#move.inc();
         // Group remote followers by instance; handle local ones (and
         // followers on `old`'s own instance) directly.
         let mut remote_domains: Vec<String> = Vec::new();
@@ -400,6 +442,7 @@ impl FediverseNetwork {
         match act {
             Activity::Follow { actor, object } => {
                 self.counts.follow += 1;
+                self.m.follow.inc();
                 let response = match self
                     .nodes
                     .get_mut(domain)
@@ -421,6 +464,7 @@ impl FediverseNetwork {
             }
             Activity::Accept { actor, object } => {
                 self.counts.accept += 1;
+                self.m.accept.inc();
                 // `object` (on this domain) follows `actor` now — but only
                 // if the intent still stands. An Accept for an already-
                 // undone follow is answered with an Undo so the remote side
@@ -455,6 +499,7 @@ impl FediverseNetwork {
             }
             Activity::Reject { actor, object } => {
                 self.counts.reject += 1;
+                self.m.reject.inc();
                 if let Some(f) = self
                     .nodes
                     .get_mut(domain)
@@ -466,6 +511,7 @@ impl FediverseNetwork {
             }
             Activity::Create { actor: _, note } => {
                 self.counts.create += 1;
+                self.m.create.inc();
                 if let Some(n) = self.nodes.get_mut(domain) {
                     if !n.federated_timeline.iter().any(|x| x.id == note.id) {
                         n.federated_timeline.push(note);
@@ -474,6 +520,7 @@ impl FediverseNetwork {
             }
             Activity::Announce { note_id, .. } => {
                 self.counts.announce += 1;
+                self.m.announce.inc();
                 if let Some(n) = self.nodes.get_mut(domain) {
                     *n.boosts.entry(note_id).or_insert(0) += 1;
                 }
@@ -483,6 +530,7 @@ impl FediverseNetwork {
                 target: new,
             } => {
                 self.counts.r#move += 1;
+                self.m.r#move.inc();
                 // Rewrite every local follower of `old` to follow `new`.
                 let local_followers: Vec<ActorUri> = self
                     .nodes
@@ -501,6 +549,7 @@ impl FediverseNetwork {
             }
             Activity::UndoFollow { actor, object } => {
                 self.counts.undo_follow += 1;
+                self.m.undo_follow.inc();
                 if let Some(t) = self
                     .nodes
                     .get_mut(domain)
@@ -528,6 +577,36 @@ mod tests {
 
     fn net() -> FediverseNetwork {
         FediverseNetwork::new(NetworkConfig::default(), 42)
+    }
+
+    #[test]
+    fn registry_mirrors_activity_counts() {
+        let obs = Registry::new();
+        let mut n = FediverseNetwork::with_registry(NetworkConfig::default(), 42, &obs);
+        let a = n.register_actor("a", "x.example").unwrap();
+        let b = n.register_actor("b", "y.example").unwrap();
+        n.follow(&a, &b).unwrap();
+        n.run_to_quiescence(10);
+        let note = n.publish_note(&b, "hello fediverse", Day(30)).unwrap();
+        n.run_to_quiescence(10);
+        n.boost(&a, note, &b).unwrap();
+        n.run_to_quiescence(10);
+        let get = |k: &str| {
+            obs.counter_value(&format!("flock.activitypub.federation.{k}"))
+                .unwrap_or(0)
+        };
+        let c = n.counts().clone();
+        assert_eq!(get("follow"), c.follow);
+        assert_eq!(get("accept"), c.accept);
+        assert_eq!(get("create"), c.create);
+        assert_eq!(get("announce"), c.announce);
+        assert!(c.follow >= 1 && c.create >= 1 && c.announce >= 1);
+        // The transport counters share the registry.
+        assert!(
+            obs.counter_value("flock.activitypub.transport.sent")
+                .unwrap_or(0)
+                >= 3
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use crate::activity::Activity;
 use bytes::Bytes;
 use flock_core::{DetRng, FlockError, Result};
+use flock_obs::{Counter, Registry, Tier};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -83,6 +84,28 @@ pub struct TransportStats {
     pub dead_lettered: u64,
 }
 
+/// Registry-backed mirror of [`TransportStats`]. Envelope admission is
+/// data-derived; delivery outcomes depend on the fault model, so they live
+/// in the scheduling tier.
+#[derive(Debug)]
+struct TransportMetrics {
+    sent: Counter,
+    delivered: Counter,
+    lost_attempts: Counter,
+    dead_lettered: Counter,
+}
+
+impl TransportMetrics {
+    fn new(obs: &Registry) -> Self {
+        TransportMetrics {
+            sent: obs.counter("flock.activitypub.transport.sent", Tier::Data),
+            delivered: obs.counter("flock.activitypub.transport.delivered", Tier::Sched),
+            lost_attempts: obs.counter("flock.activitypub.transport.lost_attempts", Tier::Sched),
+            dead_lettered: obs.counter("flock.activitypub.transport.dead_lettered", Tier::Sched),
+        }
+    }
+}
+
 /// The deterministic store-and-forward transport.
 #[derive(Debug)]
 pub struct Transport {
@@ -94,11 +117,18 @@ pub struct Transport {
     dead_letter: Vec<Envelope>,
     step: u64,
     stats: TransportStats,
+    m: TransportMetrics,
 }
 
 impl Transport {
     /// Create a transport with the given fault model and RNG seed.
     pub fn new(config: TransportConfig, seed: u64) -> Self {
+        Self::with_registry(config, seed, &Registry::new())
+    }
+
+    /// [`Transport::new`], additionally mirroring [`TransportStats`] into
+    /// `flock.activitypub.transport.*` counters of `obs`.
+    pub fn with_registry(config: TransportConfig, seed: u64, obs: &Registry) -> Self {
         Transport {
             config,
             rng: DetRng::new(seed),
@@ -106,12 +136,14 @@ impl Transport {
             dead_letter: Vec::new(),
             step: 0,
             stats: TransportStats::default(),
+            m: TransportMetrics::new(obs),
         }
     }
 
     /// Enqueue an envelope for delivery after the configured latency.
     pub fn send(&mut self, envelope: Envelope) {
         self.stats.sent += 1;
+        self.m.sent.inc();
         let due = self.step + u64::from(self.config.latency_steps.max(1));
         self.queue.push_back((due, envelope));
     }
@@ -133,8 +165,10 @@ impl Transport {
             env.attempts += 1;
             if self.rng.chance(self.config.loss_probability) {
                 self.stats.lost_attempts += 1;
+                self.m.lost_attempts.inc();
                 if env.attempts >= self.config.max_attempts {
                     self.stats.dead_lettered += 1;
+                    self.m.dead_lettered.inc();
                     self.dead_letter.push(env);
                 } else {
                     let retry_due = self.step + u64::from(self.config.latency_steps.max(1));
@@ -142,6 +176,7 @@ impl Transport {
                 }
             } else {
                 self.stats.delivered += 1;
+                self.m.delivered.inc();
                 arrived.push(env);
             }
         }
@@ -258,6 +293,36 @@ mod tests {
             "with 32 attempts at 50% loss, loss of an envelope is ~2^-32"
         );
         assert!(t.stats().lost_attempts > 0);
+    }
+
+    #[test]
+    fn registry_mirrors_stats_exactly() {
+        let obs = Registry::new();
+        let cfg = TransportConfig {
+            loss_probability: 0.4,
+            max_attempts: 3,
+            latency_steps: 1,
+        };
+        let mut t = Transport::with_registry(cfg, 9, &obs);
+        for _ in 0..50 {
+            t.send(Envelope::pack("a.example", "b.example", &follow()).unwrap());
+        }
+        for _ in 0..100 {
+            t.step();
+        }
+        let s = t.stats();
+        let get = |n: &str| obs.counter_value(n).unwrap_or(0);
+        assert_eq!(get("flock.activitypub.transport.sent"), s.sent);
+        assert_eq!(get("flock.activitypub.transport.delivered"), s.delivered);
+        assert_eq!(
+            get("flock.activitypub.transport.lost_attempts"),
+            s.lost_attempts
+        );
+        assert_eq!(
+            get("flock.activitypub.transport.dead_lettered"),
+            s.dead_lettered
+        );
+        assert!(s.lost_attempts > 0, "fault model exercised");
     }
 
     #[test]

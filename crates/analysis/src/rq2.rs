@@ -82,41 +82,17 @@ pub fn fig7_social_networks(ds: &Dataset) -> Fig7SocialNetworks {
             .collect(),
     );
     Fig7SocialNetworks {
-        twitter_follower_median: if tw_followers.is_empty() {
-            0.0
-        } else {
-            tw_followers.median()
-        },
-        twitter_followee_median: if tw_followees.is_empty() {
-            0.0
-        } else {
-            tw_followees.median()
-        },
-        mastodon_follower_median: if ms_followers.is_empty() {
-            0.0
-        } else {
-            ms_followers.median()
-        },
-        mastodon_followee_median: if ms_followees.is_empty() {
-            0.0
-        } else {
-            ms_followees.median()
-        },
+        twitter_follower_median: tw_followers.median().unwrap_or(0.0),
+        twitter_followee_median: tw_followees.median().unwrap_or(0.0),
+        mastodon_follower_median: ms_followers.median().unwrap_or(0.0),
+        mastodon_followee_median: ms_followees.median().unwrap_or(0.0),
         twitter_no_followers_pct: tw_followers.fraction_zero() * 100.0,
         twitter_no_followees_pct: tw_followees.fraction_zero() * 100.0,
         mastodon_no_followers_pct: ms_followers.fraction_zero() * 100.0,
         mastodon_no_followees_pct: ms_followees.fraction_zero() * 100.0,
         more_on_mastodon_pct: more * 100.0,
-        twitter_median_age_years: if tw_ages.is_empty() {
-            0.0
-        } else {
-            tw_ages.median()
-        },
-        mastodon_median_age_days: if ms_ages.is_empty() {
-            0.0
-        } else {
-            ms_ages.median()
-        },
+        twitter_median_age_years: tw_ages.median().unwrap_or(0.0),
+        mastodon_median_age_days: ms_ages.median().unwrap_or(0.0),
         twitter_followers: tw_followers,
         twitter_followees: tw_followees,
         mastodon_followers: ms_followers,

@@ -37,19 +37,22 @@ impl Ecdf {
         idx as f64 / self.sorted.len() as f64
     }
 
-    /// The `q`-quantile (0 ≤ q ≤ 1), by the nearest-rank method.
-    pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-        assert!(!self.sorted.is_empty(), "quantile of empty ECDF");
+    /// The `q`-quantile by the nearest-rank method. `None` when the ECDF is
+    /// empty or `q` is outside `[0, 1]` — there is no sample to report, and
+    /// a figure pipeline fed a degenerate crawl must not abort mid-render.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if !(0.0..=1.0).contains(&q) || self.sorted.is_empty() {
+            return None;
+        }
         if q <= 0.0 {
-            return self.sorted[0];
+            return Some(self.sorted[0]);
         }
         let rank = (q * self.sorted.len() as f64).ceil() as usize;
-        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+        Some(self.sorted[rank.clamp(1, self.sorted.len()) - 1])
     }
 
-    /// Median.
-    pub fn median(&self) -> f64 {
+    /// Median; `None` when empty.
+    pub fn median(&self) -> Option<f64> {
         self.quantile(0.5)
     }
 
@@ -105,12 +108,14 @@ pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
     }
 }
 
-/// Median of a slice (panics on empty).
-pub fn median_u64(values: &[u64]) -> u64 {
-    assert!(!values.is_empty());
+/// Median of a slice; `None` on empty.
+pub fn median_u64(values: &[u64]) -> Option<u64> {
+    if values.is_empty() {
+        return None;
+    }
     let mut v = values.to_vec();
     v.sort_unstable();
-    v[v.len() / 2]
+    Some(v[v.len() / 2])
 }
 
 /// Cumulative user share over instances ranked by size descending:
@@ -186,17 +191,20 @@ mod tests {
         assert_eq!(e.eval(1.0), 0.25);
         assert_eq!(e.eval(2.5), 0.5);
         assert_eq!(e.eval(100.0), 1.0);
-        assert_eq!(e.median(), 2.0);
+        assert_eq!(e.median(), Some(2.0));
         assert_eq!(e.mean(), 2.5);
     }
 
     #[test]
     fn ecdf_quantiles() {
         let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
-        assert_eq!(e.quantile(0.0), 1.0);
-        assert_eq!(e.quantile(0.25), 25.0);
-        assert_eq!(e.quantile(0.5), 50.0);
-        assert_eq!(e.quantile(1.0), 100.0);
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.quantile(0.25), Some(25.0));
+        assert_eq!(e.quantile(0.5), Some(50.0));
+        assert_eq!(e.quantile(1.0), Some(100.0));
+        assert_eq!(e.quantile(-0.1), None);
+        assert_eq!(e.quantile(1.1), None);
+        assert_eq!(e.quantile(f64::NAN), None);
     }
 
     #[test]
@@ -219,9 +227,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn quantile_of_empty_panics() {
-        Ecdf::new(vec![]).quantile(0.5);
+    fn quantile_of_empty_is_none() {
+        let e = Ecdf::new(vec![]);
+        assert_eq!(e.quantile(0.5), None);
+        assert_eq!(e.quantile(0.0), None);
+        assert_eq!(e.median(), None);
+        assert_eq!(median_u64(&[]), None);
     }
 
     #[test]
@@ -254,7 +265,7 @@ mod tests {
 
     #[test]
     fn helpers() {
-        assert_eq!(median_u64(&[5, 1, 9]), 5);
+        assert_eq!(median_u64(&[5, 1, 9]), Some(5));
         assert!((mean(vec![1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
         assert_eq!(mean(Vec::<f64>::new()), 0.0);
     }

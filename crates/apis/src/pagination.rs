@@ -56,15 +56,26 @@ pub struct Page<T> {
 impl<T: Clone> Page<T> {
     /// Slice `all[offset..offset+limit]` into a page with a continuation
     /// cursor scoped to `scope`.
-    pub fn slice(all: &[T], scope: &str, offset: usize, limit: usize) -> Page<T> {
+    ///
+    /// **Stale-cursor contract:** continuation cursors are only ever
+    /// issued with `0 < offset < len`, so a decoded `offset > 0` that
+    /// lands at or past the end means the dataset shrank after the cursor
+    /// was minted. That used to silently yield an empty page — a crawler
+    /// would record "no more items" where it had actually lost coverage —
+    /// and is now a typed [`FlockError::StaleCursor`] error. A missing
+    /// cursor (`offset == 0`) over an empty dataset is still a valid
+    /// empty page.
+    pub fn slice(all: &[T], scope: &str, offset: usize, limit: usize) -> Result<Page<T>> {
+        if offset > 0 && offset >= all.len() {
+            return Err(FlockError::StaleCursor(format!(
+                "offset {offset} beyond the {} items now in {scope}",
+                all.len()
+            )));
+        }
         let end = (offset + limit).min(all.len());
-        let items = if offset < all.len() {
-            all[offset..end].to_vec()
-        } else {
-            Vec::new()
-        };
+        let items = all[offset..end].to_vec();
         let next = (end < all.len()).then(|| encode(scope, end));
-        Page { items, next }
+        Ok(Page { items, next })
     }
 }
 
@@ -107,7 +118,7 @@ mod tests {
         let mut pages = 0;
         loop {
             let offset = decode("scope", cursor.as_deref()).unwrap();
-            let page = Page::slice(&data, "scope", offset, 10);
+            let page = Page::slice(&data, "scope", offset, 10).unwrap();
             collected.extend(page.items);
             pages += 1;
             match page.next {
@@ -120,9 +131,34 @@ mod tests {
     }
 
     #[test]
-    fn page_past_end_is_empty() {
+    fn cursor_past_end_is_a_stale_cursor_error() {
         let data: Vec<u32> = (0..5).collect();
-        let page = Page::slice(&data, "s", 100, 10);
+        assert!(matches!(
+            Page::slice(&data, "s", 100, 10),
+            Err(FlockError::StaleCursor(_))
+        ));
+    }
+
+    #[test]
+    fn cursor_into_shrunk_dataset_is_stale() {
+        // Page through 10 items, keep the continuation cursor, then shrink
+        // the dataset below the cursor's offset — the §3 "account deleted
+        // mid-crawl" shape.
+        let data: Vec<u32> = (0..10).collect();
+        let page = Page::slice(&data, "s", 0, 6).unwrap();
+        let cursor = page.next.expect("more remains");
+        let offset = decode("s", Some(&cursor)).unwrap();
+        let shrunk: Vec<u32> = (0..3).collect();
+        assert!(matches!(
+            Page::slice(&shrunk, "s", offset, 6),
+            Err(FlockError::StaleCursor(_))
+        ));
+    }
+
+    #[test]
+    fn first_page_of_empty_dataset_is_a_valid_empty_page() {
+        let data: Vec<u32> = Vec::new();
+        let page = Page::slice(&data, "s", 0, 10).unwrap();
         assert!(page.items.is_empty());
         assert!(page.next.is_none());
     }
@@ -130,7 +166,7 @@ mod tests {
     #[test]
     fn exact_boundary_has_no_next() {
         let data: Vec<u32> = (0..20).collect();
-        let page = Page::slice(&data, "s", 10, 10);
+        let page = Page::slice(&data, "s", 10, 10).unwrap();
         assert_eq!(page.items.len(), 10);
         assert!(page.next.is_none());
     }

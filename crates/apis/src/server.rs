@@ -31,6 +31,7 @@ use flock_core::{
 };
 use flock_fedisim::users::AccountFate;
 use flock_fedisim::World;
+use flock_obs::{Counter, Histogram, Registry, Tier, SECONDS_BOUNDS};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -96,6 +97,57 @@ impl FamilyState {
             bucket: TokenBucket::new(policy, 0),
             fault_rng: rng.fork(label),
         })
+    }
+}
+
+/// Observability handles of one endpoint family, under the workspace
+/// naming scheme `flock.apis.<family>.<metric>`.
+///
+/// `granted` counts requests that actually consumed a token — each logical
+/// API call is granted exactly once no matter how retries interleave, so
+/// it lives in the deterministic tier. Rejections, faults and retry waits
+/// depend on thread scheduling and live in the scheduling tier.
+struct FamilyMetrics {
+    granted: Counter,
+    rate_limited: Counter,
+    faults: Counter,
+    retry_after_secs: Histogram,
+}
+
+impl FamilyMetrics {
+    fn new(obs: &Registry, family: &str) -> FamilyMetrics {
+        FamilyMetrics {
+            granted: obs.counter(&format!("flock.apis.{family}.granted"), Tier::Data),
+            rate_limited: obs.counter(&format!("flock.apis.{family}.rate_limited"), Tier::Sched),
+            faults: obs.counter(&format!("flock.apis.{family}.faults"), Tier::Sched),
+            retry_after_secs: obs.histogram(
+                &format!("flock.apis.{family}.retry_after_secs"),
+                Tier::Sched,
+                &SECONDS_BOUNDS,
+            ),
+        }
+    }
+}
+
+/// All of the server's metric handles (pure atomics — recording never
+/// takes a lock, so instrumentation adds nothing to the lock-order story).
+struct ApiMetrics {
+    search: FamilyMetrics,
+    users: FamilyMetrics,
+    follows: FamilyMetrics,
+    mastodon: FamilyMetrics,
+    stale_cursors: Counter,
+}
+
+impl ApiMetrics {
+    fn new(obs: &Registry) -> ApiMetrics {
+        ApiMetrics {
+            search: FamilyMetrics::new(obs, "search"),
+            users: FamilyMetrics::new(obs, "users"),
+            follows: FamilyMetrics::new(obs, "follows"),
+            mastodon: FamilyMetrics::new(obs, "mastodon"),
+            stale_cursors: obs.counter("flock.apis.pagination.stale_cursors", Tier::Data),
+        }
     }
 }
 
@@ -205,12 +257,20 @@ pub struct ApiServer {
     follows: Mutex<FamilyState>,
     mastodon: Vec<Mutex<MastodonShard>>,
     index: SearchIndex,
+    metrics: ApiMetrics,
 }
 
 impl ApiServer {
     /// Build a server (constructs the search index; `O(total tokens)`).
     pub fn new(world: Arc<World>, config: ApiConfig) -> Self {
+        ApiServer::with_obs(world, config, Registry::new())
+    }
+
+    /// Build a server whose per-family instrumentation records into `obs`
+    /// (the plain constructors use a private registry nobody exports).
+    pub fn with_obs(world: Arc<World>, config: ApiConfig, obs: Registry) -> Self {
         let index = SearchIndex::build(&world);
+        let metrics = ApiMetrics::new(&obs);
         let mut rng = DetRng::new(world.config.seed ^ 0xA91);
         let search = FamilyState::new(config.search_policy, &mut rng, "search");
         let users = FamilyState::new(config.users_policy, &mut rng, "users");
@@ -232,6 +292,7 @@ impl ApiServer {
             follows,
             mastodon,
             index,
+            metrics,
         }
     }
 
@@ -251,9 +312,22 @@ impl ApiServer {
         self.clock.load(Ordering::SeqCst)
     }
 
-    /// Advance the virtual clock (the caller's "sleep").
+    /// Advance the virtual clock (the caller's "sleep"). The advance is
+    /// **additive**: `N` concurrent callers move time forward by the sum
+    /// of their sleeps. Right for genuine backoff sleeps; for waiting out
+    /// a rate limit use [`Self::advance_clock_to`], which cannot stack
+    /// concurrent waits past the refill point.
     pub fn advance_clock(&self, secs: u64) {
         self.clock.fetch_add(secs, Ordering::SeqCst);
+    }
+
+    /// Advance the virtual clock to at least `deadline_secs` (a `max`, not
+    /// an add). When several workers are told "retry after X" by the same
+    /// bucket, each knows the *deadline* at which a token exists; additive
+    /// advances from all of them would overshoot far past that refill
+    /// point and silently deflate the virtual crawl duration's meaning.
+    pub fn advance_clock_to(&self, deadline_secs: u64) {
+        self.clock.fetch_max(deadline_secs, Ordering::SeqCst);
     }
 
     /// Which shard of the Mastodon bucket map an instance lives in
@@ -294,7 +368,7 @@ impl ApiServer {
                 .try_acquire(clock)
                 .map_err(|retry_after_secs| FlockError::RateLimited { retry_after_secs })
         };
-        match which {
+        let result = match which {
             Endpoint::Search => {
                 let mut s = self.search.lock();
                 let FamilyState { bucket, fault_rng } = &mut *s;
@@ -319,7 +393,39 @@ impl ApiServer {
                     .or_insert_with(|| TokenBucket::new(policy, clock));
                 check(bucket, fault_rng)
             }
+        };
+        // Recorded after the family lock is released: handles are atomics.
+        let fam = match which {
+            Endpoint::Search => &self.metrics.search,
+            Endpoint::Users => &self.metrics.users,
+            Endpoint::Follows => &self.metrics.follows,
+            Endpoint::Mastodon(_) => &self.metrics.mastodon,
+        };
+        match &result {
+            Ok(()) => fam.granted.inc(),
+            Err(FlockError::RateLimited { retry_after_secs }) => {
+                fam.rate_limited.inc();
+                fam.retry_after_secs.record(*retry_after_secs);
+            }
+            Err(_) => fam.faults.inc(),
         }
+        result
+    }
+
+    /// Page through `all`, counting a stale cursor before surfacing it.
+    fn page<T: Clone>(
+        &self,
+        all: &[T],
+        scope: &str,
+        offset: usize,
+        limit: usize,
+    ) -> Result<Page<T>> {
+        Page::slice(all, scope, offset, limit).map_err(|e| {
+            if matches!(e, FlockError::StaleCursor(_)) {
+                self.metrics.stale_cursors.inc();
+            }
+            e
+        })
     }
 
     // ------------------------------------------------------------------
@@ -356,7 +462,7 @@ impl ApiServer {
         // Candidate set: smallest posting list among required tokens, or a
         // full scan when the query promises no token.
         let matches = self.eval_query(&query, start, end);
-        let page = Page::slice(&matches, &scope, offset, self.config.search_page_size);
+        let page = self.page(&matches, &scope, offset, self.config.search_page_size)?;
         Ok(Page {
             items: page.items.iter().map(|&i| self.tweet_object(i)).collect(),
             next: page.next,
@@ -562,7 +668,7 @@ impl ApiServer {
                 d >= start && d <= end
             })
             .collect();
-        let page = Page::slice(&ids, &scope, offset, self.config.timeline_page_size);
+        let page = self.page(&ids, &scope, offset, self.config.timeline_page_size)?;
         Ok(Page {
             items: page
                 .items
@@ -602,12 +708,7 @@ impl ApiServer {
             .unwrap_or(&[]);
         let scope = format!("following:{user}");
         let offset = decode(&scope, cursor)?;
-        Ok(Page::slice(
-            list,
-            &scope,
-            offset,
-            self.config.follows_page_size,
-        ))
+        self.page(list, &scope, offset, self.config.follows_page_size)
     }
 
     // ------------------------------------------------------------------
@@ -707,7 +808,7 @@ impl ApiServer {
         let ids = self.visible_statuses(account, handle);
         let scope = format!("statuses:{handle}");
         let offset = decode(&scope, cursor)?;
-        let page = Page::slice(&ids, &scope, offset, self.config.statuses_page_size);
+        let page = self.page(&ids, &scope, offset, self.config.statuses_page_size)?;
         Ok(Page {
             items: page
                 .items
@@ -749,12 +850,7 @@ impl ApiServer {
             };
         let scope = format!("following:{handle}");
         let offset = decode(&scope, cursor)?;
-        Ok(Page::slice(
-            &handles,
-            &scope,
-            offset,
-            self.config.following_page_size,
-        ))
+        self.page(&handles, &scope, offset, self.config.following_page_size)
     }
 
     /// Public instance metadata (`/api/v1/instance`): registered users and
@@ -1131,6 +1227,77 @@ mod tests {
             }
         }
         assert!(failures > 5, "only {failures} transient failures");
+    }
+
+    /// Regression (clock overshoot): when N workers are all told "retry
+    /// after X" by the same bucket, waiting out the limit must move the
+    /// clock to the shared deadline once — not add X per worker. The old
+    /// additive `advance_clock` stacked to `start + N·X`.
+    #[test]
+    fn concurrent_waits_advance_to_the_deadline_not_past_it() {
+        let api = server();
+        api.advance_clock(100);
+        let deadline = api.now() + 60;
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| api.advance_clock_to(deadline));
+            }
+        });
+        assert_eq!(
+            api.now(),
+            deadline,
+            "stacked advances overshot the refill point"
+        );
+        // Later deadlines still win; earlier ones are no-ops.
+        api.advance_clock_to(deadline - 10);
+        assert_eq!(api.now(), deadline);
+        api.advance_clock_to(deadline + 5);
+        assert_eq!(api.now(), deadline + 5);
+    }
+
+    #[test]
+    fn stale_cursor_is_a_typed_error_and_counted() {
+        let obs = Registry::new();
+        let world = Arc::new(World::generate(&WorldConfig::small().with_seed(123)).unwrap());
+        let api = ApiServer::with_obs(world.clone(), ApiConfig::default(), obs.clone());
+        let migrant = world.users[world.migrant_users[0]].id;
+        // Forge a well-formed cursor pointing far past the end of the
+        // followee list — the shape a crawler sees when the dataset shrank
+        // between pages.
+        let forged = crate::pagination::encode(&format!("following:{migrant}"), 1_000_000);
+        match api.twitter_following(migrant, Some(&forged)) {
+            Err(FlockError::StaleCursor(_)) => {}
+            Err(FlockError::Forbidden(_)) | Err(FlockError::NotFound(_)) => return, // unlucky fate
+            other => panic!("expected StaleCursor, got {other:?}"),
+        }
+        assert_eq!(
+            obs.counter_value("flock.apis.pagination.stale_cursors"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn per_family_instrumentation_records_grants_and_rejections() {
+        let obs = Registry::new();
+        let world = Arc::new(World::generate(&WorldConfig::small().with_seed(7)).unwrap());
+        let config = ApiConfig {
+            search_policy: RatePolicy {
+                capacity: 2,
+                window_secs: 900,
+            },
+            ..ApiConfig::default()
+        };
+        let api = ApiServer::with_obs(world, config, obs.clone());
+        for _ in 0..4 {
+            let _ = api.twitter_search("mastodon", Day(25), Day(51), None);
+        }
+        assert_eq!(obs.counter_value("flock.apis.search.granted"), Some(2));
+        assert_eq!(obs.counter_value("flock.apis.search.rate_limited"), Some(2));
+        assert_eq!(obs.counter_value("flock.apis.users.granted"), Some(0));
+        // The deterministic-tier snapshot carries grants but not rejections.
+        let snap = obs.snapshot();
+        assert!(snap.contains("counter flock.apis.search.granted 2"));
+        assert!(!snap.contains("rate_limited"));
     }
 }
 

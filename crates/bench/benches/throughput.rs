@@ -21,6 +21,7 @@ use flock_apis::{ApiConfig, ApiServer};
 use flock_core::Day;
 use flock_crawler::pipeline::{migration_queries, Crawler, CrawlerConfig};
 use flock_fedisim::{World, WorldConfig};
+use flock_obs::Registry;
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
@@ -55,6 +56,11 @@ struct Report {
     /// expand_secs(workers=1) / expand_secs(workers=4) — the acceptance
     /// bar is ≥ 2×.
     crawl_speedup_at_4: f64,
+    /// Full telemetry export (counters, histograms, spans) of one
+    /// instrumented default-config crawl over the same world: the
+    /// data-tier counters here are seed-reproducible context for the
+    /// wall-clock numbers above.
+    metrics: serde::Value,
 }
 
 /// The §3.1 query mix: every keyword/hashtag query plus instance-link
@@ -198,6 +204,13 @@ fn main() {
         eprintln!("smoke mode: not writing BENCH_pipeline.json");
         return;
     }
+    // One instrumented crawl for the embedded telemetry snapshot.
+    let obs = Registry::new();
+    let api = ApiServer::with_obs(world.clone(), ApiConfig::default(), obs.clone());
+    Crawler::with_registry(&api, CrawlerConfig::default(), obs.clone())
+        .run()
+        .expect("instrumented crawl");
+    let metrics = serde_json::parse_value(&obs.export_json()).expect("metrics JSON parses");
     let report = Report {
         world: format!("WorldConfig::small().with_seed({})", config.seed),
         host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -205,6 +218,7 @@ fn main() {
         search,
         crawl,
         crawl_speedup_at_4,
+        metrics,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
     let json = serde_json::to_string_pretty(&report).expect("serialize report");

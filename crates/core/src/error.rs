@@ -28,10 +28,19 @@ pub enum FlockError {
     InstanceUnavailable(String),
     /// An opaque pagination cursor was malformed or expired.
     BadCursor(String),
+    /// A well-formed pagination cursor points past the end of a dataset
+    /// that has shrunk since the cursor was issued.
+    StaleCursor(String),
     /// A configuration value is out of range or inconsistent.
     InvalidConfig(String),
     /// Federation delivery failed (transport loss, remote rejected, …).
     DeliveryFailed(String),
+    /// The crawler's cumulative virtual rate-limit wait for one logical
+    /// request exceeded its configured budget. Not retryable: retrying is
+    /// exactly what exhausted the budget.
+    RetryBudgetExhausted { waited_secs: u64 },
+    /// A persisted artifact (CSV / JSON) failed strict parsing.
+    MalformedRecord(String),
 }
 
 impl fmt::Display for FlockError {
@@ -46,8 +55,16 @@ impl fmt::Display for FlockError {
             }
             FlockError::InstanceUnavailable(s) => write!(f, "instance unavailable: {s}"),
             FlockError::BadCursor(s) => write!(f, "bad pagination cursor: {s}"),
+            FlockError::StaleCursor(s) => write!(f, "stale pagination cursor: {s}"),
             FlockError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
             FlockError::DeliveryFailed(s) => write!(f, "federation delivery failed: {s}"),
+            FlockError::RetryBudgetExhausted { waited_secs } => {
+                write!(
+                    f,
+                    "retry budget exhausted after {waited_secs}s of virtual waiting"
+                )
+            }
+            FlockError::MalformedRecord(s) => write!(f, "malformed record: {s}"),
         }
     }
 }
@@ -92,5 +109,23 @@ mod tests {
         assert!(!FlockError::NotFound("x".into()).is_retryable());
         assert!(!FlockError::Forbidden("x".into()).is_retryable());
         assert!(!FlockError::InvalidQuery("x".into()).is_retryable());
+        assert!(!FlockError::StaleCursor("x".into()).is_retryable());
+        assert!(!FlockError::RetryBudgetExhausted { waited_secs: 1 }.is_retryable());
+        assert!(!FlockError::MalformedRecord("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn new_variants_display_their_payloads() {
+        assert!(FlockError::StaleCursor("offset 9".into())
+            .to_string()
+            .contains("offset 9"));
+        assert!(FlockError::RetryBudgetExhausted {
+            waited_secs: 604801
+        }
+        .to_string()
+        .contains("604801"));
+        assert!(FlockError::MalformedRecord("row 3".into())
+            .to_string()
+            .contains("row 3"));
     }
 }

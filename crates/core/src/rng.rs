@@ -92,6 +92,7 @@ impl DetRng {
     ///
     /// Uses Lemire's multiply-shift with rejection for unbiased output.
     pub fn below(&mut self, bound: u64) -> u64 {
+        // flock-lint: allow(panic) documented precondition on a caller-supplied constant; no sane fallback draw
         assert!(bound > 0, "below(0) is meaningless");
         // Lemire's method.
         let mut x = self.next_u64();
@@ -116,6 +117,7 @@ impl DetRng {
 
     /// Uniform integer in `[lo, hi]` (inclusive). Panics if `lo > hi`.
     pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        // flock-lint: allow(panic) documented precondition; an empty range has no uniform draw
         assert!(lo <= hi, "empty range {lo}..={hi}");
         let span = (hi - lo) as u64 + 1;
         lo + self.below(span) as i64
@@ -149,6 +151,7 @@ impl DetRng {
 
     /// Exponential with the given rate (`lambda`). Mean is `1 / lambda`.
     pub fn exponential(&mut self, lambda: f64) -> f64 {
+        // flock-lint: allow(panic) documented precondition; the distribution is undefined for lambda <= 0
         assert!(lambda > 0.0);
         let u = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
         -u.ln() / lambda
@@ -157,6 +160,7 @@ impl DetRng {
     /// Poisson draw. Uses inversion for small means and a normal
     /// approximation for large ones (fine for workload generation).
     pub fn poisson(&mut self, mean: f64) -> u64 {
+        // flock-lint: allow(panic) documented precondition; a negative Poisson mean is a caller bug
         assert!(mean >= 0.0);
         if mean == 0.0 {
             return 0;
@@ -188,6 +192,7 @@ impl DetRng {
     /// Zipf-distributed rank in `[0, n)` with exponent `s` (> 0), via
     /// rejection sampling (Devroye). Rank 0 is the most probable.
     pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        // flock-lint: allow(panic) documented precondition; Zipf needs a non-empty support and positive exponent
         assert!(n > 0 && s > 0.0);
         if n == 1 {
             return 0;
@@ -213,6 +218,7 @@ impl DetRng {
 
     /// Bounded Pareto draw in `[lo, hi]` with tail exponent `alpha`.
     pub fn pareto(&mut self, lo: f64, hi: f64, alpha: f64) -> f64 {
+        // flock-lint: allow(panic) documented precondition; the bounded Pareto is undefined otherwise
         assert!(lo > 0.0 && hi > lo && alpha > 0.0);
         let u = self.f64();
         let la = lo.powf(alpha);
@@ -222,6 +228,7 @@ impl DetRng {
 
     /// Choose a uniformly random element of a non-empty slice.
     pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        // flock-lint: allow(panic) documented precondition; choosing from nothing is a caller bug
         assert!(!items.is_empty());
         &items[self.below_usize(items.len())]
     }
@@ -231,6 +238,7 @@ impl DetRng {
     /// or the slice is empty.
     pub fn choose_weighted(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        // flock-lint: allow(panic) documented precondition; all-zero weights leave nothing to draw
         assert!(total > 0.0, "all weights zero");
         let mut target = self.f64() * total;
         for (i, &w) in weights.iter().enumerate() {

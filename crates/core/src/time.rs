@@ -210,7 +210,9 @@ impl Date {
     /// Build a date, panicking on out-of-range month/day. Intended for
     /// constants and tests; simulation code works in [`Day`].
     pub fn new(year: i32, month: u8, day: u8) -> Self {
+        // flock-lint: allow(panic) constructor documented as panicking; used only for constants and tests
         assert!((1..=12).contains(&month), "month out of range: {month}");
+        // flock-lint: allow(panic) constructor documented as panicking; used only for constants and tests
         assert!((1..=31).contains(&day), "day out of range: {day}");
         Date { year, month, day }
     }

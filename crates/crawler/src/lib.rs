@@ -22,12 +22,14 @@
 //! println!("identified {} migrants", dataset.matched.len());
 //! ```
 
+pub mod csv;
 pub mod dataset;
 pub mod persist;
 pub mod pipeline;
 pub mod worker_pool;
 
 pub mod prelude {
+    pub use crate::csv::{tweets_from_csv, tweets_to_csv};
     pub use crate::dataset::{
         CollectedTweet, CrawlStats, Dataset, FolloweeRecord, MastodonCrawlOutcome, MatchSource,
         MatchedUser, QueryKind, TimelineStatus, TimelineTweet, TwitterCrawlOutcome,

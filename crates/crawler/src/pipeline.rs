@@ -29,8 +29,8 @@ use flock_apis::server::ApiServer;
 use flock_apis::types::TwitterUserObject;
 use flock_core::handle::extract_handles;
 use flock_core::{Day, DetRng, FlockError, MastodonHandle, Result, TweetId, TwitterUserId};
+use flock_obs::{Counter, Gauge, Histogram, Registry, Tier, SECONDS_BOUNDS};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Crawl tuning.
 #[derive(Debug, Clone)]
@@ -50,6 +50,14 @@ pub struct CrawlerConfig {
     /// plain 10% draw would mostly miss; the paper §5.3 likewise required
     /// followee data for its switcher analysis.
     pub include_switchers: bool,
+    /// Cap on the **cumulative** virtual seconds one logical request may
+    /// spend waiting out rate limits before the crawler gives up with
+    /// [`FlockError::RetryBudgetExhausted`]. The legitimate waits are
+    /// large (the follows family allows 15 requests / 15 min, §3.3), so
+    /// the default is one generous virtual week — far above anything a
+    /// healthy policy produces, small enough that a zero-refill or
+    /// misconfigured bucket fails fast instead of livelocking the crawl.
+    pub max_rate_limit_wait_secs: u64,
 }
 
 impl Default for CrawlerConfig {
@@ -61,6 +69,7 @@ impl Default for CrawlerConfig {
             workers: 4,
             seed: 0xC4A41,
             include_switchers: true,
+            max_rate_limit_wait_secs: 604_800,
         }
     }
 }
@@ -86,18 +95,48 @@ pub fn migration_queries() -> Vec<(String, QueryKind)> {
     q
 }
 
-struct SharedStats {
-    requests: AtomicU64,
-    rate_limited: AtomicU64,
-    transient_failures: AtomicU64,
+/// The crawler's registry handles, under `flock.crawler.<subsystem>.<metric>`.
+///
+/// The `discover.*` / `expand.*` counters are facts about the dataset and
+/// live in the deterministic tier; attempts, rejections, backoffs and the
+/// worker-pool queue depth depend on thread scheduling and live in the
+/// scheduling tier.
+struct CrawlerMetrics {
+    attempts: Counter,
+    rate_limited: Counter,
+    transient_failures: Counter,
+    retry_wait_secs: Histogram,
+    budget_exhausted: Counter,
+    queue_depth: Gauge,
+    collected_tweets: Counter,
+    matched_users: Counter,
+    twitter_timelines: Counter,
+    mastodon_timelines: Counter,
+    followee_records: Counter,
+    weekly_instances: Counter,
 }
 
-impl SharedStats {
-    fn new() -> Self {
-        SharedStats {
-            requests: AtomicU64::new(0),
-            rate_limited: AtomicU64::new(0),
-            transient_failures: AtomicU64::new(0),
+impl CrawlerMetrics {
+    fn new(obs: &Registry) -> CrawlerMetrics {
+        let data = |n: &str| obs.counter(n, Tier::Data);
+        let sched = |n: &str| obs.counter(n, Tier::Sched);
+        CrawlerMetrics {
+            attempts: sched("flock.crawler.requests.attempts"),
+            rate_limited: sched("flock.crawler.requests.rate_limited"),
+            transient_failures: sched("flock.crawler.requests.transient_failures"),
+            retry_wait_secs: obs.histogram(
+                "flock.crawler.retry.wait_secs",
+                Tier::Sched,
+                &SECONDS_BOUNDS,
+            ),
+            budget_exhausted: sched("flock.crawler.retry.budget_exhausted"),
+            queue_depth: obs.gauge("flock.crawler.worker_pool.queue_depth", Tier::Sched),
+            collected_tweets: data("flock.crawler.discover.collected_tweets"),
+            matched_users: data("flock.crawler.discover.matched_users"),
+            twitter_timelines: data("flock.crawler.expand.twitter_timelines"),
+            mastodon_timelines: data("flock.crawler.expand.mastodon_timelines"),
+            followee_records: data("flock.crawler.expand.followee_records"),
+            weekly_instances: data("flock.crawler.expand.weekly_instances"),
         }
     }
 }
@@ -106,30 +145,48 @@ impl SharedStats {
 pub struct Crawler<'a> {
     api: &'a ApiServer,
     config: CrawlerConfig,
-    stats: SharedStats,
+    obs: Registry,
+    m: CrawlerMetrics,
 }
 
 impl<'a> Crawler<'a> {
-    /// Create a crawler over an API server.
+    /// Create a crawler over an API server (with a private registry).
     pub fn new(api: &'a ApiServer, config: CrawlerConfig) -> Self {
+        Crawler::with_registry(api, config, Registry::new())
+    }
+
+    /// Create a crawler recording into `obs` — pass the same registry to
+    /// [`ApiServer::with_obs`] to see both sides of every request. One
+    /// crawl per registry: handles are cumulative, so a second crawl on
+    /// the same registry adds onto the first crawl's totals.
+    pub fn with_registry(api: &'a ApiServer, config: CrawlerConfig, obs: Registry) -> Self {
+        let m = CrawlerMetrics::new(&obs);
         Crawler {
             api,
             config,
-            stats: SharedStats::new(),
+            obs,
+            m,
         }
+    }
+
+    /// The registry this crawler records into.
+    pub fn registry(&self) -> &Registry {
+        &self.obs
     }
 
     /// Run the §3 pipeline and produce the dataset.
     pub fn run(&self) -> Result<Dataset> {
         let start_virtual = self.api.now();
+        self.obs.phase_start(start_virtual, "crawl");
         let mut ds = self.discover()?;
         self.expand(&mut ds);
         ds.stats = CrawlStats {
-            requests: self.stats.requests.load(Ordering::Relaxed),
-            rate_limited: self.stats.rate_limited.load(Ordering::Relaxed),
-            transient_failures: self.stats.transient_failures.load(Ordering::Relaxed),
+            requests: self.m.attempts.get(),
+            rate_limited: self.m.rate_limited.get(),
+            transient_failures: self.m.transient_failures.get(),
             virtual_secs: self.api.now() - start_virtual,
         };
+        self.obs.phase_end(self.api.now(), "crawl");
         Ok(ds)
     }
 
@@ -141,8 +198,18 @@ impl<'a> Crawler<'a> {
             instance_list: self.api.instances_social_list(),
             ..Dataset::default()
         };
+        self.obs
+            .phase_start(self.api.now(), "discover.collect_tweets");
         self.collect_tweets(&mut ds)?;
+        self.obs
+            .phase_end(self.api.now(), "discover.collect_tweets");
+        self.m
+            .collected_tweets
+            .add(ds.collected_tweets.len() as u64);
+        self.obs.phase_start(self.api.now(), "discover.match_users");
         self.match_users(&mut ds)?;
+        self.obs.phase_end(self.api.now(), "discover.match_users");
+        self.m.matched_users.add(ds.matched.len() as u64);
         Ok(ds)
     }
 
@@ -151,31 +218,86 @@ impl<'a> Crawler<'a> {
     /// matched-index order. Public (separately from [`Crawler::run`]) so
     /// benches can time the parallel phases against a fixed discovery.
     pub fn expand(&self, ds: &mut Dataset) {
+        self.obs
+            .phase_start(self.api.now(), "expand.twitter_timelines");
         self.crawl_twitter_timelines(ds);
+        self.obs
+            .phase_end(self.api.now(), "expand.twitter_timelines");
+        self.m
+            .twitter_timelines
+            .add(ds.twitter_timelines.len() as u64);
+
+        self.obs
+            .phase_start(self.api.now(), "expand.mastodon_timelines");
         self.crawl_mastodon_timelines(ds);
+        self.obs
+            .phase_end(self.api.now(), "expand.mastodon_timelines");
+        self.m
+            .mastodon_timelines
+            .add(ds.mastodon_timelines.len() as u64);
+
+        self.obs.phase_start(self.api.now(), "expand.followees");
         self.crawl_followees(ds);
+        self.obs.phase_end(self.api.now(), "expand.followees");
+        self.m.followee_records.add(ds.followees.len() as u64);
+
+        self.obs
+            .phase_start(self.api.now(), "expand.weekly_activity");
         self.crawl_weekly_activity(ds);
+        self.obs.phase_end(self.api.now(), "expand.weekly_activity");
+        self.m.weekly_instances.add(ds.weekly_activity.len() as u64);
     }
 
     /// Rate-limit-aware, transient-retrying request wrapper.
+    ///
+    /// Rate limits are waited out with [`ApiServer::advance_clock_to`]
+    /// against a deadline computed from the clock **before** the attempt:
+    /// when several workers are parked on the same bucket, each advance is
+    /// a `max` to the shared refill point, where the old additive
+    /// `advance_clock(retry_after_secs)` stacked all the waits and
+    /// overshot it. The cumulative wait per logical request is capped by
+    /// `max_rate_limit_wait_secs` so a non-refilling bucket surfaces as a
+    /// typed error instead of a livelock.
     fn request<T>(&self, mut f: impl FnMut() -> Result<T>) -> Result<T> {
         let mut transient = 0;
+        let mut waited: u64 = 0;
         loop {
-            self.stats.requests.fetch_add(1, Ordering::Relaxed);
+            self.m.attempts.inc();
+            let before = self.api.now();
             match f() {
                 Ok(v) => return Ok(v),
                 Err(FlockError::RateLimited { retry_after_secs }) => {
-                    self.stats.rate_limited.fetch_add(1, Ordering::Relaxed);
-                    self.api.advance_clock(retry_after_secs);
+                    self.m.rate_limited.inc();
+                    self.m.retry_wait_secs.record(retry_after_secs);
+                    waited = waited.saturating_add(retry_after_secs);
+                    if waited > self.config.max_rate_limit_wait_secs {
+                        self.m.budget_exhausted.inc();
+                        self.obs.event(
+                            before,
+                            "crawler.retry_budget_exhausted",
+                            &format!(
+                                "waited {waited}s virtual > cap {}s",
+                                self.config.max_rate_limit_wait_secs
+                            ),
+                        );
+                        return Err(FlockError::RetryBudgetExhausted {
+                            waited_secs: waited,
+                        });
+                    }
+                    self.api
+                        .advance_clock_to(before.saturating_add(retry_after_secs));
                 }
                 Err(e) if e.is_retryable() => {
-                    self.stats
-                        .transient_failures
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.m.transient_failures.inc();
                     transient += 1;
                     if transient > self.config.max_transient_retries {
                         return Err(e);
                     }
+                    self.obs.event(
+                        before,
+                        "crawler.transient_retry",
+                        &format!("attempt {transient}: {e}"),
+                    );
                     self.api.advance_clock(self.config.transient_backoff_secs);
                 }
                 Err(e) => return Err(e),
@@ -332,9 +454,12 @@ impl<'a> Crawler<'a> {
     // ---- §3.2: timelines --------------------------------------------------
 
     fn crawl_twitter_timelines(&self, ds: &mut Dataset) {
-        let results = worker_pool::run(self.config.workers, &ds.matched, |_, m| {
-            self.crawl_one_twitter_timeline(m)
-        });
+        let results = worker_pool::run_gauged(
+            self.config.workers,
+            &ds.matched,
+            Some(&self.m.queue_depth),
+            |_, m| self.crawl_one_twitter_timeline(m),
+        );
         for (m, (timeline, outcome)) in ds.matched.iter().zip(results) {
             if outcome == TwitterCrawlOutcome::Ok {
                 ds.twitter_timelines.insert(m.twitter_id, timeline);
@@ -385,9 +510,12 @@ impl<'a> Crawler<'a> {
     }
 
     fn crawl_mastodon_timelines(&self, ds: &mut Dataset) {
-        let results = worker_pool::run(self.config.workers, &ds.matched, |_, m| {
-            self.crawl_one_mastodon_timeline(m)
-        });
+        let results = worker_pool::run_gauged(
+            self.config.workers,
+            &ds.matched,
+            Some(&self.m.queue_depth),
+            |_, m| self.crawl_one_mastodon_timeline(m),
+        );
         for (m, (statuses, outcome)) in ds.matched.iter().zip(results) {
             if outcome == MastodonCrawlOutcome::Ok {
                 ds.mastodon_timelines
@@ -488,9 +616,12 @@ impl<'a> Crawler<'a> {
             .iter()
             .filter_map(|id| ds.matched_by_id(*id).cloned())
             .collect();
-        let results = worker_pool::run(self.config.workers, &targets, |_, m| {
-            self.crawl_one_followees(m)
-        });
+        let results = worker_pool::run_gauged(
+            self.config.workers,
+            &targets,
+            Some(&self.m.queue_depth),
+            |_, m| self.crawl_one_followees(m),
+        );
         for (m, rec) in targets.iter().zip(results) {
             if let Some(rec) = rec {
                 ds.followees.insert(m.twitter_id, rec);
@@ -740,5 +871,69 @@ mod tests {
         let ds = crawl(&api).unwrap();
         assert!(ds.stats.transient_failures > 0);
         assert!(!ds.matched.is_empty());
+    }
+
+    /// Regression (unbounded retry): a zero-refill `RatePolicy` used to
+    /// livelock `Crawler::request` forever — `retry_after` saturates, the
+    /// loop retried unconditionally. The cumulative virtual wait is now
+    /// capped and surfaces as a typed, non-retryable error.
+    #[test]
+    fn unbounded_rate_limit_wait_is_capped() {
+        let world = Arc::new(World::generate(&WorldConfig::small().with_seed(11)).unwrap());
+        let api_cfg = flock_apis::ApiConfig {
+            search_policy: flock_apis::RatePolicy {
+                capacity: 0,
+                window_secs: 900,
+            },
+            ..Default::default()
+        };
+        let api = ApiServer::new(world, api_cfg);
+        let crawler = Crawler::new(&api, CrawlerConfig::default());
+        match crawler.run() {
+            Err(FlockError::RetryBudgetExhausted { waited_secs }) => {
+                assert!(waited_secs > CrawlerConfig::default().max_rate_limit_wait_secs);
+            }
+            other => panic!("expected RetryBudgetExhausted, got {other:?}"),
+        }
+    }
+
+    /// The registry sees everything `CrawlStats` reports, plus the
+    /// dataset-derived counters and the per-phase span events.
+    #[test]
+    fn registry_captures_counters_and_phase_spans() {
+        let (world, _) = shared();
+        let obs = Registry::new();
+        let api = ApiServer::with_obs(world.clone(), flock_apis::ApiConfig::default(), obs.clone());
+        let crawler = Crawler::with_registry(&api, CrawlerConfig::default(), obs.clone());
+        let ds = crawler.run().unwrap();
+        assert_eq!(
+            obs.counter_value("flock.crawler.requests.attempts"),
+            Some(ds.stats.requests)
+        );
+        assert_eq!(
+            obs.counter_value("flock.crawler.requests.rate_limited"),
+            Some(ds.stats.rate_limited)
+        );
+        assert_eq!(
+            obs.counter_value("flock.crawler.discover.collected_tweets"),
+            Some(ds.collected_tweets.len() as u64)
+        );
+        assert_eq!(
+            obs.counter_value("flock.crawler.discover.matched_users"),
+            Some(ds.matched.len() as u64)
+        );
+        // crawl + 2 discover + 4 expand phases, a start and an end each.
+        assert!(obs.event_count() >= 14, "{} events", obs.event_count());
+        let text = obs.export_text();
+        assert!(text.contains("phase_start name=discover.collect_tweets"));
+        assert!(text.contains("phase_end name=expand.weekly_activity"));
+        // The API server recorded into the same registry.
+        assert!(obs
+            .counter_value("flock.apis.search.granted")
+            .is_some_and(|v| v > 0));
+        // Deterministic-tier snapshot is non-empty and carries both crates.
+        let snap = obs.snapshot();
+        assert!(snap.contains("flock.crawler.discover.matched_users"));
+        assert!(snap.contains("flock.apis.follows.granted"));
     }
 }

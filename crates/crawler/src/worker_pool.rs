@@ -12,6 +12,7 @@
 //!   order**, so downstream code never observes completion order;
 //! * a panic in any worker propagates to the caller (no half-merged data).
 
+use flock_obs::Gauge;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -28,12 +29,33 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    run_gauged(workers, items, None, f)
+}
+
+/// [`run`], additionally tracking how many items are still unclaimed in an
+/// observability gauge (scheduling-tier: the instantaneous depth depends
+/// on thread timing, but the high-watermark is the input length by
+/// construction). `None` skips all instrumentation.
+pub fn run_gauged<T, R, F>(workers: usize, items: &[T], depth: Option<&Gauge>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let report = |claimed: usize| {
+        if let Some(g) = depth {
+            g.set(items.len().saturating_sub(claimed) as u64);
+        }
+    };
     let workers = workers.max(1).min(items.len());
     if workers <= 1 {
         return items
             .iter()
             .enumerate()
-            .map(|(i, item)| f(i, item))
+            .map(|(i, item)| {
+                report(i);
+                f(i, item)
+            })
             .collect();
     }
     let next = AtomicUsize::new(0);
@@ -45,6 +67,7 @@ where
                 if i >= items.len() {
                     break;
                 }
+                report(i);
                 let r = f(i, &items[i]);
                 slots.lock().push((i, r));
             });
@@ -99,5 +122,18 @@ mod tests {
         let empty: Vec<u8> = Vec::new();
         assert!(run(8, &empty, |_, &x| x).is_empty());
         assert_eq!(run(8, &[42u8], |_, &x| x), vec![42]);
+    }
+
+    #[test]
+    fn queue_depth_gauge_watermarks_at_input_length() {
+        let g = flock_obs::Registry::new().gauge("flock.test.depth", flock_obs::Tier::Sched);
+        let items: Vec<usize> = (0..64).collect();
+        let out = run_gauged(4, &items, Some(&g), |_, &x| x);
+        assert_eq!(out, items);
+        assert_eq!(g.high_watermark(), items.len() as u64);
+        // Serial path reports too.
+        let g2 = flock_obs::Registry::new().gauge("flock.test.depth2", flock_obs::Tier::Sched);
+        run_gauged(1, &items, Some(&g2), |_, &x| x);
+        assert_eq!(g2.high_watermark(), items.len() as u64);
     }
 }

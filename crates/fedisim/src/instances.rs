@@ -95,6 +95,7 @@ const SYNTH_TLDS: &[&str] = &[
 /// (popular within their niche but smaller than the flagships); the rest
 /// of the tail is synthetic.
 pub fn generate_instances(n: usize, zipf_exponent: f64, rng: &mut DetRng) -> Vec<Instance> {
+    // flock-lint: allow(panic) documented world-config floor; WorldConfig validation rejects smaller n first
     assert!(n >= 10, "need at least 10 instances");
     let mut domains: Vec<(String, Option<Topic>)> = Vec::with_capacity(n);
     for d in GENERAL_DOMAINS.iter().take(n) {

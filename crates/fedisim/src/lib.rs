@@ -45,7 +45,7 @@ pub mod prelude {
     pub use crate::content::{MirrorBehavior, Status, Tweet, MIGRATION_PHRASES, SOURCES};
     pub use crate::instances::Instance;
     pub use crate::interest::{InterestReport, InterestSeries};
-    pub use crate::migration::{MastodonAccount, SwitchRecord};
+    pub use crate::migration::{emit_migration_telemetry, MastodonAccount, SwitchRecord};
     pub use crate::users::{AccountFate, TwitterUser};
     pub use crate::world::World;
 }

@@ -23,6 +23,7 @@ use crate::users::TwitterUser;
 use flock_core::{
     Day, DetRng, FlockError, InstanceId, MastodonAccountId, MastodonHandle, Result, TwitterUserId,
 };
+use flock_obs::{Registry, Tier};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -365,6 +366,39 @@ pub fn run_migration(
         .collect()
 }
 
+/// Record the ground-truth migration shape into `obs`: a total-migrant
+/// counter, per-wave account-creation counters for the three Fig. 2 event
+/// waves (takeover, layoffs, resignations — each wave is the event day plus
+/// the two days after it), and one point event per wave day carrying its
+/// creation count. Everything here derives from generated world data, so
+/// all of it is deterministic (data-tier).
+pub fn emit_migration_telemetry(accounts: &[MastodonAccount], obs: &Registry) {
+    let migrants = obs.counter("flock.fedisim.migration.migrants", Tier::Data);
+    migrants.add(accounts.len() as u64);
+    let waves: [(&str, Day); 3] = [
+        ("takeover", Day::TAKEOVER),
+        ("layoffs", Day::LAYOFFS),
+        ("resignations", Day::RESIGNATIONS),
+    ];
+    for (name, start) in waves {
+        let in_wave = accounts
+            .iter()
+            .filter(|a| (start.offset()..start.offset() + 3).contains(&a.created.offset()))
+            .count() as u64;
+        obs.counter(&format!("flock.fedisim.migration.wave_{name}"), Tier::Data)
+            .add(in_wave);
+        obs.event(
+            start.offset().max(0) as u64 * 86_400,
+            &format!("migration.wave.{name}"),
+            &format!(
+                "{in_wave} accounts created on days {}..={}",
+                start.offset(),
+                start.offset() + 2
+            ),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +472,32 @@ mod tests {
             assert!(a.announced.in_collection_window());
             assert!(a.switch.is_none());
         }
+    }
+
+    #[test]
+    fn migration_telemetry_counts_waves() {
+        let (config, users, migrants, graph, instances) = setup();
+        let mut rng = DetRng::new(99);
+        let accounts =
+            run_migration(&users, &migrants, &graph, &instances, &config, &mut rng).unwrap();
+        let obs = Registry::new();
+        emit_migration_telemetry(&accounts, &obs);
+        let get = |k: &str| {
+            obs.counter_value(&format!("flock.fedisim.migration.{k}"))
+                .unwrap_or(0)
+        };
+        assert_eq!(get("migrants"), accounts.len() as u64);
+        // The takeover wave dominates Fig. 2 by construction.
+        assert!(get("wave_takeover") > get("wave_layoffs"));
+        assert!(get("wave_takeover") > get("wave_resignations"));
+        let total = get("wave_takeover") + get("wave_layoffs") + get("wave_resignations");
+        assert!(total <= get("migrants"));
+        assert_eq!(obs.event_count(), 3);
+        assert!(obs.export_text().contains("migration.wave.takeover"));
+        // Emission is deterministic: a second registry sees the same shape.
+        let obs2 = Registry::new();
+        emit_migration_telemetry(&accounts, &obs2);
+        assert_eq!(obs.snapshot(), obs2.snapshot());
     }
 
     #[test]

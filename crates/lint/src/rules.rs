@@ -10,8 +10,9 @@
 //!   use `BTreeMap`/`BTreeSet` or an explicit sort.
 //! * `lock-order` — `.lock()` receivers in `crates/apis` must be declared
 //!   in the lock-hierarchy manifest and acquired strictly downward.
-//! * `panic` — no `unwrap()`/`expect()`/`panic!` in library code; errors
-//!   propagate through `flock_core::error`.
+//! * `panic` — no `unwrap()`/`expect()`/`panic!`/bare `assert!` in library
+//!   code; errors propagate through `flock_core::error`. (`assert_eq!` and
+//!   `debug_assert!` remain permitted.)
 //!
 //! Test code is exempt everywhere: files under `tests/`, `benches/`,
 //! `examples/`, and items behind `#[cfg(test)]` / `#[test]`. The escape
@@ -255,6 +256,17 @@ impl<'a> Ctx<'a> {
                         tok.line,
                         RULE_PANIC,
                         "panic! in library code; return a FlockError instead".to_string(),
+                    );
+                } else if tok.is("assert") && t.get(i + 1).is_some_and(|n| n.punct('!')) {
+                    // Bare `assert!` only: `assert_eq!`/`debug_assert!` lex
+                    // as distinct idents and stay permitted (the former is
+                    // test idiom, the latter compiles out of release).
+                    self.emit(
+                        tok.line,
+                        RULE_PANIC,
+                        "assert! in library code; return a FlockError (or \
+                         Option) instead of panicking on bad input"
+                            .to_string(),
                     );
                 }
             }

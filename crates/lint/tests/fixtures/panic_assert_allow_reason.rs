@@ -1,0 +1,6 @@
+// Fixture: a justified precondition assert is suppressed.
+pub fn below(bound: u64, raw: u64) -> u64 {
+    // flock-lint: allow(panic) documented precondition on a caller-supplied constant
+    assert!(bound > 0, "below(0) is meaningless");
+    raw % bound
+}

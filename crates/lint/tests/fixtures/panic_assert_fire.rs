@@ -1,0 +1,12 @@
+// Fixture: bare assert! in library code fires; assert_eq!/debug_assert! do not.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty ECDF");
+    assert!((0.0..=1.0).contains(&q));
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    sorted[((q * sorted.len() as f64) as usize).min(sorted.len() - 1)]
+}
+
+pub fn check(a: u32, b: u32) {
+    assert_eq!(a, b, "equality macros stay permitted");
+    assert_ne!(a, b + 1);
+}

@@ -217,6 +217,28 @@ fn panic_allow_without_reason_is_flagged() {
     assert_eq!(shape(&findings), vec![(3, RULE_DIRECTIVE)], "{findings:#?}");
 }
 
+#[test]
+fn panic_fires_on_bare_assert_but_not_equality_or_debug_macros() {
+    let findings = lint_fixture("panic_assert_fire.rs", "crates/core/src/fixture.rs");
+    assert_eq!(
+        shape(&findings),
+        vec![(3, RULE_PANIC), (4, RULE_PANIC)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn panic_assert_option_rewrite_and_test_modules_pass() {
+    let findings = lint_fixture("panic_assert_clean.rs", "crates/core/src/fixture.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn panic_assert_allow_with_reason_suppresses() {
+    let findings = lint_fixture("panic_assert_allow_reason.rs", "crates/core/src/fixture.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
 // --- directive meta-rule -------------------------------------------------
 
 #[test]

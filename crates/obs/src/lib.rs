@@ -1,0 +1,636 @@
+//! # flock-obs — deterministic metrics & structured tracing
+//!
+//! The paper's crawl was an *operational* exercise as much as a scientific
+//! one: §3 reports request volumes, rate-limit stalls, dead instances and
+//! per-phase coverage, and every follow-on study leans on knowing exactly
+//! what the crawl did. This crate is the workspace's observability layer:
+//! a dependency-free [`Registry`] of named counters, gauges and histograms
+//! plus lightweight span events, designed around the same rules as the
+//! rest of the pipeline:
+//!
+//! * **No wall clock.** Every timestamp is caller-supplied virtual time
+//!   (the `ApiServer` clock, or a simulated day offset). Exports never
+//!   embed ambient time, so they are reproducible byte-for-byte.
+//! * **Deterministic iteration.** Metrics live in a `BTreeMap` keyed by
+//!   name, so every export walks them in one canonical order.
+//! * **Two telemetry tiers.** [`Tier::Data`] metrics are facts about the
+//!   data (requests *granted*, items collected) and must be identical
+//!   across worker counts; [`Tier::Sched`] metrics are operational
+//!   signals (retries, queue depths, backoff waits) that legitimately
+//!   depend on thread scheduling. [`Registry::snapshot`] renders only the
+//!   deterministic tier — that string is byte-compared in tests across
+//!   `workers=1` and `workers=8` — while [`Registry::export_text`] /
+//!   [`Registry::export_json`] render everything.
+//!
+//! Handles are cheap `Arc`-backed atomics: register once at construction
+//! time, then `inc()`/`record()` from any thread without touching the
+//! registry lock. Metric names follow `flock.<crate>.<subsystem>.<metric>`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Lock with poison recovery: a panicking thread elsewhere must not take
+/// the telemetry down with it — the registry's state (plain atomics and
+/// completed `String` keys) is always valid.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Which determinism contract a metric lives under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// A fact about the data: byte-identical across worker counts and
+    /// thread schedules (e.g. requests *granted*, tweets collected).
+    Data,
+    /// An operational signal that depends on scheduling (e.g. rate-limit
+    /// rejections, retry waits, queue depths). Excluded from
+    /// [`Registry::snapshot`], present in the full exports.
+    Sched,
+}
+
+impl Tier {
+    fn label(self) -> &'static str {
+        match self {
+            Tier::Data => "deterministic",
+            Tier::Sched => "scheduling",
+        }
+    }
+}
+
+/// Monotonically increasing event count. Cloning shares the underlying
+/// atomic, so a handle can be stored per call-site.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct GaugeInner {
+    value: AtomicU64,
+    high: AtomicU64,
+}
+
+/// Last-written value plus a high-watermark (the only aggregate of a
+/// sampled quantity that merges deterministically).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<GaugeInner>);
+
+impl Gauge {
+    /// Record the current level.
+    pub fn set(&self, v: u64) {
+        self.0.value.store(v, Ordering::Relaxed);
+        self.0.high.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Most recently written value.
+    pub fn get(&self) -> u64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever written.
+    pub fn high_watermark(&self) -> u64 {
+        self.0.high.load(Ordering::Relaxed)
+    }
+}
+
+/// Default bucket bounds for virtual-second latencies/waits: sub-second
+/// through one virtual week.
+pub const SECONDS_BOUNDS: [u64; 9] = [1, 5, 15, 60, 300, 900, 3600, 86_400, 604_800];
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Ascending upper bounds; an implicit `+inf` bucket follows the last.
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` cumulative-free bucket counts.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Fixed-bound histogram. Bucket bounds are set at registration and never
+/// change, so concurrent `record()`s from any interleaving produce the
+/// same final bucket counts — histogram merges are order-independent.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    fn with_bounds(bounds: &[u64]) -> Self {
+        let mut sorted = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            bounds: sorted,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        let idx = self
+            .0
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(self.0.bounds.len());
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.min.fetch_min(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.0.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// What a span event marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A named phase began.
+    PhaseStart,
+    /// A named phase finished.
+    PhaseEnd,
+    /// A point-in-time annotation (a retry decision, a migration wave…).
+    Point,
+}
+
+impl EventKind {
+    fn label(self) -> &'static str {
+        match self {
+            EventKind::PhaseStart => "phase_start",
+            EventKind::PhaseEnd => "phase_end",
+            EventKind::Point => "event",
+        }
+    }
+}
+
+/// One structured trace record, stamped with **virtual** time only.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// Virtual-clock timestamp (seconds) supplied by the caller.
+    pub ts_secs: u64,
+    pub kind: EventKind,
+    pub name: String,
+    pub detail: String,
+}
+
+#[derive(Debug)]
+enum Slot {
+    Counter(Tier, Counter),
+    Gauge(Tier, Gauge),
+    Histogram(Tier, Histogram),
+}
+
+impl Slot {
+    fn tier(&self) -> Tier {
+        match self {
+            Slot::Counter(t, _) | Slot::Gauge(t, _) | Slot::Histogram(t, _) => *t,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    metrics: Mutex<BTreeMap<String, Slot>>,
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+/// The shared metric registry. Cloning is cheap (an `Arc` bump) and all
+/// clones observe the same metrics, so one registry can be threaded
+/// through `ApiServer`, `Crawler` and the fedisim world side by side.
+#[derive(Clone, Debug, Default)]
+pub struct Registry(Arc<RegistryInner>);
+
+impl Registry {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get-or-register the counter `name`. Registration is idempotent:
+    /// the same name always yields handles onto the same atomic. If the
+    /// name is already registered as a *different* kind the call returns
+    /// a detached handle (safe to use, invisible in exports) rather than
+    /// panicking — telemetry must never take the pipeline down.
+    pub fn counter(&self, name: &str, tier: Tier) -> Counter {
+        let mut m = relock(&self.0.metrics);
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Counter(tier, Counter::default()))
+        {
+            Slot::Counter(_, c) => c.clone(),
+            _ => Counter::default(),
+        }
+    }
+
+    /// Get-or-register the gauge `name` (same contract as [`Self::counter`]).
+    pub fn gauge(&self, name: &str, tier: Tier) -> Gauge {
+        let mut m = relock(&self.0.metrics);
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Gauge(tier, Gauge::default()))
+        {
+            Slot::Gauge(_, g) => g.clone(),
+            _ => Gauge::default(),
+        }
+    }
+
+    /// Get-or-register the histogram `name` with the given bucket upper
+    /// bounds (ignored if the name already exists; same contract as
+    /// [`Self::counter`]).
+    pub fn histogram(&self, name: &str, tier: Tier, bounds: &[u64]) -> Histogram {
+        let mut m = relock(&self.0.metrics);
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Slot::Histogram(tier, Histogram::with_bounds(bounds)))
+        {
+            Slot::Histogram(_, h) => h.clone(),
+            _ => Histogram::with_bounds(bounds),
+        }
+    }
+
+    /// Record the start of a named phase at virtual time `ts_secs`.
+    pub fn phase_start(&self, ts_secs: u64, name: &str) {
+        self.push_event(ts_secs, EventKind::PhaseStart, name, "");
+    }
+
+    /// Record the end of a named phase at virtual time `ts_secs`.
+    pub fn phase_end(&self, ts_secs: u64, name: &str) {
+        self.push_event(ts_secs, EventKind::PhaseEnd, name, "");
+    }
+
+    /// Record a point-in-time annotation at virtual time `ts_secs`.
+    pub fn event(&self, ts_secs: u64, name: &str, detail: &str) {
+        self.push_event(ts_secs, EventKind::Point, name, detail);
+    }
+
+    fn push_event(&self, ts_secs: u64, kind: EventKind, name: &str, detail: &str) {
+        relock(&self.0.events).push(SpanEvent {
+            ts_secs,
+            kind,
+            name: name.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        relock(&self.0.metrics).is_empty()
+    }
+
+    /// Number of registered metrics.
+    pub fn metric_count(&self) -> usize {
+        relock(&self.0.metrics).len()
+    }
+
+    /// Number of recorded span events.
+    pub fn event_count(&self) -> usize {
+        relock(&self.0.events).len()
+    }
+
+    /// Current value of the counter `name`, if registered as a counter.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match relock(&self.0.metrics).get(name) {
+            Some(Slot::Counter(_, c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    fn render_metrics(&self, out: &mut String, filter: Option<Tier>) {
+        for (name, slot) in relock(&self.0.metrics).iter() {
+            if filter.is_some_and(|want| slot.tier() != want) {
+                continue;
+            }
+            match slot {
+                Slot::Counter(_, c) => {
+                    let _ = writeln!(out, "counter {name} {}", c.get());
+                }
+                Slot::Gauge(_, g) => {
+                    let _ = writeln!(
+                        out,
+                        "gauge {name} value={} high={}",
+                        g.get(),
+                        g.high_watermark()
+                    );
+                }
+                Slot::Histogram(_, h) => {
+                    let buckets = h
+                        .bucket_counts()
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    let _ = writeln!(
+                        out,
+                        "histogram {name} count={} sum={} min={} max={} buckets={buckets}",
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.max()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Canonical rendering of the **deterministic tier only** — the bytes
+    /// compared across worker counts in the telemetry-determinism test.
+    pub fn snapshot(&self) -> String {
+        let mut out = String::new();
+        self.render_metrics(&mut out, Some(Tier::Data));
+        out
+    }
+
+    /// Full text export: both tiers (tagged) plus the event log.
+    pub fn export_text(&self) -> String {
+        let mut out = String::from("# deterministic tier\n");
+        self.render_metrics(&mut out, Some(Tier::Data));
+        out.push_str("# scheduling tier\n");
+        self.render_metrics(&mut out, Some(Tier::Sched));
+        out.push_str("# events\n");
+        for ev in relock(&self.0.events).iter() {
+            let _ = writeln!(
+                out,
+                "event ts={} kind={} name={} detail={}",
+                ev.ts_secs,
+                ev.kind.label(),
+                ev.name,
+                ev.detail.replace('\n', "\\n")
+            );
+        }
+        out
+    }
+
+    /// Full JSON export (hand-rolled: this crate has no dependencies).
+    pub fn export_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, tier) in [Tier::Data, Tier::Sched].into_iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let _ = write!(out, "  \"{}\": {{", tier.label());
+            let metrics = relock(&self.0.metrics);
+            let mut first = true;
+            for (name, slot) in metrics.iter().filter(|(_, s)| s.tier() == tier) {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "\n    \"{}\": ", json_escape(name));
+                match slot {
+                    Slot::Counter(_, c) => {
+                        let _ = write!(out, "{{\"kind\":\"counter\",\"value\":{}}}", c.get());
+                    }
+                    Slot::Gauge(_, g) => {
+                        let _ = write!(
+                            out,
+                            "{{\"kind\":\"gauge\",\"value\":{},\"high\":{}}}",
+                            g.get(),
+                            g.high_watermark()
+                        );
+                    }
+                    Slot::Histogram(_, h) => {
+                        let bounds =
+                            h.0.bounds
+                                .iter()
+                                .map(ToString::to_string)
+                                .collect::<Vec<_>>()
+                                .join(",");
+                        let buckets = h
+                            .bucket_counts()
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(",");
+                        let _ = write!(
+                            out,
+                            "{{\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"bounds\":[{bounds}],\"buckets\":[{buckets}]}}",
+                            h.count(),
+                            h.sum(),
+                            h.min(),
+                            h.max()
+                        );
+                    }
+                }
+            }
+            if !first {
+                out.push_str("\n  ");
+            }
+            out.push('}');
+        }
+        out.push_str(",\n  \"events\": [");
+        let events = relock(&self.0.events);
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"ts_secs\":{},\"kind\":\"{}\",\"name\":\"{}\",\"detail\":\"{}\"}}",
+                ev.ts_secs,
+                ev.kind.label(),
+                json_escape(&ev.name),
+                json_escape(&ev.detail)
+            );
+        }
+        if !events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaper (quotes, backslashes, control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_across_handles_and_clones() {
+        let reg = Registry::new();
+        let a = reg.counter("flock.test.hits", Tier::Data);
+        let b = reg.clone().counter("flock.test.hits", Tier::Data);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.counter_value("flock.test.hits"), Some(3));
+    }
+
+    #[test]
+    fn kind_mismatch_yields_detached_handle() {
+        let reg = Registry::new();
+        let c = reg.counter("flock.test.x", Tier::Data);
+        let g = reg.gauge("flock.test.x", Tier::Data);
+        g.set(99);
+        // The original counter is untouched and the registry still renders
+        // the first registration only.
+        assert_eq!(c.get(), 0);
+        assert_eq!(reg.metric_count(), 1);
+        assert!(reg.snapshot().contains("counter flock.test.x 0"));
+    }
+
+    #[test]
+    fn gauge_tracks_high_watermark() {
+        let g = Registry::new().gauge("flock.test.depth", Tier::Sched);
+        g.set(3);
+        g.set(9);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.high_watermark(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_and_aggregates() {
+        let h = Registry::new().histogram("flock.test.wait", Tier::Sched, &[10, 100]);
+        for v in [1, 10, 11, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1022);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1]); // ≤10, ≤100, +inf
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_min() {
+        let h = Registry::new().histogram("flock.test.empty", Tier::Data, &SECONDS_BOUNDS);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_data_tier_only_and_name_ordered() {
+        let reg = Registry::new();
+        reg.counter("flock.b.data", Tier::Data).add(2);
+        reg.counter("flock.a.data", Tier::Data).add(1);
+        reg.counter("flock.c.sched", Tier::Sched).add(7);
+        let snap = reg.snapshot();
+        assert_eq!(snap, "counter flock.a.data 1\ncounter flock.b.data 2\n");
+        let full = reg.export_text();
+        assert!(full.contains("counter flock.c.sched 7"));
+    }
+
+    #[test]
+    fn events_are_recorded_in_order_with_virtual_timestamps() {
+        let reg = Registry::new();
+        reg.phase_start(0, "discover");
+        reg.event(42, "retry", "rate limited, waiting 900s");
+        reg.phase_end(100, "discover");
+        assert_eq!(reg.event_count(), 3);
+        let text = reg.export_text();
+        assert!(text.contains("event ts=0 kind=phase_start name=discover"));
+        assert!(text.contains("event ts=42 kind=event name=retry"));
+        assert!(text.contains("event ts=100 kind=phase_end name=discover"));
+    }
+
+    #[test]
+    fn json_export_escapes_and_parses_shape() {
+        let reg = Registry::new();
+        reg.counter("flock.test.count", Tier::Data).inc();
+        reg.gauge("flock.test.depth", Tier::Sched).set(4);
+        reg.histogram("flock.test.wait", Tier::Sched, &[5])
+            .record(7);
+        reg.event(3, "note", "line1\nline2 \"quoted\"");
+        let json = reg.export_json();
+        assert!(json.contains("\"flock.test.count\": {\"kind\":\"counter\",\"value\":1}"));
+        assert!(json.contains("\"high\":4"));
+        assert!(json.contains("\"bounds\":[5],\"buckets\":[0,1]"));
+        assert!(json.contains("line1\\nline2 \\\"quoted\\\""));
+    }
+
+    #[test]
+    fn json_escape_handles_control_chars() {
+        assert_eq!(json_escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(json_escape("t\\q\""), "t\\\\q\\\"");
+    }
+
+    #[test]
+    fn concurrent_increments_from_many_threads_sum_exactly() {
+        let reg = Registry::new();
+        let c = reg.counter("flock.test.par", Tier::Data);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+}

@@ -1,25 +1,32 @@
 //! `repro` — regenerate any figure of the paper from a fresh simulation.
 //!
 //! ```text
-//! repro [--scale small|medium|paper] [--seed N] <artifact>...
+//! repro [--scale small|medium|paper] [--seed N] [--metrics PATH] <artifact>...
 //!
 //! artifacts: fig1 .. fig16, headline, all, experiments-md, retention,
 //!            dump-dataset[=path] (anonymized JSON release, §3.4), verify,
 //!            csv[=dir] (per-figure CSV export)
+//!
+//! --metrics PATH writes the pipeline's telemetry (counters, histograms,
+//! phase spans) after the crawl: JSON when PATH ends in `.json`, the text
+//! exposition format otherwise.
 //! ```
 
 use flock_fedisim::WorldConfig;
+use flock_obs::Registry;
 use flock_repro::{FigureId, MigrationStudy};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: repro [--scale small|medium|paper] [--seed N] <fig1..fig16|headline|all|experiments-md>..."
+    "usage: repro [--scale small|medium|paper] [--seed N] [--metrics PATH] \
+     <fig1..fig16|headline|all|experiments-md>..."
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = WorldConfig::medium();
     let mut artifacts: Vec<String> = Vec::new();
+    let mut metrics_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -47,6 +54,14 @@ fn main() -> ExitCode {
                 };
                 config.seed = v;
             }
+            "--metrics" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--metrics needs a path; {}", usage());
+                    return ExitCode::FAILURE;
+                };
+                metrics_path = Some(v.clone());
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -64,7 +79,8 @@ fn main() -> ExitCode {
         "[repro] generating world (seed {}, {} users, {} instances) and crawling…",
         config.seed, config.n_searchable_users, config.n_instances
     );
-    let study = match MigrationStudy::run(&config) {
+    let obs = Registry::new();
+    let study = match MigrationStudy::run_with_obs(&config, &obs) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("[repro] pipeline failed: {e}");
@@ -77,6 +93,22 @@ fn main() -> ExitCode {
         study.dataset.landing_instances().len(),
         study.dataset.stats.requests
     );
+    if let Some(path) = &metrics_path {
+        let body = if path.ends_with(".json") {
+            obs.export_json()
+        } else {
+            obs.export_text()
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("[repro] metrics write failed ({path}): {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[repro] wrote {} metrics and {} events to {path}",
+            obs.metric_count(),
+            obs.event_count()
+        );
+    }
 
     for a in &artifacts {
         match a.as_str() {

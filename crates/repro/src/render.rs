@@ -49,11 +49,11 @@ pub fn quantiles(label: &str, e: &Ecdf) -> String {
         "{:<28} n={:<6} p10={:<9.3} p25={:<9.3} p50={:<9.3} p75={:<9.3} p90={:<9.3} mean={:.3}",
         truncate(label, 28),
         e.len(),
-        e.quantile(0.10),
-        e.quantile(0.25),
-        e.quantile(0.50),
-        e.quantile(0.75),
-        e.quantile(0.90),
+        e.quantile(0.10).unwrap_or(f64::NAN),
+        e.quantile(0.25).unwrap_or(f64::NAN),
+        e.quantile(0.50).unwrap_or(f64::NAN),
+        e.quantile(0.75).unwrap_or(f64::NAN),
+        e.quantile(0.90).unwrap_or(f64::NAN),
         e.mean(),
     )
 }

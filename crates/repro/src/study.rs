@@ -8,6 +8,7 @@ use flock_core::{Day, Result};
 use flock_crawler::dataset::Dataset;
 use flock_crawler::pipeline::{Crawler, CrawlerConfig};
 use flock_fedisim::{World, WorldConfig};
+use flock_obs::Registry;
 use std::fmt::Write as _;
 use std::str::FromStr;
 use std::sync::Arc;
@@ -122,9 +123,17 @@ pub struct MigrationStudy {
 impl MigrationStudy {
     /// Generate the world, stand up the APIs, run the crawl.
     pub fn run(config: &WorldConfig) -> Result<MigrationStudy> {
+        Self::run_with_obs(config, &Registry::new())
+    }
+
+    /// [`MigrationStudy::run`], recording pipeline telemetry — migration
+    /// waves, per-endpoint-family API counters, crawl phase spans — into
+    /// `obs` along the way.
+    pub fn run_with_obs(config: &WorldConfig, obs: &Registry) -> Result<MigrationStudy> {
         let world = Arc::new(World::generate(config)?);
-        let api = ApiServer::with_defaults(world.clone());
-        let dataset = Crawler::new(&api, CrawlerConfig::default()).run()?;
+        flock_fedisim::emit_migration_telemetry(&world.accounts, obs);
+        let api = ApiServer::with_obs(world.clone(), flock_apis::ApiConfig::default(), obs.clone());
+        let dataset = Crawler::with_registry(&api, CrawlerConfig::default(), obs.clone()).run()?;
         Ok(MigrationStudy { world, dataset })
     }
 

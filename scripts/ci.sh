@@ -23,4 +23,12 @@ cargo test --workspace -q
 echo "==> cargo bench -p flock-bench -- --test (smoke)"
 cargo bench -p flock-bench -- --test
 
+echo "==> repro --metrics smoke"
+metrics_out="$(mktemp -t flock-metrics-XXXXXX.json)"
+trap 'rm -f "$metrics_out"' EXIT
+cargo run -q --release -p flock-repro -- \
+  --scale small --seed 1234 --metrics "$metrics_out" headline >/dev/null
+test -s "$metrics_out"
+grep -q '"flock.apis.search.granted"' "$metrics_out"
+
 echo "CI gate passed."

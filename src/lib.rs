@@ -10,7 +10,8 @@
 //! * [`apis`] — the simulated Twitter v2 / Mastodon REST endpoints;
 //! * [`crawler`] — the paper's data-collection pipeline (§3);
 //! * [`analysis`] — RQ1 / RQ2 / RQ3 analyses (§4–6);
-//! * [`repro`] — the per-figure regeneration harness.
+//! * [`repro`] — the per-figure regeneration harness;
+//! * [`obs`] — the deterministic metrics registry & span-event tracing.
 //!
 //! ## Quickstart
 //!
@@ -30,6 +31,7 @@ pub use flock_apis as apis;
 pub use flock_core as core;
 pub use flock_crawler as crawler;
 pub use flock_fedisim as fedisim;
+pub use flock_obs as obs;
 pub use flock_repro as repro;
 pub use flock_textsim as textsim;
 

@@ -96,6 +96,45 @@ fn worker_count_does_not_change_the_dataset() {
     );
 }
 
+/// Same contract for the telemetry layer: the data-tier metrics snapshot —
+/// granted API calls per endpoint family, items collected per phase — is a
+/// function of the seeded world, so workers=1 and workers=8 must render it
+/// byte for byte the same. (Scheduling-tier metrics — rate-limit
+/// rejections, retry waits, queue depths — are excluded from `snapshot()`
+/// by design: they legitimately vary with thread interleaving.)
+#[test]
+fn worker_count_does_not_change_the_metrics_snapshot() {
+    let world = Arc::new(World::generate(&WorldConfig::small().with_seed(1234)).unwrap());
+    let snap = |workers: usize| -> String {
+        let obs = flock::obs::Registry::new();
+        let api = ApiServer::with_obs(
+            world.clone(),
+            flock::apis::ApiConfig::default(),
+            obs.clone(),
+        );
+        let config = CrawlerConfig {
+            workers,
+            ..CrawlerConfig::default()
+        };
+        Crawler::with_registry(&api, config, obs.clone())
+            .run()
+            .unwrap();
+        obs.snapshot()
+    };
+    let serial = snap(1);
+    assert!(!serial.is_empty());
+    assert!(serial.contains("flock.apis.search.granted"), "{serial}");
+    assert!(
+        serial.contains("flock.crawler.discover.matched_users"),
+        "{serial}"
+    );
+    let parallel = snap(8);
+    assert_eq!(
+        serial, parallel,
+        "data-tier metrics differ between workers=1 and workers=8"
+    );
+}
+
 #[test]
 fn different_seeds_differ() {
     let a = run(1);

@@ -91,19 +91,17 @@ fn fig6_small_instances_attract_active_users() {
         .find(|b| b.n_users >= 5)
         .expect("no populated large bucket");
     assert!(small.len() >= 5, "small buckets too thin to compare");
-    let small_statuses = flock_analysis::Ecdf::new(small);
-    let small_followees = flock_analysis::Ecdf::new(small_followees);
+    let small_statuses = flock_analysis::Ecdf::new(small).median().unwrap();
+    let small_followees = flock_analysis::Ecdf::new(small_followees).median().unwrap();
+    let large_statuses = largest.statuses.median().unwrap();
+    let large_followees = largest.followees.median().unwrap();
     assert!(
-        small_statuses.median() > largest.statuses.median(),
-        "small-instance median statuses {} vs large-instance {}",
-        small_statuses.median(),
-        largest.statuses.median()
+        small_statuses > large_statuses,
+        "small-instance median statuses {small_statuses} vs large-instance {large_statuses}"
     );
     assert!(
-        small_followees.median() >= largest.followees.median(),
-        "small-instance median followees {} vs large-instance {}",
-        small_followees.median(),
-        largest.followees.median()
+        small_followees >= large_followees,
+        "small-instance median followees {small_followees} vs large-instance {large_followees}"
     );
 }
 

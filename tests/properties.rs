@@ -97,10 +97,15 @@ proptest! {
             prev = p;
         }
         prop_assert_eq!(e.eval(f64::INFINITY), 1.0);
-        // Quantiles are within the sample range and ordered.
-        prop_assert!(e.quantile(0.25) <= e.quantile(0.75));
-        prop_assert!(e.quantile(0.0) >= xs[0]);
-        prop_assert!(e.quantile(1.0) <= *xs.last().unwrap());
+        // Quantiles exist for non-empty samples, lie within the sample
+        // range, and are ordered.
+        let (q25, q75) = (e.quantile(0.25).unwrap(), e.quantile(0.75).unwrap());
+        prop_assert!(q25 <= q75);
+        prop_assert!(e.quantile(0.0).unwrap() >= xs[0]);
+        prop_assert!(e.quantile(1.0).unwrap() <= *xs.last().unwrap());
+        // Out-of-range probabilities are a caller error, not a panic.
+        prop_assert!(e.quantile(-0.5).is_none());
+        prop_assert!(e.quantile(1.5).is_none());
     }
 
     #[test]
@@ -171,7 +176,7 @@ proptest! {
         let mut cursor: Option<String> = None;
         loop {
             let offset = decode(&scope, cursor.as_deref()).unwrap();
-            let p = Page::slice(&data, &scope, offset, page);
+            let p = Page::slice(&data, &scope, offset, page).unwrap();
             seen.extend(p.items);
             match p.next {
                 Some(c) => cursor = Some(c),
