@@ -26,6 +26,7 @@ use crate::ratelimit::{RatePolicy, TokenBucket};
 use crate::types::{
     ActivityRow, MastodonAccountObject, StatusObject, TweetObject, TwitterUserObject,
 };
+use flock_chaos::{EndpointFamily, FaultPlan, KeyFaults, OutageStatus, ResolvedPlan};
 use flock_core::{
     Day, DetRng, FlockError, InstanceId, MastodonHandle, Result, TweetId, TwitterUserId,
 };
@@ -62,6 +63,25 @@ pub struct ApiConfig {
     pub users_policy: RatePolicy,
     pub follows_policy: RatePolicy,
     pub mastodon_policy: RatePolicy,
+    /// The chaos fault plan (defaults to [`FaultPlan::calm`]: no faults).
+    /// Resolved once at server construction; see `flock-chaos` for the
+    /// determinism contract.
+    pub chaos: FaultPlan,
+}
+
+impl ApiConfig {
+    /// Range-check every knob. The scalar `transient_error_rate` is a
+    /// probability and must be finite and in `[0, 1]`; the chaos plan
+    /// applies the same discipline to each of its own parameters.
+    pub fn validate(&self) -> Result<()> {
+        let rate = self.transient_error_rate;
+        if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+            return Err(FlockError::InvalidConfig(format!(
+                "transient_error_rate must be a finite probability in [0, 1], got {rate}"
+            )));
+        }
+        self.chaos.validate()
+    }
 }
 
 impl Default for ApiConfig {
@@ -78,6 +98,7 @@ impl Default for ApiConfig {
             users_policy: RatePolicy::twitter_users(),
             follows_policy: RatePolicy::twitter_follows(),
             mastodon_policy: RatePolicy::mastodon(),
+            chaos: FaultPlan::calm(),
         }
     }
 }
@@ -89,6 +110,10 @@ impl Default for ApiConfig {
 struct FamilyState {
     bucket: TokenBucket,
     fault_rng: DetRng,
+    /// Chaos faults already injected per logical request key. Only keys
+    /// the plan curses are ever inserted; the count saturates at the
+    /// key's budget, so the map stays proportional to cursed keys seen.
+    chaos_spent: HashMap<String, u32>,
 }
 
 impl FamilyState {
@@ -96,6 +121,7 @@ impl FamilyState {
         Mutex::new(FamilyState {
             bucket: TokenBucket::new(policy, 0),
             fault_rng: rng.fork(label),
+            chaos_spent: HashMap::new(),
         })
     }
 }
@@ -112,6 +138,16 @@ struct FamilyMetrics {
     rate_limited: Counter,
     faults: Counter,
     retry_after_secs: Histogram,
+    /// Chaos errors injected on this family. Per-key budgets are pure
+    /// functions of the plan and the crawler drains each cursed key's
+    /// budget exactly once, so the total is worker-count-independent.
+    chaos_injected_errors: Counter,
+    /// Chaos Retry-After storms injected (deterministic, like errors).
+    chaos_storms: Counter,
+    /// Pagination scopes whose cursor a chaos plan swallowed.
+    chaos_truncated_pages: Counter,
+    /// Extra injected latency (µs): wall-clock only, scheduling tier.
+    chaos_latency_micros: Counter,
 }
 
 impl FamilyMetrics {
@@ -125,6 +161,19 @@ impl FamilyMetrics {
                 Tier::Sched,
                 &SECONDS_BOUNDS,
             ),
+            chaos_injected_errors: obs.counter(
+                &format!("flock.apis.{family}.chaos.injected_errors"),
+                Tier::Data,
+            ),
+            chaos_storms: obs.counter(&format!("flock.apis.{family}.chaos.storms"), Tier::Data),
+            chaos_truncated_pages: obs.counter(
+                &format!("flock.apis.{family}.chaos.truncated_pages"),
+                Tier::Data,
+            ),
+            chaos_latency_micros: obs.counter(
+                &format!("flock.apis.{family}.chaos.latency_micros"),
+                Tier::Sched,
+            ),
         }
     }
 }
@@ -137,6 +186,10 @@ struct ApiMetrics {
     follows: FamilyMetrics,
     mastodon: FamilyMetrics,
     stale_cursors: Counter,
+    /// Requests rejected because the target instance sat inside a chaos
+    /// outage window. How many times a crawler knocks before the window
+    /// closes depends on scheduling, hence `Tier::Sched`.
+    chaos_outage_rejections: Counter,
 }
 
 impl ApiMetrics {
@@ -147,6 +200,17 @@ impl ApiMetrics {
             follows: FamilyMetrics::new(obs, "follows"),
             mastodon: FamilyMetrics::new(obs, "mastodon"),
             stale_cursors: obs.counter("flock.apis.pagination.stale_cursors", Tier::Data),
+            chaos_outage_rejections: obs
+                .counter("flock.apis.mastodon.chaos.outage_rejections", Tier::Sched),
+        }
+    }
+
+    fn family(&self, family: EndpointFamily) -> &FamilyMetrics {
+        match family {
+            EndpointFamily::Search => &self.search,
+            EndpointFamily::Users => &self.users,
+            EndpointFamily::Follows => &self.follows,
+            EndpointFamily::Mastodon => &self.mastodon,
         }
     }
 }
@@ -160,6 +224,10 @@ const MASTODON_SHARDS: usize = 16;
 struct MastodonShard {
     buckets: HashMap<InstanceId, TokenBucket>,
     fault_rng: DetRng,
+    /// Chaos faults already injected per logical request key (see
+    /// [`FamilyState::chaos_spent`]); instances hash to shards, so a
+    /// key's counter always lives under its instance's shard lock.
+    chaos_spent: HashMap<String, u32>,
 }
 
 /// The search index: per-token posting lists plus every tweet prepared for
@@ -258,17 +326,24 @@ pub struct ApiServer {
     mastodon: Vec<Mutex<MastodonShard>>,
     index: SearchIndex,
     metrics: ApiMetrics,
+    /// The chaos plan resolved against the world (immutable after build;
+    /// consulting it never takes a lock).
+    chaos: ResolvedPlan,
 }
 
 impl ApiServer {
     /// Build a server (constructs the search index; `O(total tokens)`).
-    pub fn new(world: Arc<World>, config: ApiConfig) -> Self {
+    /// Fails with [`FlockError::InvalidConfig`] when the config — notably
+    /// `transient_error_rate` or a chaos plan parameter — is out of range.
+    pub fn new(world: Arc<World>, config: ApiConfig) -> Result<Self> {
         ApiServer::with_obs(world, config, Registry::new())
     }
 
     /// Build a server whose per-family instrumentation records into `obs`
     /// (the plain constructors use a private registry nobody exports).
-    pub fn with_obs(world: Arc<World>, config: ApiConfig, obs: Registry) -> Self {
+    pub fn with_obs(world: Arc<World>, config: ApiConfig, obs: Registry) -> Result<Self> {
+        config.validate()?;
+        let chaos = config.chaos.resolve(&world.outage_candidates())?;
         let index = SearchIndex::build(&world);
         let metrics = ApiMetrics::new(&obs);
         let mut rng = DetRng::new(world.config.seed ^ 0xA91);
@@ -280,10 +355,11 @@ impl ApiServer {
                 Mutex::new(MastodonShard {
                     buckets: HashMap::new(),
                     fault_rng: rng.fork(&format!("mastodon-{i}")),
+                    chaos_spent: HashMap::new(),
                 })
             })
             .collect();
-        ApiServer {
+        Ok(ApiServer {
             world,
             config,
             clock: AtomicU64::new(0),
@@ -293,12 +369,20 @@ impl ApiServer {
             mastodon,
             index,
             metrics,
-        }
+            chaos,
+        })
     }
 
     /// Build with default config.
-    pub fn with_defaults(world: Arc<World>) -> Self {
+    pub fn with_defaults(world: Arc<World>) -> Result<Self> {
         ApiServer::new(world, ApiConfig::default())
+    }
+
+    /// Canonical description of the resolved chaos plan (byte-stable for
+    /// a given plan + seed + world; see the `flock-chaos` determinism
+    /// contract).
+    pub fn chaos_description(&self) -> String {
+        self.chaos.describe()
     }
 
     /// The world behind the server (tests / ground-truth comparisons only —
@@ -343,22 +427,61 @@ impl ApiServer {
     /// Fault-inject and rate-limit one request against an endpoint family,
     /// under that family's lock alone. A fault costs no token (the request
     /// never reached the bucket), matching the pre-sharding behaviour.
-    fn acquire(&self, which: Endpoint) -> Result<()> {
-        self.acquire_inner(which)?;
+    ///
+    /// `key` names the *logical request* (scope + cursor / batch digest):
+    /// per-key chaos budgets draw on it, so a cursed request fails the
+    /// same way no matter when or on which worker it runs.
+    fn acquire(&self, which: Endpoint, key: &str) -> Result<()> {
+        self.acquire_inner(which, key)?;
         // Simulated network time, spent with no lock held: concurrent
         // requests overlap their latency exactly as real HTTP calls would.
-        if self.config.request_latency_micros > 0 {
-            std::thread::sleep(std::time::Duration::from_micros(
-                self.config.request_latency_micros,
-            ));
+        let extra = self.chaos.extra_latency_micros(which.family(), self.now());
+        let latency = self.config.request_latency_micros + extra;
+        if latency > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(latency));
+        }
+        if extra > 0 {
+            self.metrics
+                .family(which.family())
+                .chaos_latency_micros
+                .add(extra);
         }
         Ok(())
     }
 
-    fn acquire_inner(&self, which: Endpoint) -> Result<()> {
+    fn acquire_inner(&self, which: Endpoint, key: &str) -> Result<()> {
         let clock = self.now();
         let rate = self.config.transient_error_rate;
-        let check = |bucket: &mut TokenBucket, rng: &mut DetRng| -> Result<()> {
+        let family = which.family();
+        // The per-key budget is a pure function of the plan — computed
+        // outside the family lock; only the spent counter lives inside.
+        let kf = if self.chaos.family_has_key_faults(family) {
+            self.chaos.key_faults(family, key)
+        } else {
+            KeyFaults::default()
+        };
+        let mut injected: Option<Injected> = None;
+        let mut check = |bucket: &mut TokenBucket,
+                         rng: &mut DetRng,
+                         spent: &mut HashMap<String, u32>|
+         -> Result<()> {
+            // Chaos injection comes first: while a key's budget lasts,
+            // neither the legacy fault coin nor the token bucket is ever
+            // consulted, so the injected sequence per key is independent
+            // of how attempts interleave with other traffic.
+            if kf.any() {
+                if let Some(kind) = chaos_inject(&kf, spent, key) {
+                    injected = Some(kind);
+                    return Err(match kind {
+                        Injected::Error => FlockError::DeliveryFailed(
+                            "chaos: injected transient error".to_string(),
+                        ),
+                        Injected::Storm => FlockError::RateLimited {
+                            retry_after_secs: kf.storm_retry_after_secs,
+                        },
+                    });
+                }
+            }
             if rate > 0.0 && rng.chance(rate) {
                 return Err(FlockError::InstanceUnavailable(
                     "transient upstream error".to_string(),
@@ -371,36 +494,47 @@ impl ApiServer {
         let result = match which {
             Endpoint::Search => {
                 let mut s = self.search.lock();
-                let FamilyState { bucket, fault_rng } = &mut *s;
-                check(bucket, fault_rng)
+                let FamilyState {
+                    bucket,
+                    fault_rng,
+                    chaos_spent,
+                } = &mut *s;
+                check(bucket, fault_rng, chaos_spent)
             }
             Endpoint::Users => {
                 let mut s = self.users.lock();
-                let FamilyState { bucket, fault_rng } = &mut *s;
-                check(bucket, fault_rng)
+                let FamilyState {
+                    bucket,
+                    fault_rng,
+                    chaos_spent,
+                } = &mut *s;
+                check(bucket, fault_rng, chaos_spent)
             }
             Endpoint::Follows => {
                 let mut s = self.follows.lock();
-                let FamilyState { bucket, fault_rng } = &mut *s;
-                check(bucket, fault_rng)
+                let FamilyState {
+                    bucket,
+                    fault_rng,
+                    chaos_spent,
+                } = &mut *s;
+                check(bucket, fault_rng, chaos_spent)
             }
             Endpoint::Mastodon(inst) => {
                 let mut shard = self.mastodon[Self::shard_of(inst)].lock();
-                let MastodonShard { buckets, fault_rng } = &mut *shard;
+                let MastodonShard {
+                    buckets,
+                    fault_rng,
+                    chaos_spent,
+                } = &mut *shard;
                 let policy = self.config.mastodon_policy;
                 let bucket = buckets
                     .entry(inst)
                     .or_insert_with(|| TokenBucket::new(policy, clock));
-                check(bucket, fault_rng)
+                check(bucket, fault_rng, chaos_spent)
             }
         };
         // Recorded after the family lock is released: handles are atomics.
-        let fam = match which {
-            Endpoint::Search => &self.metrics.search,
-            Endpoint::Users => &self.metrics.users,
-            Endpoint::Follows => &self.metrics.follows,
-            Endpoint::Mastodon(_) => &self.metrics.mastodon,
-        };
+        let fam = self.metrics.family(family);
         match &result {
             Ok(()) => fam.granted.inc(),
             Err(FlockError::RateLimited { retry_after_secs }) => {
@@ -409,7 +543,29 @@ impl ApiServer {
             }
             Err(_) => fam.faults.inc(),
         }
+        match injected {
+            Some(Injected::Error) => fam.chaos_injected_errors.inc(),
+            Some(Injected::Storm) => fam.chaos_storms.inc(),
+            None => {}
+        }
         result
+    }
+
+    /// Swallow the `next` cursor of a cursed pagination scope's first
+    /// page (the real API's occasional truncated result set). Applied
+    /// per endpoint because only the endpoint knows its family.
+    fn maybe_truncate(
+        &self,
+        family: EndpointFamily,
+        scope: &str,
+        offset: usize,
+        next: Option<String>,
+    ) -> Option<String> {
+        if offset == 0 && next.is_some() && self.chaos.truncates(family, scope) {
+            self.metrics.family(family).chaos_truncated_pages.inc();
+            return None;
+        }
+        next
     }
 
     /// Page through `all`, counting a stale cursor before surfacing it.
@@ -454,9 +610,9 @@ impl ApiServer {
         end: Day,
         cursor: Option<&str>,
     ) -> Result<Page<TweetObject>> {
-        self.acquire(Endpoint::Search)?;
-        let query = Query::parse(query_str)?;
         let scope = format!("search:{query_str}:{}:{}", start.offset(), end.offset());
+        self.acquire(Endpoint::Search, &request_key(&scope, cursor))?;
+        let query = Query::parse(query_str)?;
         let offset = decode(&scope, cursor)?;
 
         // Candidate set: smallest posting list among required tokens, or a
@@ -465,7 +621,7 @@ impl ApiServer {
         let page = self.page(&matches, &scope, offset, self.config.search_page_size)?;
         Ok(Page {
             items: page.items.iter().map(|&i| self.tweet_object(i)).collect(),
-            next: page.next,
+            next: self.maybe_truncate(EndpointFamily::Search, &scope, offset, page.next),
         })
     }
 
@@ -572,7 +728,7 @@ impl ApiServer {
         &self,
         ids: &[TwitterUserId],
     ) -> Result<Vec<TwitterUserObject>> {
-        self.acquire(Endpoint::Search)?;
+        self.acquire(Endpoint::Search, &ids_key("expansion", ids))?;
         if ids.len() > 100 {
             return Err(FlockError::InvalidQuery(format!(
                 "at most 100 ids per expansion, got {}",
@@ -600,7 +756,7 @@ impl ApiServer {
 
     /// Batch user lookup (max 100 ids per request, like the real API).
     pub fn twitter_users_lookup(&self, ids: &[TwitterUserId]) -> Result<Vec<TwitterUserObject>> {
-        self.acquire(Endpoint::Users)?;
+        self.acquire(Endpoint::Users, &ids_key("lookup", ids))?;
         if ids.len() > 100 {
             return Err(FlockError::InvalidQuery(format!(
                 "at most 100 ids per lookup, got {}",
@@ -637,7 +793,9 @@ impl ApiServer {
         end: Day,
         cursor: Option<&str>,
     ) -> Result<Page<TweetObject>> {
-        self.acquire(Endpoint::Search)?; // timelines share the search family
+        let scope = format!("timeline:{user}:{}:{}", start.offset(), end.offset());
+        // Timelines share the search family.
+        self.acquire(Endpoint::Search, &request_key(&scope, cursor))?;
         let u = self
             .world
             .user(user)
@@ -656,7 +814,6 @@ impl ApiServer {
             }
             AccountFate::Active => {}
         }
-        let scope = format!("timeline:{user}:{}:{}", start.offset(), end.offset());
         let offset = decode(&scope, cursor)?;
         let ids: Vec<TweetId> = self
             .world
@@ -675,7 +832,7 @@ impl ApiServer {
                 .iter()
                 .map(|tid| self.tweet_object(tid.raw() as u32))
                 .collect(),
-            next: page.next,
+            next: self.maybe_truncate(EndpointFamily::Search, &scope, offset, page.next),
         })
     }
 
@@ -685,7 +842,8 @@ impl ApiServer {
         user: TwitterUserId,
         cursor: Option<&str>,
     ) -> Result<Page<TwitterUserId>> {
-        self.acquire(Endpoint::Follows)?;
+        let scope = format!("following:{user}");
+        self.acquire(Endpoint::Follows, &request_key(&scope, cursor))?;
         let u = self
             .world
             .user(user)
@@ -706,9 +864,12 @@ impl ApiServer {
             .account_of_user(user)
             .map(|a| self.world.twitter_followees[a.id.index()].as_slice())
             .unwrap_or(&[]);
-        let scope = format!("following:{user}");
         let offset = decode(&scope, cursor)?;
-        self.page(list, &scope, offset, self.config.follows_page_size)
+        let page = self.page(list, &scope, offset, self.config.follows_page_size)?;
+        Ok(Page {
+            items: page.items,
+            next: self.maybe_truncate(EndpointFamily::Follows, &scope, offset, page.next),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -723,6 +884,22 @@ impl ApiServer {
         if inst.down_at_crawl {
             return Err(FlockError::InstanceUnavailable(domain.to_string()));
         }
+        // Chaos outage windows: a permanent window answers exactly like a
+        // dead instance; a finite one reports its reopening deadline so
+        // callers can wait it out deterministically.
+        match self.chaos.outage(domain, self.now()) {
+            OutageStatus::Up => {}
+            OutageStatus::Permanent => {
+                self.metrics.chaos_outage_rejections.inc();
+                return Err(FlockError::InstanceUnavailable(domain.to_string()));
+            }
+            OutageStatus::Until { end_secs } => {
+                self.metrics.chaos_outage_rejections.inc();
+                return Err(FlockError::InstanceOutage {
+                    retry_after_secs: end_secs.saturating_sub(self.now()).max(1),
+                });
+            }
+        }
         Ok(inst.id)
     }
 
@@ -733,7 +910,7 @@ impl ApiServer {
         handle: &MastodonHandle,
     ) -> Result<MastodonAccountObject> {
         let inst = self.instance_checked(handle.instance())?;
-        self.acquire(Endpoint::Mastodon(inst))?;
+        self.acquire(Endpoint::Mastodon(inst), &format!("lookup:{handle}"))?;
         let account = self
             .world
             .account_by_handle(handle)
@@ -800,13 +977,13 @@ impl ApiServer {
         cursor: Option<&str>,
     ) -> Result<Page<StatusObject>> {
         let inst = self.instance_checked(handle.instance())?;
-        self.acquire(Endpoint::Mastodon(inst))?;
+        let scope = format!("statuses:{handle}");
+        self.acquire(Endpoint::Mastodon(inst), &request_key(&scope, cursor))?;
         let account = self
             .world
             .account_by_handle(handle)
             .ok_or_else(|| FlockError::NotFound(handle.to_string()))?;
         let ids = self.visible_statuses(account, handle);
-        let scope = format!("statuses:{handle}");
         let offset = decode(&scope, cursor)?;
         let page = self.page(&ids, &scope, offset, self.config.statuses_page_size)?;
         Ok(Page {
@@ -822,7 +999,7 @@ impl ApiServer {
                     }
                 })
                 .collect(),
-            next: page.next,
+            next: self.maybe_truncate(EndpointFamily::Mastodon, &scope, offset, page.next),
         })
     }
 
@@ -833,7 +1010,8 @@ impl ApiServer {
         cursor: Option<&str>,
     ) -> Result<Page<MastodonHandle>> {
         let inst = self.instance_checked(handle.instance())?;
-        self.acquire(Endpoint::Mastodon(inst))?;
+        let scope = format!("following:{handle}");
+        self.acquire(Endpoint::Mastodon(inst), &request_key(&scope, cursor))?;
         let account = self
             .world
             .account_by_handle(handle)
@@ -848,16 +1026,19 @@ impl ApiServer {
                     .map(|a| MastodonHandle::new(&a.name, &a.domain))
                     .collect::<Result<_>>()?
             };
-        let scope = format!("following:{handle}");
         let offset = decode(&scope, cursor)?;
-        self.page(&handles, &scope, offset, self.config.following_page_size)
+        let page = self.page(&handles, &scope, offset, self.config.following_page_size)?;
+        Ok(Page {
+            items: page.items,
+            next: self.maybe_truncate(EndpointFamily::Mastodon, &scope, offset, page.next),
+        })
     }
 
     /// Public instance metadata (`/api/v1/instance`): registered users and
     /// statuses including the untracked background population.
     pub fn mastodon_instance_info(&self, domain: &str) -> Result<crate::types::InstanceInfoObject> {
         let inst = self.instance_checked(domain)?;
-        self.acquire(Endpoint::Mastodon(inst))?;
+        self.acquire(Endpoint::Mastodon(inst), &format!("instance-info:{domain}"))?;
         let weeks = self
             .world
             .ledger
@@ -879,7 +1060,7 @@ impl ApiServer {
     /// Weekly activity (`/api/v1/instance/activity`): the last 12 weeks.
     pub fn mastodon_instance_activity(&self, domain: &str) -> Result<Vec<ActivityRow>> {
         let inst = self.instance_checked(domain)?;
-        self.acquire(Endpoint::Mastodon(inst))?;
+        self.acquire(Endpoint::Mastodon(inst), &format!("activity:{domain}"))?;
         let weeks = self
             .world
             .ledger
@@ -908,6 +1089,58 @@ enum Endpoint {
     Users,
     Follows,
     Mastodon(InstanceId),
+}
+
+impl Endpoint {
+    fn family(self) -> EndpointFamily {
+        match self {
+            Endpoint::Search => EndpointFamily::Search,
+            Endpoint::Users => EndpointFamily::Users,
+            Endpoint::Follows => EndpointFamily::Follows,
+            Endpoint::Mastodon(_) => EndpointFamily::Mastodon,
+        }
+    }
+}
+
+/// Which kind of chaos fault an attempt drew (for metric attribution).
+#[derive(Debug, Clone, Copy)]
+enum Injected {
+    Error,
+    Storm,
+}
+
+/// Spend one unit of a cursed key's fault budget, errors before storms.
+/// Returns `None` once the budget is drained — from then on the key
+/// behaves normally forever, which is what makes a finite budget yield
+/// `min(budget, attempts)` injections regardless of scheduling.
+fn chaos_inject(kf: &KeyFaults, spent: &mut HashMap<String, u32>, key: &str) -> Option<Injected> {
+    let total = kf.errors + kf.storms;
+    let n = spent.entry(key.to_string()).or_insert(0);
+    if *n >= total {
+        return None;
+    }
+    *n += 1;
+    if *n <= kf.errors {
+        Some(Injected::Error)
+    } else {
+        Some(Injected::Storm)
+    }
+}
+
+/// Digest of a batch-id request for per-key chaos draws: first id, last
+/// id, and length pin the batch without hashing every element.
+fn ids_key(prefix: &str, ids: &[TwitterUserId]) -> String {
+    match (ids.first(), ids.last()) {
+        (Some(first), Some(last)) => format!("{prefix}:{first}:{last}:{}", ids.len()),
+        _ => format!("{prefix}:empty"),
+    }
+}
+
+/// The logical request key of a paginated call: its scope plus the page
+/// cursor. Cursors are themselves deterministic (encode(scope, offset)),
+/// so the key names the same page in every schedule.
+fn request_key(scope: &str, cursor: Option<&str>) -> String {
+    format!("{scope}#{}", cursor.unwrap_or(""))
 }
 
 /// Reserved index-key prefix for URL hosts (`\0` cannot occur in a token).
@@ -983,7 +1216,7 @@ mod tests {
 
     fn server() -> ApiServer {
         let world = Arc::new(World::generate(&WorldConfig::small().with_seed(123)).unwrap());
-        ApiServer::with_defaults(world)
+        ApiServer::with_defaults(world).unwrap()
     }
 
     fn drain_search(api: &ApiServer, q: &str) -> Vec<TweetObject> {
@@ -1059,7 +1292,7 @@ mod tests {
             },
             ..ApiConfig::default()
         };
-        let api = ApiServer::new(world.clone(), config);
+        let api = ApiServer::new(world.clone(), config).unwrap();
         let migrant = world.users[world.migrant_users[0]].id;
         let mut limited = false;
         for _ in 0..5 {
@@ -1212,7 +1445,7 @@ mod tests {
             transient_error_rate: 0.5,
             ..ApiConfig::default()
         };
-        let api = ApiServer::new(world, config);
+        let api = ApiServer::new(world, config).unwrap();
         let mut failures = 0;
         for _ in 0..50 {
             if api.instances_social_list().is_empty() {
@@ -1259,7 +1492,7 @@ mod tests {
     fn stale_cursor_is_a_typed_error_and_counted() {
         let obs = Registry::new();
         let world = Arc::new(World::generate(&WorldConfig::small().with_seed(123)).unwrap());
-        let api = ApiServer::with_obs(world.clone(), ApiConfig::default(), obs.clone());
+        let api = ApiServer::with_obs(world.clone(), ApiConfig::default(), obs.clone()).unwrap();
         let migrant = world.users[world.migrant_users[0]].id;
         // Forge a well-formed cursor pointing far past the end of the
         // followee list — the shape a crawler sees when the dataset shrank
@@ -1287,7 +1520,7 @@ mod tests {
             },
             ..ApiConfig::default()
         };
-        let api = ApiServer::with_obs(world, config, obs.clone());
+        let api = ApiServer::with_obs(world, config, obs.clone()).unwrap();
         for _ in 0..4 {
             let _ = api.twitter_search("mastodon", Day(25), Day(51), None);
         }
@@ -1379,7 +1612,7 @@ mod intersection_tests {
     fn phrase_candidates_shrink_with_term_stats() {
         use flock_fedisim::WorldConfig;
         let world = Arc::new(World::generate(&WorldConfig::small().with_seed(321)).unwrap());
-        let api = ApiServer::with_defaults(world);
+        let api = ApiServer::with_defaults(world).unwrap();
         let q = Query::parse("\"bye bye twitter\"").unwrap();
         let chosen = q.required_tokens(&api.index);
         assert_eq!(chosen.len(), 1);
@@ -1418,7 +1651,7 @@ mod index_differential_tests {
     #[test]
     fn index_matches_brute_force_scan() {
         let world = Arc::new(World::generate(&WorldConfig::small().with_seed(888)).unwrap());
-        let api = ApiServer::with_defaults(world.clone());
+        let api = ApiServer::with_defaults(world.clone()).unwrap();
         let mut queries: Vec<String> = vec![
             "mastodon".into(),
             "\"bye bye twitter\"".into(),
@@ -1503,7 +1736,7 @@ mod instance_info_tests {
     #[test]
     fn instance_info_reports_public_counts() {
         let world = Arc::new(World::generate(&WorldConfig::small().with_seed(777)).unwrap());
-        let api = ApiServer::with_defaults(world.clone());
+        let api = ApiServer::with_defaults(world.clone()).unwrap();
         let info = api.mastodon_instance_info("mastodon.social").unwrap();
         assert_eq!(info.domain, "mastodon.social");
         // The public count includes the untracked background wave, so it

@@ -147,7 +147,7 @@ fn server_families_never_over_issue_under_contention() {
         },
         ..ApiConfig::default()
     };
-    let api = Arc::new(ApiServer::new(world.clone(), config));
+    let api = Arc::new(ApiServer::new(world.clone(), config).unwrap());
     let ids: Vec<_> = world.users.iter().take(10).map(|u| u.id).collect();
     let ok = Arc::new(AtomicU64::new(0));
     let limited = Arc::new(AtomicU64::new(0));
@@ -192,7 +192,7 @@ fn families_do_not_interfere() {
         },
         ..ApiConfig::default()
     };
-    let api = ApiServer::new(world.clone(), config);
+    let api = ApiServer::new(world.clone(), config).unwrap();
     let day = flock_core::Day::COLLECTION_START;
     let end = flock_core::Day::COLLECTION_END;
     api.twitter_search("mastodon", day, end, None).unwrap();

@@ -23,11 +23,11 @@ fn bench_api_server(c: &mut Criterion) {
     let mut group = c.benchmark_group("api");
     group.sample_size(10);
     group.bench_function("build_search_index", |b| {
-        b.iter(|| black_box(ApiServer::with_defaults(world.clone())))
+        b.iter(|| black_box(ApiServer::with_defaults(world.clone()).unwrap()))
     });
     group.finish();
 
-    let api = ApiServer::with_defaults(world);
+    let api = ApiServer::with_defaults(world).unwrap();
     let mut group = c.benchmark_group("api_requests");
     group.bench_function("search_keyword", |b| {
         b.iter(|| {
@@ -79,7 +79,7 @@ fn bench_full_crawl(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("full_study_small", |b| {
         b.iter(|| {
-            let api = ApiServer::with_defaults(world.clone());
+            let api = ApiServer::with_defaults(world.clone()).unwrap();
             black_box(crawl(&api).unwrap())
         })
     });

@@ -133,7 +133,8 @@ fn bench_crawl(
                         request_latency_micros: latency_micros,
                         ..ApiConfig::default()
                     },
-                );
+                )
+                .expect("valid bench config");
                 let crawler = Crawler::new(
                     &api,
                     CrawlerConfig {
@@ -144,7 +145,7 @@ fn bench_crawl(
                 let base = crawler.discover().expect("discover");
                 let mut ds = base.clone();
                 let t = Instant::now();
-                crawler.expand(&mut ds);
+                crawler.expand(&mut ds).expect("expand");
                 best = best.min(t.elapsed().as_secs_f64());
                 std::hint::black_box(ds.twitter_timelines.len());
             }
@@ -163,7 +164,7 @@ fn main() {
 
     let config = WorldConfig::small().with_seed(1234);
     let world = Arc::new(World::generate(&config).expect("world"));
-    let api = ApiServer::with_defaults(world.clone());
+    let api = ApiServer::with_defaults(world.clone()).unwrap();
 
     let search = if smoke {
         bench_search(&api, 1, 1)
@@ -206,7 +207,7 @@ fn main() {
     }
     // One instrumented crawl for the embedded telemetry snapshot.
     let obs = Registry::new();
-    let api = ApiServer::with_obs(world.clone(), ApiConfig::default(), obs.clone());
+    let api = ApiServer::with_obs(world.clone(), ApiConfig::default(), obs.clone()).unwrap();
     Crawler::with_registry(&api, CrawlerConfig::default(), obs.clone())
         .run()
         .expect("instrumented crawl");

@@ -32,7 +32,8 @@ pub fn bench_world() -> &'static Arc<World> {
 pub fn bench_dataset() -> &'static Dataset {
     static CELL: OnceLock<Dataset> = OnceLock::new();
     CELL.get_or_init(|| {
-        let api = ApiServer::with_defaults(bench_world().clone());
+        // flock-lint: allow(panic) benches have no error channel; a broken server config must abort
+        let api = ApiServer::with_defaults(bench_world().clone()).expect("valid default config");
         // flock-lint: allow(panic) benches have no error channel; a failed warm-up crawl must abort
         crawl(&api).expect("crawl")
     })

@@ -26,6 +26,11 @@ pub enum FlockError {
     RateLimited { retry_after_secs: u64 },
     /// The remote instance is down / unreachable at the moment.
     InstanceUnavailable(String),
+    /// The remote instance is inside a scheduled outage window and will
+    /// come back after the given number of virtual-time seconds. Unlike
+    /// [`FlockError::InstanceUnavailable`] the deadline is known, so a
+    /// caller can wait it out deterministically (like a rate limit).
+    InstanceOutage { retry_after_secs: u64 },
     /// An opaque pagination cursor was malformed or expired.
     BadCursor(String),
     /// A well-formed pagination cursor points past the end of a dataset
@@ -41,6 +46,9 @@ pub enum FlockError {
     RetryBudgetExhausted { waited_secs: u64 },
     /// A persisted artifact (CSV / JSON) failed strict parsing.
     MalformedRecord(String),
+    /// The crawl was interrupted (kill switch / shutdown request) and
+    /// should be resumed from its checkpoint. Never retryable.
+    Interrupted,
 }
 
 impl fmt::Display for FlockError {
@@ -54,6 +62,9 @@ impl fmt::Display for FlockError {
                 write!(f, "rate limited; retry after {retry_after_secs}s")
             }
             FlockError::InstanceUnavailable(s) => write!(f, "instance unavailable: {s}"),
+            FlockError::InstanceOutage { retry_after_secs } => {
+                write!(f, "instance in outage window; back in {retry_after_secs}s")
+            }
             FlockError::BadCursor(s) => write!(f, "bad pagination cursor: {s}"),
             FlockError::StaleCursor(s) => write!(f, "stale pagination cursor: {s}"),
             FlockError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
@@ -65,6 +76,7 @@ impl fmt::Display for FlockError {
                 )
             }
             FlockError::MalformedRecord(s) => write!(f, "malformed record: {s}"),
+            FlockError::Interrupted => write!(f, "crawl interrupted; resume from checkpoint"),
         }
     }
 }
@@ -79,6 +91,7 @@ impl FlockError {
             self,
             FlockError::RateLimited { .. }
                 | FlockError::InstanceUnavailable(_)
+                | FlockError::InstanceOutage { .. }
                 | FlockError::DeliveryFailed(_)
         )
     }
@@ -106,6 +119,11 @@ mod tests {
         }
         .is_retryable());
         assert!(FlockError::InstanceUnavailable("x".into()).is_retryable());
+        assert!(FlockError::InstanceOutage {
+            retry_after_secs: 60
+        }
+        .is_retryable());
+        assert!(!FlockError::Interrupted.is_retryable());
         assert!(!FlockError::NotFound("x".into()).is_retryable());
         assert!(!FlockError::Forbidden("x".into()).is_retryable());
         assert!(!FlockError::InvalidQuery("x".into()).is_retryable());
@@ -127,5 +145,11 @@ mod tests {
         assert!(FlockError::MalformedRecord("row 3".into())
             .to_string()
             .contains("row 3"));
+        assert!(FlockError::InstanceOutage {
+            retry_after_secs: 3600
+        }
+        .to_string()
+        .contains("3600"));
+        assert!(FlockError::Interrupted.to_string().contains("checkpoint"));
     }
 }

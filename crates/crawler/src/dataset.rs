@@ -82,6 +82,9 @@ pub enum TwitterCrawlOutcome {
     Suspended,
     Deleted,
     Protected,
+    /// Transient retries exhausted (fault injection / chaos): the account
+    /// may exist, but the crawler could not retrieve its timeline.
+    Unreachable,
 }
 
 /// Why a Mastodon timeline crawl yielded nothing.
@@ -92,6 +95,67 @@ pub enum MastodonCrawlOutcome {
     NoStatuses,
     /// The instance was unreachable at crawl time (paper: 11.58%).
     InstanceDown,
+    /// Transient retries exhausted (fault injection / chaos): the instance
+    /// answered, but the timeline could not be retrieved.
+    Unreachable,
+}
+
+/// One piece of work the crawler gave up on after exhausting its retries —
+/// the graceful-degradation record chaos scenarios leave behind.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkippedItem {
+    /// Pipeline phase that skipped the item (e.g. `expand.followees`).
+    pub phase: String,
+    /// What was skipped, human-readable and stable for a given seed.
+    pub item: String,
+    /// The error that exhausted the retries.
+    pub reason: String,
+}
+
+/// Everything the crawl skipped and why. Entries are recorded in phase
+/// order and, within a phase, in the phase's deterministic work order, so
+/// the report is byte-identical across worker counts for a given seed and
+/// fault plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    pub skipped: Vec<SkippedItem>,
+}
+
+impl CoverageReport {
+    /// Record one skipped item.
+    pub fn record(&mut self, phase: &str, item: impl Into<String>, reason: impl std::fmt::Display) {
+        self.skipped.push(SkippedItem {
+            phase: phase.to_string(),
+            item: item.into(),
+            reason: reason.to_string(),
+        });
+    }
+
+    /// Number of skipped items.
+    pub fn len(&self) -> usize {
+        self.skipped.len()
+    }
+
+    /// True when nothing was skipped.
+    pub fn is_empty(&self) -> bool {
+        self.skipped.is_empty()
+    }
+
+    /// Per-phase skip counts, one `phase: n` line each, phase order.
+    pub fn summary(&self) -> String {
+        let mut counts: Vec<(&str, usize)> = Vec::new();
+        for s in &self.skipped {
+            match counts.iter_mut().find(|(p, _)| *p == s.phase) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((&s.phase, 1)),
+            }
+        }
+        counts
+            .iter()
+            .map(|(p, n)| format!("{p}: {n}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
 }
 
 /// A crawled tweet in a user's timeline (the §3.2 corpus).
@@ -161,6 +225,11 @@ pub struct Dataset {
     /// what instances.social reported for the landing instances).
     #[serde(default)]
     pub instance_info: BTreeMap<String, InstanceInfoObject>,
+    /// What the crawl skipped after exhausting retries, and why — the
+    /// degradation record a chaos scenario leaves behind. Empty on a
+    /// fault-free crawl of fully-crawlable users.
+    #[serde(default)]
+    pub coverage: CoverageReport,
     /// Crawl accounting.
     pub stats: CrawlStats,
 }

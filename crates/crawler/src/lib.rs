@@ -17,11 +17,12 @@
 //! use std::sync::Arc;
 //!
 //! let world = Arc::new(World::generate(&WorldConfig::small()).unwrap());
-//! let api = ApiServer::with_defaults(world);
+//! let api = ApiServer::with_defaults(world).unwrap();
 //! let dataset = crawl(&api).unwrap();
 //! println!("identified {} migrants", dataset.matched.len());
 //! ```
 
+pub mod checkpoint;
 pub mod csv;
 pub mod dataset;
 pub mod persist;
@@ -29,12 +30,14 @@ pub mod pipeline;
 pub mod worker_pool;
 
 pub mod prelude {
+    pub use crate::checkpoint::Checkpoint;
     pub use crate::csv::{tweets_from_csv, tweets_to_csv};
     pub use crate::dataset::{
-        CollectedTweet, CrawlStats, Dataset, FolloweeRecord, MastodonCrawlOutcome, MatchSource,
-        MatchedUser, QueryKind, TimelineStatus, TimelineTweet, TwitterCrawlOutcome,
+        CollectedTweet, CoverageReport, CrawlStats, Dataset, FolloweeRecord, MastodonCrawlOutcome,
+        MatchSource, MatchedUser, QueryKind, SkippedItem, TimelineStatus, TimelineTweet,
+        TwitterCrawlOutcome,
     };
-    pub use crate::pipeline::{crawl, migration_queries, Crawler, CrawlerConfig};
+    pub use crate::pipeline::{crawl, migration_queries, Crawler, CrawlerConfig, PHASES};
 }
 
 pub use prelude::*;

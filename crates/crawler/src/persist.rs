@@ -156,6 +156,8 @@ impl Dataset {
             followees,
             weekly_activity: self.weekly_activity.clone(),
             instance_info: self.instance_info.clone(),
+            // Skip reasons name queries and domains, never usernames.
+            coverage: self.coverage.clone(),
             stats: self.stats,
         })
     }

@@ -20,6 +20,7 @@
 //! (the crawler's "sleep"); transient errors are retried with backoff; the
 //! Mastodon crawl fans out over worker threads via `crossbeam`.
 
+use crate::checkpoint::Checkpoint;
 use crate::dataset::{
     CollectedTweet, CrawlStats, Dataset, FolloweeRecord, MastodonCrawlOutcome, MatchSource,
     MatchedUser, QueryKind, TimelineStatus, TimelineTweet, TwitterCrawlOutcome,
@@ -31,6 +32,8 @@ use flock_core::handle::extract_handles;
 use flock_core::{Day, DetRng, FlockError, MastodonHandle, Result, TweetId, TwitterUserId};
 use flock_obs::{Counter, Gauge, Histogram, Registry, Tier, SECONDS_BOUNDS};
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Crawl tuning.
 #[derive(Debug, Clone)]
@@ -58,6 +61,11 @@ pub struct CrawlerConfig {
     /// healthy policy produces, small enough that a zero-refill or
     /// misconfigured bucket fails fast instead of livelocking the crawl.
     pub max_rate_limit_wait_secs: u64,
+    /// Fault-injection hook for checkpoint/resume tests: after this many
+    /// logical requests the crawler stops cold with
+    /// [`FlockError::Interrupted`], simulating a mid-crawl kill. `None`
+    /// (the default) never interrupts.
+    pub abort_after_requests: Option<u64>,
 }
 
 impl Default for CrawlerConfig {
@@ -70,9 +78,22 @@ impl Default for CrawlerConfig {
             seed: 0xC4A41,
             include_switchers: true,
             max_rate_limit_wait_secs: 604_800,
+            abort_after_requests: None,
         }
     }
 }
+
+/// The six pipeline phases in execution order — the names double as the
+/// telemetry span names and as the checkpoint granularity of
+/// [`Crawler::run_resumable`].
+pub const PHASES: [&str; 6] = [
+    "discover.collect_tweets",
+    "discover.match_users",
+    "expand.twitter_timelines",
+    "expand.mastodon_timelines",
+    "expand.followees",
+    "expand.weekly_activity",
+];
 
 /// The §3.1 keyword and hashtag queries, verbatim from the paper.
 pub fn migration_queries() -> Vec<(String, QueryKind)> {
@@ -104,6 +125,7 @@ pub fn migration_queries() -> Vec<(String, QueryKind)> {
 struct CrawlerMetrics {
     attempts: Counter,
     rate_limited: Counter,
+    outage_waits: Counter,
     transient_failures: Counter,
     retry_wait_secs: Histogram,
     budget_exhausted: Counter,
@@ -114,6 +136,7 @@ struct CrawlerMetrics {
     mastodon_timelines: Counter,
     followee_records: Counter,
     weekly_instances: Counter,
+    coverage_skipped: Counter,
 }
 
 impl CrawlerMetrics {
@@ -123,6 +146,7 @@ impl CrawlerMetrics {
         CrawlerMetrics {
             attempts: sched("flock.crawler.requests.attempts"),
             rate_limited: sched("flock.crawler.requests.rate_limited"),
+            outage_waits: sched("flock.crawler.requests.outage_waits"),
             transient_failures: sched("flock.crawler.requests.transient_failures"),
             retry_wait_secs: obs.histogram(
                 "flock.crawler.retry.wait_secs",
@@ -137,6 +161,7 @@ impl CrawlerMetrics {
             mastodon_timelines: data("flock.crawler.expand.mastodon_timelines"),
             followee_records: data("flock.crawler.expand.followee_records"),
             weekly_instances: data("flock.crawler.expand.weekly_instances"),
+            coverage_skipped: data("flock.crawler.coverage.skipped"),
         }
     }
 }
@@ -147,6 +172,8 @@ pub struct Crawler<'a> {
     config: CrawlerConfig,
     obs: Registry,
     m: CrawlerMetrics,
+    /// Logical requests issued so far, for `abort_after_requests`.
+    requests_made: AtomicU64,
 }
 
 impl<'a> Crawler<'a> {
@@ -166,6 +193,7 @@ impl<'a> Crawler<'a> {
             config,
             obs,
             m,
+            requests_made: AtomicU64::new(0),
         }
     }
 
@@ -178,38 +206,61 @@ impl<'a> Crawler<'a> {
     pub fn run(&self) -> Result<Dataset> {
         let start_virtual = self.api.now();
         self.obs.phase_start(start_virtual, "crawl");
-        let mut ds = self.discover()?;
-        self.expand(&mut ds);
-        ds.stats = CrawlStats {
-            requests: self.m.attempts.get(),
-            rate_limited: self.m.rate_limited.get(),
-            transient_failures: self.m.transient_failures.get(),
-            virtual_secs: self.api.now() - start_virtual,
-        };
-        self.obs.phase_end(self.api.now(), "crawl");
+        let mut ds = self.base_dataset();
+        for name in PHASES {
+            self.run_phase(name, &mut ds)?;
+        }
+        self.finish(&mut ds, start_virtual);
         Ok(ds)
     }
 
-    /// The §3.1 discovery phase: tweet collection and hierarchical handle
+    /// [`Crawler::run`] with phase-level checkpointing: after every
+    /// completed phase the dataset-so-far is persisted to
+    /// `checkpoint_path`, and a crawl that starts with a checkpoint on
+    /// disk skips the phases it records. A crawl killed mid-phase (e.g.
+    /// via [`CrawlerConfig::abort_after_requests`], or a real crash)
+    /// re-runs that phase from scratch on resume — against a **fresh**
+    /// [`ApiServer`], since per-key fault state lives in the server — and
+    /// converges to the dataset an uninterrupted run produces.
+    ///
+    /// The checkpoint is deliberately left on disk after a successful
+    /// run; callers own its lifecycle.
+    pub fn run_resumable(&self, checkpoint_path: &Path) -> Result<Dataset> {
+        let start_virtual = self.api.now();
+        self.obs.phase_start(start_virtual, "crawl");
+        let (mut ds, mut completed) = match Checkpoint::load_if_exists(checkpoint_path)? {
+            Some(cp) => {
+                // Waits already paid before the kill stay paid.
+                self.api.advance_clock_to(cp.clock_secs);
+                (cp.dataset, cp.completed)
+            }
+            None => (self.base_dataset(), Vec::new()),
+        };
+        for name in PHASES {
+            if completed.iter().any(|p| p == name) {
+                continue;
+            }
+            self.run_phase(name, &mut ds)?;
+            completed.push(name.to_string());
+            Checkpoint {
+                completed: completed.clone(),
+                clock_secs: self.api.now(),
+                dataset: ds.clone(),
+            }
+            .save(checkpoint_path)?;
+        }
+        self.finish(&mut ds, start_virtual);
+        Ok(ds)
+    }
+
+    /// The §3.1 discovery phases: tweet collection and hierarchical handle
     /// matching. Serial by nature — every query deduplicates against the
     /// tweets all earlier queries collected.
     pub fn discover(&self) -> Result<Dataset> {
-        let mut ds = Dataset {
-            instance_list: self.api.instances_social_list(),
-            ..Dataset::default()
-        };
-        self.obs
-            .phase_start(self.api.now(), "discover.collect_tweets");
-        self.collect_tweets(&mut ds)?;
-        self.obs
-            .phase_end(self.api.now(), "discover.collect_tweets");
-        self.m
-            .collected_tweets
-            .add(ds.collected_tweets.len() as u64);
-        self.obs.phase_start(self.api.now(), "discover.match_users");
-        self.match_users(&mut ds)?;
-        self.obs.phase_end(self.api.now(), "discover.match_users");
-        self.m.matched_users.add(ds.matched.len() as u64);
+        let mut ds = self.base_dataset();
+        for name in &PHASES[..2] {
+            self.run_phase(name, &mut ds)?;
+        }
         Ok(ds)
     }
 
@@ -217,35 +268,75 @@ impl<'a> Crawler<'a> {
     /// per-user work fanned out over [`worker_pool`], results merged in
     /// matched-index order. Public (separately from [`Crawler::run`]) so
     /// benches can time the parallel phases against a fixed discovery.
-    pub fn expand(&self, ds: &mut Dataset) {
-        self.obs
-            .phase_start(self.api.now(), "expand.twitter_timelines");
-        self.crawl_twitter_timelines(ds);
-        self.obs
-            .phase_end(self.api.now(), "expand.twitter_timelines");
-        self.m
-            .twitter_timelines
-            .add(ds.twitter_timelines.len() as u64);
+    pub fn expand(&self, ds: &mut Dataset) -> Result<()> {
+        for name in &PHASES[2..] {
+            self.run_phase(name, ds)?;
+        }
+        Ok(())
+    }
 
-        self.obs
-            .phase_start(self.api.now(), "expand.mastodon_timelines");
-        self.crawl_mastodon_timelines(ds);
-        self.obs
-            .phase_end(self.api.now(), "expand.mastodon_timelines");
-        self.m
-            .mastodon_timelines
-            .add(ds.mastodon_timelines.len() as u64);
+    /// An empty dataset seeded with the instance list.
+    fn base_dataset(&self) -> Dataset {
+        Dataset {
+            instance_list: self.api.instances_social_list(),
+            ..Dataset::default()
+        }
+    }
 
-        self.obs.phase_start(self.api.now(), "expand.followees");
-        self.crawl_followees(ds);
-        self.obs.phase_end(self.api.now(), "expand.followees");
-        self.m.followee_records.add(ds.followees.len() as u64);
+    /// Run one named phase: telemetry span, body, dataset-derived counter.
+    fn run_phase(&self, name: &str, ds: &mut Dataset) -> Result<()> {
+        self.obs.phase_start(self.api.now(), name);
+        match name {
+            "discover.collect_tweets" => {
+                self.collect_tweets(ds)?;
+                self.m
+                    .collected_tweets
+                    .add(ds.collected_tweets.len() as u64);
+            }
+            "discover.match_users" => {
+                self.match_users(ds)?;
+                self.m.matched_users.add(ds.matched.len() as u64);
+            }
+            "expand.twitter_timelines" => {
+                self.crawl_twitter_timelines(ds)?;
+                self.m
+                    .twitter_timelines
+                    .add(ds.twitter_timelines.len() as u64);
+            }
+            "expand.mastodon_timelines" => {
+                self.crawl_mastodon_timelines(ds)?;
+                self.m
+                    .mastodon_timelines
+                    .add(ds.mastodon_timelines.len() as u64);
+            }
+            "expand.followees" => {
+                self.crawl_followees(ds)?;
+                self.m.followee_records.add(ds.followees.len() as u64);
+            }
+            "expand.weekly_activity" => {
+                self.crawl_weekly_activity(ds)?;
+                self.m.weekly_instances.add(ds.weekly_activity.len() as u64);
+            }
+            other => {
+                return Err(FlockError::InvalidConfig(format!(
+                    "unknown crawl phase {other:?}"
+                )))
+            }
+        }
+        self.obs.phase_end(self.api.now(), name);
+        Ok(())
+    }
 
-        self.obs
-            .phase_start(self.api.now(), "expand.weekly_activity");
-        self.crawl_weekly_activity(ds);
-        self.obs.phase_end(self.api.now(), "expand.weekly_activity");
-        self.m.weekly_instances.add(ds.weekly_activity.len() as u64);
+    /// Fill in crawl accounting and close the crawl span.
+    fn finish(&self, ds: &mut Dataset, start_virtual: u64) {
+        self.m.coverage_skipped.add(ds.coverage.len() as u64);
+        ds.stats = CrawlStats {
+            requests: self.m.attempts.get(),
+            rate_limited: self.m.rate_limited.get(),
+            transient_failures: self.m.transient_failures.get(),
+            virtual_secs: self.api.now() - start_virtual,
+        };
+        self.obs.phase_end(self.api.now(), "crawl");
     }
 
     /// Rate-limit-aware, transient-retrying request wrapper.
@@ -262,30 +353,27 @@ impl<'a> Crawler<'a> {
         let mut transient = 0;
         let mut waited: u64 = 0;
         loop {
+            if let Some(cap) = self.config.abort_after_requests {
+                if self.requests_made.fetch_add(1, Ordering::Relaxed) >= cap {
+                    return Err(FlockError::Interrupted);
+                }
+            }
             self.m.attempts.inc();
             let before = self.api.now();
             match f() {
                 Ok(v) => return Ok(v),
                 Err(FlockError::RateLimited { retry_after_secs }) => {
                     self.m.rate_limited.inc();
-                    self.m.retry_wait_secs.record(retry_after_secs);
-                    waited = waited.saturating_add(retry_after_secs);
-                    if waited > self.config.max_rate_limit_wait_secs {
-                        self.m.budget_exhausted.inc();
-                        self.obs.event(
-                            before,
-                            "crawler.retry_budget_exhausted",
-                            &format!(
-                                "waited {waited}s virtual > cap {}s",
-                                self.config.max_rate_limit_wait_secs
-                            ),
-                        );
-                        return Err(FlockError::RetryBudgetExhausted {
-                            waited_secs: waited,
-                        });
-                    }
-                    self.api
-                        .advance_clock_to(before.saturating_add(retry_after_secs));
+                    self.wait_out(&mut waited, retry_after_secs, before)?;
+                }
+                // A finite chaos outage window advertises when the
+                // instance is back; wait it out exactly like a rate limit
+                // (against the same cumulative budget) so the eventual
+                // response — and therefore the dataset — is independent
+                // of when the window was hit.
+                Err(FlockError::InstanceOutage { retry_after_secs }) => {
+                    self.m.outage_waits.inc();
+                    self.wait_out(&mut waited, retry_after_secs, before)?;
                 }
                 Err(e) if e.is_retryable() => {
                     self.m.transient_failures.inc();
@@ -303,6 +391,31 @@ impl<'a> Crawler<'a> {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Shared wait path for rate limits and finite outage windows: record
+    /// the wait, enforce the cumulative cap, advance the clock to the
+    /// deadline computed from the pre-attempt instant.
+    fn wait_out(&self, waited: &mut u64, retry_after_secs: u64, before: u64) -> Result<()> {
+        self.m.retry_wait_secs.record(retry_after_secs);
+        *waited = waited.saturating_add(retry_after_secs);
+        if *waited > self.config.max_rate_limit_wait_secs {
+            self.m.budget_exhausted.inc();
+            self.obs.event(
+                before,
+                "crawler.retry_budget_exhausted",
+                &format!(
+                    "waited {waited}s virtual > cap {}s",
+                    self.config.max_rate_limit_wait_secs
+                ),
+            );
+            return Err(FlockError::RetryBudgetExhausted {
+                waited_secs: *waited,
+            });
+        }
+        self.api
+            .advance_clock_to(before.saturating_add(retry_after_secs));
+        Ok(())
     }
 
     // ---- §3.1 phase A: tweet collection ---------------------------------
@@ -327,6 +440,12 @@ impl<'a> Crawler<'a> {
                     Ok(p) => p,
                     // A single broken query must not sink the collection.
                     Err(FlockError::InvalidQuery(_)) => break,
+                    // Retries exhausted on a transient fault: skip the
+                    // query's remaining pages, record the gap, move on.
+                    Err(e) if e.is_retryable() => {
+                        ds.coverage.record(PHASES[0], format!("search {q:?}"), e);
+                        break;
+                    }
                     Err(e) => return Err(e),
                 };
                 for t in page.items {
@@ -369,7 +488,21 @@ impl<'a> Crawler<'a> {
         authors.sort();
         let mut metadata: BTreeMap<TwitterUserId, TwitterUserObject> = BTreeMap::new();
         for chunk in authors.chunks(100) {
-            let users = self.request(|| self.api.twitter_search_user_expansion(chunk))?;
+            let users = match self.request(|| self.api.twitter_search_user_expansion(chunk)) {
+                Ok(users) => users,
+                // Authors in a failed chunk keep their tweets but cannot
+                // be matched (no metadata); record the gap and move on.
+                Err(e) if e.is_retryable() => {
+                    let first = chunk.first().map_or(0, |id| id.0);
+                    ds.coverage.record(
+                        PHASES[1],
+                        format!("user-expansion chunk of {} from id {first}", chunk.len()),
+                        e,
+                    );
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             for u in users {
                 metadata.insert(u.id, u);
             }
@@ -406,24 +539,36 @@ impl<'a> Crawler<'a> {
             };
 
             // Resolve the handle on its instance, following moved_to once.
-            let (account, first_account, resolved_handle) =
-                match self.request(|| self.api.mastodon_lookup_account(&handle)) {
-                    Ok(acct) => match &acct.moved_to {
-                        Some(target) => {
-                            let target = target.clone();
-                            match self.request(|| self.api.mastodon_lookup_account(&target)) {
-                                Ok(new_acct) => (Some(new_acct), Some(acct), target.clone()),
-                                Err(_) => (None, Some(acct), target.clone()),
-                            }
+            let (account, first_account, resolved_handle) = match self
+                .request(|| self.api.mastodon_lookup_account(&handle))
+            {
+                Ok(acct) => match &acct.moved_to {
+                    Some(target) => {
+                        let target = target.clone();
+                        match self.request(|| self.api.mastodon_lookup_account(&target)) {
+                            Ok(new_acct) => (Some(new_acct), Some(acct), target.clone()),
+                            Err(FlockError::Interrupted) => return Err(FlockError::Interrupted),
+                            Err(_) => (None, Some(acct), target.clone()),
                         }
-                        None => (Some(acct), None, handle.clone()),
-                    },
-                    // Down instance: keep the match, account data missing.
-                    Err(FlockError::InstanceUnavailable(_)) => (None, None, handle.clone()),
-                    // Dangling handle (announced but never created): drop.
-                    Err(FlockError::NotFound(_)) => continue,
-                    Err(e) => return Err(e),
-                };
+                    }
+                    None => (Some(acct), None, handle.clone()),
+                },
+                // Down instance: keep the match, account data missing.
+                Err(FlockError::InstanceUnavailable(_)) => (None, None, handle.clone()),
+                // Dangling handle (announced but never created): drop.
+                Err(FlockError::NotFound(_)) => continue,
+                // Retries exhausted: the mapping cannot be confirmed;
+                // record the gap and drop the candidate.
+                Err(e) if e.is_retryable() => {
+                    ds.coverage.record(
+                        PHASES[1],
+                        format!("account lookup for author {}", author.0),
+                        e,
+                    );
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
 
             let first_seen = tweets_by_author
                 .get(&author)
@@ -453,27 +598,43 @@ impl<'a> Crawler<'a> {
 
     // ---- §3.2: timelines --------------------------------------------------
 
-    fn crawl_twitter_timelines(&self, ds: &mut Dataset) {
+    fn crawl_twitter_timelines(&self, ds: &mut Dataset) -> Result<()> {
         let results = worker_pool::run_gauged(
             self.config.workers,
             &ds.matched,
             Some(&self.m.queue_depth),
             |_, m| self.crawl_one_twitter_timeline(m),
         );
-        for (m, (timeline, outcome)) in ds.matched.iter().zip(results) {
+        // Nothing merges until every per-user result is in: an interrupt
+        // anywhere leaves the dataset untouched, so the phase re-runs
+        // cleanly on resume.
+        let mut merged = Vec::with_capacity(ds.matched.len());
+        for r in results {
+            merged.push(r?);
+        }
+        for (m, (timeline, outcome, skip)) in ds.matched.iter().zip(merged) {
             if outcome == TwitterCrawlOutcome::Ok {
                 ds.twitter_timelines.insert(m.twitter_id, timeline);
             }
+            if let Some(reason) = skip {
+                ds.coverage.record(
+                    PHASES[2],
+                    format!("twitter timeline of {}", m.twitter_id.0),
+                    reason,
+                );
+            }
             ds.twitter_outcomes.insert(m.twitter_id, outcome);
         }
+        Ok(())
     }
 
     fn crawl_one_twitter_timeline(
         &self,
         m: &MatchedUser,
-    ) -> (Vec<TimelineTweet>, TwitterCrawlOutcome) {
+    ) -> Result<(Vec<TimelineTweet>, TwitterCrawlOutcome, Option<String>)> {
         let mut timeline = Vec::new();
         let mut cursor: Option<String> = None;
+        let mut skip = None;
         let outcome = loop {
             match self.request(|| {
                 self.api.twitter_timeline(
@@ -503,34 +664,54 @@ impl<'a> Crawler<'a> {
                     };
                 }
                 Err(FlockError::NotFound(_)) => break TwitterCrawlOutcome::Deleted,
+                Err(FlockError::Interrupted) => return Err(FlockError::Interrupted),
+                // Retries exhausted on a transient fault: the account may
+                // exist, but its timeline is out of reach this crawl.
+                Err(e) if e.is_retryable() => {
+                    skip = Some(e.to_string());
+                    break TwitterCrawlOutcome::Unreachable;
+                }
                 Err(_) => break TwitterCrawlOutcome::Deleted,
             }
         };
-        (timeline, outcome)
+        Ok((timeline, outcome, skip))
     }
 
-    fn crawl_mastodon_timelines(&self, ds: &mut Dataset) {
+    fn crawl_mastodon_timelines(&self, ds: &mut Dataset) -> Result<()> {
         let results = worker_pool::run_gauged(
             self.config.workers,
             &ds.matched,
             Some(&self.m.queue_depth),
             |_, m| self.crawl_one_mastodon_timeline(m),
         );
-        for (m, (statuses, outcome)) in ds.matched.iter().zip(results) {
+        let mut merged = Vec::with_capacity(ds.matched.len());
+        for r in results {
+            merged.push(r?);
+        }
+        for (m, (statuses, outcome, skip)) in ds.matched.iter().zip(merged) {
             if outcome == MastodonCrawlOutcome::Ok {
                 ds.mastodon_timelines
                     .insert(m.resolved_handle.clone(), statuses);
             }
+            if let Some(reason) = skip {
+                ds.coverage.record(
+                    PHASES[3],
+                    format!("mastodon timeline of {}", m.twitter_id.0),
+                    reason,
+                );
+            }
             ds.mastodon_outcomes.insert(m.twitter_id, outcome);
         }
+        Ok(())
     }
 
     fn crawl_one_mastodon_timeline(
         &self,
         m: &MatchedUser,
-    ) -> (Vec<TimelineStatus>, MastodonCrawlOutcome) {
+    ) -> Result<(Vec<TimelineStatus>, MastodonCrawlOutcome, Option<String>)> {
         let mut statuses = Vec::new();
         let mut any_down = false;
+        let mut skip = None;
         // A switched user's pre-move statuses live on the first instance.
         let mut sources = vec![m.resolved_handle.clone()];
         if m.switched() {
@@ -554,20 +735,27 @@ impl<'a> Crawler<'a> {
                         any_down = true;
                         break;
                     }
+                    Err(FlockError::Interrupted) => return Err(FlockError::Interrupted),
+                    Err(e) if e.is_retryable() => {
+                        skip = Some(e.to_string());
+                        break;
+                    }
                     Err(_) => break,
                 }
             }
         }
-        if statuses.is_empty() {
+        Ok(if statuses.is_empty() {
             if any_down {
-                (statuses, MastodonCrawlOutcome::InstanceDown)
+                (statuses, MastodonCrawlOutcome::InstanceDown, None)
+            } else if skip.is_some() {
+                (statuses, MastodonCrawlOutcome::Unreachable, skip)
             } else {
-                (statuses, MastodonCrawlOutcome::NoStatuses)
+                (statuses, MastodonCrawlOutcome::NoStatuses, None)
             }
         } else {
             statuses.sort_by_key(|s| s.day);
-            (statuses, MastodonCrawlOutcome::Ok)
-        }
+            (statuses, MastodonCrawlOutcome::Ok, None)
+        })
     }
 
     // ---- §3.3: followees ----------------------------------------------------
@@ -610,7 +798,7 @@ impl<'a> Crawler<'a> {
         all
     }
 
-    fn crawl_followees(&self, ds: &mut Dataset) {
+    fn crawl_followees(&self, ds: &mut Dataset) -> Result<()> {
         let sample = self.sample_for_followees(ds);
         let targets: Vec<MatchedUser> = sample
             .iter()
@@ -622,16 +810,31 @@ impl<'a> Crawler<'a> {
             Some(&self.m.queue_depth),
             |_, m| self.crawl_one_followees(m),
         );
-        for (m, rec) in targets.iter().zip(results) {
+        let mut merged = Vec::with_capacity(targets.len());
+        for r in results {
+            merged.push(r?);
+        }
+        for (m, (rec, skip)) in targets.iter().zip(merged) {
             if let Some(rec) = rec {
                 ds.followees.insert(m.twitter_id, rec);
             }
+            if let Some(reason) = skip {
+                ds.coverage.record(
+                    PHASES[4],
+                    format!("followees of {}", m.twitter_id.0),
+                    reason,
+                );
+            }
         }
+        Ok(())
     }
 
-    /// Both followee lists for one sampled user; `None` when the Twitter
-    /// side (the endpoint the record hinges on) is unavailable.
-    fn crawl_one_followees(&self, m: &MatchedUser) -> Option<FolloweeRecord> {
+    /// Both followee lists for one sampled user; `(None, reason)` when the
+    /// Twitter side (the endpoint the record hinges on) is unavailable.
+    fn crawl_one_followees(
+        &self,
+        m: &MatchedUser,
+    ) -> Result<(Option<FolloweeRecord>, Option<String>)> {
         // Twitter side (the brutally rate-limited endpoint).
         let mut twitter = Vec::new();
         let mut cursor: Option<String> = None;
@@ -644,34 +847,55 @@ impl<'a> Crawler<'a> {
                         None => break,
                     }
                 }
-                Err(_) => return None,
+                Err(FlockError::Interrupted) => return Err(FlockError::Interrupted),
+                // Chaos/transient exhaustion is a coverage gap worth
+                // reporting; protected or deleted accounts are expected
+                // states and skip silently, as they always have.
+                Err(e) if e.is_retryable() => return Ok((None, Some(e.to_string()))),
+                Err(_) => return Ok((None, None)),
             }
         }
         // Mastodon side.
         let mut mastodon = Vec::new();
         let mut cursor: Option<String> = None;
-        while let Ok(page) = self.request(|| {
-            self.api
-                .mastodon_account_following(&m.resolved_handle, cursor.as_deref())
-        }) {
-            mastodon.extend(page.items);
-            match page.next {
-                Some(c) => cursor = Some(c),
-                None => break,
+        loop {
+            match self.request(|| {
+                self.api
+                    .mastodon_account_following(&m.resolved_handle, cursor.as_deref())
+            }) {
+                Ok(page) => {
+                    mastodon.extend(page.items);
+                    match page.next {
+                        Some(c) => cursor = Some(c),
+                        None => break,
+                    }
+                }
+                Err(FlockError::Interrupted) => return Err(FlockError::Interrupted),
+                // The record survives without the Mastodon side.
+                Err(_) => break,
             }
         }
-        Some(FolloweeRecord { twitter, mastodon })
+        Ok((Some(FolloweeRecord { twitter, mastodon }), None))
     }
 
     // ---- Fig. 3 cross-check: weekly activity --------------------------------
 
-    fn crawl_weekly_activity(&self, ds: &mut Dataset) {
+    fn crawl_weekly_activity(&self, ds: &mut Dataset) -> Result<()> {
         for domain in ds.landing_instances() {
-            // Down instances simply stay absent.
-            if let Ok(rows) = self.request(|| self.api.mastodon_instance_activity(&domain)) {
-                ds.weekly_activity.insert(domain, rows);
+            match self.request(|| self.api.mastodon_instance_activity(&domain)) {
+                Ok(rows) => {
+                    ds.weekly_activity.insert(domain, rows);
+                }
+                // Down instances simply stay absent.
+                Err(FlockError::InstanceUnavailable(_)) => {}
+                Err(e) if e.is_retryable() => {
+                    ds.coverage
+                        .record(PHASES[5], format!("weekly activity of {domain}"), e);
+                }
+                Err(e) => return Err(e),
             }
         }
+        Ok(())
     }
 }
 
@@ -694,7 +918,7 @@ mod tests {
         static CELL: OnceLock<(Arc<World>, Dataset)> = OnceLock::new();
         CELL.get_or_init(|| {
             let world = Arc::new(World::generate(&WorldConfig::small().with_seed(2024)).unwrap());
-            let api = ApiServer::with_defaults(world.clone());
+            let api = ApiServer::with_defaults(world.clone()).unwrap();
             let ds = crawl(&api).unwrap();
             (world, ds)
         })
@@ -844,7 +1068,7 @@ mod tests {
     #[test]
     fn crawl_is_deterministic() {
         let (world, a) = shared();
-        let api2 = ApiServer::with_defaults(world.clone());
+        let api2 = ApiServer::with_defaults(world.clone()).unwrap();
         let b = crawl(&api2).unwrap();
         assert_eq!(a.matched.len(), b.matched.len());
         assert_eq!(a.collected_tweets.len(), b.collected_tweets.len());
@@ -867,7 +1091,7 @@ mod tests {
             transient_error_rate: 0.05,
             ..Default::default()
         };
-        let api = ApiServer::new(world, api_cfg);
+        let api = ApiServer::new(world, api_cfg).unwrap();
         let ds = crawl(&api).unwrap();
         assert!(ds.stats.transient_failures > 0);
         assert!(!ds.matched.is_empty());
@@ -887,7 +1111,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let api = ApiServer::new(world, api_cfg);
+        let api = ApiServer::new(world, api_cfg).unwrap();
         let crawler = Crawler::new(&api, CrawlerConfig::default());
         match crawler.run() {
             Err(FlockError::RetryBudgetExhausted { waited_secs }) => {
@@ -903,7 +1127,8 @@ mod tests {
     fn registry_captures_counters_and_phase_spans() {
         let (world, _) = shared();
         let obs = Registry::new();
-        let api = ApiServer::with_obs(world.clone(), flock_apis::ApiConfig::default(), obs.clone());
+        let api = ApiServer::with_obs(world.clone(), flock_apis::ApiConfig::default(), obs.clone())
+            .unwrap();
         let crawler = Crawler::with_registry(&api, CrawlerConfig::default(), obs.clone());
         let ds = crawler.run().unwrap();
         assert_eq!(

@@ -318,6 +318,19 @@ impl World {
         self.accounts.len()
     }
 
+    /// Domains eligible for chaos-plan outage injection: instances that
+    /// are still reachable at crawl time, minus the flagship (the paper's
+    /// `mastodon.social` stayed up throughout the migration, and several
+    /// figures depend on it answering). Returned in rank order so a
+    /// seeded sample over the list is deterministic.
+    pub fn outage_candidates(&self) -> Vec<String> {
+        self.instances
+            .iter()
+            .filter(|i| !i.down_at_crawl && !i.flagship)
+            .map(|i| i.domain.clone())
+            .collect()
+    }
+
     /// One-paragraph world summary for logs and examples.
     pub fn summary(&self) -> String {
         let switchers = self.accounts.iter().filter(|a| a.switch.is_some()).count();

@@ -104,7 +104,10 @@ pub fn classify(rel_path: &str) -> FileClass {
     FileClass {
         // `crates/bench` measures wall-clock by design.
         determinism: krate != "bench",
-        hash_iter: matches!(krate, "fedisim" | "analysis" | "repro" | "crawler"),
+        hash_iter: matches!(
+            krate,
+            "fedisim" | "analysis" | "repro" | "crawler" | "chaos"
+        ),
         lock_order: krate == "apis",
         panic: true,
     }

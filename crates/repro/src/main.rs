@@ -1,17 +1,27 @@
 //! `repro` — regenerate any figure of the paper from a fresh simulation.
 //!
 //! ```text
-//! repro [--scale small|medium|paper] [--seed N] [--metrics PATH] <artifact>...
+//! repro [--scale small|medium|paper] [--seed N] [--metrics PATH]
+//!       [--chaos SCENARIO] [--workers N] <artifact>...
 //!
 //! artifacts: fig1 .. fig16, headline, all, experiments-md, retention,
 //!            dump-dataset[=path] (anonymized JSON release, §3.4), verify,
-//!            csv[=dir] (per-figure CSV export)
+//!            csv[=dir] (per-figure CSV export), stamp[=path]
+//!            (determinism stamp: data-tier metrics snapshot + the
+//!            stats-zeroed dataset — byte-identical for a given seed,
+//!            scale and chaos scenario at any worker count)
 //!
 //! --metrics PATH writes the pipeline's telemetry (counters, histograms,
 //! phase spans) after the crawl: JSON when PATH ends in `.json`, the text
 //! exposition format otherwise.
+//!
+//! --chaos SCENARIO crawls through a canned deterministic fault plan
+//! seeded from the world seed: calm, rate-limit-storm, instance-massacre,
+//! or flaky-federation.
 //! ```
 
+use flock_chaos::Scenario;
+use flock_crawler::CrawlerConfig;
 use flock_fedisim::WorldConfig;
 use flock_obs::Registry;
 use flock_repro::{FigureId, MigrationStudy};
@@ -19,7 +29,8 @@ use std::process::ExitCode;
 
 fn usage() -> &'static str {
     "usage: repro [--scale small|medium|paper] [--seed N] [--metrics PATH] \
-     <fig1..fig16|headline|all|experiments-md>..."
+     [--chaos calm|rate-limit-storm|instance-massacre|flaky-federation] [--workers N] \
+     <fig1..fig16|headline|all|experiments-md|stamp[=path]>..."
 }
 
 fn main() -> ExitCode {
@@ -27,9 +38,33 @@ fn main() -> ExitCode {
     let mut config = WorldConfig::medium();
     let mut artifacts: Vec<String> = Vec::new();
     let mut metrics_path: Option<String> = None;
+    let mut chaos: Option<Scenario> = None;
+    let mut crawler_config = CrawlerConfig::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--chaos" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--chaos needs a scenario; {}", usage());
+                    return ExitCode::FAILURE;
+                };
+                chaos = match v.parse::<Scenario>() {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        eprintln!("{e}; {}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--workers" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--workers needs an integer; {}", usage());
+                    return ExitCode::FAILURE;
+                };
+                crawler_config.workers = v;
+            }
             "--scale" => {
                 i += 1;
                 let Some(v) = args.get(i) else {
@@ -79,8 +114,15 @@ fn main() -> ExitCode {
         "[repro] generating world (seed {}, {} users, {} instances) and crawling…",
         config.seed, config.n_searchable_users, config.n_instances
     );
+    let mut api_config = flock_apis::ApiConfig::default();
+    if let Some(scenario) = chaos {
+        // Seed the fault plan from the world seed: one seed fixes the
+        // world AND the chaos, so reruns are byte-identical.
+        api_config.chaos = scenario.plan(config.seed);
+        eprintln!("[repro] chaos scenario: {scenario}");
+    }
     let obs = Registry::new();
-    let study = match MigrationStudy::run_with_obs(&config, &obs) {
+    let study = match MigrationStudy::run_configured(&config, api_config, crawler_config, &obs) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("[repro] pipeline failed: {e}");
@@ -93,6 +135,15 @@ fn main() -> ExitCode {
         study.dataset.landing_instances().len(),
         study.dataset.stats.requests
     );
+    eprintln!(
+        "[repro] coverage: {} items skipped",
+        study.dataset.coverage.len()
+    );
+    if !study.dataset.coverage.is_empty() {
+        for line in study.dataset.coverage.summary().lines() {
+            eprintln!("[repro]   {line}");
+        }
+    }
     if let Some(path) = &metrics_path {
         let body = if path.ends_with(".json") {
             obs.export_json()
@@ -140,6 +191,31 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 }
+            }
+            other if other.starts_with("stamp") => {
+                let path = other
+                    .split_once('=')
+                    .map(|(_, p)| p.to_string())
+                    .unwrap_or_else(|| "repro.stamp".to_string());
+                // Data-tier snapshot + stats-zeroed dataset: everything in
+                // the stamp is a function of (seed, scale, chaos plan), so
+                // two runs differing only in worker count must produce
+                // byte-identical stamp files.
+                let mut ds = study.dataset.clone();
+                ds.stats = Default::default();
+                let dataset_json = match serde_json::to_string(&ds) {
+                    Ok(j) => j,
+                    Err(e) => {
+                        eprintln!("[repro] stamp serialization failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let body = format!("{}\n{}\n", obs.snapshot(), dataset_json);
+                if let Err(e) = std::fs::write(&path, body) {
+                    eprintln!("[repro] stamp write failed ({path}): {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("[repro] wrote determinism stamp to {path}");
             }
             other if other.starts_with("dump-dataset") => {
                 let path = other

@@ -132,8 +132,28 @@ impl MigrationStudy {
     pub fn run_with_obs(config: &WorldConfig, obs: &Registry) -> Result<MigrationStudy> {
         let world = Arc::new(World::generate(config)?);
         flock_fedisim::emit_migration_telemetry(&world.accounts, obs);
-        let api = ApiServer::with_obs(world.clone(), flock_apis::ApiConfig::default(), obs.clone());
-        let dataset = Crawler::with_registry(&api, CrawlerConfig::default(), obs.clone()).run()?;
+        Self::run_configured(
+            config,
+            flock_apis::ApiConfig::default(),
+            CrawlerConfig::default(),
+            obs,
+        )
+    }
+
+    /// Fully-configured run: caller controls the API layer (including its
+    /// chaos `FaultPlan`) and the crawler (worker count, retry budgets) as
+    /// well as the world. Used by the `repro` binary's `--chaos` and
+    /// `--workers` flags.
+    pub fn run_configured(
+        config: &WorldConfig,
+        api_config: flock_apis::ApiConfig,
+        crawler_config: CrawlerConfig,
+        obs: &Registry,
+    ) -> Result<MigrationStudy> {
+        let world = Arc::new(World::generate(config)?);
+        flock_fedisim::emit_migration_telemetry(&world.accounts, obs);
+        let api = ApiServer::with_obs(world.clone(), api_config, obs.clone())?;
+        let dataset = Crawler::with_registry(&api, crawler_config, obs.clone()).run()?;
         Ok(MigrationStudy { world, dataset })
     }
 

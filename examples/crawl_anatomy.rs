@@ -27,7 +27,7 @@ fn main() {
         transient_error_rate: 0.01,
         ..ApiConfig::default()
     };
-    let api = ApiServer::new(world.clone(), api_config);
+    let api = ApiServer::new(world.clone(), api_config).expect("valid api config");
 
     let ds = Crawler::new(&api, CrawlerConfig::default())
         .run()

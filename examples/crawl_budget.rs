@@ -30,7 +30,7 @@ fn main() {
     println!("{}", "-".repeat(68));
 
     for fraction in [0.05, 0.10, 0.25, 0.50, 1.00] {
-        let api = ApiServer::with_defaults(world.clone());
+        let api = ApiServer::with_defaults(world.clone()).unwrap();
         let crawler_config = CrawlerConfig {
             followee_sample_fraction: fraction,
             include_switchers: false, // isolate the sampling knob

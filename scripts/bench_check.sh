@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Throughput regression check: re-run the pipeline bench in --test (smoke)
+# mode and compare the measured numbers against the committed
+# BENCH_pipeline.json. Fails (exit 1) when either headline number regresses
+# by more than 20%:
+#
+#   * search: measured indexed qps < 0.8 x committed indexed_qps
+#   * crawl:  measured expand_secs  > 1.2 x committed expand_secs
+#             (checked per worker count the smoke run covers: 1 and 4)
+#
+# Smoke mode never rewrites the committed artifact, so this is safe to run
+# on every push. Wall-clock numbers are noisy on shared runners — ci.sh
+# treats a failure here as a warning, and the CI workflow runs it in a
+# separate advisory (continue-on-error) job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="BENCH_pipeline.json"
+if [ ! -f "$baseline" ]; then
+  echo "bench_check: no committed $baseline; run 'cargo bench -p flock-bench --bench throughput' first" >&2
+  exit 1
+fi
+
+echo "==> cargo bench -p flock-bench --bench throughput -- --test"
+log="$(mktemp -t flock-bench-XXXXXX.log)"
+trap 'rm -f "$log"' EXIT
+cargo bench -p flock-bench --bench throughput -- --test 2>"$log"
+cat "$log" >&2
+
+# Measured values from the bench's stderr lines:
+#   search: indexed 5569 qps vs scan 123 qps (45.1x)
+#   expand: workers=1 0.769s
+measured_qps="$(awk '/^search: indexed/ { print $3; exit }' "$log")"
+if [ -z "$measured_qps" ]; then
+  echo "bench_check: could not parse search qps from bench output" >&2
+  exit 1
+fi
+
+# Committed baselines from BENCH_pipeline.json. The file is
+# pretty-printed with one key per line, so line-oriented parsing is
+# reliable; expand_secs follows its workers line inside each CrawlPoint.
+base_qps="$(awk -F'[:,]' '/"indexed_qps"/ { gsub(/ /, "", $2); print $2; exit }' "$baseline")"
+
+fail=0
+if awk -v m="$measured_qps" -v b="$base_qps" 'BEGIN { exit !(m < 0.8 * b) }'; then
+  echo "bench_check: SEARCH REGRESSION: measured ${measured_qps} qps < 80% of committed ${base_qps} qps" >&2
+  fail=1
+else
+  echo "bench_check: search ok (${measured_qps} qps vs committed ${base_qps} qps)"
+fi
+
+for w in 1 4; do
+  measured_secs="$(awk -v w="$w" '$1 == "expand:" && $2 == "workers=" w { sub(/s$/, "", $3); print $3; exit }' "$log")"
+  base_secs="$(awk -v w="$w" -F'[:,]' '
+    /"workers"/ { gsub(/ /, "", $2); cur = $2 }
+    /"expand_secs"/ && cur == w { gsub(/ /, "", $2); print $2; exit }
+  ' "$baseline")"
+  if [ -z "$measured_secs" ] || [ -z "$base_secs" ]; then
+    echo "bench_check: could not parse expand timings for workers=$w" >&2
+    exit 1
+  fi
+  if awk -v m="$measured_secs" -v b="$base_secs" 'BEGIN { exit !(m > 1.2 * b) }'; then
+    echo "bench_check: CRAWL REGRESSION: workers=$w expand ${measured_secs}s > 120% of committed ${base_secs}s" >&2
+    fail=1
+  else
+    echo "bench_check: expand workers=$w ok (${measured_secs}s vs committed ${base_secs}s)"
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench_check: FAILED (>20% regression vs $baseline)" >&2
+  exit 1
+fi
+echo "bench_check: passed."

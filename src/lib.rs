@@ -8,6 +8,7 @@
 //! * [`activitypub`] — the federation substrate (actors, activities, delivery);
 //! * [`fedisim`] — the two-platform world simulator and migration models;
 //! * [`apis`] — the simulated Twitter v2 / Mastodon REST endpoints;
+//! * [`chaos`] — deterministic fault plans & canned chaos scenarios;
 //! * [`crawler`] — the paper's data-collection pipeline (§3);
 //! * [`analysis`] — RQ1 / RQ2 / RQ3 analyses (§4–6);
 //! * [`repro`] — the per-figure regeneration harness;
@@ -28,6 +29,7 @@
 pub use flock_activitypub as activitypub;
 pub use flock_analysis as analysis;
 pub use flock_apis as apis;
+pub use flock_chaos as chaos;
 pub use flock_core as core;
 pub use flock_crawler as crawler;
 pub use flock_fedisim as fedisim;

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 fn run(seed: u64) -> Dataset {
     let world = Arc::new(World::generate(&WorldConfig::small().with_seed(seed)).unwrap());
-    let api = ApiServer::with_defaults(world);
+    let api = ApiServer::with_defaults(world).unwrap();
     crawl(&api).unwrap()
 }
 
@@ -74,7 +74,7 @@ fn identical_seeds_identical_headlines() {
 fn worker_count_does_not_change_the_dataset() {
     let world = Arc::new(World::generate(&WorldConfig::small().with_seed(4242)).unwrap());
     let run_with = |workers: usize| -> Dataset {
-        let api = ApiServer::with_defaults(world.clone());
+        let api = ApiServer::with_defaults(world.clone()).unwrap();
         let config = CrawlerConfig {
             workers,
             ..CrawlerConfig::default()
@@ -111,7 +111,8 @@ fn worker_count_does_not_change_the_metrics_snapshot() {
             world.clone(),
             flock::apis::ApiConfig::default(),
             obs.clone(),
-        );
+        )
+        .unwrap();
         let config = CrawlerConfig {
             workers,
             ..CrawlerConfig::default()

@@ -18,7 +18,7 @@ fn heavy_transient_faults_still_produce_a_consistent_dataset() {
         transient_error_rate: 0.10,
         ..ApiConfig::default()
     };
-    let api = ApiServer::new(w.clone(), cfg);
+    let api = ApiServer::new(w.clone(), cfg).unwrap();
     let ds = crawl(&api).expect("crawl should survive 10% fault rate");
     assert!(
         ds.stats.transient_failures > 0,
@@ -36,12 +36,12 @@ fn heavy_transient_faults_still_produce_a_consistent_dataset() {
 #[test]
 fn fault_free_and_faulty_crawls_agree_on_the_matched_set() {
     let w = world(2);
-    let clean = crawl(&ApiServer::with_defaults(w.clone())).unwrap();
+    let clean = crawl(&ApiServer::with_defaults(w.clone()).unwrap()).unwrap();
     let cfg = ApiConfig {
         transient_error_rate: 0.05,
         ..ApiConfig::default()
     };
-    let faulty = crawl(&ApiServer::new(w.clone(), cfg)).unwrap();
+    let faulty = crawl(&ApiServer::new(w.clone(), cfg).unwrap()).unwrap();
     // Transient faults are retried to completion, so identification must
     // not lose users.
     let a: std::collections::BTreeSet<_> = clean.matched.iter().map(|m| m.twitter_id).collect();
@@ -52,7 +52,7 @@ fn fault_free_and_faulty_crawls_agree_on_the_matched_set() {
 #[test]
 fn draconian_rate_limits_cost_time_not_data() {
     let w = world(3);
-    let default_ds = crawl(&ApiServer::with_defaults(w.clone())).unwrap();
+    let default_ds = crawl(&ApiServer::with_defaults(w.clone()).unwrap()).unwrap();
 
     let cfg = ApiConfig {
         search_policy: RatePolicy {
@@ -69,7 +69,7 @@ fn draconian_rate_limits_cost_time_not_data() {
         },
         ..ApiConfig::default()
     };
-    let api = ApiServer::new(w.clone(), cfg);
+    let api = ApiServer::new(w.clone(), cfg).unwrap();
     let ds = crawl(&api).unwrap();
 
     assert_eq!(ds.matched.len(), default_ds.matched.len());
@@ -89,7 +89,7 @@ fn pervasive_downtime_shrinks_mastodon_coverage_only() {
     let mut config = WorldConfig::small().with_seed(4);
     config.instance_down_rate = 0.45;
     let w = Arc::new(World::generate(&config).unwrap());
-    let ds = crawl(&ApiServer::with_defaults(w.clone())).unwrap();
+    let ds = crawl(&ApiServer::with_defaults(w.clone()).unwrap()).unwrap();
     let down = ds
         .mastodon_outcomes
         .values()
@@ -115,7 +115,7 @@ fn zero_switchers_world_still_analyzes() {
     let mut config = WorldConfig::small().with_seed(5);
     config.switch_rate = 0.0;
     let w = Arc::new(World::generate(&config).unwrap());
-    let ds = crawl(&ApiServer::with_defaults(w)).unwrap();
+    let ds = crawl(&ApiServer::with_defaults(w).unwrap()).unwrap();
     assert!(ds.matched.iter().all(|m| !m.switched()));
     let f9 = flock_analysis::fig9_switching(&ds);
     assert_eq!(f9.n_switchers, 0);
@@ -130,7 +130,7 @@ fn crossposterless_world_still_analyzes() {
     config.crossposter_rate = 0.0;
     config.manual_mirror_rate = 0.0;
     let w = Arc::new(World::generate(&config).unwrap());
-    let ds = crawl(&ApiServer::with_defaults(w)).unwrap();
+    let ds = crawl(&ApiServer::with_defaults(w).unwrap()).unwrap();
     let f13 = flock_analysis::fig13_crossposters(&ds);
     assert_eq!(f13.ever_used_pct, 0.0);
     let f14 = flock_analysis::fig14_similarity(&ds);

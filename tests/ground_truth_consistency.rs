@@ -13,7 +13,7 @@ fn fixture() -> &'static (Arc<World>, Dataset) {
     static CELL: OnceLock<(Arc<World>, Dataset)> = OnceLock::new();
     CELL.get_or_init(|| {
         let world = Arc::new(World::generate(&WorldConfig::small().with_seed(404)).unwrap());
-        let api = ApiServer::with_defaults(world.clone());
+        let api = ApiServer::with_defaults(world.clone()).unwrap();
         let ds = crawl(&api).unwrap();
         (world, ds)
     })

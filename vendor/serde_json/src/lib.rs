@@ -321,14 +321,31 @@ impl<'a> Parser<'a> {
                         _ => return Err(self.err("invalid escape")),
                     }
                 }
+                // ASCII fast path: the overwhelmingly common case needs no
+                // UTF-8 decoding at all.
+                0x00..=0x7F => out.push(b as char),
                 _ => {
-                    // Re-read the full UTF-8 char starting at pos - 1.
+                    // Re-read the full UTF-8 char starting at pos - 1,
+                    // validating only that char's bytes. (Validating the
+                    // whole remaining input here made parsing quadratic:
+                    // a multi-megabyte document took hours instead of
+                    // milliseconds.)
                     let start = self.pos - 1;
-                    let rest = &self.bytes[start..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
-                    let c = s.chars().next().unwrap();
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid utf-8")),
+                    };
+                    let end = start + width;
+                    if end > self.bytes.len() {
+                        return Err(self.err("invalid utf-8"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("invalid utf-8"))?;
                     out.push(c);
-                    self.pos = start + c.len_utf8();
+                    self.pos = end;
                 }
             }
         }
