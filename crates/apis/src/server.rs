@@ -32,6 +32,7 @@ use flock_core::{
 };
 use flock_fedisim::users::AccountFate;
 use flock_fedisim::World;
+use flock_obs::trace::{self, FaultKind, SpanOutcome};
 use flock_obs::{Counter, Histogram, Registry, Tier, SECONDS_BOUNDS};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -401,8 +402,13 @@ impl ApiServer {
     /// of their sleeps. Right for genuine backoff sleeps; for waiting out
     /// a rate limit use [`Self::advance_clock_to`], which cannot stack
     /// concurrent waits past the refill point.
-    pub fn advance_clock(&self, secs: u64) {
+    ///
+    /// Returns the seconds applied (always `secs` — additive advances
+    /// never lose a race), mirroring [`Self::advance_clock_to`] so
+    /// tracing callers charge exactly what they moved the clock by.
+    pub fn advance_clock(&self, secs: u64) -> u64 {
         self.clock.fetch_add(secs, Ordering::SeqCst);
+        secs
     }
 
     /// Advance the virtual clock to at least `deadline_secs` (a `max`, not
@@ -410,8 +416,13 @@ impl ApiServer {
     /// bucket, each knows the *deadline* at which a token exists; additive
     /// advances from all of them would overshoot far past that refill
     /// point and silently deflate the virtual crawl duration's meaning.
-    pub fn advance_clock_to(&self, deadline_secs: u64) {
-        self.clock.fetch_max(deadline_secs, Ordering::SeqCst);
+    ///
+    /// Returns the seconds this call actually moved the clock (zero when
+    /// another worker already advanced past the deadline) — the exact
+    /// amount a tracing caller should charge to its wait bucket.
+    pub fn advance_clock_to(&self, deadline_secs: u64) -> u64 {
+        let prev = self.clock.fetch_max(deadline_secs, Ordering::SeqCst);
+        deadline_secs.saturating_sub(prev)
     }
 
     /// Which shard of the Mastodon bucket map an instance lives in
@@ -548,6 +559,20 @@ impl ApiServer {
             Some(Injected::Storm) => fam.chaos_storms.inc(),
             None => {}
         }
+        // Thread-local trace context: tell the crawler's span what this
+        // attempt really was — callers cannot distinguish a storm
+        // rejection from a genuinely empty bucket, or a chaos injection
+        // from the transient coin, but the acquire decision can.
+        let outcome = match (&result, injected) {
+            (Ok(()), _) => SpanOutcome::Granted,
+            (Err(_), Some(Injected::Storm)) => SpanOutcome::RateLimited { storm: true },
+            (Err(_), Some(Injected::Error)) => SpanOutcome::Fault(FaultKind::Injected),
+            (Err(FlockError::RateLimited { .. }), None) => {
+                SpanOutcome::RateLimited { storm: false }
+            }
+            (Err(_), None) => SpanOutcome::Fault(FaultKind::Transient),
+        };
+        trace::record_attempt(family.label(), outcome);
         result
     }
 
@@ -579,6 +604,10 @@ impl ApiServer {
         Page::slice(all, scope, offset, limit).map_err(|e| {
             if matches!(e, FlockError::StaleCursor(_)) {
                 self.metrics.stale_cursors.inc();
+                // The acquire was granted, then pagination found the
+                // cursor pointing past a shrunk result set: upgrade the
+                // pending attempt so the span shows what really happened.
+                trace::mark_stale_cursor();
             }
             e
         })
@@ -882,6 +911,10 @@ impl ApiServer {
             .instance_by_domain(domain)
             .ok_or_else(|| FlockError::NotFound(format!("instance {domain}")))?;
         if inst.down_at_crawl {
+            trace::record_attempt(
+                EndpointFamily::Mastodon.label(),
+                SpanOutcome::Fault(FaultKind::Outage),
+            );
             return Err(FlockError::InstanceUnavailable(domain.to_string()));
         }
         // Chaos outage windows: a permanent window answers exactly like a
@@ -891,10 +924,18 @@ impl ApiServer {
             OutageStatus::Up => {}
             OutageStatus::Permanent => {
                 self.metrics.chaos_outage_rejections.inc();
+                trace::record_attempt(
+                    EndpointFamily::Mastodon.label(),
+                    SpanOutcome::Fault(FaultKind::Outage),
+                );
                 return Err(FlockError::InstanceUnavailable(domain.to_string()));
             }
             OutageStatus::Until { end_secs } => {
                 self.metrics.chaos_outage_rejections.inc();
+                trace::record_attempt(
+                    EndpointFamily::Mastodon.label(),
+                    SpanOutcome::Fault(FaultKind::Outage),
+                );
                 return Err(FlockError::InstanceOutage {
                     retry_after_secs: end_secs.saturating_sub(self.now()).max(1),
                 });
@@ -1333,7 +1374,7 @@ mod tests {
             match api.twitter_timeline(active, Day(0), Day(60), None) {
                 Ok(_) => break,
                 Err(FlockError::RateLimited { retry_after_secs }) => {
-                    api.advance_clock(retry_after_secs)
+                    api.advance_clock(retry_after_secs);
                 }
                 Err(e) => panic!("{e}"),
             }
@@ -1454,7 +1495,7 @@ mod tests {
             match api.twitter_search("mastodon", Day(25), Day(51), None) {
                 Err(FlockError::InstanceUnavailable(_)) => failures += 1,
                 Err(FlockError::RateLimited { retry_after_secs }) => {
-                    api.advance_clock(retry_after_secs)
+                    api.advance_clock(retry_after_secs);
                 }
                 _ => {}
             }
@@ -1694,7 +1735,7 @@ mod index_differential_tests {
                         }
                     }
                     Err(FlockError::RateLimited { retry_after_secs }) => {
-                        api.advance_clock(retry_after_secs)
+                        api.advance_clock(retry_after_secs);
                     }
                     Err(e) => panic!("{q}: {e}"),
                 }

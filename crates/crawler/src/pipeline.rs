@@ -30,10 +30,11 @@ use flock_apis::server::ApiServer;
 use flock_apis::types::TwitterUserObject;
 use flock_core::handle::extract_handles;
 use flock_core::{Day, DetRng, FlockError, MastodonHandle, Result, TweetId, TwitterUserId};
-use flock_obs::{Counter, Gauge, Histogram, Registry, Tier, SECONDS_BOUNDS};
+use flock_obs::trace::{self, FaultKind, SpanOutcome};
+use flock_obs::{Counter, Gauge, Histogram, Registry, Tier, WaitCause, SECONDS_BOUNDS};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Crawl tuning.
 #[derive(Debug, Clone)]
@@ -174,6 +175,10 @@ pub struct Crawler<'a> {
     m: CrawlerMetrics,
     /// Logical requests issued so far, for `abort_after_requests`.
     requests_made: AtomicU64,
+    /// Index into [`PHASES`] of the phase currently running
+    /// (`usize::MAX` outside any phase) — the trace id every request
+    /// span is filed under.
+    phase_idx: AtomicUsize,
 }
 
 impl<'a> Crawler<'a> {
@@ -194,7 +199,17 @@ impl<'a> Crawler<'a> {
             obs,
             m,
             requests_made: AtomicU64::new(0),
+            phase_idx: AtomicUsize::new(usize::MAX),
         }
+    }
+
+    /// The trace id for spans opened right now: the running phase's name,
+    /// or the `"crawl"` envelope outside any phase.
+    fn current_phase(&self) -> &'static str {
+        PHASES
+            .get(self.phase_idx.load(Ordering::Relaxed))
+            .copied()
+            .unwrap_or("crawl")
     }
 
     /// The registry this crawler records into.
@@ -285,6 +300,8 @@ impl<'a> Crawler<'a> {
 
     /// Run one named phase: telemetry span, body, dataset-derived counter.
     fn run_phase(&self, name: &str, ds: &mut Dataset) -> Result<()> {
+        let idx = PHASES.iter().position(|p| *p == name).unwrap_or(usize::MAX);
+        self.phase_idx.store(idx, Ordering::Relaxed);
         self.obs.phase_start(self.api.now(), name);
         match name {
             "discover.collect_tweets" => {
@@ -323,6 +340,7 @@ impl<'a> Crawler<'a> {
                 )))
             }
         }
+        self.phase_idx.store(usize::MAX, Ordering::Relaxed);
         self.obs.phase_end(self.api.now(), name);
         Ok(())
     }
@@ -349,7 +367,37 @@ impl<'a> Crawler<'a> {
     /// overshot it. The cumulative wait per logical request is capped by
     /// `max_rate_limit_wait_secs` so a non-refilling bucket surfaces as a
     /// typed error instead of a livelock.
-    fn request<T>(&self, mut f: impl FnMut() -> Result<T>) -> Result<T> {
+    ///
+    /// Every call opens one **logical request span** (trace id = current
+    /// phase, label = the caller-supplied request name) and records one
+    /// child span per server attempt, with the typed outcome the API
+    /// layer left in the thread-local trace context. Every second the
+    /// wrapper moves the virtual clock is charged to a [`WaitCause`]
+    /// bucket on the span *and* on the phase's wait ledger — the
+    /// attribution invariant the profiler and the integration tests rest
+    /// on: per-phase buckets sum exactly to the phase's virtual duration.
+    fn request<T>(&self, label: &str, f: impl FnMut() -> Result<T>) -> Result<T> {
+        let phase = self.current_phase();
+        let span = self
+            .obs
+            .span_begin(phase, label, None, trace::current_worker(), self.api.now());
+        let _guard = trace::span_scope(span);
+        // Overwritten by every attempt; only an interrupt before the
+        // first attempt leaves the placeholder.
+        let mut last_outcome = SpanOutcome::Fault(FaultKind::Other);
+        let result = self.request_attempts(phase, span, label, &mut last_outcome, f);
+        self.obs.span_end(span, self.api.now(), last_outcome);
+        result
+    }
+
+    fn request_attempts<T>(
+        &self,
+        phase: &str,
+        span: u64,
+        label: &str,
+        last_outcome: &mut SpanOutcome,
+        mut f: impl FnMut() -> Result<T>,
+    ) -> Result<T> {
         let mut transient = 0;
         let mut waited: u64 = 0;
         loop {
@@ -360,11 +408,50 @@ impl<'a> Crawler<'a> {
             }
             self.m.attempts.inc();
             let before = self.api.now();
-            match f() {
+            let r = f();
+            // The acquire decision left the typed outcome in the
+            // thread-local context; a request that never reached a token
+            // bucket (unknown handle, interrupt) falls back to the shape
+            // of its error.
+            let attempt = trace::take_attempt();
+            let outcome = match (&r, attempt) {
+                (_, Some(a)) => a.outcome,
+                (Ok(_), None) => SpanOutcome::Granted,
+                (Err(FlockError::RateLimited { .. }), None) => {
+                    SpanOutcome::RateLimited { storm: false }
+                }
+                (Err(FlockError::InstanceOutage { .. }), None)
+                | (Err(FlockError::InstanceUnavailable(_)), None) => {
+                    SpanOutcome::Fault(FaultKind::Outage)
+                }
+                (Err(FlockError::StaleCursor(_)), None) => SpanOutcome::StaleCursor,
+                (Err(_), None) => SpanOutcome::Fault(FaultKind::Other),
+            };
+            self.obs.span_attempt(
+                span,
+                phase,
+                label,
+                trace::current_worker(),
+                attempt.map(|a| a.family),
+                outcome,
+                before,
+                before,
+            );
+            *last_outcome = outcome;
+            match r {
                 Ok(v) => return Ok(v),
                 Err(FlockError::RateLimited { retry_after_secs }) => {
                     self.m.rate_limited.inc();
-                    self.wait_out(&mut waited, retry_after_secs, before)?;
+                    // Storm rejections are indistinguishable from a
+                    // genuinely empty bucket out here — the typed outcome
+                    // from the server is what tells the wait buckets
+                    // apart.
+                    let cause = if outcome == (SpanOutcome::RateLimited { storm: true }) {
+                        WaitCause::RetryAfterStorm
+                    } else {
+                        WaitCause::TokenBucket
+                    };
+                    self.wait_out(&mut waited, retry_after_secs, before, span, phase, cause)?;
                 }
                 // A finite chaos outage window advertises when the
                 // instance is back; wait it out exactly like a rate limit
@@ -373,7 +460,14 @@ impl<'a> Crawler<'a> {
                 // of when the window was hit.
                 Err(FlockError::InstanceOutage { retry_after_secs }) => {
                     self.m.outage_waits.inc();
-                    self.wait_out(&mut waited, retry_after_secs, before)?;
+                    self.wait_out(
+                        &mut waited,
+                        retry_after_secs,
+                        before,
+                        span,
+                        phase,
+                        WaitCause::Outage,
+                    )?;
                 }
                 Err(e) if e.is_retryable() => {
                     self.m.transient_failures.inc();
@@ -386,7 +480,9 @@ impl<'a> Crawler<'a> {
                         "crawler.transient_retry",
                         &format!("attempt {transient}: {e}"),
                     );
-                    self.api.advance_clock(self.config.transient_backoff_secs);
+                    let applied = self.api.advance_clock(self.config.transient_backoff_secs);
+                    self.obs
+                        .attribute_wait(span, phase, WaitCause::TransientBackoff, applied);
                 }
                 Err(e) => return Err(e),
             }
@@ -395,8 +491,19 @@ impl<'a> Crawler<'a> {
 
     /// Shared wait path for rate limits and finite outage windows: record
     /// the wait, enforce the cumulative cap, advance the clock to the
-    /// deadline computed from the pre-attempt instant.
-    fn wait_out(&self, waited: &mut u64, retry_after_secs: u64, before: u64) -> Result<()> {
+    /// deadline computed from the pre-attempt instant, and charge exactly
+    /// the seconds the clock actually moved (another worker may already
+    /// have paid part of the wait) to the span and the phase ledger.
+    #[allow(clippy::too_many_arguments)]
+    fn wait_out(
+        &self,
+        waited: &mut u64,
+        retry_after_secs: u64,
+        before: u64,
+        span: u64,
+        phase: &str,
+        cause: WaitCause,
+    ) -> Result<()> {
         self.m.retry_wait_secs.record(retry_after_secs);
         *waited = waited.saturating_add(retry_after_secs);
         if *waited > self.config.max_rate_limit_wait_secs {
@@ -413,8 +520,10 @@ impl<'a> Crawler<'a> {
                 waited_secs: *waited,
             });
         }
-        self.api
+        let applied = self
+            .api
             .advance_clock_to(before.saturating_add(retry_after_secs));
+        self.obs.attribute_wait(span, phase, cause, applied);
         Ok(())
     }
 
@@ -429,7 +538,7 @@ impl<'a> Crawler<'a> {
         for (q, kind) in queries {
             let mut cursor: Option<String> = None;
             loop {
-                let page = match self.request(|| {
+                let page = match self.request(&format!("search:{q}"), || {
                     self.api.twitter_search(
                         &q,
                         Day::COLLECTION_START,
@@ -488,12 +597,15 @@ impl<'a> Crawler<'a> {
         authors.sort();
         let mut metadata: BTreeMap<TwitterUserId, TwitterUserObject> = BTreeMap::new();
         for chunk in authors.chunks(100) {
-            let users = match self.request(|| self.api.twitter_search_user_expansion(chunk)) {
+            let first = chunk.first().map_or(0, |id| id.0);
+            let users = match self
+                .request(&format!("user_expansion:{first}+{}", chunk.len()), || {
+                    self.api.twitter_search_user_expansion(chunk)
+                }) {
                 Ok(users) => users,
                 // Authors in a failed chunk keep their tweets but cannot
                 // be matched (no metadata); record the gap and move on.
                 Err(e) if e.is_retryable() => {
-                    let first = chunk.first().map_or(0, |id| id.0);
                     ds.coverage.record(
                         PHASES[1],
                         format!("user-expansion chunk of {} from id {first}", chunk.len()),
@@ -540,12 +652,15 @@ impl<'a> Crawler<'a> {
 
             // Resolve the handle on its instance, following moved_to once.
             let (account, first_account, resolved_handle) = match self
-                .request(|| self.api.mastodon_lookup_account(&handle))
-            {
+                .request(&format!("lookup:{handle}"), || {
+                    self.api.mastodon_lookup_account(&handle)
+                }) {
                 Ok(acct) => match &acct.moved_to {
                     Some(target) => {
                         let target = target.clone();
-                        match self.request(|| self.api.mastodon_lookup_account(&target)) {
+                        match self.request(&format!("lookup:{target}"), || {
+                            self.api.mastodon_lookup_account(&target)
+                        }) {
                             Ok(new_acct) => (Some(new_acct), Some(acct), target.clone()),
                             Err(FlockError::Interrupted) => return Err(FlockError::Interrupted),
                             Err(_) => (None, Some(acct), target.clone()),
@@ -636,7 +751,7 @@ impl<'a> Crawler<'a> {
         let mut cursor: Option<String> = None;
         let mut skip = None;
         let outcome = loop {
-            match self.request(|| {
+            match self.request(&format!("twitter_timeline:{}", m.twitter_id.0), || {
                 self.api.twitter_timeline(
                     m.twitter_id,
                     Day::STUDY_START,
@@ -720,7 +835,9 @@ impl<'a> Crawler<'a> {
         for src in sources {
             let mut cursor: Option<String> = None;
             loop {
-                match self.request(|| self.api.mastodon_account_statuses(&src, cursor.as_deref())) {
+                match self.request(&format!("statuses:{src}"), || {
+                    self.api.mastodon_account_statuses(&src, cursor.as_deref())
+                }) {
                     Ok(page) => {
                         statuses.extend(page.items.into_iter().map(|s| TimelineStatus {
                             day: s.day,
@@ -839,7 +956,9 @@ impl<'a> Crawler<'a> {
         let mut twitter = Vec::new();
         let mut cursor: Option<String> = None;
         loop {
-            match self.request(|| self.api.twitter_following(m.twitter_id, cursor.as_deref())) {
+            match self.request(&format!("twitter_following:{}", m.twitter_id.0), || {
+                self.api.twitter_following(m.twitter_id, cursor.as_deref())
+            }) {
                 Ok(page) => {
                     twitter.extend(page.items);
                     match page.next {
@@ -859,7 +978,7 @@ impl<'a> Crawler<'a> {
         let mut mastodon = Vec::new();
         let mut cursor: Option<String> = None;
         loop {
-            match self.request(|| {
+            match self.request(&format!("mastodon_following:{}", m.resolved_handle), || {
                 self.api
                     .mastodon_account_following(&m.resolved_handle, cursor.as_deref())
             }) {
@@ -882,7 +1001,9 @@ impl<'a> Crawler<'a> {
 
     fn crawl_weekly_activity(&self, ds: &mut Dataset) -> Result<()> {
         for domain in ds.landing_instances() {
-            match self.request(|| self.api.mastodon_instance_activity(&domain)) {
+            match self.request(&format!("weekly_activity:{domain}"), || {
+                self.api.mastodon_instance_activity(&domain)
+            }) {
                 Ok(rows) => {
                     ds.weekly_activity.insert(domain, rows);
                 }

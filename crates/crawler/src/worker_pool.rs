@@ -49,6 +49,9 @@ where
     };
     let workers = workers.max(1).min(items.len());
     if workers <= 1 {
+        // Serial runs are still "worker 0" to the trace layer, so spans
+        // carry a worker slot at every worker count.
+        let _trace = flock_obs::trace::worker_scope(0);
         return items
             .iter()
             .enumerate()
@@ -61,15 +64,22 @@ where
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
     crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+        let next = &next;
+        let slots = &slots;
+        let f = &f;
+        let report = &report;
+        for slot in 0..workers {
+            scope.spawn(move |_| {
+                let _trace = flock_obs::trace::worker_scope(slot);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    report(i);
+                    let r = f(i, &items[i]);
+                    slots.lock().push((i, r));
                 }
-                report(i);
-                let r = f(i, &items[i]);
-                slots.lock().push((i, r));
             });
         }
     })
@@ -122,6 +132,17 @@ mod tests {
         let empty: Vec<u8> = Vec::new();
         assert!(run(8, &empty, |_, &x| x).is_empty());
         assert_eq!(run(8, &[42u8], |_, &x| x), vec![42]);
+    }
+
+    #[test]
+    fn workers_carry_trace_slots() {
+        let items: Vec<usize> = (0..64).collect();
+        let slots = run(4, &items, |_, _| flock_obs::trace::current_worker());
+        assert!(slots.iter().all(|s| matches!(s, Some(w) if *w < 4)));
+        // Serial path is worker 0, and the scope is restored afterwards.
+        let serial = run(1, &items, |_, _| flock_obs::trace::current_worker());
+        assert!(serial.iter().all(|s| *s == Some(0)));
+        assert_eq!(flock_obs::trace::current_worker(), None);
     }
 
     #[test]

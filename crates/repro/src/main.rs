@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale small|medium|paper] [--seed N] [--metrics PATH]
-//!       [--chaos SCENARIO] [--workers N] <artifact>...
+//!       [--report PATH] [--chaos SCENARIO] [--workers N] <artifact>...
 //!
 //! artifacts: fig1 .. fig16, headline, all, experiments-md, retention,
 //!            dump-dataset[=path] (anonymized JSON release, §3.4), verify,
@@ -12,8 +12,14 @@
 //!            scale and chaos scenario at any worker count)
 //!
 //! --metrics PATH writes the pipeline's telemetry (counters, histograms,
-//! phase spans) after the crawl: JSON when PATH ends in `.json`, the text
-//! exposition format otherwise.
+//! phase spans) after the crawl; the format follows the extension: JSON
+//! for `.json`, Prometheus text exposition for `.prom`, the plain text
+//! format otherwise.
+//!
+//! --report PATH writes the deterministic run report (phase timeline,
+//! wait attribution, chaos impact, coverage gaps, slowest request
+//! chains) as text to PATH plus an HTML twin next to it. The report's
+//! Data-tier section is byte-identical across worker counts.
 //!
 //! --chaos SCENARIO crawls through a canned deterministic fault plan
 //! seeded from the world seed: calm, rate-limit-storm, instance-massacre,
@@ -28,7 +34,7 @@ use flock_repro::{FigureId, MigrationStudy};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: repro [--scale small|medium|paper] [--seed N] [--metrics PATH] \
+    "usage: repro [--scale small|medium|paper] [--seed N] [--metrics PATH] [--report PATH] \
      [--chaos calm|rate-limit-storm|instance-massacre|flaky-federation] [--workers N] \
      <fig1..fig16|headline|all|experiments-md|stamp[=path]>..."
 }
@@ -38,6 +44,7 @@ fn main() -> ExitCode {
     let mut config = WorldConfig::medium();
     let mut artifacts: Vec<String> = Vec::new();
     let mut metrics_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
     let mut chaos: Option<Scenario> = None;
     let mut crawler_config = CrawlerConfig::default();
     let mut i = 0;
@@ -97,6 +104,14 @@ fn main() -> ExitCode {
                 };
                 metrics_path = Some(v.clone());
             }
+            "--report" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--report needs a path; {}", usage());
+                    return ExitCode::FAILURE;
+                };
+                report_path = Some(v.clone());
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -122,6 +137,7 @@ fn main() -> ExitCode {
         eprintln!("[repro] chaos scenario: {scenario}");
     }
     let obs = Registry::new();
+    let workers = crawler_config.workers;
     let study = match MigrationStudy::run_configured(&config, api_config, crawler_config, &obs) {
         Ok(s) => s,
         Err(e) => {
@@ -147,6 +163,8 @@ fn main() -> ExitCode {
     if let Some(path) = &metrics_path {
         let body = if path.ends_with(".json") {
             obs.export_json()
+        } else if path.ends_with(".prom") {
+            obs.export_prometheus()
         } else {
             obs.export_text()
         };
@@ -159,6 +177,28 @@ fn main() -> ExitCode {
             obs.metric_count(),
             obs.event_count()
         );
+    }
+    if let Some(path) = &report_path {
+        let report = match study.run_report(&obs, chaos, config.seed, workers) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("[repro] report build failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let html_path = match path.strip_suffix(".txt") {
+            Some(stem) => format!("{stem}.html"),
+            None => format!("{path}.html"),
+        };
+        if let Err(e) = std::fs::write(path, report.to_text()) {
+            eprintln!("[repro] report write failed ({path}): {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&html_path, report.to_html()) {
+            eprintln!("[repro] report write failed ({html_path}): {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[repro] wrote run report to {path} (+ {html_path})");
     }
 
     for a in &artifacts {

@@ -157,6 +157,84 @@ impl MigrationStudy {
         Ok(MigrationStudy { world, dataset })
     }
 
+    /// Build the run report for this study's crawl. Everything placed in
+    /// the report's Data-tier section is a function of (seed, scale,
+    /// chaos scenario) only — the chaos plan is re-resolved from the
+    /// scenario rather than read off the server, and worker count and
+    /// virtual-duration stats are confined to the Sched-tier context.
+    pub fn run_report(
+        &self,
+        obs: &Registry,
+        scenario: Option<flock_chaos::Scenario>,
+        seed: u64,
+        workers: usize,
+    ) -> Result<flock_obs::report::RunReport> {
+        let (scenario_name, chaos_plan) = match scenario {
+            Some(s) => {
+                let plan = s.plan(seed).resolve(&self.world.outage_candidates())?;
+                (s.to_string(), plan.describe())
+            }
+            None => ("none".to_string(), String::new()),
+        };
+        let ds = &self.dataset;
+        let facts = vec![
+            ("seed".to_string(), seed.to_string()),
+            (
+                "collected tweets".to_string(),
+                ds.collected_tweets.len().to_string(),
+            ),
+            ("searched users".to_string(), ds.searched_users.to_string()),
+            ("matched users".to_string(), ds.matched.len().to_string()),
+            (
+                "twitter timelines".to_string(),
+                ds.twitter_timelines.len().to_string(),
+            ),
+            (
+                "mastodon timelines".to_string(),
+                ds.mastodon_timelines.len().to_string(),
+            ),
+            (
+                "followee records".to_string(),
+                ds.followees.len().to_string(),
+            ),
+            (
+                "landing instances".to_string(),
+                ds.landing_instances().len().to_string(),
+            ),
+            (
+                "weekly-activity instances".to_string(),
+                ds.weekly_activity.len().to_string(),
+            ),
+        ];
+        // Coverage gaps: the per-phase summary plus a bounded, determin-
+        // istically ordered sample of the individual items.
+        const COVERAGE_ITEM_CAP: usize = 20;
+        let mut coverage: Vec<String> = ds.coverage.summary().lines().map(str::to_string).collect();
+        for it in ds.coverage.skipped.iter().take(COVERAGE_ITEM_CAP) {
+            coverage.push(format!("[{}] {} — {}", it.phase, it.item, it.reason));
+        }
+        let elided = ds.coverage.skipped.len().saturating_sub(COVERAGE_ITEM_CAP);
+        if elided > 0 {
+            coverage.push(format!("… {elided} more items"));
+        }
+        let meta = flock_obs::report::ReportMeta {
+            title: format!("flock run report — scenario {scenario_name}"),
+            scenario: scenario_name,
+            chaos_plan,
+            facts,
+            coverage,
+            sched_context: vec![
+                ("workers".to_string(), workers.to_string()),
+                (
+                    "virtual crawl duration (secs)".to_string(),
+                    ds.stats.virtual_secs.to_string(),
+                ),
+            ],
+            top_k: 10,
+        };
+        Ok(flock_obs::report::RunReport::build(obs, &meta))
+    }
+
     /// The headline paper-vs-measured table.
     pub fn headline(&self) -> HeadlineReport {
         HeadlineReport::compute(&self.dataset)

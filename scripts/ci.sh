@@ -41,14 +41,36 @@ for seed in 1 1234 9999; do
   for w in 1 8; do
     cargo run -q --release -p flock-repro -- \
       --scale small --seed "$seed" --workers "$w" \
+      --report "$scratch/s$seed-w$w.report.txt" \
       "stamp=$scratch/s$seed-w$w.stamp" headline >/dev/null 2>&1
   done
   if ! cmp -s "$scratch/s$seed-w1.stamp" "$scratch/s$seed-w8.stamp"; then
     echo "DETERMINISM FAILURE: seed $seed stamps differ between workers=1 and workers=8" >&2
     exit 1
   fi
-  echo "    seed $seed: workers=1 == workers=8"
+  # The run report's fenced Data-tier section is part of the determinism
+  # contract too: carve it out and compare it across worker counts.
+  for w in 1 8; do
+    sed -n '/^=== BEGIN DATA TIER/,/^=== END DATA TIER/p' \
+      "$scratch/s$seed-w$w.report.txt" >"$scratch/s$seed-w$w.report.data"
+    test -s "$scratch/s$seed-w$w.report.data"
+  done
+  if ! cmp -s "$scratch/s$seed-w1.report.data" "$scratch/s$seed-w8.report.data"; then
+    echo "DETERMINISM FAILURE: seed $seed report Data sections differ between workers=1 and workers=8" >&2
+    exit 1
+  fi
+  echo "    seed $seed: workers=1 == workers=8 (stamp + report data tier)"
 done
+
+echo "==> report smoke (repro --report under chaos: fences, attribution, HTML twin)"
+report_out="$scratch/report.txt"
+cargo run -q --release -p flock-repro -- \
+  --scale small --seed 1234 --chaos rate-limit-storm --workers 8 \
+  --report "$report_out" headline >/dev/null 2>&1
+test -s "$report_out"
+test -s "$scratch/report.html"
+grep -q 'wait attribution' "$report_out"
+grep -q 'retry_after_storm=[1-9]' "$report_out"
 
 echo "==> chaos smoke (repro --chaos rate-limit-storm must degrade gracefully)"
 chaos_log="$scratch/chaos.log"
