@@ -181,9 +181,11 @@ pub fn fig14_similarity(ds: &Dataset) -> Fig14Similarity {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(8);
+        .clamp(1, 8);
     // Embedding every status against every tweet embedding dominates the
-    // figure pipeline; users are independent, so fan them out.
+    // figure pipeline; users are independent, so fan them out. The worker
+    // count above is always >= 1, so the pool's InvalidConfig arm is
+    // unreachable; fall back to empty output rather than panicking.
     let fracs = flock_crawler::worker_pool::run(workers, &pairs, |_, &(tweets, statuses)| {
         let tweet_texts: BTreeSet<&str> = tweets.iter().map(|t| t.text.as_str()).collect();
         let tweet_embeddings: Vec<Embedding> = tweets.iter().map(|t| embed(&t.text)).collect();
@@ -207,7 +209,8 @@ pub fn fig14_similarity(ds: &Dataset) -> Fig14Similarity {
             identical as f64 / statuses.len() as f64,
             similar as f64 / statuses.len() as f64,
         )
-    });
+    })
+    .unwrap_or_default();
     let identical_fracs: Vec<f64> = fracs.iter().map(|p| p.0).collect();
     let similar_fracs: Vec<f64> = fracs.iter().map(|p| p.1).collect();
     Fig14Similarity {

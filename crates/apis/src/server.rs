@@ -403,12 +403,25 @@ impl ApiServer {
     /// a rate limit use [`Self::advance_clock_to`], which cannot stack
     /// concurrent waits past the refill point.
     ///
-    /// Returns the seconds applied (always `secs` — additive advances
+    /// Returns the seconds applied (normally `secs` — additive advances
     /// never lose a race), mirroring [`Self::advance_clock_to`] so
-    /// tracing callers charge exactly what they moved the clock by.
+    /// tracing callers charge exactly what they moved the clock by. The
+    /// addition **saturates**: a pathological backoff near `u64::MAX`
+    /// pins the clock at the end of time instead of wrapping it around
+    /// (a plain `fetch_add` would silently rewind history), and the
+    /// saturated remainder is what gets reported as applied.
     pub fn advance_clock(&self, secs: u64) -> u64 {
-        self.clock.fetch_add(secs, Ordering::SeqCst);
-        secs
+        let mut cur = self.clock.load(Ordering::SeqCst);
+        loop {
+            let next = cur.saturating_add(secs);
+            match self
+                .clock
+                .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return next - cur,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 
     /// Advance the virtual clock to at least `deadline_secs` (a `max`, not
@@ -446,9 +459,14 @@ impl ApiServer {
         self.acquire_inner(which, key)?;
         // Simulated network time, spent with no lock held: concurrent
         // requests overlap their latency exactly as real HTTP calls would.
+        // Inside a discrete-event scheduler task the sleep is skipped —
+        // there, latency is a virtual-time concern and blocking the OS
+        // thread would stall every other logical task multiplexed onto
+        // it; overlapping all in-flight latencies to zero wall-clock is
+        // precisely the scheduler's reason to exist.
         let extra = self.chaos.extra_latency_micros(which.family(), self.now());
         let latency = self.config.request_latency_micros + extra;
-        if latency > 0 {
+        if latency > 0 && !trace::in_scheduled_task() {
             std::thread::sleep(std::time::Duration::from_micros(latency));
         }
         if extra > 0 {
@@ -1527,6 +1545,29 @@ mod tests {
         assert_eq!(api.now(), deadline);
         api.advance_clock_to(deadline + 5);
         assert_eq!(api.now(), deadline + 5);
+    }
+
+    /// Regression (clock wraparound): `retry_after_secs` near `u64::MAX`
+    /// must pin the virtual clock at the end of time, not wrap it back to
+    /// the beginning. Both the additive and the deadline advance saturate,
+    /// and both report the saturated seconds they actually applied.
+    #[test]
+    fn clock_advances_saturate_near_u64_max() {
+        let api = server();
+        api.advance_clock(1000);
+        // Additive advance with a pathological backoff: saturates, and the
+        // applied seconds reflect the clamp.
+        let applied = api.advance_clock(u64::MAX);
+        assert_eq!(applied, u64::MAX - 1000);
+        assert_eq!(api.now(), u64::MAX);
+        // Further advances of either kind are exact no-ops — no wrap, no
+        // backwards movement, no infinite catch-up loop.
+        assert_eq!(api.advance_clock(u64::MAX), 0);
+        assert_eq!(api.advance_clock(5), 0);
+        assert_eq!(api.now(), u64::MAX);
+        assert_eq!(api.advance_clock_to(u64::MAX), 0);
+        assert_eq!(api.advance_clock_to(12), 0);
+        assert_eq!(api.now(), u64::MAX);
     }
 
     #[test]

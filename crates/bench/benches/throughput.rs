@@ -1,27 +1,38 @@
-//! Pipeline throughput benchmark — the two headline numbers of the
-//! unserialisation work, written to `BENCH_pipeline.json` at the repo root.
+//! Pipeline throughput benchmark — the headline numbers of the
+//! unserialisation work, appended to `BENCH_history.jsonl` at the repo
+//! root (one JSON line per recorded run, keyed by git sha + label, so the
+//! regression gate can reason about a *trend* instead of a single
+//! overwritten artifact).
 //!
 //! Unlike the criterion benches next door this is a plain wall-clock
-//! harness, because both measurements are *comparisons* that belong in one
-//! committed artifact:
+//! harness, because the measurements are *comparisons* that belong in one
+//! committed history:
 //!
 //! * **search** — repeated §3.1 query throughput served from the cached
-//!   [`TweetDoc`] index with posting-list intersection
+//!   `TweetDoc` index with posting-list intersection
 //!   (`search_ids_indexed`) versus the pre-cache behaviour of re-tokenizing
 //!   the whole corpus per query (`search_ids_scan`);
 //! * **crawl** — wall-clock of the §3.2/§3.3 expansion phases
 //!   (`Crawler::expand`) as the worker count grows, against an identical
-//!   discovery output.
+//!   discovery output;
+//! * **sched** — requests/sec of thousands of logical crawler connections
+//!   driven through a rate-limit-storm chaos crawl, discrete-event
+//!   scheduler (`tasks = Some(n)`, ≤ 8 OS threads) versus the legacy
+//!   thread-per-worker pool at the same 8 threads. The scheduler yields
+//!   instead of sleeping out per-request latency, so its acceptance bar
+//!   is ≥ 3× the thread baseline.
 //!
-//! `cargo bench -p flock-bench --bench throughput` regenerates the JSON;
+//! `cargo bench -p flock-bench --bench throughput` appends to the JSONL;
 //! `-- --test` runs a seconds-long smoke version and writes nothing, so CI
-//! never dirties the committed artifact.
+//! never dirties the committed artifact. `FLOCK_BENCH_LABEL` names the
+//! entry (default `throughput`); `FLOCK_BENCH_SHA` overrides the commit
+//! key when git is unavailable.
 
 use flock_apis::{ApiConfig, ApiServer};
+use flock_chaos::Scenario;
 use flock_core::Day;
 use flock_crawler::pipeline::{migration_queries, Crawler, CrawlerConfig};
 use flock_fedisim::{World, WorldConfig};
-use flock_obs::Registry;
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
@@ -46,7 +57,29 @@ struct CrawlPoint {
 }
 
 #[derive(Serialize)]
+struct SchedReport {
+    /// Logical concurrent connections driven through the storm crawl.
+    connections: usize,
+    /// OS threads both execution models get.
+    os_threads: usize,
+    legacy_requests: u64,
+    legacy_secs: f64,
+    legacy_rps: f64,
+    sched_requests: u64,
+    sched_secs: f64,
+    sched_rps: f64,
+    /// sched_rps / legacy_rps — the acceptance bar is ≥ 3×.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
+    /// Commit this entry was recorded at (`FLOCK_BENCH_SHA` or
+    /// `git rev-parse --short HEAD`).
+    sha: String,
+    /// Entry label (`FLOCK_BENCH_LABEL`, default `throughput`) so one
+    /// history can carry differently-shaped recordings.
+    label: String,
     world: String,
     host_cpus: usize,
     /// Simulated per-request network latency during the crawl comparison.
@@ -56,11 +89,7 @@ struct Report {
     /// expand_secs(workers=1) / expand_secs(workers=4) — the acceptance
     /// bar is ≥ 2×.
     crawl_speedup_at_4: f64,
-    /// Full telemetry export (counters, histograms, spans) of one
-    /// instrumented default-config crawl over the same world: the
-    /// data-tier counters here are seed-reproducible context for the
-    /// wall-clock numbers above.
-    metrics: serde::Value,
+    sched: SchedReport,
 }
 
 /// The §3.1 query mix: every keyword/hashtag query plus instance-link
@@ -141,7 +170,8 @@ fn bench_crawl(
                         workers,
                         ..CrawlerConfig::default()
                     },
-                );
+                )
+                .expect("valid crawler config");
                 let base = crawler.discover().expect("discover");
                 let mut ds = base.clone();
                 let t = Instant::now();
@@ -157,6 +187,83 @@ fn bench_crawl(
         .collect()
 }
 
+/// Drive `connections` logical Mastodon-timeline connections through a
+/// rate-limit-storm chaos crawl, once on the legacy thread-per-worker
+/// pool and once on the discrete-event scheduler, both on `os_threads`
+/// OS threads, and compare wall-clock requests/sec.
+fn bench_sched(
+    world: &Arc<World>,
+    latency_micros: u64,
+    connections: usize,
+    os_threads: usize,
+) -> SchedReport {
+    // One calm discovery supplies the matched users both runs cycle over.
+    let discover_api = ApiServer::with_defaults(world.clone()).expect("valid default config");
+    let base = Crawler::new(&discover_api, CrawlerConfig::default())
+        .expect("valid crawler config")
+        .discover()
+        .expect("discover");
+    assert!(!base.matched.is_empty(), "discovery found no matched users");
+
+    let run = |tasks: Option<usize>| -> (u64, f64) {
+        // Fresh server per run: same storm plan, same drained-from-full
+        // buckets, same per-key chaos budgets for both execution models.
+        let api = ApiServer::new(
+            world.clone(),
+            ApiConfig {
+                request_latency_micros: latency_micros,
+                chaos: Scenario::RateLimitStorm.plan(1234),
+                ..ApiConfig::default()
+            },
+        )
+        .expect("valid bench config");
+        let crawler = Crawler::new(
+            &api,
+            CrawlerConfig {
+                workers: os_threads,
+                tasks,
+                ..CrawlerConfig::default()
+            },
+        )
+        .expect("valid crawler config");
+        let t = Instant::now();
+        let requests = crawler
+            .drive_connections(&base, connections)
+            .expect("storm crawl");
+        (requests, t.elapsed().as_secs_f64())
+    };
+
+    let (legacy_requests, legacy_secs) = run(None);
+    let (sched_requests, sched_secs) = run(Some(connections));
+    let legacy_rps = legacy_requests as f64 / legacy_secs;
+    let sched_rps = sched_requests as f64 / sched_secs;
+    SchedReport {
+        connections,
+        os_threads,
+        legacy_requests,
+        legacy_secs,
+        legacy_rps,
+        sched_requests,
+        sched_secs,
+        sched_rps,
+        speedup: sched_rps / legacy_rps,
+    }
+}
+
+/// The commit key for the history entry.
+fn bench_sha() -> String {
+    if let Ok(sha) = std::env::var("FLOCK_BENCH_SHA") {
+        return sha;
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 fn main() {
     // Criterion-compatible smoke flag: `cargo bench -- --test` must finish
     // in seconds and must not touch the committed artifact.
@@ -166,8 +273,13 @@ fn main() {
     let world = Arc::new(World::generate(&config).expect("world"));
     let api = ApiServer::with_defaults(world.clone()).unwrap();
 
+    // Smoke mode trims what is *expensive* (scan passes, the worker sweep,
+    // 10k connections), never what is *gated*: bench_check.sh compares the
+    // smoke indexed qps and expand wall-clocks against the recorded
+    // full-run medians, so those must be measured with full-run rigor or
+    // the comparison is noise.
     let search = if smoke {
-        bench_search(&api, 1, 1)
+        bench_search(&api, 40, 1)
     } else {
         bench_search(&api, 40, 4)
     };
@@ -184,7 +296,7 @@ fn main() {
     // per-request latency and measures how well N workers hide it.
     let latency_micros = 500;
     let crawl = if smoke {
-        bench_crawl(&world, latency_micros, &[1, 4], 1)
+        bench_crawl(&world, latency_micros, &[1, 4], 3)
     } else {
         bench_crawl(&world, latency_micros, &[1, 2, 4, 8], 3)
     };
@@ -201,28 +313,43 @@ fn main() {
     let crawl_speedup_at_4 = secs_at(1) / secs_at(4);
     eprintln!("expand speedup at 4 workers: {crawl_speedup_at_4:.2}x");
 
+    // The scheduler comparison: the same per-request latency the thread
+    // pool must sleep out, a rate-limit storm to force heavy retry/wait
+    // traffic, and an order of magnitude more logical connections than OS
+    // threads. The thread pool serialises each thread's connections; the
+    // scheduler overlaps every in-flight latency and only moves the
+    // virtual clock when nothing is runnable.
+    let connections = if smoke { 256 } else { 10_000 };
+    let sched = bench_sched(&world, latency_micros, connections, 8);
+    eprintln!(
+        "sched: {} connections on {} threads: scheduler {:.0} rps vs threads {:.0} rps ({:.1}x)",
+        sched.connections, sched.os_threads, sched.sched_rps, sched.legacy_rps, sched.speedup
+    );
+
     if smoke {
-        eprintln!("smoke mode: not writing BENCH_pipeline.json");
+        eprintln!("smoke mode: not writing BENCH_history.jsonl");
         return;
     }
-    // One instrumented crawl for the embedded telemetry snapshot.
-    let obs = Registry::new();
-    let api = ApiServer::with_obs(world.clone(), ApiConfig::default(), obs.clone()).unwrap();
-    Crawler::with_registry(&api, CrawlerConfig::default(), obs.clone())
-        .run()
-        .expect("instrumented crawl");
-    let metrics = serde_json::parse_value(&obs.export_json()).expect("metrics JSON parses");
     let report = Report {
+        sha: bench_sha(),
+        label: std::env::var("FLOCK_BENCH_LABEL").unwrap_or_else(|_| "throughput".to_string()),
         world: format!("WorldConfig::small().with_seed({})", config.seed),
         host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         request_latency_micros: latency_micros,
         search,
         crawl,
         crawl_speedup_at_4,
-        metrics,
+        sched,
     };
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
-    let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(path, json + "\n").expect("write BENCH_pipeline.json");
-    eprintln!("wrote {path}");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_history.jsonl");
+    // Append-only: one compact JSON line per recorded run, newest last.
+    let line = serde_json::to_string(&report).expect("serialize report");
+    let mut history = std::fs::read_to_string(path).unwrap_or_default();
+    if !history.is_empty() && !history.ends_with('\n') {
+        history.push('\n');
+    }
+    history.push_str(&line);
+    history.push('\n');
+    std::fs::write(path, history).expect("write BENCH_history.jsonl");
+    eprintln!("appended to {path}");
 }

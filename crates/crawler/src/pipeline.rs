@@ -45,8 +45,19 @@ pub struct CrawlerConfig {
     pub max_transient_retries: u32,
     /// Backoff (virtual seconds) between transient retries.
     pub transient_backoff_secs: u64,
-    /// Worker threads for the Mastodon timeline crawl.
+    /// Worker threads for the Mastodon timeline crawl (in scheduler mode,
+    /// the OS threads the logical tasks multiplex over). Zero is a typed
+    /// configuration error, not a silent clamp.
     pub workers: usize,
+    /// Logical concurrency for the §3.2–§3.3 expand phases. `None` (the
+    /// default) keeps the legacy thread-per-item worker pool; `Some(n)`
+    /// runs the parallel phases on the `flock-sched` discrete-event
+    /// executor instead, multiplexing up to `n` concurrent logical
+    /// connections over the `workers` OS threads. The produced dataset is
+    /// byte-identical either way; only scheduling-tier telemetry (waits,
+    /// rejections, virtual durations) may differ. `Some(0)` is a typed
+    /// configuration error.
+    pub tasks: Option<usize>,
     /// Seed for the followee-sample draw.
     pub seed: u64,
     /// Also crawl followees for every observed instance-switcher (on top of
@@ -76,6 +87,7 @@ impl Default for CrawlerConfig {
             max_transient_retries: 5,
             transient_backoff_secs: 30,
             workers: 4,
+            tasks: None,
             seed: 0xC4A41,
             include_switchers: true,
             max_rate_limit_wait_secs: 604_800,
@@ -123,13 +135,13 @@ pub fn migration_queries() -> Vec<(String, QueryKind)> {
 /// live in the deterministic tier; attempts, rejections, backoffs and the
 /// worker-pool queue depth depend on thread scheduling and live in the
 /// scheduling tier.
-struct CrawlerMetrics {
-    attempts: Counter,
-    rate_limited: Counter,
-    outage_waits: Counter,
-    transient_failures: Counter,
-    retry_wait_secs: Histogram,
-    budget_exhausted: Counter,
+pub(crate) struct CrawlerMetrics {
+    pub(crate) attempts: Counter,
+    pub(crate) rate_limited: Counter,
+    pub(crate) outage_waits: Counter,
+    pub(crate) transient_failures: Counter,
+    pub(crate) retry_wait_secs: Histogram,
+    pub(crate) budget_exhausted: Counter,
     queue_depth: Gauge,
     collected_tweets: Counter,
     matched_users: Counter,
@@ -169,12 +181,12 @@ impl CrawlerMetrics {
 
 /// The crawler.
 pub struct Crawler<'a> {
-    api: &'a ApiServer,
-    config: CrawlerConfig,
-    obs: Registry,
-    m: CrawlerMetrics,
+    pub(crate) api: &'a ApiServer,
+    pub(crate) config: CrawlerConfig,
+    pub(crate) obs: Registry,
+    pub(crate) m: CrawlerMetrics,
     /// Logical requests issued so far, for `abort_after_requests`.
-    requests_made: AtomicU64,
+    pub(crate) requests_made: AtomicU64,
     /// Index into [`PHASES`] of the phase currently running
     /// (`usize::MAX` outside any phase) — the trace id every request
     /// span is filed under.
@@ -183,7 +195,12 @@ pub struct Crawler<'a> {
 
 impl<'a> Crawler<'a> {
     /// Create a crawler over an API server (with a private registry).
-    pub fn new(api: &'a ApiServer, config: CrawlerConfig) -> Self {
+    ///
+    /// Degenerate concurrency settings (`workers == 0`,
+    /// `tasks == Some(0)`) are [`FlockError::InvalidConfig`] — they used
+    /// to be clamped silently downstream, which made `--workers 0` behave
+    /// like `--workers 1`.
+    pub fn new(api: &'a ApiServer, config: CrawlerConfig) -> Result<Self> {
         Crawler::with_registry(api, config, Registry::new())
     }
 
@@ -191,21 +208,31 @@ impl<'a> Crawler<'a> {
     /// [`ApiServer::with_obs`] to see both sides of every request. One
     /// crawl per registry: handles are cumulative, so a second crawl on
     /// the same registry adds onto the first crawl's totals.
-    pub fn with_registry(api: &'a ApiServer, config: CrawlerConfig, obs: Registry) -> Self {
+    pub fn with_registry(api: &'a ApiServer, config: CrawlerConfig, obs: Registry) -> Result<Self> {
+        if config.workers == 0 {
+            return Err(FlockError::InvalidConfig(
+                "crawler needs at least one worker thread (workers = 0)".to_string(),
+            ));
+        }
+        if config.tasks == Some(0) {
+            return Err(FlockError::InvalidConfig(
+                "scheduler mode needs at least one logical task (tasks = 0)".to_string(),
+            ));
+        }
         let m = CrawlerMetrics::new(&obs);
-        Crawler {
+        Ok(Crawler {
             api,
             config,
             obs,
             m,
             requests_made: AtomicU64::new(0),
             phase_idx: AtomicUsize::new(usize::MAX),
-        }
+        })
     }
 
     /// The trace id for spans opened right now: the running phase's name,
     /// or the `"crawl"` envelope outside any phase.
-    fn current_phase(&self) -> &'static str {
+    pub(crate) fn current_phase(&self) -> &'static str {
         PHASES
             .get(self.phase_idx.load(Ordering::Relaxed))
             .copied()
@@ -714,19 +741,25 @@ impl<'a> Crawler<'a> {
     // ---- §3.2: timelines --------------------------------------------------
 
     fn crawl_twitter_timelines(&self, ds: &mut Dataset) -> Result<()> {
-        let results = worker_pool::run_gauged(
-            self.config.workers,
-            &ds.matched,
-            Some(&self.m.queue_depth),
-            |_, m| self.crawl_one_twitter_timeline(m),
-        );
         // Nothing merges until every per-user result is in: an interrupt
         // anywhere leaves the dataset untouched, so the phase re-runs
         // cleanly on resume.
-        let mut merged = Vec::with_capacity(ds.matched.len());
-        for r in results {
-            merged.push(r?);
-        }
+        let merged = match self.config.tasks {
+            Some(window) => crate::tasks::twitter_timelines(self, &ds.matched, window)?,
+            None => {
+                let results = worker_pool::run_gauged(
+                    self.config.workers,
+                    &ds.matched,
+                    Some(&self.m.queue_depth),
+                    |_, m| self.crawl_one_twitter_timeline(m),
+                )?;
+                let mut merged = Vec::with_capacity(ds.matched.len());
+                for r in results {
+                    merged.push(r?);
+                }
+                merged
+            }
+        };
         for (m, (timeline, outcome, skip)) in ds.matched.iter().zip(merged) {
             if outcome == TwitterCrawlOutcome::Ok {
                 ds.twitter_timelines.insert(m.twitter_id, timeline);
@@ -793,16 +826,22 @@ impl<'a> Crawler<'a> {
     }
 
     fn crawl_mastodon_timelines(&self, ds: &mut Dataset) -> Result<()> {
-        let results = worker_pool::run_gauged(
-            self.config.workers,
-            &ds.matched,
-            Some(&self.m.queue_depth),
-            |_, m| self.crawl_one_mastodon_timeline(m),
-        );
-        let mut merged = Vec::with_capacity(ds.matched.len());
-        for r in results {
-            merged.push(r?);
-        }
+        let merged = match self.config.tasks {
+            Some(window) => crate::tasks::mastodon_timelines(self, &ds.matched, window)?,
+            None => {
+                let results = worker_pool::run_gauged(
+                    self.config.workers,
+                    &ds.matched,
+                    Some(&self.m.queue_depth),
+                    |_, m| self.crawl_one_mastodon_timeline(m),
+                )?;
+                let mut merged = Vec::with_capacity(ds.matched.len());
+                for r in results {
+                    merged.push(r?);
+                }
+                merged
+            }
+        };
         for (m, (statuses, outcome, skip)) in ds.matched.iter().zip(merged) {
             if outcome == MastodonCrawlOutcome::Ok {
                 ds.mastodon_timelines
@@ -921,16 +960,22 @@ impl<'a> Crawler<'a> {
             .iter()
             .filter_map(|id| ds.matched_by_id(*id).cloned())
             .collect();
-        let results = worker_pool::run_gauged(
-            self.config.workers,
-            &targets,
-            Some(&self.m.queue_depth),
-            |_, m| self.crawl_one_followees(m),
-        );
-        let mut merged = Vec::with_capacity(targets.len());
-        for r in results {
-            merged.push(r?);
-        }
+        let merged = match self.config.tasks {
+            Some(window) => crate::tasks::followees(self, &targets, window)?,
+            None => {
+                let results = worker_pool::run_gauged(
+                    self.config.workers,
+                    &targets,
+                    Some(&self.m.queue_depth),
+                    |_, m| self.crawl_one_followees(m),
+                )?;
+                let mut merged = Vec::with_capacity(targets.len());
+                for r in results {
+                    merged.push(r?);
+                }
+                merged
+            }
+        };
         for (m, (rec, skip)) in targets.iter().zip(merged) {
             if let Some(rec) = rec {
                 ds.followees.insert(m.twitter_id, rec);
@@ -1000,7 +1045,28 @@ impl<'a> Crawler<'a> {
     // ---- Fig. 3 cross-check: weekly activity --------------------------------
 
     fn crawl_weekly_activity(&self, ds: &mut Dataset) -> Result<()> {
-        for domain in ds.landing_instances() {
+        let domains = ds.landing_instances();
+        if let Some(window) = self.config.tasks {
+            let outcomes = crate::tasks::weekly_activity(self, &domains, window)?;
+            for (domain, out) in domains.into_iter().zip(outcomes) {
+                match out {
+                    crate::tasks::WeeklyOutcome::Rows(rows) => {
+                        ds.weekly_activity.insert(domain, rows);
+                    }
+                    // Down instances simply stay absent.
+                    crate::tasks::WeeklyOutcome::Down => {}
+                    crate::tasks::WeeklyOutcome::Skipped(reason) => {
+                        ds.coverage.record(
+                            PHASES[5],
+                            format!("weekly activity of {domain}"),
+                            reason,
+                        );
+                    }
+                }
+            }
+            return Ok(());
+        }
+        for domain in domains {
             match self.request(&format!("weekly_activity:{domain}"), || {
                 self.api.mastodon_instance_activity(&domain)
             }) {
@@ -1018,11 +1084,64 @@ impl<'a> Crawler<'a> {
         }
         Ok(())
     }
+
+    // ---- load driver --------------------------------------------------------
+
+    /// Drive `connections` simultaneous logical Mastodon-timeline
+    /// connections over the matched users of `ds` (cycling when
+    /// `connections` exceeds the matched count) and return the number of
+    /// request attempts issued. In scheduler mode
+    /// ([`CrawlerConfig::tasks`]) the connections multiplex over the
+    /// configured OS threads; in legacy mode each worker thread crawls
+    /// its items back to back. Benches use this to compare the two
+    /// execution models on identical request load.
+    pub fn drive_connections(&self, ds: &Dataset, connections: usize) -> Result<u64> {
+        if connections == 0 {
+            return Err(FlockError::InvalidConfig(
+                "drive_connections needs at least one connection".to_string(),
+            ));
+        }
+        if ds.matched.is_empty() {
+            return Err(FlockError::InvalidConfig(
+                "drive_connections needs a dataset with matched users".to_string(),
+            ));
+        }
+        let items: Vec<MatchedUser> = ds
+            .matched
+            .iter()
+            .cycle()
+            .take(connections)
+            .cloned()
+            .collect();
+        let idx = 3; // expand.mastodon_timelines
+        self.phase_idx.store(idx, Ordering::Relaxed);
+        self.obs.phase_start(self.api.now(), PHASES[idx]);
+        let before = self.m.attempts.get();
+        match self.config.tasks {
+            Some(window) => {
+                crate::tasks::mastodon_timelines(self, &items, window)?;
+            }
+            None => {
+                let results = worker_pool::run_gauged(
+                    self.config.workers,
+                    &items,
+                    Some(&self.m.queue_depth),
+                    |_, m| self.crawl_one_mastodon_timeline(m),
+                )?;
+                for r in results {
+                    r?;
+                }
+            }
+        }
+        self.obs.phase_end(self.api.now(), PHASES[idx]);
+        self.phase_idx.store(usize::MAX, Ordering::Relaxed);
+        Ok(self.m.attempts.get() - before)
+    }
 }
 
 /// Convenience: run the crawler with defaults.
 pub fn crawl(api: &ApiServer) -> Result<Dataset> {
-    Crawler::new(api, CrawlerConfig::default()).run()
+    Crawler::new(api, CrawlerConfig::default())?.run()
 }
 
 #[cfg(test)]
@@ -1196,6 +1315,56 @@ mod tests {
         assert_eq!(a.followees.len(), b.followees.len());
     }
 
+    /// Scheduler mode produces the same dataset as the legacy worker
+    /// pool — dataset content is Data-tier and must not depend on the
+    /// execution model (the root `scheduler.rs` integration tests enforce
+    /// byte-identity on the serialized form; this is the in-crate smoke).
+    #[test]
+    fn scheduled_crawl_matches_legacy_dataset() {
+        let (world, legacy) = shared();
+        let api = ApiServer::with_defaults(world.clone()).unwrap();
+        let config = CrawlerConfig {
+            tasks: Some(64),
+            ..CrawlerConfig::default()
+        };
+        let sched = Crawler::new(&api, config).unwrap().run().unwrap();
+        // Request counts and virtual durations are scheduling-tier; the
+        // Data tier is everything else, compared on the serialized form.
+        let strip = |mut ds: Dataset| {
+            ds.stats = CrawlStats {
+                requests: 0,
+                rate_limited: 0,
+                transient_failures: 0,
+                virtual_secs: 0,
+            };
+            serde_json::to_string(&ds).unwrap()
+        };
+        assert_eq!(strip(legacy.clone()), strip(sched));
+    }
+
+    /// Degenerate concurrency settings fail loudly at construction.
+    #[test]
+    fn zero_workers_or_tasks_is_a_typed_error() {
+        let (world, _) = shared();
+        let api = ApiServer::with_defaults(world.clone()).unwrap();
+        let zero_workers = CrawlerConfig {
+            workers: 0,
+            ..CrawlerConfig::default()
+        };
+        assert!(matches!(
+            Crawler::new(&api, zero_workers).map(|_| ()),
+            Err(FlockError::InvalidConfig(_))
+        ));
+        let zero_tasks = CrawlerConfig {
+            tasks: Some(0),
+            ..CrawlerConfig::default()
+        };
+        assert!(matches!(
+            Crawler::new(&api, zero_tasks).map(|_| ()),
+            Err(FlockError::InvalidConfig(_))
+        ));
+    }
+
     #[test]
     fn rate_limits_cost_virtual_time() {
         let (_world, ds) = shared();
@@ -1233,7 +1402,7 @@ mod tests {
             ..Default::default()
         };
         let api = ApiServer::new(world, api_cfg).unwrap();
-        let crawler = Crawler::new(&api, CrawlerConfig::default());
+        let crawler = Crawler::new(&api, CrawlerConfig::default()).unwrap();
         match crawler.run() {
             Err(FlockError::RetryBudgetExhausted { waited_secs }) => {
                 assert!(waited_secs > CrawlerConfig::default().max_rate_limit_wait_secs);
@@ -1250,7 +1419,7 @@ mod tests {
         let obs = Registry::new();
         let api = ApiServer::with_obs(world.clone(), flock_apis::ApiConfig::default(), obs.clone())
             .unwrap();
-        let crawler = Crawler::with_registry(&api, CrawlerConfig::default(), obs.clone());
+        let crawler = Crawler::with_registry(&api, CrawlerConfig::default(), obs.clone()).unwrap();
         let ds = crawler.run().unwrap();
         assert_eq!(
             obs.counter_value("flock.crawler.requests.attempts"),

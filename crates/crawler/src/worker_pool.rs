@@ -11,7 +11,13 @@
 //! * results carry their input index and are merged back **in input
 //!   order**, so downstream code never observes completion order;
 //! * a panic in any worker propagates to the caller (no half-merged data).
+//!
+//! This is the legacy thread-per-worker execution path; the discrete-event
+//! scheduler (`flock-sched`, [`crate::pipeline::CrawlerConfig::tasks`])
+//! multiplexes logical tasks over the same worker-slot model without
+//! pinning a thread per in-flight request.
 
+use flock_core::{FlockError, Result};
 use flock_obs::Gauge;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -19,11 +25,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Run `f` over every item of `items` on up to `workers` threads and return
 /// the results in input order. `f` receives `(index, &item)`.
 ///
-/// With `workers <= 1` (or a single item) the pool degrades to a plain
-/// in-place loop — same code path the multi-worker case reduces to, so a
-/// one-worker crawl and an eight-worker crawl produce identical output by
-/// construction.
-pub fn run<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+/// `workers == 0` is a typed configuration error — a zero used to be
+/// silently clamped to 1, which made `--workers 0` behave like
+/// `--workers 1` instead of failing loudly. With a single worker (or a
+/// single item) the pool degrades to a plain in-place loop — same code
+/// path the multi-worker case reduces to, so a one-worker crawl and an
+/// eight-worker crawl produce identical output by construction.
+pub fn run<T, R, F>(workers: usize, items: &[T], f: F) -> Result<Vec<R>>
 where
     T: Sync,
     R: Send,
@@ -36,30 +44,40 @@ where
 /// observability gauge (scheduling-tier: the instantaneous depth depends
 /// on thread timing, but the high-watermark is the input length by
 /// construction). `None` skips all instrumentation.
-pub fn run_gauged<T, R, F>(workers: usize, items: &[T], depth: Option<&Gauge>, f: F) -> Vec<R>
+pub fn run_gauged<T, R, F>(
+    workers: usize,
+    items: &[T],
+    depth: Option<&Gauge>,
+    f: F,
+) -> Result<Vec<R>>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    if workers == 0 {
+        return Err(FlockError::InvalidConfig(
+            "worker pool needs at least one worker (workers = 0)".to_string(),
+        ));
+    }
     let report = |claimed: usize| {
         if let Some(g) = depth {
             g.set(items.len().saturating_sub(claimed) as u64);
         }
     };
-    let workers = workers.max(1).min(items.len());
+    let workers = workers.min(items.len()).max(1);
     if workers <= 1 {
         // Serial runs are still "worker 0" to the trace layer, so spans
         // carry a worker slot at every worker count.
         let _trace = flock_obs::trace::worker_scope(0);
-        return items
+        return Ok(items
             .iter()
             .enumerate()
             .map(|(i, item)| {
                 report(i);
                 f(i, item)
             })
-            .collect();
+            .collect());
     }
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
@@ -89,7 +107,7 @@ where
     // Completion order is scheduling noise; input order is the contract.
     out.sort_by_key(|(i, _)| *i);
     debug_assert_eq!(out.len(), items.len());
-    out.into_iter().map(|(_, r)| r).collect()
+    Ok(out.into_iter().map(|(_, r)| r).collect())
 }
 
 #[cfg(test)]
@@ -103,17 +121,37 @@ mod tests {
         let out = run(8, &items, |i, &x| {
             assert_eq!(i, x);
             x * 2
-        });
+        })
+        .unwrap();
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn worker_counts_agree() {
         let items: Vec<u64> = (0..97).collect();
-        let serial = run(1, &items, |_, &x| x * x + 1);
+        let serial = run(1, &items, |_, &x| x * x + 1).unwrap();
         for w in [2, 3, 8, 64] {
-            assert_eq!(run(w, &items, |_, &x| x * x + 1), serial, "workers={w}");
+            assert_eq!(
+                run(w, &items, |_, &x| x * x + 1).unwrap(),
+                serial,
+                "workers={w}"
+            );
         }
+    }
+
+    #[test]
+    fn zero_workers_is_a_typed_error_not_a_clamp() {
+        let items: Vec<usize> = (0..4).collect();
+        match run(0, &items, |_, &x| x) {
+            Err(FlockError::InvalidConfig(msg)) => assert!(msg.contains("workers")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // Even with no items there is nothing to clamp silently.
+        let empty: Vec<usize> = Vec::new();
+        assert!(matches!(
+            run(0, &empty, |_, &x| x),
+            Err(FlockError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -122,7 +160,8 @@ mod tests {
         let hits = AtomicUsize::new(0);
         let out = run(8, &items, |_, _| {
             hits.fetch_add(1, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         assert_eq!(out.len(), items.len());
         assert_eq!(hits.load(Ordering::Relaxed), items.len());
     }
@@ -130,17 +169,17 @@ mod tests {
     #[test]
     fn empty_and_single_item_inputs() {
         let empty: Vec<u8> = Vec::new();
-        assert!(run(8, &empty, |_, &x| x).is_empty());
-        assert_eq!(run(8, &[42u8], |_, &x| x), vec![42]);
+        assert!(run(8, &empty, |_, &x| x).unwrap().is_empty());
+        assert_eq!(run(8, &[42u8], |_, &x| x).unwrap(), vec![42]);
     }
 
     #[test]
     fn workers_carry_trace_slots() {
         let items: Vec<usize> = (0..64).collect();
-        let slots = run(4, &items, |_, _| flock_obs::trace::current_worker());
+        let slots = run(4, &items, |_, _| flock_obs::trace::current_worker()).unwrap();
         assert!(slots.iter().all(|s| matches!(s, Some(w) if *w < 4)));
         // Serial path is worker 0, and the scope is restored afterwards.
-        let serial = run(1, &items, |_, _| flock_obs::trace::current_worker());
+        let serial = run(1, &items, |_, _| flock_obs::trace::current_worker()).unwrap();
         assert!(serial.iter().all(|s| *s == Some(0)));
         assert_eq!(flock_obs::trace::current_worker(), None);
     }
@@ -149,12 +188,12 @@ mod tests {
     fn queue_depth_gauge_watermarks_at_input_length() {
         let g = flock_obs::Registry::new().gauge("flock.test.depth", flock_obs::Tier::Sched);
         let items: Vec<usize> = (0..64).collect();
-        let out = run_gauged(4, &items, Some(&g), |_, &x| x);
+        let out = run_gauged(4, &items, Some(&g), |_, &x| x).unwrap();
         assert_eq!(out, items);
         assert_eq!(g.high_watermark(), items.len() as u64);
         // Serial path reports too.
         let g2 = flock_obs::Registry::new().gauge("flock.test.depth2", flock_obs::Tier::Sched);
-        run_gauged(1, &items, Some(&g2), |_, &x| x);
+        run_gauged(1, &items, Some(&g2), |_, &x| x).unwrap();
         assert_eq!(g2.high_watermark(), items.len() as u64);
     }
 }

@@ -7,7 +7,7 @@
 //! CSV, an `Instant::now()` in a retry loop, a `.lock()` taken in the wrong
 //! order, an `unwrap()` on a path a malformed dataset can reach. This crate
 //! machine-checks those conventions as deny-by-default rules; see
-//! [`rules`] for the rule list and DESIGN.md §5 for the policy.
+//! [`rules`] for the rule list and DESIGN.md §6 for the policy.
 //!
 //! The build environment is offline, so the implementation is a small
 //! hand-rolled lexer ([`lexer`]) rather than a real parser — the same

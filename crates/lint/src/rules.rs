@@ -1,7 +1,7 @@
 //! The rule engine: walks a lexed token stream and emits findings.
 //!
 //! Three deny-by-default rule families guard the invariants the pipeline's
-//! reproducibility rests on (see DESIGN.md §5):
+//! reproducibility rests on (see DESIGN.md §6):
 //!
 //! * `determinism` — no wall-clock or ambient-randomness calls in pipeline
 //!   code; virtual time and seeded [`DetRng`]s only.
@@ -13,6 +13,10 @@
 //! * `panic` — no `unwrap()`/`expect()`/`panic!`/bare `assert!` in library
 //!   code; errors propagate through `flock_core::error`. (`assert_eq!` and
 //!   `debug_assert!` remain permitted.)
+//! * `thread-spawn` — no ad-hoc OS-thread creation (`thread::spawn`,
+//!   `thread::scope`, `crossbeam::scope`) outside `crates/sched` and the
+//!   crawler's `worker_pool.rs`; logical concurrency multiplexes through
+//!   `flock_sched::Executor`, OS parallelism through `worker_pool::run`.
 //!
 //! Test code is exempt everywhere: files under `tests/`, `benches/`,
 //! `examples/`, and items behind `#[cfg(test)]` / `#[test]`. The escape
@@ -29,6 +33,7 @@ pub const RULE_DETERMINISM: &str = "determinism";
 pub const RULE_HASH_ITER: &str = "hash-iter";
 pub const RULE_LOCK_ORDER: &str = "lock-order";
 pub const RULE_PANIC: &str = "panic";
+pub const RULE_THREAD_SPAWN: &str = "thread-spawn";
 /// Meta-rule for problems with the directives themselves.
 pub const RULE_DIRECTIVE: &str = "directive";
 
@@ -38,6 +43,7 @@ pub const KNOWN_RULES: &[&str] = &[
     RULE_HASH_ITER,
     RULE_LOCK_ORDER,
     RULE_PANIC,
+    RULE_THREAD_SPAWN,
 ];
 
 /// One reported violation.
@@ -67,11 +73,12 @@ pub struct FileClass {
     pub hash_iter: bool,
     pub lock_order: bool,
     pub panic: bool,
+    pub thread_spawn: bool,
 }
 
 impl FileClass {
     pub fn any(&self) -> bool {
-        self.determinism || self.hash_iter || self.lock_order || self.panic
+        self.determinism || self.hash_iter || self.lock_order || self.panic || self.thread_spawn
     }
 }
 
@@ -110,6 +117,9 @@ pub fn classify(rel_path: &str) -> FileClass {
         ),
         lock_order: krate == "apis",
         panic: true,
+        // The scheduler crate and the crawler's worker pool are the only
+        // sanctioned owners of OS threads.
+        thread_spawn: krate != "sched" && comps.last() != Some(&"worker_pool.rs"),
     }
 }
 
@@ -304,6 +314,34 @@ impl<'a> Ctx<'a> {
                             "ambient randomness `{}` in pipeline code; use a \
                              seeded flock_core::DetRng",
                             tok.text
+                        ),
+                    );
+                }
+            }
+
+            if self.class.thread_spawn {
+                let path2 = |a: &str, b: &str| {
+                    tok.is(a)
+                        && t.get(i + 1).is_some_and(|n| n.punct(':'))
+                        && t.get(i + 2).is_some_and(|n| n.punct(':'))
+                        && t.get(i + 3).is_some_and(|n| n.is(b))
+                };
+                // `std::thread::spawn` ends in the same `thread :: spawn`
+                // adjacency, so the two-segment match covers both spellings;
+                // `crossbeam::thread::scope` likewise ends in `thread :: scope`.
+                if path2("thread", "spawn")
+                    || path2("thread", "scope")
+                    || path2("crossbeam", "scope")
+                {
+                    self.emit(
+                        tok.line,
+                        RULE_THREAD_SPAWN,
+                        format!(
+                            "OS-thread creation `{}::{}` outside the scheduler; \
+                             multiplex logical tasks on flock_sched::Executor or \
+                             fan out via crawler worker_pool::run",
+                            tok.text,
+                            t[i + 3].text
                         ),
                     );
                 }

@@ -1,0 +1,6 @@
+// Fixture: an escape hatch without a reason is itself a finding.
+pub fn watchdog() {
+    // flock-lint: allow(thread-spawn)
+    let handle = std::thread::spawn(|| ());
+    let _ = handle.join();
+}

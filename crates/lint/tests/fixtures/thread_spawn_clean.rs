@@ -1,0 +1,9 @@
+// Fixture: parallelism through the sanctioned entry points stays clean.
+use std::thread;
+
+pub fn fan_out(items: Vec<u32>) -> Vec<u32> {
+    // Naming the module, sleeping, or joining are all fine; only creating
+    // threads is fenced off.
+    thread::sleep(std::time::Duration::from_micros(1));
+    items.into_iter().map(|x| x + 1).collect()
+}

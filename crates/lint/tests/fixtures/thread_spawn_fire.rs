@@ -1,0 +1,12 @@
+// Fixture: every ad-hoc OS-thread entry point fires.
+pub fn fan_out(items: Vec<u32>) -> Vec<u32> {
+    let handle = std::thread::spawn(move || items.len());
+    let _ = handle.join();
+    std::thread::scope(|s| {
+        s.spawn(|| ());
+    });
+    let _ = crossbeam::scope(|s| {
+        s.spawn(|_| ());
+    });
+    Vec::new()
+}

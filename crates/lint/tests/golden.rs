@@ -9,7 +9,7 @@
 use flock_lint::manifest::LockManifest;
 use flock_lint::rules::{
     lint_source, Finding, RULE_DETERMINISM, RULE_DIRECTIVE, RULE_HASH_ITER, RULE_LOCK_ORDER,
-    RULE_PANIC,
+    RULE_PANIC, RULE_THREAD_SPAWN,
 };
 use flock_lint::walk::{find_workspace_root, lint_workspace, load_lock_manifest};
 
@@ -237,6 +237,62 @@ fn panic_assert_option_rewrite_and_test_modules_pass() {
 fn panic_assert_allow_with_reason_suppresses() {
     let findings = lint_fixture("panic_assert_allow_reason.rs", "crates/core/src/fixture.rs");
     assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// --- thread-spawn --------------------------------------------------------
+
+#[test]
+fn thread_spawn_fires_on_every_spawn_entry_point() {
+    let findings = lint_fixture("thread_spawn_fire.rs", "crates/analysis/src/fixture.rs");
+    assert_eq!(
+        shape(&findings),
+        vec![
+            (3, RULE_THREAD_SPAWN), // std::thread::spawn
+            (5, RULE_THREAD_SPAWN), // std::thread::scope
+            (8, RULE_THREAD_SPAWN), // crossbeam::scope
+        ],
+        "{findings:#?}"
+    );
+    assert!(findings[0].message.contains("flock_sched::Executor"));
+}
+
+#[test]
+fn thread_spawn_clean_source_passes() {
+    let findings = lint_fixture("thread_spawn_clean.rs", "crates/analysis/src/fixture.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn thread_spawn_allow_with_reason_suppresses() {
+    let findings = lint_fixture(
+        "thread_spawn_allow_reason.rs",
+        "crates/analysis/src/fixture.rs",
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn thread_spawn_allow_without_reason_is_flagged() {
+    let findings = lint_fixture(
+        "thread_spawn_allow_no_reason.rs",
+        "crates/analysis/src/fixture.rs",
+    );
+    assert_eq!(shape(&findings), vec![(3, RULE_DIRECTIVE)], "{findings:#?}");
+    assert!(findings[0].message.contains("requires a reason"));
+}
+
+#[test]
+fn thread_spawn_is_waived_for_the_scheduler_and_worker_pool() {
+    for path in [
+        "crates/sched/src/lib.rs",
+        "crates/crawler/src/worker_pool.rs",
+    ] {
+        let findings = lint_fixture("thread_spawn_fire.rs", path);
+        assert!(
+            findings.iter().all(|f| f.rule != RULE_THREAD_SPAWN),
+            "{path}: {findings:#?}"
+        );
+    }
 }
 
 // --- directive meta-rule -------------------------------------------------

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--scale small|medium|paper] [--seed N] [--metrics PATH]
-//!       [--report PATH] [--chaos SCENARIO] [--workers N] <artifact>...
+//!       [--report PATH] [--chaos SCENARIO] [--workers N] [--tasks N]
+//!       <artifact>...
 //!
 //! artifacts: fig1 .. fig16, headline, all, experiments-md, retention,
 //!            dump-dataset[=path] (anonymized JSON release, §3.4), verify,
@@ -24,6 +25,13 @@
 //! --chaos SCENARIO crawls through a canned deterministic fault plan
 //! seeded from the world seed: calm, rate-limit-storm, instance-massacre,
 //! or flaky-federation.
+//!
+//! --workers N sets the OS threads of the parallel crawl phases; --tasks N
+//! additionally runs those phases on the discrete-event scheduler with N
+//! logical concurrent connections multiplexed over the worker threads.
+//! Zero is rejected for both (typed config error), and the dataset — and
+//! therefore every figure and the stamp — is byte-identical with or
+//! without the scheduler.
 //! ```
 
 use flock_chaos::Scenario;
@@ -35,7 +43,7 @@ use std::process::ExitCode;
 
 fn usage() -> &'static str {
     "usage: repro [--scale small|medium|paper] [--seed N] [--metrics PATH] [--report PATH] \
-     [--chaos calm|rate-limit-storm|instance-massacre|flaky-federation] [--workers N] \
+     [--chaos calm|rate-limit-storm|instance-massacre|flaky-federation] [--workers N] [--tasks N] \
      <fig1..fig16|headline|all|experiments-md|stamp[=path]>..."
 }
 
@@ -71,6 +79,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 crawler_config.workers = v;
+            }
+            "--tasks" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--tasks needs an integer; {}", usage());
+                    return ExitCode::FAILURE;
+                };
+                crawler_config.tasks = Some(v);
             }
             "--scale" => {
                 i += 1;

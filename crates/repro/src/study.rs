@@ -153,7 +153,7 @@ impl MigrationStudy {
         let world = Arc::new(World::generate(config)?);
         flock_fedisim::emit_migration_telemetry(&world.accounts, obs);
         let api = ApiServer::with_obs(world.clone(), api_config, obs.clone())?;
-        let dataset = Crawler::with_registry(&api, crawler_config, obs.clone()).run()?;
+        let dataset = Crawler::with_registry(&api, crawler_config, obs.clone())?.run()?;
         Ok(MigrationStudy { world, dataset })
     }
 

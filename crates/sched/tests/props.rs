@@ -1,0 +1,101 @@
+//! Property tests over the discrete-event executor: however the events
+//! interleave — any mix of wait lengths, Ready yields, thread counts and
+//! admission windows — the virtual clock only ever moves forward, and
+//! every second it moves is charged to exactly one fired event.
+
+use flock_sched::{AtomicClock, Clock, Executor, Step, Task};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// A [`Clock`] wrapper journaling the time observed after every advance,
+/// so the monotonicity of the interleaving itself can be asserted.
+struct JournaledClock {
+    inner: AtomicClock,
+    observed: Mutex<Vec<u64>>,
+}
+
+impl Clock for JournaledClock {
+    fn now(&self) -> u64 {
+        self.inner.now()
+    }
+
+    fn advance_to(&self, deadline_secs: u64) -> u64 {
+        let applied = self.inner.advance_to(deadline_secs);
+        self.observed
+            .lock()
+            .expect("journal lock")
+            .push(self.inner.now());
+        applied
+    }
+}
+
+/// Scripted task: alternates `readies` Ready yields with the scripted
+/// relative waits, then finishes.
+struct Scripted {
+    readies: usize,
+    waits: Vec<u64>,
+    at: usize,
+}
+
+impl Task for Scripted {
+    type Bill = ();
+    fn poll(&mut self, now: u64) -> Step<()> {
+        if self.readies > 0 {
+            self.readies -= 1;
+            return Step::Ready;
+        }
+        if self.at < self.waits.len() {
+            let until = now.saturating_add(self.waits[self.at]);
+            self.at += 1;
+            return Step::Wait { until, bill: () };
+        }
+        Step::Done
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of scheduler events yields a monotone clock, and
+    /// the charged seconds tile the total movement exactly.
+    #[test]
+    fn interleavings_keep_the_clock_monotone(
+        scripts in prop::collection::vec(
+            (0usize..3, prop::collection::vec(0u64..5_000, 0..4)),
+            1..40,
+        ),
+        threads in 1usize..9,
+        window in 1usize..64,
+        start in 0u64..1_000_000,
+    ) {
+        let clock = JournaledClock {
+            inner: AtomicClock::new(start),
+            observed: Mutex::new(Vec::new()),
+        };
+        let tasks: Vec<Scripted> = scripts
+            .iter()
+            .map(|(readies, waits)| Scripted {
+                readies: *readies,
+                waits: waits.clone(),
+                at: 0,
+            })
+            .collect();
+        let charged = Mutex::new(0u64);
+        let ex = Executor::new(threads, window).expect("valid executor");
+        ex.run(&clock, tasks, |_, applied| {
+            *charged.lock().expect("charge lock") += applied;
+        });
+        let observed = clock.observed.lock().expect("journal lock").clone();
+        let mut prev = start;
+        for (i, t) in observed.iter().enumerate() {
+            prop_assert!(
+                *t >= prev,
+                "clock moved backwards at advance {i}: {prev} -> {t}"
+            );
+            prev = *t;
+        }
+        let end = clock.inner.now();
+        prop_assert!(end >= start);
+        prop_assert_eq!(*charged.lock().expect("charge lock"), end - start);
+    }
+}

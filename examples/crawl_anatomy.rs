@@ -30,6 +30,7 @@ fn main() {
     let api = ApiServer::new(world.clone(), api_config).expect("valid api config");
 
     let ds = Crawler::new(&api, CrawlerConfig::default())
+        .expect("valid crawler config")
         .run()
         .expect("crawl");
 

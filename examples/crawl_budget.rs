@@ -36,7 +36,10 @@ fn main() {
             include_switchers: false, // isolate the sampling knob
             ..CrawlerConfig::default()
         };
-        let ds = Crawler::new(&api, crawler_config).run().expect("crawl");
+        let ds = Crawler::new(&api, crawler_config)
+            .expect("valid crawler config")
+            .run()
+            .expect("crawl");
         let days = ds.stats.virtual_secs as f64 / 86_400.0;
         println!(
             "{:>8.0}% | {:>8} | {:>10} | {:>13} | {:>11.1} days",

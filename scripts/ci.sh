@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, the tier-1 build + test suite, a smoke
 # pass over every bench target (including the throughput bench, which in
-# --test mode does not rewrite the committed BENCH_pipeline.json), the
+# --test mode does not append to the committed BENCH_history.jsonl), the
 # determinism matrix (seeds x worker counts must stamp byte-identically),
+# the scheduler determinism matrix (the discrete-event scheduler at any
+# threads x tasks point must stamp byte-identically with the legacy pool),
 # a chaos-scenario smoke crawl, and an advisory throughput-regression
 # check. The same script backs .github/workflows/ci.yml.
 set -euo pipefail
@@ -60,6 +62,33 @@ for seed in 1 1234 9999; do
     exit 1
   fi
   echo "    seed $seed: workers=1 == workers=8 (stamp + report data tier)"
+done
+
+echo "==> scheduler determinism matrix (seeds x threads x tasks must match the legacy stamps)"
+for seed in 1 1234 9999; do
+  for w in 1 8; do
+    for n in 64 10000; do
+      tag="sched-s$seed-w$w-t$n"
+      cargo run -q --release -p flock-repro -- \
+        --scale small --seed "$seed" --workers "$w" --tasks "$n" \
+        --report "$scratch/$tag.report.txt" \
+        "stamp=$scratch/$tag.stamp" headline >/dev/null 2>&1
+      # The scheduler is an execution detail: its stamp must be
+      # byte-identical to the legacy-pool stamp of the same seed.
+      if ! cmp -s "$scratch/s$seed-w1.stamp" "$scratch/$tag.stamp"; then
+        echo "DETERMINISM FAILURE: seed $seed scheduler stamp (workers=$w tasks=$n) differs from the legacy pool" >&2
+        exit 1
+      fi
+      sed -n '/^=== BEGIN DATA TIER/,/^=== END DATA TIER/p' \
+        "$scratch/$tag.report.txt" >"$scratch/$tag.report.data"
+      test -s "$scratch/$tag.report.data"
+      if ! cmp -s "$scratch/s$seed-w1.report.data" "$scratch/$tag.report.data"; then
+        echo "DETERMINISM FAILURE: seed $seed scheduler report Data section (workers=$w tasks=$n) differs from the legacy pool" >&2
+        exit 1
+      fi
+    done
+  done
+  echo "    seed $seed: scheduler {1,8} threads x {64,10000} tasks == legacy (stamp + report data tier)"
 done
 
 echo "==> report smoke (repro --report under chaos: fences, attribution, HTML twin)"

@@ -45,6 +45,7 @@ fn every_scenario_is_worker_count_invariant() {
                 ..CrawlerConfig::default()
             };
             let ds = Crawler::with_registry(&api, config, obs.clone())
+                .unwrap()
                 .run()
                 .unwrap();
             (stats_zeroed_json(ds), obs.snapshot())
@@ -71,12 +72,14 @@ fn flaky_federation_degrades_gracefully() {
     let obs = Registry::new();
     let api = chaos_api(&world, Scenario::FlakyFederation, seed, &obs);
     let ds = Crawler::with_registry(&api, CrawlerConfig::default(), obs.clone())
+        .unwrap()
         .run()
         .unwrap();
     // A crawl under calm skies must report full coverage.
     let calm_obs = Registry::new();
     let calm_api = chaos_api(&world, Scenario::Calm, seed, &calm_obs);
     let calm = Crawler::with_registry(&calm_api, CrawlerConfig::default(), calm_obs.clone())
+        .unwrap()
         .run()
         .unwrap();
     assert!(calm.coverage.is_empty(), "{}", calm.coverage.summary());
@@ -106,6 +109,7 @@ fn interrupted_crawl_resumes_to_the_same_dataset() {
     let obs = Registry::new();
     let api = chaos_api(&world, scenario, seed, &obs);
     let uninterrupted = Crawler::with_registry(&api, CrawlerConfig::default(), obs.clone())
+        .unwrap()
         .run()
         .unwrap();
     let total_requests = uninterrupted.stats.requests;
@@ -122,6 +126,7 @@ fn interrupted_crawl_resumes_to_the_same_dataset() {
         ..CrawlerConfig::default()
     };
     let err = Crawler::with_registry(&api, config, obs.clone())
+        .unwrap()
         .run_resumable(&path)
         .unwrap_err();
     assert!(matches!(err, FlockError::Interrupted), "{err}");
@@ -131,6 +136,7 @@ fn interrupted_crawl_resumes_to_the_same_dataset() {
     let obs = Registry::new();
     let api = chaos_api(&world, scenario, seed, &obs);
     let resumed = Crawler::with_registry(&api, CrawlerConfig::default(), obs.clone())
+        .unwrap()
         .run_resumable(&path)
         .unwrap();
     std::fs::remove_file(&path).unwrap();
@@ -152,6 +158,7 @@ fn degraded_dataset_round_trips_with_coverage() {
     let obs = Registry::new();
     let api = chaos_api(&world, Scenario::FlakyFederation, seed, &obs);
     let ds = Crawler::with_registry(&api, CrawlerConfig::default(), obs.clone())
+        .unwrap()
         .run()
         .unwrap();
 

@@ -79,7 +79,7 @@ fn worker_count_does_not_change_the_dataset() {
             workers,
             ..CrawlerConfig::default()
         };
-        let mut ds = Crawler::new(&api, config).run().unwrap();
+        let mut ds = Crawler::new(&api, config).unwrap().run().unwrap();
         // Crawl *accounting* (who ate which rate-limit wait) legitimately
         // depends on scheduling; the observed data must not.
         ds.stats = CrawlStats::default();
@@ -118,6 +118,7 @@ fn worker_count_does_not_change_the_metrics_snapshot() {
             ..CrawlerConfig::default()
         };
         Crawler::with_registry(&api, config, obs.clone())
+            .unwrap()
             .run()
             .unwrap();
         obs.snapshot()

@@ -31,6 +31,7 @@ fn crawl(world: &Arc<World>, scenario: Scenario, workers: usize) -> Registry {
         ..CrawlerConfig::default()
     };
     Crawler::with_registry(&api, crawler_config, obs.clone())
+        .unwrap()
         .run()
         .unwrap();
     obs

@@ -1,0 +1,269 @@
+//! The discrete-event scheduler contract, end to end: running the expand
+//! phases as logical tasks on `flock-sched` is an *execution detail* —
+//! the dataset and the data-tier metrics must be byte-identical to the
+//! legacy thread-per-worker pool at any `{workers} x {tasks}` point, the
+//! wait-attribution identity (buckets + work = duration) must keep
+//! holding, checkpoint interrupt/resume must converge to the same bytes,
+//! and a virtual clock pushed toward `u64::MAX` by absurd backoff
+//! configuration must saturate instead of wrapping, on both execution
+//! models.
+
+use flock::apis::{ApiConfig, ApiServer};
+use flock::chaos::Scenario;
+use flock::crawler::prelude::*;
+use flock::fedisim::{World, WorldConfig};
+use flock::obs::profile::phase_profiles;
+use flock::obs::Registry;
+use flock_core::FlockError;
+use std::sync::Arc;
+
+const SEED: u64 = 1234;
+
+fn small_world() -> Arc<World> {
+    Arc::new(World::generate(&WorldConfig::small().with_seed(SEED)).unwrap())
+}
+
+fn chaos_api(world: &Arc<World>, scenario: Scenario, obs: &Registry) -> ApiServer {
+    let config = ApiConfig {
+        chaos: scenario.plan(SEED),
+        ..ApiConfig::default()
+    };
+    ApiServer::with_obs(world.clone(), config, obs.clone()).unwrap()
+}
+
+/// Stats are crawl accounting and legitimately vary with scheduling;
+/// everything else must not.
+fn stats_zeroed_json(mut ds: Dataset) -> String {
+    ds.stats = CrawlStats::default();
+    serde_json::to_string(&ds).unwrap()
+}
+
+fn run_once(
+    world: &Arc<World>,
+    scenario: Scenario,
+    workers: usize,
+    tasks: Option<usize>,
+) -> (String, String) {
+    let obs = Registry::new();
+    let api = chaos_api(world, scenario, &obs);
+    let config = CrawlerConfig {
+        workers,
+        tasks,
+        ..CrawlerConfig::default()
+    };
+    let ds = Crawler::with_registry(&api, config, obs.clone())
+        .unwrap()
+        .run()
+        .unwrap();
+    (stats_zeroed_json(ds), obs.snapshot())
+}
+
+/// The headline determinism claim: at every `{workers} x {tasks}` point
+/// of the acceptance matrix, the scheduled crawl produces the same
+/// dataset bytes and the same data-tier metrics snapshot as the legacy
+/// pool — under a rate-limit storm, where scheduling differs the most.
+#[test]
+fn scheduler_matrix_is_byte_identical_to_the_legacy_pool() {
+    let world = small_world();
+    let (legacy_ds, legacy_snap) = run_once(&world, Scenario::RateLimitStorm, 1, None);
+    for workers in [1, 8] {
+        for tasks in [64, 1024, 10_000] {
+            let (ds, snap) = run_once(&world, Scenario::RateLimitStorm, workers, Some(tasks));
+            assert_eq!(
+                legacy_ds, ds,
+                "dataset bytes differ from legacy at workers={workers} tasks={tasks}"
+            );
+            assert_eq!(
+                legacy_snap, snap,
+                "data-tier metrics differ from legacy at workers={workers} tasks={tasks}"
+            );
+        }
+    }
+}
+
+/// The observability contract survives the port: on the scheduler, every
+/// second of every request-bearing phase is still attributed to exactly
+/// one wait bucket, with zero residual "work" — calm or stormy, at one
+/// or eight OS threads, at small or huge logical width.
+#[test]
+fn wait_buckets_sum_to_phase_durations_under_the_scheduler() {
+    let world = small_world();
+    for scenario in [Scenario::Calm, Scenario::RateLimitStorm] {
+        for workers in [1, 8] {
+            for tasks in [64, 10_000] {
+                let obs = Registry::new();
+                let api = chaos_api(&world, scenario, &obs);
+                let config = CrawlerConfig {
+                    workers,
+                    tasks: Some(tasks),
+                    ..CrawlerConfig::default()
+                };
+                Crawler::with_registry(&api, config, obs.clone())
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                let profiles = phase_profiles(&obs);
+                let request_bearing: Vec<_> = profiles.iter().filter(|p| p.requests > 0).collect();
+                assert!(
+                    !request_bearing.is_empty(),
+                    "{scenario}/workers={workers}/tasks={tasks}: no phases profiled"
+                );
+                for p in &request_bearing {
+                    assert_eq!(
+                        p.wait_total_secs() + p.work_secs(),
+                        p.duration_secs(),
+                        "{scenario}/workers={workers}/tasks={tasks}: phase {} accounting broken",
+                        p.name
+                    );
+                    assert_eq!(
+                        p.work_secs(),
+                        0,
+                        "{scenario}/workers={workers}/tasks={tasks}: phase {} has unattributed \
+                         clock movement (duration {} vs waits {:?})",
+                        p.name,
+                        p.duration_secs(),
+                        p.waits
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Interrupt/resume is execution-model-agnostic: a scheduled crawl killed
+/// mid-flight resumes from its checkpoint to the bytes an uninterrupted
+/// scheduled crawl produces (same process-restart semantics as the legacy
+/// pool: fresh server, completed phases from the checkpoint).
+#[test]
+fn interrupted_scheduled_crawl_resumes_to_the_same_dataset() {
+    let scenario = Scenario::RateLimitStorm;
+    let world = small_world();
+    let sched = |abort: Option<u64>| CrawlerConfig {
+        tasks: Some(64),
+        abort_after_requests: abort,
+        ..CrawlerConfig::default()
+    };
+
+    let obs = Registry::new();
+    let api = chaos_api(&world, scenario, &obs);
+    let uninterrupted = Crawler::with_registry(&api, sched(None), obs.clone())
+        .unwrap()
+        .run()
+        .unwrap();
+    let total_requests = uninterrupted.stats.requests;
+    assert!(total_requests > 0);
+
+    let path = std::env::temp_dir().join(format!("flock-sched-ckpt-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let obs = Registry::new();
+    let api = chaos_api(&world, scenario, &obs);
+    let err = Crawler::with_registry(&api, sched(Some(total_requests / 2)), obs.clone())
+        .unwrap()
+        .run_resumable(&path)
+        .unwrap_err();
+    assert!(matches!(err, FlockError::Interrupted), "{err}");
+    assert!(path.exists(), "interrupt must leave a checkpoint behind");
+
+    let obs = Registry::new();
+    let api = chaos_api(&world, scenario, &obs);
+    let resumed = Crawler::with_registry(&api, sched(None), obs.clone())
+        .unwrap()
+        .run_resumable(&path)
+        .unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    assert_eq!(
+        stats_zeroed_json(uninterrupted),
+        stats_zeroed_json(resumed),
+        "resumed scheduled dataset differs from the uninterrupted crawl"
+    );
+}
+
+/// A transient backoff configured near `u64::MAX` drives the virtual
+/// clock to the top of its range: it must *saturate* there — no wrap, no
+/// panic, no livelock — under the legacy pool and the scheduler alike.
+/// With the clock pinned at the ceiling, later waits can no longer move
+/// time, so the run is allowed to end in the typed retry-budget error
+/// (the fail-fast the budget exists for) — but never anything else. The
+/// flaky-federation scenario guarantees transient faults that trigger
+/// the backoff.
+#[test]
+fn huge_backoff_saturates_the_virtual_clock_on_both_execution_models() {
+    let world = small_world();
+    for tasks in [None, Some(64)] {
+        let obs = Registry::new();
+        let api = chaos_api(&world, Scenario::FlakyFederation, &obs);
+        let config = CrawlerConfig {
+            workers: 4,
+            tasks,
+            transient_backoff_secs: u64::MAX,
+            max_transient_retries: 2,
+            // With the clock pinned at the ceiling, budget starvation is
+            // how the run ends; a small budget keeps that ending fast.
+            max_rate_limit_wait_secs: 3_600,
+            ..CrawlerConfig::default()
+        };
+        let result = Crawler::with_registry(&api, config, obs.clone())
+            .unwrap()
+            .run();
+        match result {
+            Ok(_) | Err(FlockError::RetryBudgetExhausted { .. }) => {}
+            Err(e) => panic!("tasks={tasks:?}: expected clean end or budget error, got {e}"),
+        }
+        assert_eq!(
+            api.now(),
+            u64::MAX,
+            "tasks={tasks:?}: clock wrapped instead of saturating"
+        );
+    }
+}
+
+/// A retry-wait budget too small for the storm's Retry-After values fails
+/// fast with the same typed error on both execution models — the
+/// scheduler inherits the legacy budget semantics exactly, rather than
+/// livelocking or inventing its own failure mode.
+#[test]
+fn exhausted_retry_budget_is_the_same_typed_error_on_both_execution_models() {
+    let world = small_world();
+    for tasks in [None, Some(256)] {
+        let obs = Registry::new();
+        let api = chaos_api(&world, Scenario::RateLimitStorm, &obs);
+        let config = CrawlerConfig {
+            workers: 4,
+            tasks,
+            max_rate_limit_wait_secs: 1,
+            ..CrawlerConfig::default()
+        };
+        let err = Crawler::with_registry(&api, config, obs.clone())
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, FlockError::RetryBudgetExhausted { .. }),
+            "tasks={tasks:?}: expected RetryBudgetExhausted, got {err}"
+        );
+    }
+}
+
+/// Zero is a configuration error on both axes — typed, never a silent
+/// clamp to 1.
+#[test]
+fn zero_workers_or_zero_tasks_is_a_typed_error() {
+    let world = small_world();
+    let api = ApiServer::with_defaults(world).unwrap();
+    for (workers, tasks) in [(0, None), (0, Some(64)), (4, Some(0))] {
+        let config = CrawlerConfig {
+            workers,
+            tasks,
+            ..CrawlerConfig::default()
+        };
+        match Crawler::new(&api, config) {
+            Ok(_) => panic!("workers={workers} tasks={tasks:?} accepted"),
+            Err(err) => assert!(
+                matches!(err, FlockError::InvalidConfig(_)),
+                "workers={workers} tasks={tasks:?}: {err}"
+            ),
+        }
+    }
+}
