@@ -1,0 +1,80 @@
+//! Stable JSON rendering of findings (`flock-analyze --json`).
+//!
+//! The output is part of the CI contract: two runs over the same tree must
+//! be byte-identical, so the renderer is hand-rolled (no map types, no
+//! dependency on serializer internals), keys appear in a fixed order, and
+//! findings are emitted in the already-sorted `(path, line, rule,
+//! message)` order produced by [`crate::analyze_files`].
+
+use flock_lint::Finding;
+
+/// Render a full report. Ends with a newline.
+pub fn render(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"flock-analyze\",\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"finding_count\": {},\n", findings.len()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"path\": {}, ", escape(&f.path)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"rule\": {}, ", escape(f.rule)));
+        out.push_str(&format!("\"message\": {}", escape(&f.message)));
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// JSON string escaping (control characters, quotes, backslashes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_stable_and_escaped() {
+        let findings = vec![Finding {
+            path: "crates/x/src/a.rs".to_string(),
+            line: 3,
+            rule: "tier-taint",
+            message: "chain: a -> \"b\"\nend".to_string(),
+        }];
+        let a = render(&findings, 7);
+        let b = render(&findings, 7);
+        assert_eq!(a, b);
+        assert!(a.contains("\\\"b\\\"\\nend"));
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_report_is_well_formed() {
+        let r = render(&[], 0);
+        assert!(r.contains("\"findings\": []"));
+    }
+}

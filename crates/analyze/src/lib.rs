@@ -1,0 +1,104 @@
+//! `flock-analyze`: whole-program static analysis over the workspace call
+//! graph.
+//!
+//! `flock-lint` checks one line at a time; this crate lifts the same
+//! deny-by-default philosophy to flows *between* functions, on a call
+//! graph recovered from the lexer's token streams ([`graph`]):
+//!
+//! * **Tier taint** ([`taint`]) — Sched-tier values (worker slots, span
+//!   ids, OS-thread facts) must never flow into Data-tier writers. The
+//!   sources, sinks, and reasoned boundaries are declared in
+//!   `tier.manifest` ([`manifest`]).
+//! * **Interprocedural lock order** ([`locks`]) — the lexical
+//!   `lock-order` rule, extended through calls: acquiring a lower-level
+//!   lock *via a helper in another file* while a higher-level guard is
+//!   held is the bug the lexical rule cannot see.
+//! * **Schedule soundness** ([`race`]) — a loom-lite bounded model
+//!   checker (`flock-analyze --sched-race`) that exhaustively permutes
+//!   same-virtual-timestamp event orderings in small `flock-sched`
+//!   models and asserts Data-tier byte-identity across every schedule.
+//!
+//! Findings share `flock-lint`'s escape hatch: a
+//! `// flock-lint: allow(tier-taint|call-lock-order) <reason>` on the
+//! finding line (or the line above) suppresses it; the reason is
+//! mandatory.
+
+pub mod graph;
+pub mod json;
+pub mod locks;
+pub mod manifest;
+pub mod race;
+pub mod taint;
+
+pub use flock_lint::Finding;
+pub use manifest::TierManifest;
+
+use flock_lint::lexer::Lexed;
+use flock_lint::manifest::LockManifest;
+use flock_lint::rules::RULE_DIRECTIVE;
+use std::collections::BTreeSet;
+
+/// Where the tier-taint manifest lives, workspace-relative.
+pub const TIER_MANIFEST_PATH: &str = "tier.manifest";
+
+/// Run both call-graph passes over `(workspace-relative path, source)`
+/// pairs. Findings come back sorted by `(path, line, rule, message)` —
+/// the order is part of the output contract (see [`json`]).
+pub fn analyze_files(
+    files: &[(String, String)],
+    tier: &TierManifest,
+    locks_manifest: &LockManifest,
+) -> Vec<Finding> {
+    let g = graph::build(files);
+    let mut emitter = Emitter::default();
+    taint::check(&g, tier, &mut emitter);
+    locks::check(&g, locks_manifest, &mut emitter);
+    let mut findings = emitter.findings;
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    findings
+}
+
+/// Finding collector with the shared `allow(...)` escape-hatch semantics,
+/// mirroring `flock-lint`'s: a directive with a reason on the finding line
+/// or the line above suppresses; a reasonless directive is itself flagged.
+#[derive(Default)]
+pub(crate) struct Emitter {
+    pub(crate) findings: Vec<Finding>,
+    flagged: BTreeSet<(String, u32)>,
+}
+
+impl Emitter {
+    pub(crate) fn emit(
+        &mut self,
+        lexed: &Lexed,
+        path: &str,
+        line: u32,
+        rule: &'static str,
+        message: String,
+    ) {
+        for d in &lexed.directives {
+            if d.rule == rule && (d.line == line || d.line + 1 == line) {
+                if d.reason.is_some() {
+                    return;
+                }
+                if self.flagged.insert((path.to_string(), d.line)) {
+                    self.findings.push(Finding {
+                        path: path.to_string(),
+                        line: d.line,
+                        rule: RULE_DIRECTIVE,
+                        message: format!("allow({rule}) requires a reason"),
+                    });
+                }
+                return;
+            }
+        }
+        self.findings.push(Finding {
+            path: path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    }
+}

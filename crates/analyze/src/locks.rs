@@ -1,0 +1,184 @@
+//! The interprocedural lock-order pass.
+//!
+//! `flock-lint`'s lexical `lock-order` rule sees only one function body:
+//! `self.mastodon.lock()` followed by `self.clock.lock()` in the same
+//! scope. The deadlock it cannot see is the same acquisition split across
+//! a call — a guard held at a call site whose *callee* (possibly in
+//! another file, possibly through further helpers) acquires a lock at the
+//! same or a lower manifest level.
+//!
+//! The pass computes each fn's **may-acquire set** (manifest-declared
+//! receivers it can lock, directly or transitively through resolved call
+//! edges) by fixpoint, replays the lexical held-set scan per body, and
+//! flags any call site where `held.level >= callee.may_acquire.level`,
+//! printing the acquisition path down to the concrete `.lock()`.
+
+use crate::graph::Graph;
+use crate::Emitter;
+use flock_lint::manifest::LockManifest;
+use flock_lint::rules::RULE_CALL_LOCK_ORDER;
+use flock_lint::syntax::receiver_of;
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+
+/// How a fn may come to hold a lock, for witness paths.
+#[derive(Debug, Clone)]
+enum Acq {
+    Direct { line: u32 },
+    Via { callee: usize, line: u32 },
+}
+
+pub(crate) fn check(g: &Graph, m: &LockManifest, out: &mut Emitter) {
+    if m.is_empty() {
+        return;
+    }
+    // Direct acquisitions per fn: `.lock()` on manifest-declared receivers.
+    let mut acquires: Vec<BTreeMap<String, (u32, Acq)>> =
+        g.fns.iter().map(|_| BTreeMap::new()).collect();
+    for (id, def) in g.fns.iter().enumerate() {
+        let Some(lexed) = g.lexed.get(&def.file) else {
+            continue;
+        };
+        let t = &lexed.tokens;
+        for &k in &def.toks {
+            if is_lock_call(t, k) {
+                if let Some(name) = receiver_of(t, k) {
+                    if let Some(level) = m.level_of(&name) {
+                        acquires[id].entry(name).or_insert((
+                            level,
+                            Acq::Direct {
+                                line: t[k + 1].line,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Fixpoint: callers inherit callees' may-acquire sets.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for caller in 0..g.fns.len() {
+            for &(site, callee) in &g.edges[caller] {
+                if caller == callee {
+                    continue;
+                }
+                let line = g.fns[caller].calls[site].line;
+                let inherited: Vec<(String, u32)> = acquires[callee]
+                    .iter()
+                    .map(|(name, (level, _))| (name.clone(), *level))
+                    .collect();
+                for (name, level) in inherited {
+                    if let Entry::Vacant(slot) = acquires[caller].entry(name) {
+                        slot.insert((level, Acq::Via { callee, line }));
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Replay the lexical held-set per body; at each resolved call site,
+    // the callee's may-acquire set must sit strictly below every held
+    // level.
+    for (id, def) in g.fns.iter().enumerate() {
+        let Some(lexed) = g.lexed.get(&def.file) else {
+            continue;
+        };
+        let t = &lexed.tokens;
+        let mut depth = 0u32;
+        let mut held: Vec<(String, u32, u32, u32)> = Vec::new(); // (name, level, depth, line)
+        let mut site_at: BTreeMap<usize, usize> = BTreeMap::new();
+        for (site, call) in def.calls.iter().enumerate() {
+            site_at.insert(call.tok, site);
+        }
+        let mut resolved: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &(site, callee) in &g.edges[id] {
+            resolved.entry(site).or_default().push(callee);
+        }
+        for &k in &def.toks {
+            let tok = &t[k];
+            if tok.punct('{') {
+                depth += 1;
+            } else if tok.punct('}') {
+                held.retain(|h| h.2 < depth);
+                depth = depth.saturating_sub(1);
+            }
+            if is_lock_call(t, k) {
+                if let Some(name) = receiver_of(t, k) {
+                    if let Some(level) = m.level_of(&name) {
+                        held.push((name, level, depth, t[k + 1].line));
+                    }
+                }
+            }
+            let Some(site) = site_at.get(&k) else {
+                continue;
+            };
+            let Some(callees) = resolved.get(site) else {
+                continue;
+            };
+            let call = &def.calls[*site];
+            for &callee in callees {
+                for (lock, (level, _)) in &acquires[callee] {
+                    for h in &held {
+                        if *level <= h.1 {
+                            out.emit(
+                                lexed,
+                                &def.file,
+                                call.line,
+                                RULE_CALL_LOCK_ORDER,
+                                format!(
+                                    "call to `{}` may acquire `{lock}` (level {level}) while \
+                                     holding `{}` (level {}, line {}); the manifest ({}) orders \
+                                     locks strictly downward; {}",
+                                    call.callee,
+                                    h.0,
+                                    h.1,
+                                    h.3,
+                                    m.source,
+                                    path(g, &acquires, callee, lock),
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `. lock ( )` at the `.` token.
+fn is_lock_call(t: &[flock_lint::lexer::Token], k: usize) -> bool {
+    t[k].punct('.')
+        && t.get(k + 1).is_some_and(|n| n.is("lock"))
+        && t.get(k + 2).is_some_and(|n| n.punct('('))
+        && t.get(k + 3).is_some_and(|n| n.punct(')'))
+}
+
+/// Witness path from `id` down to the concrete `.lock()` on `lock`.
+fn path(g: &Graph, acquires: &[BTreeMap<String, (u32, Acq)>], mut id: usize, lock: &str) -> String {
+    let mut parts = Vec::new();
+    loop {
+        let def = &g.fns[id];
+        match acquires[id].get(lock) {
+            Some((_, Acq::Direct { line })) => {
+                parts.push(format!(
+                    "{} ({}:{}) -> `.lock()` on `{lock}` at {}:{line}",
+                    def.name, def.file, line, def.file
+                ));
+                break;
+            }
+            Some((_, Acq::Via { callee, line })) => {
+                parts.push(format!("{} ({}:{})", def.name, def.file, line));
+                id = *callee;
+            }
+            None => break,
+        }
+        if parts.len() > g.fns.len() {
+            break;
+        }
+    }
+    format!("acquisition path: {}", parts.join(" -> "))
+}

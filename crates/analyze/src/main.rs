@@ -1,0 +1,230 @@
+//! The `flock-analyze` binary.
+//!
+//! ```text
+//! flock-analyze --workspace             # both call-graph passes, whole tree
+//! flock-analyze FILE…                   # analyze specific files as a unit
+//! flock-analyze --sched-race            # exhaustive tie-permutation models
+//! flock-analyze --json …                # stable machine-readable output
+//! flock-analyze --tier-manifest PATH …  # override tier.manifest
+//! flock-analyze --lock-manifest PATH …  # override lock-order.manifest
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (or a failed race model), 2
+//! usage/configuration error.
+
+use flock_analyze::{analyze_files, json, race, TierManifest, TIER_MANIFEST_PATH};
+use flock_lint::manifest::LockManifest;
+use flock_lint::walk;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    sched_race: bool,
+    json: bool,
+    tier_override: Option<PathBuf>,
+    lock_override: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        sched_race: false,
+        json: false,
+        tier_override: None,
+        lock_override: None,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--sched-race" => args.sched_race = true,
+            "--json" => args.json = true,
+            "--tier-manifest" => {
+                let path = it.next().ok_or("--tier-manifest requires a path")?;
+                args.tier_override = Some(PathBuf::from(path));
+            }
+            "--lock-manifest" => {
+                let path = it.next().ok_or("--lock-manifest requires a path")?;
+                args.lock_override = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: flock-analyze [--workspace | FILE…] [--sched-race] [--json] \
+                     [--tier-manifest PATH] [--lock-manifest PATH]"
+                        .to_string(),
+                )
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => args.files.push(PathBuf::from(other)),
+        }
+    }
+    if !args.workspace && !args.sched_race && args.files.is_empty() {
+        return Err("nothing to do: pass --workspace, --sched-race, or file paths".to_string());
+    }
+    Ok(args)
+}
+
+fn load_tier_manifest(root: &Path, over: &Option<PathBuf>) -> Result<TierManifest, String> {
+    match over {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            TierManifest::parse(&text, &path.display().to_string())
+        }
+        None => {
+            let path = root.join(TIER_MANIFEST_PATH);
+            match std::fs::read_to_string(&path) {
+                Ok(text) => TierManifest::parse(&text, TIER_MANIFEST_PATH),
+                // Deny-by-default would want an error here, but an absent
+                // manifest means "no sources declared", which is already
+                // the no-findings fixpoint — match flock-lint's behavior.
+                Err(_) => Ok(TierManifest::empty()),
+            }
+        }
+    }
+}
+
+fn run_sched_race(as_json: bool) -> ExitCode {
+    let reports = race::ci_reports();
+    let mut failed = 0usize;
+    if as_json {
+        let mut out =
+            String::from("{\n  \"tool\": \"flock-analyze --sched-race\",\n  \"models\": [");
+        for (i, r) in reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (ok, detail) = match &r.result {
+                Ok(o) => (
+                    !o.truncated,
+                    format!(
+                        "schedules={} branch_points={} max_tied={} truncated={}",
+                        o.schedules, o.branch_points, o.max_tied, o.truncated
+                    ),
+                ),
+                Err(e) => (false, e.to_string()),
+            };
+            if !ok {
+                failed += 1;
+            }
+            out.push_str(&format!(
+                "\n    {{\"model\": \"{}\", \"ok\": {ok}, \"detail\": \"{}\"}}",
+                r.name,
+                detail.replace('"', "\\\"")
+            ));
+        }
+        out.push_str("\n  ]\n}");
+        println!("{out}");
+    } else {
+        for r in &reports {
+            match &r.result {
+                Ok(o) if !o.truncated => println!(
+                    "flock-analyze: model {}: OK ({} schedules, {} branch point(s), \
+                     widest tie {})",
+                    r.name, o.schedules, o.branch_points, o.max_tied
+                ),
+                Ok(o) => {
+                    failed += 1;
+                    println!(
+                        "flock-analyze: model {}: TRUNCATED after {} schedules — not exhaustive",
+                        r.name, o.schedules
+                    );
+                }
+                Err(e) => {
+                    failed += 1;
+                    println!("flock-analyze: model {}: FAIL — {e}", r.name);
+                }
+            }
+        }
+    }
+    if failed == 0 {
+        if !as_json {
+            println!(
+                "flock-analyze: sched-race clean ({} models exhaustively explored)",
+                reports.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    if args.sched_race {
+        return Ok(run_sched_race(args.json));
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    let root = walk::find_workspace_root(&cwd)
+        .ok_or("no [workspace] Cargo.toml above the current directory")?;
+
+    let tier = load_tier_manifest(&root, &args.tier_override)?;
+    let locks = match &args.lock_override {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            LockManifest::parse(&text, &path.display().to_string())?
+        }
+        None => walk::load_lock_manifest(&root)?,
+    };
+
+    let rels: Vec<String> = if args.workspace {
+        walk::collect_rs_files(&root).map_err(|e| format!("scan: {e}"))?
+    } else {
+        args.files
+            .iter()
+            .map(|p| {
+                let abs = if p.is_absolute() {
+                    p.clone()
+                } else {
+                    cwd.join(p)
+                };
+                let rel = abs.strip_prefix(&root).unwrap_or(&abs);
+                rel.to_string_lossy().replace('\\', "/")
+            })
+            .collect()
+    };
+    let mut files = Vec::with_capacity(rels.len());
+    for rel in rels {
+        let src =
+            std::fs::read_to_string(root.join(&rel)).map_err(|e| format!("read {rel}: {e}"))?;
+        files.push((rel, src));
+    }
+    let scanned = files.len();
+    let findings = analyze_files(&files, &tier, &locks);
+
+    if args.json {
+        print!("{}", json::render(&findings, scanned));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            println!("flock-analyze: clean ({scanned} files scanned)");
+        } else {
+            println!(
+                "flock-analyze: {} finding(s) in {scanned} files scanned",
+                findings.len()
+            );
+        }
+    }
+    Ok(if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("flock-analyze: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

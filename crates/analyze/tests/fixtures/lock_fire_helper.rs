@@ -1,0 +1,13 @@
+use crate::server::Server;
+
+/// Innocent on its own: a single level-2 acquisition.
+pub fn refresh_search(srv: &Server) {
+    let mut index = srv.search.lock();
+    index.clear();
+}
+
+/// One more hop, so the witness path has depth: callers of `reroute`
+/// may-acquire `search` through it.
+pub fn reroute(srv: &Server) {
+    refresh_search(srv);
+}

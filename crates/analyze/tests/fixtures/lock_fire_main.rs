@@ -1,0 +1,10 @@
+use crate::server::Server;
+
+/// Holds `mastodon` (level 3) across a call whose transitive callee
+/// acquires `search` (level 2) — invisible to the lexical rule, which
+/// never sees both acquisitions in one body.
+pub fn handle_status(srv: &Server) {
+    let shard = srv.mastodon.lock();
+    reroute(srv);
+    drop(shard);
+}

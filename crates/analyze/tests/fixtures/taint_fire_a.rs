@@ -1,0 +1,10 @@
+use flock_obs::trace;
+
+pub fn worker_tag() -> String {
+    let w = trace::current_worker().unwrap_or(99);
+    format!("w{w}")
+}
+
+pub fn provenance_note() -> String {
+    format!("crawled by {}", worker_tag())
+}

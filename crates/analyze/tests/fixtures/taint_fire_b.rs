@@ -1,0 +1,7 @@
+use crate::dataset::Dataset;
+use std::path::Path;
+
+pub fn stamp_and_save(ds: &mut Dataset, path: &Path) -> std::io::Result<()> {
+    ds.provenance = provenance_note();
+    ds.save(path)
+}

@@ -1,0 +1,13 @@
+use flock_obs::trace;
+
+fn slot_id() -> usize {
+    trace::current_worker().unwrap_or(0)
+}
+
+fn describe_slot() -> String {
+    format!("slot {}", slot_id())
+}
+
+pub fn to_json(rows: &[u64]) -> String {
+    format!("{{\"by\":\"{}\",\"rows\":{}}}", describe_slot(), rows.len())
+}

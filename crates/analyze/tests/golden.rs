@@ -1,0 +1,270 @@
+//! Golden tests for the call-graph passes, mirroring
+//! `crates/lint/tests/golden.rs`: fixture sources live under
+//! `tests/fixtures/` (a directory both walkers skip, so the deliberately
+//! violating code never trips the real gates) and are analyzed under
+//! *pretend* workspace paths, since path classification and manifest
+//! qualification key off them.
+
+use flock_analyze::{analyze_files, json, Finding, TierManifest, TIER_MANIFEST_PATH};
+use flock_lint::manifest::LockManifest;
+use flock_lint::rules::{RULE_CALL_LOCK_ORDER, RULE_DIRECTIVE, RULE_TIER_TAINT};
+use flock_lint::walk;
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn tier_manifest() -> TierManifest {
+    TierManifest::parse(
+        "source call current_worker\n\
+         sink fn to_json\n\
+         sink call save\n\
+         boundary fn request_like\n",
+        "test-tier",
+    )
+    .expect("test tier manifest parses")
+}
+
+fn lock_manifest() -> LockManifest {
+    LockManifest::parse(
+        "1 clock\n2 search users follows\n3 mastodon\n",
+        "test-locks",
+    )
+    .expect("test lock manifest parses")
+}
+
+/// Analyze fixtures under pretend paths.
+fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(path, name)| (path.to_string(), fixture(name)))
+        .collect();
+    analyze_files(&owned, &tier_manifest(), &lock_manifest())
+}
+
+#[test]
+fn cross_file_taint_fires_with_the_full_chain() {
+    let findings = run(&[
+        ("crates/crawler/src/taint_fire_a.rs", "taint_fire_a.rs"),
+        ("crates/crawler/src/taint_fire_b.rs", "taint_fire_b.rs"),
+    ]);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    let f = &findings[0];
+    assert_eq!(f.path, "crates/crawler/src/taint_fire_b.rs");
+    assert_eq!(f.line, 6); // the ds.save(path) call
+    assert_eq!(f.rule, RULE_TIER_TAINT);
+    // The witness chain crosses two call hops and two files down to the
+    // concrete source.
+    for part in [
+        "stamp_and_save",
+        "provenance_note",
+        "worker_tag",
+        "taint_fire_a.rs",
+        "`current_worker(…)` [Sched source]",
+    ] {
+        assert!(
+            f.message.contains(part),
+            "missing {part:?} in {}",
+            f.message
+        );
+    }
+}
+
+#[test]
+fn a_tainted_sink_fn_fires_at_its_definition() {
+    let findings = run(&[("crates/crawler/src/taint_sink_fn.rs", "taint_sink_fn.rs")]);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    let f = &findings[0];
+    assert_eq!((f.line, f.rule), (11, RULE_TIER_TAINT));
+    assert!(f.message.contains("sink fn `to_json`"), "{}", f.message);
+    assert!(f.message.contains("describe_slot"), "{}", f.message);
+    assert!(f.message.contains("slot_id"), "{}", f.message);
+}
+
+#[test]
+fn a_declared_boundary_stops_propagation() {
+    let findings = run(&[("crates/crawler/src/taint_clean.rs", "taint_clean.rs")]);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn an_allow_with_reason_suppresses_taint() {
+    let findings = run(&[(
+        "crates/crawler/src/taint_allow_reason.rs",
+        "taint_allow_reason.rs",
+    )]);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn an_allow_without_reason_is_itself_flagged() {
+    let findings = run(&[(
+        "crates/crawler/src/taint_allow_no_reason.rs",
+        "taint_allow_no_reason.rs",
+    )]);
+    let got: Vec<(u32, &str)> = findings.iter().map(|f| (f.line, f.rule)).collect();
+    assert_eq!(got, vec![(11, RULE_DIRECTIVE)], "{findings:#?}");
+}
+
+#[test]
+fn cross_file_nested_locks_fire_with_the_acquisition_path() {
+    let findings = run(&[
+        ("crates/apis/src/lock_fire_helper.rs", "lock_fire_helper.rs"),
+        ("crates/apis/src/lock_fire_main.rs", "lock_fire_main.rs"),
+    ]);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    let f = &findings[0];
+    assert_eq!(f.path, "crates/apis/src/lock_fire_main.rs");
+    assert_eq!(f.line, 8); // the reroute(srv) call under the mastodon guard
+    assert_eq!(f.rule, RULE_CALL_LOCK_ORDER);
+    for part in [
+        "`search` (level 2)",
+        "`mastodon` (level 3",
+        "reroute",
+        "refresh_search",
+        "`.lock()` on `search`",
+        "lock_fire_helper.rs",
+    ] {
+        assert!(
+            f.message.contains(part),
+            "missing {part:?} in {}",
+            f.message
+        );
+    }
+}
+
+#[test]
+fn downward_lock_order_through_calls_is_clean() {
+    let findings = run(&[("crates/apis/src/lock_clean.rs", "lock_clean.rs")]);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn an_allow_with_reason_suppresses_call_lock_order() {
+    let findings = run(&[(
+        "crates/apis/src/lock_allow_reason.rs",
+        "lock_allow_reason.rs",
+    )]);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: the real workspace is clean under the real manifests.
+// ---------------------------------------------------------------------
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/analyze")
+        .to_path_buf()
+}
+
+fn workspace_files(root: &Path) -> Vec<(String, String)> {
+    walk::collect_rs_files(root)
+        .expect("walk workspace")
+        .into_iter()
+        .map(|rel| {
+            let src = std::fs::read_to_string(root.join(&rel))
+                .unwrap_or_else(|e| panic!("read {rel}: {e}"));
+            (rel, src)
+        })
+        .collect()
+}
+
+fn real_manifests(root: &Path) -> (TierManifest, LockManifest) {
+    let tier_path = root.join(TIER_MANIFEST_PATH);
+    let tier_text = std::fs::read_to_string(&tier_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", tier_path.display()));
+    let tier = TierManifest::parse(&tier_text, TIER_MANIFEST_PATH).expect("tier.manifest parses");
+    assert!(
+        !tier.source_calls.is_empty() && !tier.sink_fns.is_empty(),
+        "tier.manifest must declare real sources and sinks"
+    );
+    let locks = walk::load_lock_manifest(root).expect("lock manifest parses");
+    assert!(!locks.is_empty(), "lock-order.manifest must exist");
+    (tier, locks)
+}
+
+#[test]
+fn workspace_is_clean() {
+    let root = workspace_root();
+    let files = workspace_files(&root);
+    let (tier, locks) = real_manifests(&root);
+    let findings = analyze_files(&files, &tier, &locks);
+    assert!(
+        findings.is_empty(),
+        "workspace has analyze findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn the_boundaries_are_load_bearing() {
+    // Guard against the manifest rotting into a no-op: stripping the
+    // boundary declarations must surface the known Sched→Data flows
+    // (span ids in `request`, available_parallelism in the fig14 pool).
+    let root = workspace_root();
+    let files = workspace_files(&root);
+    let (tier, locks) = real_manifests(&root);
+    let unbounded = TierManifest {
+        boundary_fns: Vec::new(),
+        ..tier
+    };
+    let findings = analyze_files(&files, &unbounded, &locks);
+    assert!(
+        findings.len() >= 5,
+        "stripping boundaries should expose the declared flows, got {findings:#?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .all(|f| f.rule == RULE_TIER_TAINT && f.message.contains("[Sched source]")),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn json_output_is_deterministic_across_runs() {
+    let root = workspace_root();
+    let (tier, locks) = real_manifests(&root);
+    // Two full pipelines from disk — walk, read, build, analyze, render —
+    // must agree to the byte.
+    let run = || {
+        let files = workspace_files(&root);
+        let findings = analyze_files(&files, &tier, &locks);
+        json::render(&findings, files.len())
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second);
+    assert!(first.contains("\"tool\": \"flock-analyze\""));
+}
+
+#[test]
+fn json_findings_round_trip_fixture_content() {
+    // The fixture findings render with escaped chains intact and in
+    // sorted order regardless of input file order.
+    let forward = run(&[
+        ("crates/crawler/src/taint_fire_a.rs", "taint_fire_a.rs"),
+        ("crates/crawler/src/taint_fire_b.rs", "taint_fire_b.rs"),
+        ("crates/apis/src/lock_fire_helper.rs", "lock_fire_helper.rs"),
+        ("crates/apis/src/lock_fire_main.rs", "lock_fire_main.rs"),
+    ]);
+    let reversed = run(&[
+        ("crates/apis/src/lock_fire_main.rs", "lock_fire_main.rs"),
+        ("crates/apis/src/lock_fire_helper.rs", "lock_fire_helper.rs"),
+        ("crates/crawler/src/taint_fire_b.rs", "taint_fire_b.rs"),
+        ("crates/crawler/src/taint_fire_a.rs", "taint_fire_a.rs"),
+    ]);
+    assert_eq!(json::render(&forward, 4), json::render(&reversed, 4));
+    assert_eq!(forward.len(), 2);
+}

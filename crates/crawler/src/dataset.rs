@@ -123,7 +123,12 @@ pub struct CoverageReport {
 
 impl CoverageReport {
     /// Record one skipped item.
-    pub fn record(&mut self, phase: &str, item: impl Into<String>, reason: impl std::fmt::Display) {
+    pub fn record_skip(
+        &mut self,
+        phase: &str,
+        item: impl Into<String>,
+        reason: impl std::fmt::Display,
+    ) {
         self.skipped.push(SkippedItem {
             phase: phase.to_string(),
             item: item.into(),

@@ -40,6 +40,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 #[derive(Debug, Clone)]
 pub struct CrawlerConfig {
     /// Fraction of matched users whose followees are crawled (paper: 10%).
+    // flock-lint: allow(float-in-data-tier) single scalar config knob, never accumulated; its one use is a reason-allowed product below
     pub followee_sample_fraction: f64,
     /// Retries for transient failures before giving up on a request.
     pub max_transient_retries: u32,
@@ -83,6 +84,7 @@ pub struct CrawlerConfig {
 impl Default for CrawlerConfig {
     fn default() -> Self {
         CrawlerConfig {
+            // flock-lint: allow(float-in-data-tier) literal default for the reason-allowed config scalar above
             followee_sample_fraction: 0.10,
             max_transient_retries: 5,
             transient_backoff_secs: 30,
@@ -579,7 +581,8 @@ impl<'a> Crawler<'a> {
                     // Retries exhausted on a transient fault: skip the
                     // query's remaining pages, record the gap, move on.
                     Err(e) if e.is_retryable() => {
-                        ds.coverage.record(PHASES[0], format!("search {q:?}"), e);
+                        ds.coverage
+                            .record_skip(PHASES[0], format!("search {q:?}"), e);
                         break;
                     }
                     Err(e) => return Err(e),
@@ -633,7 +636,7 @@ impl<'a> Crawler<'a> {
                 // Authors in a failed chunk keep their tweets but cannot
                 // be matched (no metadata); record the gap and move on.
                 Err(e) if e.is_retryable() => {
-                    ds.coverage.record(
+                    ds.coverage.record_skip(
                         PHASES[1],
                         format!("user-expansion chunk of {} from id {first}", chunk.len()),
                         e,
@@ -702,7 +705,7 @@ impl<'a> Crawler<'a> {
                 // Retries exhausted: the mapping cannot be confirmed;
                 // record the gap and drop the candidate.
                 Err(e) if e.is_retryable() => {
-                    ds.coverage.record(
+                    ds.coverage.record_skip(
                         PHASES[1],
                         format!("account lookup for author {}", author.0),
                         e,
@@ -765,7 +768,7 @@ impl<'a> Crawler<'a> {
                 ds.twitter_timelines.insert(m.twitter_id, timeline);
             }
             if let Some(reason) = skip {
-                ds.coverage.record(
+                ds.coverage.record_skip(
                     PHASES[2],
                     format!("twitter timeline of {}", m.twitter_id.0),
                     reason,
@@ -848,7 +851,7 @@ impl<'a> Crawler<'a> {
                     .insert(m.resolved_handle.clone(), statuses);
             }
             if let Some(reason) = skip {
-                ds.coverage.record(
+                ds.coverage.record_skip(
                     PHASES[3],
                     format!("mastodon timeline of {}", m.twitter_id.0),
                     reason,
@@ -930,6 +933,7 @@ impl<'a> Crawler<'a> {
             return by_count.into_iter().map(|(_, id)| id).collect();
         }
         let half = n / 2;
+        // flock-lint: allow(float-in-data-tier) one product of one config scalar computed once on one thread; IEEE-754 multiply+round of these magnitudes is exact and platform-stable, and no cross-worker accumulation exists
         let per_side = ((n as f64) * self.config.followee_sample_fraction / 2.0).round() as usize;
         let mut rng = DetRng::new(self.config.seed);
         let below: Vec<TwitterUserId> = rng
@@ -981,7 +985,7 @@ impl<'a> Crawler<'a> {
                 ds.followees.insert(m.twitter_id, rec);
             }
             if let Some(reason) = skip {
-                ds.coverage.record(
+                ds.coverage.record_skip(
                     PHASES[4],
                     format!("followees of {}", m.twitter_id.0),
                     reason,
@@ -1056,7 +1060,7 @@ impl<'a> Crawler<'a> {
                     // Down instances simply stay absent.
                     crate::tasks::WeeklyOutcome::Down => {}
                     crate::tasks::WeeklyOutcome::Skipped(reason) => {
-                        ds.coverage.record(
+                        ds.coverage.record_skip(
                             PHASES[5],
                             format!("weekly activity of {domain}"),
                             reason,
@@ -1077,7 +1081,7 @@ impl<'a> Crawler<'a> {
                 Err(FlockError::InstanceUnavailable(_)) => {}
                 Err(e) if e.is_retryable() => {
                     ds.coverage
-                        .record(PHASES[5], format!("weekly activity of {domain}"), e);
+                        .record_skip(PHASES[5], format!("weekly activity of {domain}"), e);
                 }
                 Err(e) => return Err(e),
             }

@@ -16,6 +16,7 @@
 pub mod lexer;
 pub mod manifest;
 pub mod rules;
+pub mod syntax;
 pub mod walk;
 
 pub use manifest::LockManifest;

@@ -17,6 +17,10 @@
 //!   `thread::scope`, `crossbeam::scope`) outside `crates/sched` and the
 //!   crawler's `worker_pool.rs`; logical concurrency multiplexes through
 //!   `flock_sched::Executor`, OS parallelism through `worker_pool::run`.
+//! * `float-in-data-tier` — no `f32`/`f64` arithmetic in `crates/crawler`,
+//!   the code path that assembles the Data-tier dataset from concurrently
+//!   produced pieces; float accumulation is sensitive to evaluation order,
+//!   which is exactly the nondeterminism the tier contract forbids.
 //!
 //! Test code is exempt everywhere: files under `tests/`, `benches/`,
 //! `examples/`, and items behind `#[cfg(test)]` / `#[test]`. The escape
@@ -25,8 +29,9 @@
 //!
 //! [`DetRng`]: flock_core::DetRng
 
-use crate::lexer::{lex, Lexed, Token};
+use crate::lexer::{lex, Lexed};
 use crate::manifest::LockManifest;
+use crate::syntax::{receiver_of, scan_attr, skip_item};
 use std::collections::BTreeSet;
 
 pub const RULE_DETERMINISM: &str = "determinism";
@@ -34,6 +39,12 @@ pub const RULE_HASH_ITER: &str = "hash-iter";
 pub const RULE_LOCK_ORDER: &str = "lock-order";
 pub const RULE_PANIC: &str = "panic";
 pub const RULE_THREAD_SPAWN: &str = "thread-spawn";
+pub const RULE_FLOAT: &str = "float-in-data-tier";
+/// Rules enforced by `flock-analyze` (the call-graph analyzer). They are
+/// named here so `allow(...)` directives for them parse as known rules —
+/// the two tools share one escape-hatch namespace.
+pub const RULE_TIER_TAINT: &str = "tier-taint";
+pub const RULE_CALL_LOCK_ORDER: &str = "call-lock-order";
 /// Meta-rule for problems with the directives themselves.
 pub const RULE_DIRECTIVE: &str = "directive";
 
@@ -44,6 +55,9 @@ pub const KNOWN_RULES: &[&str] = &[
     RULE_LOCK_ORDER,
     RULE_PANIC,
     RULE_THREAD_SPAWN,
+    RULE_FLOAT,
+    RULE_TIER_TAINT,
+    RULE_CALL_LOCK_ORDER,
 ];
 
 /// One reported violation.
@@ -74,11 +88,17 @@ pub struct FileClass {
     pub lock_order: bool,
     pub panic: bool,
     pub thread_spawn: bool,
+    pub float: bool,
 }
 
 impl FileClass {
     pub fn any(&self) -> bool {
-        self.determinism || self.hash_iter || self.lock_order || self.panic || self.thread_spawn
+        self.determinism
+            || self.hash_iter
+            || self.lock_order
+            || self.panic
+            || self.thread_spawn
+            || self.float
     }
 }
 
@@ -120,6 +140,9 @@ pub fn classify(rel_path: &str) -> FileClass {
         // The scheduler crate and the crawler's worker pool are the only
         // sanctioned owners of OS threads.
         thread_spawn: krate != "sched" && comps.last() != Some(&"worker_pool.rs"),
+        // The crawler assembles the Data-tier dataset from concurrently
+        // produced pieces; float accumulation there is order-sensitive.
+        float: krate == "crawler",
     }
 }
 
@@ -138,6 +161,7 @@ pub fn lint_source(rel_path: &str, src: &str, manifest: &LockManifest) -> Vec<Fi
         lexed: &lexed,
         findings: Vec::new(),
         hash_lines: BTreeSet::new(),
+        float_lines: BTreeSet::new(),
         flagged_directives: BTreeSet::new(),
     };
     ctx.check_directives();
@@ -162,6 +186,8 @@ struct Ctx<'a> {
     findings: Vec<Finding>,
     /// Lines already carrying a `hash-iter` finding (one per line).
     hash_lines: BTreeSet<u32>,
+    /// Lines already carrying a `float-in-data-tier` finding (one per line).
+    float_lines: BTreeSet<u32>,
     /// Directive lines already reported as missing a reason.
     flagged_directives: BTreeSet<u32>,
 }
@@ -347,6 +373,28 @@ impl<'a> Ctx<'a> {
                 }
             }
 
+            if self.class.float {
+                // `f32` / `f64` type mentions and casts, plus decimal float
+                // literals (which the lexer splits into `<digits> . <digits>`).
+                let float_type = tok.is("f32") || tok.is("f64");
+                let float_literal = tok.is_ident
+                    && tok.text.bytes().all(|b| b.is_ascii_digit())
+                    && t.get(i + 1).is_some_and(|n| n.punct('.'))
+                    && t.get(i + 2)
+                        .is_some_and(|n| n.is_ident && n.text.bytes().all(|b| b.is_ascii_digit()));
+                if (float_type || float_literal) && !self.float_lines.contains(&tok.line) {
+                    self.float_lines.insert(tok.line);
+                    self.emit(
+                        tok.line,
+                        RULE_FLOAT,
+                        "float arithmetic on the Data-tier assembly path; \
+                         accumulation order is nondeterministic across workers — \
+                         use integer arithmetic (or justify with an allow)"
+                            .to_string(),
+                    );
+                }
+            }
+
             if self.class.hash_iter
                 && (tok.is("HashMap") || tok.is("HashSet"))
                 && !self.hash_lines.contains(&tok.line)
@@ -421,90 +469,4 @@ impl<'a> Ctx<'a> {
             i += 1;
         }
     }
-}
-
-/// Scan an attribute starting at its `[`; returns (marks test-only code,
-/// index just past the matching `]`).
-fn scan_attr(t: &[Token], open: usize) -> (bool, usize) {
-    let mut depth = 0u32;
-    let mut i = open;
-    let mut idents: Vec<&str> = Vec::new();
-    while i < t.len() {
-        let tok = &t[i];
-        if tok.punct('[') {
-            depth += 1;
-        } else if tok.punct(']') {
-            depth -= 1;
-            if depth == 0 {
-                i += 1;
-                break;
-            }
-        } else if tok.is_ident {
-            idents.push(&tok.text);
-        }
-        i += 1;
-    }
-    let is_test = match idents.first() {
-        Some(&"test") => true,
-        // `#[cfg(test)]`, `#[cfg(all(test, …))]` — but not `#[cfg(not(test))]`.
-        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
-        _ => false,
-    };
-    (is_test, i)
-}
-
-/// Skip one item starting at `start` (which may open with further
-/// attributes): consume through the matching `}` of its body, or through a
-/// top-level `;` for body-less items. Returns the index just past the item.
-fn skip_item(t: &[Token], start: usize) -> usize {
-    let mut i = start;
-    // Leading attributes of the item being skipped.
-    while i < t.len() && t[i].punct('#') {
-        let open = if t.get(i + 1).is_some_and(|n| n.punct('!')) {
-            i + 2
-        } else {
-            i + 1
-        };
-        if t.get(open).is_some_and(|n| n.punct('[')) {
-            let (_, after) = scan_attr(t, open);
-            i = after;
-        } else {
-            break;
-        }
-    }
-    let mut depth = 0u32;
-    while i < t.len() {
-        let tok = &t[i];
-        if tok.punct('{') {
-            depth += 1;
-        } else if tok.punct('}') {
-            depth -= 1;
-            if depth == 0 {
-                return i + 1;
-            }
-        } else if tok.punct(';') && depth == 0 {
-            return i + 1;
-        }
-        i += 1;
-    }
-    i
-}
-
-/// The field identifier a `.lock()` call is made on: walks left from the
-/// `.` over an optional `[…]` index (`self.mastodon[shard].lock()`).
-fn receiver_of(t: &[Token], dot: usize) -> Option<String> {
-    let mut j = dot.checked_sub(1)?;
-    if t[j].punct(']') {
-        let mut depth = 1u32;
-        while depth > 0 {
-            j = j.checked_sub(1)?;
-            if t[j].punct(']') {
-                depth += 1;
-            } else if t[j].punct('[') {
-                depth -= 1;
-            }
-        }
-        j = j.checked_sub(1)?;
-    }
-    t[j].is_ident.then(|| t[j].text.clone())
 }

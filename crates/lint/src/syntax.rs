@@ -1,0 +1,138 @@
+//! Token-stream syntax helpers shared by the rule engine and by
+//! `flock-analyze` (the workspace call-graph analyzer builds on the same
+//! lexer, so the attribute / item / receiver scanning must agree between
+//! the two tools — a construct one skips and the other scans would make
+//! their findings disagree about the same line).
+
+use crate::lexer::Token;
+
+/// Scan an attribute starting at its `[`; returns (marks test-only code,
+/// index just past the matching `]`).
+pub fn scan_attr(t: &[Token], open: usize) -> (bool, usize) {
+    let mut depth = 0u32;
+    let mut i = open;
+    let mut idents: Vec<&str> = Vec::new();
+    while i < t.len() {
+        let tok = &t[i];
+        if tok.punct('[') {
+            depth += 1;
+        } else if tok.punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                i += 1;
+                break;
+            }
+        } else if tok.is_ident {
+            idents.push(&tok.text);
+        }
+        i += 1;
+    }
+    let is_test = match idents.first() {
+        Some(&"test") => true,
+        // `#[cfg(test)]`, `#[cfg(all(test, …))]` — but not `#[cfg(not(test))]`.
+        Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+        _ => false,
+    };
+    (is_test, i)
+}
+
+/// Skip one item starting at `start` (which may open with further
+/// attributes): consume through the matching `}` of its body, or through a
+/// top-level `;` for body-less items. Returns the index just past the item.
+pub fn skip_item(t: &[Token], start: usize) -> usize {
+    let mut i = start;
+    // Leading attributes of the item being skipped.
+    while i < t.len() && t[i].punct('#') {
+        let open = if t.get(i + 1).is_some_and(|n| n.punct('!')) {
+            i + 2
+        } else {
+            i + 1
+        };
+        if t.get(open).is_some_and(|n| n.punct('[')) {
+            let (_, after) = scan_attr(t, open);
+            i = after;
+        } else {
+            break;
+        }
+    }
+    let mut depth = 0u32;
+    while i < t.len() {
+        let tok = &t[i];
+        if tok.punct('{') {
+            depth += 1;
+        } else if tok.punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if tok.punct(';') && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// The field identifier a `.lock()` call is made on: walks left from the
+/// `.` over an optional `[…]` index (`self.mastodon[shard].lock()`).
+pub fn receiver_of(t: &[Token], dot: usize) -> Option<String> {
+    let mut j = dot.checked_sub(1)?;
+    if t[j].punct(']') {
+        let mut depth = 1u32;
+        while depth > 0 {
+            j = j.checked_sub(1)?;
+            if t[j].punct(']') {
+                depth += 1;
+            } else if t[j].punct('[') {
+                depth -= 1;
+            }
+        }
+        j = j.checked_sub(1)?;
+    }
+    t[j].is_ident.then(|| t[j].text.clone())
+}
+
+/// Rust keywords (plus common expression heads) that can precede `(` in
+/// expression position without being calls. Call detection in the
+/// analyzer filters candidate `ident (` pairs through this list.
+pub fn is_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "if" | "else"
+            | "while"
+            | "for"
+            | "in"
+            | "loop"
+            | "match"
+            | "return"
+            | "break"
+            | "continue"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "as"
+            | "fn"
+            | "impl"
+            | "dyn"
+            | "where"
+            | "unsafe"
+            | "pub"
+            | "use"
+            | "mod"
+            | "struct"
+            | "enum"
+            | "union"
+            | "trait"
+            | "type"
+            | "const"
+            | "static"
+            | "crate"
+            | "super"
+            | "self"
+            | "Self"
+            | "await"
+            | "async"
+            | "yield"
+    )
+}

@@ -1,0 +1,4 @@
+pub fn sample_size(n: usize) -> usize {
+    // flock-lint: allow(float-in-data-tier)
+    ((n as f64) * 0.5) as usize
+}

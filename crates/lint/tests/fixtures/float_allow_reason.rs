@@ -1,0 +1,4 @@
+pub fn sample_size(n: usize, permille: usize) -> usize {
+    // flock-lint: allow(float-in-data-tier) single scalar config product, no accumulation
+    ((n as f64) * (permille as f64) / 1000.0) as usize
+}

@@ -1,0 +1,20 @@
+pub fn sample_size(n: usize, permille: usize) -> usize {
+    (n * permille + 500) / 1000
+}
+
+pub fn ratio_permille(hits: u64, total: u64) -> u64 {
+    if total == 0 {
+        0
+    } else {
+        hits * 1000 / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn floats_in_tests_are_fine() {
+        let x = 0.5_f64;
+        assert_eq!((x * 2.0) as u64, 1);
+    }
+}

@@ -1,0 +1,12 @@
+pub struct Sampler {
+    pub fraction: f64,
+}
+
+pub fn sample_size(n: usize, fraction: f64) -> usize {
+    let scaled = (n as f64) * fraction;
+    (scaled + 0.5) as usize
+}
+
+pub fn ratio(hits: u64, total: u64) -> f32 {
+    hits as f32 / total as f32
+}

@@ -8,8 +8,8 @@
 
 use flock_lint::manifest::LockManifest;
 use flock_lint::rules::{
-    lint_source, Finding, RULE_DETERMINISM, RULE_DIRECTIVE, RULE_HASH_ITER, RULE_LOCK_ORDER,
-    RULE_PANIC, RULE_THREAD_SPAWN,
+    lint_source, Finding, RULE_DETERMINISM, RULE_DIRECTIVE, RULE_FLOAT, RULE_HASH_ITER,
+    RULE_LOCK_ORDER, RULE_PANIC, RULE_THREAD_SPAWN,
 };
 use flock_lint::walk::{find_workspace_root, lint_workspace, load_lock_manifest};
 
@@ -293,6 +293,60 @@ fn thread_spawn_is_waived_for_the_scheduler_and_worker_pool() {
             "{path}: {findings:#?}"
         );
     }
+}
+
+// --- float-in-data-tier --------------------------------------------------
+
+#[test]
+fn float_fires_on_types_casts_and_literals_in_crawler() {
+    let findings = lint_fixture("float_fire.rs", "crates/crawler/src/fixture.rs");
+    assert_eq!(
+        shape(&findings),
+        vec![
+            (2, RULE_FLOAT),  // f64 field
+            (5, RULE_FLOAT),  // f64 parameter
+            (6, RULE_FLOAT),  // as f64 cast
+            (7, RULE_FLOAT),  // 0.5 literal
+            (10, RULE_FLOAT), // f32 return type
+            (11, RULE_FLOAT), // f32 casts (one finding per line)
+        ],
+        "{findings:#?}"
+    );
+    assert!(findings[0].message.contains("accumulation order"));
+}
+
+#[test]
+fn float_does_not_apply_outside_the_crawler() {
+    for path in [
+        "crates/analysis/src/fixture.rs",
+        "crates/fedisim/src/fixture.rs",
+        "crates/apis/src/fixture.rs",
+    ] {
+        let findings = lint_fixture("float_fire.rs", path);
+        assert!(
+            findings.iter().all(|f| f.rule != RULE_FLOAT),
+            "{path}: {findings:#?}"
+        );
+    }
+}
+
+#[test]
+fn float_clean_integer_arithmetic_and_test_modules_pass() {
+    let findings = lint_fixture("float_clean.rs", "crates/crawler/src/fixture.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn float_allow_with_reason_suppresses() {
+    let findings = lint_fixture("float_allow_reason.rs", "crates/crawler/src/fixture.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn float_allow_without_reason_is_flagged() {
+    let findings = lint_fixture("float_allow_no_reason.rs", "crates/crawler/src/fixture.rs");
+    assert_eq!(shape(&findings), vec![(2, RULE_DIRECTIVE)], "{findings:#?}");
+    assert!(findings[0].message.contains("requires a reason"));
 }
 
 // --- directive meta-rule -------------------------------------------------

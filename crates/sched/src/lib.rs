@@ -41,6 +41,8 @@
 //! at `u64::MAX` (a pathological Retry-After) and the clock pins there
 //! instead of wrapping around.
 
+pub mod explore;
+
 use flock_core::{FlockError, Result};
 use flock_obs::trace;
 use parking_lot::Mutex;

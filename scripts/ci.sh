@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, the tier-1 build + test suite, a smoke
+# Local CI gate: formatting, lints, the call-graph static analyses
+# (flock-analyze tier-taint + interprocedural lock order, plus the
+# --sched-race bounded model checker), the tier-1 build + test suite, a smoke
 # pass over every bench target (including the throughput bench, which in
 # --test mode does not append to the committed BENCH_history.jsonl), the
 # determinism matrix (seeds x worker counts must stamp byte-identically),
@@ -21,6 +23,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo run -p flock-lint -- --workspace"
 cargo run -q -p flock-lint -- --workspace
+
+echo "==> cargo run -p flock-analyze -- --workspace"
+cargo run -q -p flock-analyze -- --workspace
+
+echo "==> cargo run -p flock-analyze -- --sched-race"
+cargo run -q -p flock-analyze -- --sched-race
 
 echo "==> cargo build --release"
 cargo build --release
