@@ -248,7 +248,7 @@ impl SearchIndex {
         let docs: Vec<TweetDoc> = world
             .tweets
             .iter()
-            .map(|t| TweetDoc::new(&t.text, &world.users[t.author.index()].username))
+            .map(|t| TweetDoc::new(t.text, &world.users[t.author.index()].username))
             .collect();
         let mut postings: HashMap<String, Vec<u32>> = HashMap::new();
         for (i, doc) in docs.iter().enumerate() {
@@ -330,6 +330,16 @@ pub struct ApiServer {
     /// The chaos plan resolved against the world (immutable after build;
     /// consulting it never takes a lock).
     chaos: ResolvedPlan,
+    /// Materialized search results keyed by scope (`query:start:end`).
+    /// Pagination re-enters `twitter_search` once per page with the same
+    /// scope; without this cache every page re-ran `eval_query`, making a
+    /// crawl of an H-hit query `O(H²/page_size)` — hours, not minutes, at
+    /// paper scale. A result is a pure function of the scope and the
+    /// immutable world + index, so caching cannot perturb determinism;
+    /// the map is only ever probed by key, never iterated. Total footprint
+    /// is bounded by the crawl's hit volume, which the crawler pages
+    /// through (and therefore holds) anyway.
+    search_results: Mutex<HashMap<String, Arc<Vec<u32>>>>,
 }
 
 impl ApiServer {
@@ -371,6 +381,7 @@ impl ApiServer {
             index,
             metrics,
             chaos,
+            search_results: Mutex::new(HashMap::new()),
         })
     }
 
@@ -663,13 +674,32 @@ impl ApiServer {
         let offset = decode(&scope, cursor)?;
 
         // Candidate set: smallest posting list among required tokens, or a
-        // full scan when the query promises no token.
-        let matches = self.eval_query(&query, start, end);
+        // full scan when the query promises no token. Materialized once
+        // per scope — subsequent pages of the same query hit the cache.
+        let matches = self.cached_matches(&scope, &query, start, end);
         let page = self.page(&matches, &scope, offset, self.config.search_page_size)?;
         Ok(Page {
             items: page.items.iter().map(|&i| self.tweet_object(i)).collect(),
             next: self.maybe_truncate(EndpointFamily::Search, &scope, offset, page.next),
         })
+    }
+
+    /// [`Self::eval_query`] through the per-scope result cache.
+    fn cached_matches(&self, scope: &str, query: &Query, start: Day, end: Day) -> Arc<Vec<u32>> {
+        {
+            let cache = self.search_results.lock();
+            if let Some(hit) = cache.get(scope) {
+                return Arc::clone(hit);
+            }
+        }
+        // Evaluate outside the lock: a slow first page must not block
+        // unrelated queries from other workers.
+        let matches = Arc::new(self.eval_query(query, start, end));
+        self.search_results
+            .lock()
+            .entry(scope.to_string())
+            .or_insert(matches)
+            .clone()
     }
 
     fn eval_query(&self, query: &Query, start: Day, end: Day) -> Vec<u32> {
@@ -704,8 +734,8 @@ impl ApiServer {
         candidates
             .into_iter()
             .filter(|&i| {
-                let t = &self.world.tweets[i as usize];
-                t.day >= start && t.day <= end && query.matches(&self.index.docs[i as usize])
+                let day = self.world.tweets.day(i as usize);
+                day >= start && day <= end && query.matches(&self.index.docs[i as usize])
             })
             .collect()
     }
@@ -730,7 +760,7 @@ impl ApiServer {
         Ok(self
             .eval_query(&query, start, end)
             .into_iter()
-            .map(|i| self.world.tweets[i as usize].id)
+            .map(|i| TweetId(i as u64))
             .collect())
     }
 
@@ -748,7 +778,7 @@ impl ApiServer {
                 t.day >= start
                     && t.day <= end
                     && query.matches(&TweetDoc::new(
-                        &t.text,
+                        t.text,
                         &self.world.users[t.author.index()].username,
                     ))
             })
@@ -757,12 +787,12 @@ impl ApiServer {
     }
 
     fn tweet_object(&self, idx: u32) -> TweetObject {
-        let t = &self.world.tweets[idx as usize];
+        let t = self.world.tweets.get(idx as usize);
         TweetObject {
             id: t.id,
             author_id: t.author,
             day: t.day,
-            text: t.text.clone(),
+            text: t.text.to_string(),
             source: flock_fedisim::SOURCES[t.source as usize].0.to_string(),
         }
     }
@@ -865,10 +895,8 @@ impl ApiServer {
         let ids: Vec<TweetId> = self
             .world
             .tweets_of(user)
-            .iter()
-            .copied()
             .filter(|tid| {
-                let d = self.world.tweets[tid.index()].day;
+                let d = self.world.tweets.day(tid.index());
                 d >= start && d <= end
             })
             .collect();
@@ -1016,16 +1044,12 @@ impl ApiServer {
         let all = self.world.statuses_of(account.id);
         match &account.switch {
             Some(sw) if *handle == account.first_handle => all
-                .iter()
-                .copied()
-                .filter(|sid| self.world.statuses[sid.index()].day < sw.day)
+                .filter(|sid| self.world.statuses.day(sid.index()) < sw.day)
                 .collect(),
             Some(sw) => all
-                .iter()
-                .copied()
-                .filter(|sid| self.world.statuses[sid.index()].day >= sw.day)
+                .filter(|sid| self.world.statuses.day(sid.index()) >= sw.day)
                 .collect(),
-            None => all.to_vec(),
+            None => all.collect(),
         }
     }
 
@@ -1050,11 +1074,11 @@ impl ApiServer {
                 .items
                 .iter()
                 .map(|sid| {
-                    let s = &self.world.statuses[sid.index()];
+                    let s = self.world.statuses.get(sid.index());
                     StatusObject {
                         id: s.id,
                         day: s.day,
-                        content: s.text.clone(),
+                        content: s.text.to_string(),
                     }
                 })
                 .collect(),
@@ -1431,7 +1455,7 @@ mod tests {
                     Ok(page) => {
                         crawled_one = true;
                         for s in &page.items {
-                            assert_eq!(world.statuses[s.id.index()].account, a.id);
+                            assert_eq!(world.statuses.account(s.id.index()), a.id);
                         }
                     }
                     Err(FlockError::RateLimited { retry_after_secs }) => {

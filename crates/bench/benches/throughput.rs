@@ -22,20 +22,95 @@
 //!   instead of sleeping out per-request latency, so its acceptance bar
 //!   is ≥ 3× the thread baseline.
 //!
+//! Every entry also records a memory footprint: peak RSS (`VmHWM` from
+//! `/proc/self/status`) and the allocation count/bytes seen by a counting
+//! `#[global_allocator]` that lives in this binary only — library crates
+//! stay allocator-agnostic. `bench_check.sh` trend-gates `peak_rss_bytes`
+//! the same way it gates throughput.
+//!
 //! `cargo bench -p flock-bench --bench throughput` appends to the JSONL;
 //! `-- --test` runs a seconds-long smoke version and writes nothing, so CI
-//! never dirties the committed artifact. `FLOCK_BENCH_LABEL` names the
-//! entry (default `throughput`); `FLOCK_BENCH_SHA` overrides the commit
-//! key when git is unavailable.
+//! never dirties the committed artifact. `-- --paper` runs the paper-scale
+//! section instead (million-user generation, full crawl, headline
+//! analysis) and appends a `paper_scale`-labelled entry; `--paper --test`
+//! is the CI smoke of the same path at `medium()` scale.
+//! `FLOCK_BENCH_LABEL` names the entry (default `throughput`);
+//! `FLOCK_BENCH_SHA` overrides the commit key when git is unavailable.
 
 use flock_apis::{ApiConfig, ApiServer};
 use flock_chaos::Scenario;
 use flock_core::Day;
 use flock_crawler::pipeline::{migration_queries, Crawler, CrawlerConfig};
 use flock_fedisim::{World, WorldConfig};
+use flock_obs::Registry;
+use flock_repro::MigrationStudy;
 use serde::Serialize;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Allocation accounting for the bench process. The counting allocator is
+/// deliberately confined to this binary: the library crates must not pay
+/// (or even see) the two relaxed atomic increments per allocation, and the
+/// numbers only mean anything next to the wall-clocks recorded alongside.
+mod mem {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+    pub static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+    pub struct Counting;
+
+    // SAFETY: defers every allocation verbatim to `System`; the counters
+    // are relaxed atomics with no effect on the returned memory.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+            // Count only growth: shrinking reuses already-counted bytes.
+            ALLOC_BYTES.fetch_add(
+                new_size.saturating_sub(layout.size()) as u64,
+                Ordering::Relaxed,
+            );
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: Counting = Counting;
+
+    /// Peak resident set size of this process in bytes — `VmHWM` from
+    /// `/proc/self/status`, the kernel's high-water mark, which unlike
+    /// sampled RSS cannot miss a transient peak between observations.
+    /// Returns 0 where procfs is unavailable (non-Linux).
+    pub fn peak_rss_bytes() -> u64 {
+        let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+            return 0;
+        };
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .unwrap_or(0);
+                return kb * 1024;
+            }
+        }
+        0
+    }
+}
 
 #[derive(Serialize)]
 struct SearchReport {
@@ -73,6 +148,26 @@ struct SchedReport {
 }
 
 #[derive(Serialize)]
+struct MemReport {
+    /// Process-lifetime peak resident set (`VmHWM`), bytes; 0 when procfs
+    /// is unavailable.
+    peak_rss_bytes: u64,
+    /// Heap allocations made by the process up to the snapshot.
+    alloc_count: u64,
+    /// Bytes requested from the allocator (growth-only for reallocs).
+    alloc_bytes: u64,
+}
+
+/// Snapshot the process's memory accounting at this instant.
+fn mem_snapshot() -> MemReport {
+    MemReport {
+        peak_rss_bytes: mem::peak_rss_bytes(),
+        alloc_count: mem::ALLOC_COUNT.load(Ordering::Relaxed),
+        alloc_bytes: mem::ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+#[derive(Serialize)]
 struct Report {
     /// Commit this entry was recorded at (`FLOCK_BENCH_SHA` or
     /// `git rev-parse --short HEAD`).
@@ -90,6 +185,30 @@ struct Report {
     /// bar is ≥ 2×.
     crawl_speedup_at_4: f64,
     sched: SchedReport,
+    mem: MemReport,
+}
+
+/// The paper-scale entry (`--paper`): one full pipeline pass — generate
+/// the million-user world, crawl it end to end, run the headline analysis
+/// — with per-phase wall-clocks and the memory footprint. Written with
+/// `label: "paper_scale"` into the same history so `bench_check.sh` can
+/// select it by label.
+#[derive(Serialize)]
+struct PaperReport {
+    sha: String,
+    label: String,
+    world: String,
+    host_cpus: usize,
+    users: usize,
+    instances: usize,
+    generate_secs: f64,
+    crawl_secs: f64,
+    analyze_secs: f64,
+    /// Crawl output scale, so a regression in coverage is visible next to
+    /// the wall-clocks it would otherwise fake an improvement in.
+    matched: usize,
+    requests: u64,
+    mem: MemReport,
 }
 
 /// The §3.1 query mix: every keyword/hashtag query plus instance-link
@@ -250,6 +369,96 @@ fn bench_sched(
     }
 }
 
+/// The `--paper` section: generate the paper-scale world (§2.1's 1.02 M
+/// searchable users on 15,886 instances), crawl it end to end with the
+/// default pipeline, and run the headline analysis — the whole study, one
+/// process, per-phase wall-clocks plus the memory footprint. `--test`
+/// (smoke) runs the identical path but writes no history entry, so CI can
+/// exercise million-user completion without dirtying the artifact.
+fn run_paper(smoke: bool) {
+    let config = WorldConfig::paper_scale().with_seed(1234);
+    eprintln!(
+        "paper: generating {} users / {} instances…",
+        config.n_searchable_users, config.n_instances
+    );
+    let t = Instant::now();
+    let world = Arc::new(World::generate(&config).expect("world"));
+    let generate_secs = t.elapsed().as_secs_f64();
+    eprintln!(
+        "paper: generate {:.1}s ({} tweets, {} statuses, peak rss {:.2} GiB)",
+        generate_secs,
+        world.tweets.len(),
+        world.statuses.len(),
+        mem::peak_rss_bytes() as f64 / f64::from(1u32 << 30)
+    );
+
+    let obs = Registry::new();
+    let api = ApiServer::with_obs(world.clone(), ApiConfig::default(), obs.clone()).expect("api");
+    let t = Instant::now();
+    let dataset = Crawler::with_registry(&api, CrawlerConfig::default(), obs)
+        .expect("valid crawler config")
+        .run()
+        .expect("crawl");
+    let crawl_secs = t.elapsed().as_secs_f64();
+    eprintln!(
+        "paper: crawl {:.1}s ({} matched users, {} API requests)",
+        crawl_secs,
+        dataset.matched.len(),
+        dataset.stats.requests
+    );
+
+    let study = MigrationStudy { world, dataset };
+    let t = Instant::now();
+    let headline = study.headline();
+    let figures = study.render_all();
+    let analyze_secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(figures.len());
+    let (_, _, fails) = headline.verdict_counts();
+    eprintln!("paper: analyze {analyze_secs:.1}s ({fails} headline metrics outside bands)");
+
+    let mem = mem_snapshot();
+    eprintln!(
+        "paper: peak rss {} bytes ({:.2} GiB), {} allocations / {:.2} GiB allocated",
+        mem.peak_rss_bytes,
+        mem.peak_rss_bytes as f64 / f64::from(1u32 << 30),
+        mem.alloc_count,
+        mem.alloc_bytes as f64 / f64::from(1u32 << 30)
+    );
+
+    if smoke {
+        eprintln!("smoke mode: not writing BENCH_history.jsonl");
+        return;
+    }
+    let report = PaperReport {
+        sha: bench_sha(),
+        label: "paper_scale".to_string(),
+        world: format!("WorldConfig::paper_scale().with_seed({})", config.seed),
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        users: config.n_searchable_users,
+        instances: config.n_instances,
+        generate_secs,
+        crawl_secs,
+        analyze_secs,
+        matched: study.dataset.matched.len(),
+        requests: study.dataset.stats.requests,
+        mem,
+    };
+    append_history(&serde_json::to_string(&report).expect("serialize paper report"));
+}
+
+/// Append one compact JSON line to the committed history, newest last.
+fn append_history(line: &str) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_history.jsonl");
+    let mut history = std::fs::read_to_string(path).unwrap_or_default();
+    if !history.is_empty() && !history.ends_with('\n') {
+        history.push('\n');
+    }
+    history.push_str(line);
+    history.push('\n');
+    std::fs::write(path, history).expect("write BENCH_history.jsonl");
+    eprintln!("appended to {path}");
+}
+
 /// The commit key for the history entry.
 fn bench_sha() -> String {
     if let Ok(sha) = std::env::var("FLOCK_BENCH_SHA") {
@@ -268,6 +477,10 @@ fn main() {
     // Criterion-compatible smoke flag: `cargo bench -- --test` must finish
     // in seconds and must not touch the committed artifact.
     let smoke = std::env::args().any(|a| a == "--test");
+    if std::env::args().any(|a| a == "--paper") {
+        run_paper(smoke);
+        return;
+    }
 
     let config = WorldConfig::small().with_seed(1234);
     let world = Arc::new(World::generate(&config).expect("world"));
@@ -326,6 +539,11 @@ fn main() {
         sched.connections, sched.os_threads, sched.sched_rps, sched.legacy_rps, sched.speedup
     );
 
+    let mem = mem_snapshot();
+    eprintln!(
+        "mem: peak rss {} bytes, {} allocations",
+        mem.peak_rss_bytes, mem.alloc_count
+    );
     if smoke {
         eprintln!("smoke mode: not writing BENCH_history.jsonl");
         return;
@@ -340,16 +558,7 @@ fn main() {
         crawl,
         crawl_speedup_at_4,
         sched,
+        mem,
     };
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_history.jsonl");
-    // Append-only: one compact JSON line per recorded run, newest last.
-    let line = serde_json::to_string(&report).expect("serialize report");
-    let mut history = std::fs::read_to_string(path).unwrap_or_default();
-    if !history.is_empty() && !history.ends_with('\n') {
-        history.push('\n');
-    }
-    history.push_str(&line);
-    history.push('\n');
-    std::fs::write(path, history).expect("write BENCH_history.jsonl");
-    eprintln!("appended to {path}");
+    append_history(&serde_json::to_string(&report).expect("serialize report"));
 }

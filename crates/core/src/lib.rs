@@ -27,13 +27,16 @@
 //! assert_eq!(Day::TAKEOVER.to_date().to_string(), "2022-10-27");
 //! ```
 
+pub mod collections;
 pub mod error;
 pub mod handle;
 pub mod ids;
 pub mod platform;
 pub mod rng;
+pub mod text;
 pub mod time;
 
+pub use collections::SortedVecMap;
 pub use error::{FlockError, Result};
 pub use handle::MastodonHandle;
 pub use ids::{InstanceId, MastodonAccountId, StatusId, TweetId, TwitterUserId};

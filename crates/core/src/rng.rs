@@ -68,6 +68,25 @@ impl DetRng {
         DetRng::new(mix)
     }
 
+    /// The `index`-th member of a family of independent child streams
+    /// rooted at `base`.
+    ///
+    /// Unlike [`DetRng::fork`], deriving a stream consumes nothing and
+    /// depends only on `(base, index)` — never on how many streams were
+    /// derived before it. That position independence is what lets
+    /// per-item generators (one stream per user in content generation)
+    /// run eagerly, lazily, or in any order and still produce identical
+    /// output. Draw `base` once from the parent generator, then address
+    /// children purely by index.
+    pub fn stream(base: u64, index: u64) -> DetRng {
+        // splitmix64 finalizer: decorrelates neighbouring indexes before
+        // they perturb the base seed.
+        let mut z = index.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        DetRng::new(base ^ (z ^ (z >> 31)))
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -1,0 +1,62 @@
+//! Small UTF-8-safe string utilities shared across crates.
+
+/// The largest index `<= max` that lies on a `char` boundary of `s`
+/// (a stable stand-in for the unstable `str::floor_char_boundary`).
+pub fn floor_char_boundary(s: &str, max: usize) -> usize {
+    if max >= s.len() {
+        return s.len();
+    }
+    let mut i = max;
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// Truncate `s` to at most `max` **bytes** without ever splitting a
+/// multi-byte character. `String::truncate` panics when the cut lands
+/// mid-sequence; this backs off to the previous boundary instead.
+pub fn truncate_to_boundary(s: &mut String, max: usize) {
+    let cut = floor_char_boundary(s, max);
+    s.truncate(cut);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_truncates_exactly() {
+        let mut s = "abcdefgh".to_string();
+        truncate_to_boundary(&mut s, 3);
+        assert_eq!(s, "abc");
+    }
+
+    #[test]
+    fn multibyte_backs_off_to_boundary() {
+        // 'é' is two bytes; cutting at byte 1 must yield the empty string,
+        // not a panic.
+        let mut s = "émigré".to_string();
+        truncate_to_boundary(&mut s, 1);
+        assert_eq!(s, "");
+        let mut s = "émigré".to_string();
+        truncate_to_boundary(&mut s, 3);
+        assert_eq!(s, "ém"); // é is bytes 0..2, m ends at 3 — a clean cut
+    }
+
+    #[test]
+    fn no_op_past_the_end() {
+        let mut s = "héllo".to_string();
+        truncate_to_boundary(&mut s, 100);
+        assert_eq!(s, "héllo");
+    }
+
+    #[test]
+    fn four_byte_chars_survive() {
+        let mut s = "🦣🦣🦣".to_string(); // 4 bytes each
+        truncate_to_boundary(&mut s, 6);
+        assert_eq!(s, "🦣");
+        truncate_to_boundary(&mut s, 0);
+        assert_eq!(s, "");
+    }
+}

@@ -5,9 +5,8 @@
 //! accounts, protected tweets, down instances, handles nobody announced).
 
 use flock_apis::types::{ActivityRow, InstanceInfoObject, MastodonAccountObject};
-use flock_core::{Day, MastodonHandle, TweetId, TwitterUserId};
+use flock_core::{Day, MastodonHandle, SortedVecMap, TweetId, TwitterUserId};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Which §3.1 query family matched a collected tweet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -211,25 +210,25 @@ pub struct Dataset {
     pub matched: Vec<MatchedUser>,
     /// §3.2 Twitter timelines (only for `Ok` outcomes).
     #[serde(with = "as_pairs")]
-    pub twitter_timelines: BTreeMap<TwitterUserId, Vec<TimelineTweet>>,
+    pub twitter_timelines: SortedVecMap<TwitterUserId, Vec<TimelineTweet>>,
     /// §3.2 crawl outcome per matched user.
     #[serde(with = "as_pairs")]
-    pub twitter_outcomes: BTreeMap<TwitterUserId, TwitterCrawlOutcome>,
+    pub twitter_outcomes: SortedVecMap<TwitterUserId, TwitterCrawlOutcome>,
     /// §3.2 Mastodon timelines keyed by resolved handle.
     #[serde(with = "as_pairs")]
-    pub mastodon_timelines: BTreeMap<MastodonHandle, Vec<TimelineStatus>>,
+    pub mastodon_timelines: SortedVecMap<MastodonHandle, Vec<TimelineStatus>>,
     /// §3.2 Mastodon outcome per matched user (keyed by Twitter id).
     #[serde(with = "as_pairs")]
-    pub mastodon_outcomes: BTreeMap<TwitterUserId, MastodonCrawlOutcome>,
+    pub mastodon_outcomes: SortedVecMap<TwitterUserId, MastodonCrawlOutcome>,
     /// §3.3 followee sample (keyed by Twitter id; ~10% of matched users).
     #[serde(with = "as_pairs")]
-    pub followees: BTreeMap<TwitterUserId, FolloweeRecord>,
+    pub followees: SortedVecMap<TwitterUserId, FolloweeRecord>,
     /// §3.1 cross-check: weekly activity per instance domain.
-    pub weekly_activity: BTreeMap<String, Vec<ActivityRow>>,
+    pub weekly_activity: SortedVecMap<String, Vec<ActivityRow>>,
     /// Public per-instance metadata (registered users incl. background —
     /// what instances.social reported for the landing instances).
     #[serde(default)]
-    pub instance_info: BTreeMap<String, InstanceInfoObject>,
+    pub instance_info: SortedVecMap<String, InstanceInfoObject>,
     /// What the crawl skipped after exhausting retries, and why — the
     /// degradation record a chaos scenario leaves behind. Empty on a
     /// fault-free crawl of fully-crawlable users.
@@ -267,23 +266,25 @@ impl Dataset {
 }
 
 /// Serialize maps with non-string keys (ids, handles) as JSON pair lists.
+/// The output bytes are identical to the previous `BTreeMap`-backed
+/// encoding: a `SortedVecMap` iterates in ascending key order too.
 pub(crate) mod as_pairs {
+    use flock_core::SortedVecMap;
     use serde::de::DeserializeOwned;
     use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::collections::BTreeMap;
 
-    pub fn serialize<K, V, S>(map: &BTreeMap<K, V>, s: S) -> Result<S::Ok, S::Error>
+    pub fn serialize<K, V, S>(map: &SortedVecMap<K, V>, s: S) -> Result<S::Ok, S::Error>
     where
         K: Serialize + Ord,
         V: Serialize,
         S: Serializer,
     {
-        // A BTreeMap already iterates in key order, so output is stable.
+        // A SortedVecMap already iterates in key order, so output is stable.
         let pairs: Vec<(&K, &V)> = map.iter().collect();
         pairs.serialize(s)
     }
 
-    pub fn deserialize<'de, K, V, D>(d: D) -> Result<BTreeMap<K, V>, D::Error>
+    pub fn deserialize<'de, K, V, D>(d: D) -> Result<SortedVecMap<K, V>, D::Error>
     where
         K: DeserializeOwned + Ord,
         V: DeserializeOwned,

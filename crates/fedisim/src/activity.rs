@@ -11,7 +11,7 @@
 //!   the takeover by `background_surge_factor`.
 
 use crate::config::WorldConfig;
-use crate::content::Status;
+use crate::content::StatusStore;
 use crate::instances::Instance;
 use crate::migration::MastodonAccount;
 use flock_core::{Day, DetRng, InstanceId, Week};
@@ -85,7 +85,7 @@ fn surge_factor(week: Week, surge: f64) -> f64 {
 pub fn build_ledger(
     instances: &[Instance],
     accounts: &[MastodonAccount],
-    statuses: &[Status],
+    statuses: &StatusStore,
     config: &WorldConfig,
     rng: &mut DetRng,
 ) -> ActivityLedger {
@@ -187,7 +187,7 @@ mod tests {
             config.instance_zipf_exponent,
             &mut rng.fork("inst"),
         );
-        let ledger = build_ledger(&instances, &[], &[], &config, &mut rng);
+        let ledger = build_ledger(&instances, &[], &StatusStore::default(), &config, &mut rng);
         let totals = ledger.totals();
         let takeover_week = Day::TAKEOVER.week();
         let pre: u64 = totals
@@ -233,7 +233,13 @@ mod tests {
         };
         let mut cfg = config;
         cfg.background_weekly_registrations = 0.0;
-        let ledger = build_ledger(&instances, &[account], &[], &cfg, &mut rng);
+        let ledger = build_ledger(
+            &instances,
+            &[account],
+            &StatusStore::default(),
+            &cfg,
+            &mut rng,
+        );
         let weeks = ledger.instance_weeks(InstanceId(0)).unwrap();
         let reg: u64 = weeks.values().map(|a| a.registrations).sum();
         assert_eq!(reg, 1);
@@ -249,7 +255,7 @@ mod tests {
             config.instance_zipf_exponent,
             &mut rng.fork("i"),
         );
-        let ledger = build_ledger(&instances, &[], &[], &config, &mut rng);
+        let ledger = build_ledger(&instances, &[], &StatusStore::default(), &config, &mut rng);
         let sum_regs = |id: InstanceId| -> u64 {
             ledger
                 .instance_weeks(id)

@@ -166,6 +166,20 @@ impl WorldConfig {
         }
     }
 
+    /// Full paper scale, 1:1 with the study's counts: 1,024,577 searchable
+    /// users and 15,886 listed instances, every behavioural rate unchanged.
+    /// Around 150k ground-truth migrants and tens of millions of posts —
+    /// this is the preset the arena storage and streaming content
+    /// generation exist for. Expect minutes of wall-clock and a few GB of
+    /// RSS, not laptop-hostile hours.
+    pub fn paper_scale() -> Self {
+        WorldConfig {
+            n_searchable_users: 1_024_577,
+            n_instances: 15_886,
+            ..WorldConfig::default_rates(11)
+        }
+    }
+
     /// The paper-calibrated rates with everything else defaulted.
     fn default_rates(seed: u64) -> Self {
         WorldConfig {
@@ -215,9 +229,10 @@ impl WorldConfig {
         self
     }
 
-    /// Expected number of ground-truth migrants.
+    /// Expected number of ground-truth migrants, rounded to nearest (a
+    /// truncating cast here understated the expectation by up to a user).
     pub fn expected_migrants(&self) -> usize {
-        (self.n_searchable_users as f64 * self.migrant_fraction) as usize
+        (self.n_searchable_users as f64 * self.migrant_fraction).round() as usize
     }
 
     /// Validate that every probability is a probability and every scale is
@@ -290,6 +305,28 @@ mod tests {
         WorldConfig::small().validate().unwrap();
         WorldConfig::medium().validate().unwrap();
         WorldConfig::paper().validate().unwrap();
+        WorldConfig::paper_scale().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_scale_matches_the_study_counts() {
+        let c = WorldConfig::paper_scale();
+        assert_eq!(c.n_searchable_users, 1_024_577);
+        assert_eq!(c.n_instances, 15_886);
+        // Rates are the same calibration as every other preset.
+        let base = WorldConfig::paper();
+        assert_eq!(c.migrant_fraction, base.migrant_fraction);
+        assert_eq!(c.instance_down_rate, base.instance_down_rate);
+        let m = c.expected_migrants();
+        assert!((130_000..160_000).contains(&m), "{m}");
+    }
+
+    #[test]
+    fn expected_migrants_rounds_to_nearest() {
+        let mut c = WorldConfig::small();
+        c.n_searchable_users = 1_000;
+        c.migrant_fraction = 0.1466; // 146.6 → 147, not a truncated 146
+        assert_eq!(c.expected_migrants(), 147);
     }
 
     #[test]

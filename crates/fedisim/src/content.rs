@@ -116,11 +116,268 @@ pub enum MirrorBehavior {
     Manual,
 }
 
+/// Columnar arena holding every tweet: one concatenated text buffer plus
+/// parallel compact columns, instead of one heap `String` (and one `Vec`
+/// slot of padding) per tweet. At paper scale the corpus runs to tens of
+/// millions of tweets — per-tweet allocations dominated both peak RSS and
+/// allocator traffic before this layout. Ids are dense and implicit:
+/// tweet `i` is `TweetId(i)`, in generation order.
+#[derive(Debug, Default, Clone)]
+pub struct TweetStore {
+    authors: Vec<TwitterUserId>,
+    days: Vec<Day>,
+    sources: Vec<u16>,
+    /// All tweet texts, concatenated in id order.
+    text: String,
+    /// `text_ends[i]` = byte offset one past tweet `i`'s text.
+    text_ends: Vec<u64>,
+}
+
+/// One tweet viewed out of a [`TweetStore`] (text borrowed, not cloned).
+#[derive(Debug, Clone, Copy)]
+pub struct TweetView<'a> {
+    pub id: TweetId,
+    pub author: TwitterUserId,
+    pub day: Day,
+    pub text: &'a str,
+    pub source: u16,
+}
+
+impl TweetStore {
+    /// Number of tweets.
+    pub fn len(&self) -> usize {
+        self.authors.len()
+    }
+
+    /// True when no tweets were generated.
+    pub fn is_empty(&self) -> bool {
+        self.authors.is_empty()
+    }
+
+    /// Append a tweet; its id is its position.
+    pub fn push(&mut self, author: TwitterUserId, day: Day, text: &str, source: u16) -> TweetId {
+        let id = TweetId(self.authors.len() as u64);
+        self.authors.push(author);
+        self.days.push(day);
+        self.sources.push(source);
+        self.text.push_str(text);
+        self.text_ends.push(self.text.len() as u64);
+        id
+    }
+
+    fn text_range(&self, i: usize) -> (usize, usize) {
+        let start = if i == 0 {
+            0
+        } else {
+            self.text_ends[i - 1] as usize
+        };
+        (start, self.text_ends[i] as usize)
+    }
+
+    /// Text of tweet `i`.
+    pub fn text(&self, i: usize) -> &str {
+        let (s, e) = self.text_range(i);
+        &self.text[s..e]
+    }
+
+    /// Day of tweet `i`.
+    pub fn day(&self, i: usize) -> Day {
+        self.days[i]
+    }
+
+    /// Author of tweet `i`.
+    pub fn author(&self, i: usize) -> TwitterUserId {
+        self.authors[i]
+    }
+
+    /// Source (client) index of tweet `i`.
+    pub fn source(&self, i: usize) -> u16 {
+        self.sources[i]
+    }
+
+    /// Tweet `i` as a view.
+    pub fn get(&self, i: usize) -> TweetView<'_> {
+        TweetView {
+            id: TweetId(i as u64),
+            author: self.authors[i],
+            day: self.days[i],
+            text: self.text(i),
+            source: self.sources[i],
+        }
+    }
+
+    /// All tweets in id order.
+    pub fn iter(&self) -> TweetIter<'_> {
+        TweetIter { store: self, i: 0 }
+    }
+
+    /// Bytes of text held (diagnostics).
+    pub fn text_bytes(&self) -> usize {
+        self.text.len()
+    }
+}
+
+/// Iterator over a [`TweetStore`] in id order.
+pub struct TweetIter<'a> {
+    store: &'a TweetStore,
+    i: usize,
+}
+
+impl<'a> Iterator for TweetIter<'a> {
+    type Item = TweetView<'a>;
+
+    fn next(&mut self) -> Option<TweetView<'a>> {
+        if self.i >= self.store.len() {
+            return None;
+        }
+        let v = self.store.get(self.i);
+        self.i += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.store.len() - self.i;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for TweetIter<'_> {}
+
+impl<'a> IntoIterator for &'a TweetStore {
+    type Item = TweetView<'a>;
+    type IntoIter = TweetIter<'a>;
+
+    fn into_iter(self) -> TweetIter<'a> {
+        self.iter()
+    }
+}
+
+/// Columnar arena for Mastodon statuses; same layout contract as
+/// [`TweetStore`]: status `i` is `StatusId(i)`, in generation order.
+#[derive(Debug, Default, Clone)]
+pub struct StatusStore {
+    accounts: Vec<MastodonAccountId>,
+    days: Vec<Day>,
+    text: String,
+    text_ends: Vec<u64>,
+}
+
+/// One status viewed out of a [`StatusStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StatusView<'a> {
+    pub id: StatusId,
+    pub account: MastodonAccountId,
+    pub day: Day,
+    pub text: &'a str,
+}
+
+impl StatusStore {
+    /// Number of statuses.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// True when no statuses were generated.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// Append a status; its id is its position.
+    pub fn push(&mut self, account: MastodonAccountId, day: Day, text: &str) -> StatusId {
+        let id = StatusId(self.accounts.len() as u64);
+        self.accounts.push(account);
+        self.days.push(day);
+        self.text.push_str(text);
+        self.text_ends.push(self.text.len() as u64);
+        id
+    }
+
+    fn text_range(&self, i: usize) -> (usize, usize) {
+        let start = if i == 0 {
+            0
+        } else {
+            self.text_ends[i - 1] as usize
+        };
+        (start, self.text_ends[i] as usize)
+    }
+
+    /// Text of status `i`.
+    pub fn text(&self, i: usize) -> &str {
+        let (s, e) = self.text_range(i);
+        &self.text[s..e]
+    }
+
+    /// Day of status `i`.
+    pub fn day(&self, i: usize) -> Day {
+        self.days[i]
+    }
+
+    /// Account of status `i`.
+    pub fn account(&self, i: usize) -> MastodonAccountId {
+        self.accounts[i]
+    }
+
+    /// Status `i` as a view.
+    pub fn get(&self, i: usize) -> StatusView<'_> {
+        StatusView {
+            id: StatusId(i as u64),
+            account: self.accounts[i],
+            day: self.days[i],
+            text: self.text(i),
+        }
+    }
+
+    /// All statuses in id order.
+    pub fn iter(&self) -> StatusIter<'_> {
+        StatusIter { store: self, i: 0 }
+    }
+
+    /// Bytes of text held (diagnostics).
+    pub fn text_bytes(&self) -> usize {
+        self.text.len()
+    }
+}
+
+/// Iterator over a [`StatusStore`] in id order.
+pub struct StatusIter<'a> {
+    store: &'a StatusStore,
+    i: usize,
+}
+
+impl<'a> Iterator for StatusIter<'a> {
+    type Item = StatusView<'a>;
+
+    fn next(&mut self) -> Option<StatusView<'a>> {
+        if self.i >= self.store.len() {
+            return None;
+        }
+        let v = self.store.get(self.i);
+        self.i += 1;
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.store.len() - self.i;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for StatusIter<'_> {}
+
+impl<'a> IntoIterator for &'a StatusStore {
+    type Item = StatusView<'a>;
+    type IntoIter = StatusIter<'a>;
+
+    fn into_iter(self) -> StatusIter<'a> {
+        self.iter()
+    }
+}
+
 /// Everything the content phase produced.
 #[derive(Debug, Default)]
 pub struct Corpora {
-    pub tweets: Vec<Tweet>,
-    pub statuses: Vec<Status>,
+    pub tweets: TweetStore,
+    pub statuses: StatusStore,
     /// Per-migrant mirror behaviour (migrant index order).
     pub mirror_behavior: Vec<MirrorBehavior>,
     /// Per-migrant "never posted a status" flag (paper: 9.20%).
@@ -162,17 +419,42 @@ fn status_topic(user: &TwitterUser, rng: &mut DetRng) -> Topic {
 /// rate-limits late in November — the Fig. 13 downward tail).
 const CROSSPOSTER_BREAK_DAY: i32 = 54;
 
-/// Generate all content. `accounts` must be in migrant-index order and
-/// `migrant_users[i]` maps migrant index → index into `users`.
-pub fn generate_content(
+/// The sequential "plan" half of content generation: everything that must
+/// be drawn in a fixed global order (client preferences, per-migrant
+/// behaviour flags, bio updates) plus the two stream bases per-user
+/// generators derive their private RNGs from.
+///
+/// Splitting the plan from the per-user timelines is what makes content
+/// **streamable**: after `plan_content`, any user's timeline is a pure
+/// function of `(plan, user, account)` via [`DetRng::stream`], so chunks
+/// can be produced on demand, in any order, and byte-identical to the
+/// eager pass — the contract `streaming_matches_eager` pins.
+#[derive(Debug)]
+pub struct ContentPlan {
+    /// Per-migrant mirror behaviour (migrant index order).
+    pub mirror_behavior: Vec<MirrorBehavior>,
+    /// Per-migrant "never posted a status" flag (paper: 9.20%).
+    pub never_posted: Vec<bool>,
+    /// Per-migrant Mastodon abandonment day, when drawn.
+    pub abandon_after: Vec<Option<Day>>,
+    /// Base seed of the per-migrant stream family.
+    migrant_base: u64,
+    /// Base seed of the per-noise-user stream family.
+    noise_base: u64,
+}
+
+/// Run the sequential plan phase: assigns preferred clients, applies bio
+/// updates (the §3.1 matcher reads profile metadata), and fixes every
+/// per-migrant coin that the old one-pass generator drew inline.
+/// `accounts` must be in migrant-index order and `migrant_users[i]` maps
+/// migrant index → index into `users`.
+pub fn plan_content(
     users: &mut [TwitterUser],
     migrant_users: &[usize],
     accounts: &[MastodonAccount],
     config: &WorldConfig,
     rng: &mut DetRng,
-) -> Corpora {
-    let gen = PostGenerator::default();
-    let mut out = Corpora::default();
+) -> ContentPlan {
     let source_weights: Vec<f64> = SOURCES.iter().map(|(_, w)| *w).collect();
 
     // Assign preferred clients to everyone (cross-poster tools excluded
@@ -188,6 +470,8 @@ pub fn generate_content(
     }
 
     // Mirror behaviour + never-posted flags per migrant.
+    let mut mirror_behavior = Vec::with_capacity(accounts.len());
+    let mut never_posted = Vec::with_capacity(accounts.len());
     for _ in accounts {
         let b = if rng.chance(config.crossposter_rate) {
             MirrorBehavior::CrossPoster {
@@ -202,206 +486,373 @@ pub fn generate_content(
         } else {
             MirrorBehavior::None
         };
-        out.mirror_behavior.push(b);
-        out.never_posted.push(rng.chance(config.never_posted_rate));
+        mirror_behavior.push(b);
+        never_posted.push(rng.chance(config.never_posted_rate));
     }
 
-    let mut next_tweet: u64 = 0;
-    let mut next_status: u64 = 0;
-    let mut tweet_id = |out: &mut Corpora, author, day, text: String, source| {
-        out.tweets.push(Tweet {
-            id: TweetId(next_tweet),
-            author,
-            day,
-            text,
-            source,
-        });
-        next_tweet += 1;
-        TweetId(next_tweet - 1)
-    };
-    let mut status_id = |out: &mut Corpora, account, day, text: String| {
-        out.statuses.push(Status {
-            id: StatusId(next_status),
-            account,
-            day,
-            text,
-        });
-        next_status += 1;
-        StatusId(next_status - 1)
-    };
-
-    // ---- migrants: full two-platform timelines --------------------------
-    for (mi, &ui) in migrant_users.iter().enumerate() {
-        let account = &accounts[mi];
-        let behavior = out.mirror_behavior[mi];
-        let never_posted = out.never_posted[mi];
-        let user = users[ui].clone();
-        let tweet_tox = user.toxicity;
-        let status_tox = user.toxicity * config.mastodon_toxicity_factor;
-        let status_rate = config.statuses_per_day_mean * user.engagement;
-        let active_from = account.created.max(Day::STUDY_START);
-        // Abandonment (the §8 retention question): a slice of the wave goes
-        // quiet on Mastodon a couple of weeks after arriving, while their
-        // Twitter posting continues unchanged.
-        let abandon_after: Option<Day> = if rng.chance(config.mastodon_abandon_rate) {
+    // Abandonment (the §8 retention question): a slice of the wave goes
+    // quiet on Mastodon a couple of weeks after arriving, while their
+    // Twitter posting continues unchanged. Drawn here (not per-timeline)
+    // so the per-user streams stay pure.
+    let mut abandon_after = Vec::with_capacity(accounts.len());
+    for account in accounts {
+        abandon_after.push(if rng.chance(config.mastodon_abandon_rate) {
             let lag = rng
                 .exponential(1.0 / config.mastodon_abandon_after_days_mean)
                 .round() as i32;
             Some(account.announced + lag.max(2))
         } else {
             None
-        };
+        });
+    }
 
-        // Bio update: the §3.1 matcher reads profile metadata first.
+    // Bio updates: the §3.1 matcher reads profile metadata first.
+    for (mi, &ui) in migrant_users.iter().enumerate() {
+        let account = &accounts[mi];
         if account.in_bio {
             let handle_text = if rng.chance(0.7) {
                 account.first_handle.to_string()
             } else {
                 account.first_handle.profile_url()
             };
-            users[ui].bio = format!("{} | {}", user.bio, handle_text);
-        }
-
-        for day in Day::study_days() {
-            // -- tweets -----------------------------------------------------
-            let n_tweets = rng.poisson(user.tweet_rate.min(12.0)) as usize;
-            let mut todays_tweets: Vec<TweetId> = Vec::with_capacity(n_tweets + 1);
-            for _ in 0..n_tweets {
-                let topic = tweet_topic(&user, day >= account.announced, rng);
-                let mut text = gen.compose(topic, Platform::Twitter, 2, rng);
-                if rng.chance(tweet_tox) {
-                    text = gen.toxicify(&text, rng);
-                }
-                let id = tweet_id(&mut out, user.id, day, text, user.preferred_client as u16);
-                todays_tweets.push(id);
-            }
-
-            // -- the announcement tweet --------------------------------------
-            if day == account.announced {
-                // A third of handle-bearing announcements are link-only:
-                // no migration keyword, no hashtag — the paper's
-                // instance-link queries are what catch these (Fig. 2).
-                let text = if account.in_tweet && rng.chance(0.33) {
-                    format!(
-                        "{} {}",
-                        rng.choose::<&str>(LINK_ONLY_PHRASES),
-                        account.first_handle.profile_url()
-                    )
-                } else {
-                    let phrase = *rng.choose(MIGRATION_PHRASES);
-                    let mut text = if account.in_tweet {
-                        let handle_text = if rng.chance(0.6) {
-                            account.first_handle.to_string()
-                        } else {
-                            account.first_handle.profile_url()
-                        };
-                        format!("{phrase}! i am now at {handle_text}")
-                    } else {
-                        format!("{phrase}! you know where to find me")
-                    };
-                    // Migration hashtags make the tweet searchable (§3.1).
-                    let tags = Topic::Migration.hashtags(Platform::Twitter);
-                    text.push(' ');
-                    text.push_str(rng.choose::<&str>(tags));
-                    if rng.chance(0.5) {
-                        text.push(' ');
-                        text.push_str(rng.choose::<&str>(tags));
-                    }
-                    text
-                };
-                tweet_id(&mut out, user.id, day, text, user.preferred_client as u16);
-            }
-
-            // -- statuses -----------------------------------------------------
-            if never_posted || day < active_from {
-                continue;
-            }
-            if let Some(quit) = abandon_after {
-                if day >= quit {
-                    continue;
-                }
-            }
-            // Early-adopter accounts idle along pre-announcement; everyone
-            // ramps up over ~6 days after they arrive/announce.
-            let rate = if day < account.announced {
-                0.15 * status_rate
-            } else {
-                let t = (day - account.announced.max(active_from)) as f64;
-                status_rate * (1.0 - (-(t + 1.0) / 6.0).exp())
-            };
-            let n_statuses = rng.poisson(rate.min(10.0)) as usize;
-            for _ in 0..n_statuses {
-                // Cross-posting tools mirror identically — and also post a
-                // copy on Twitter attributed to the tool (Fig. 12).
-                let tools_alive = day.offset() <= CROSSPOSTER_BREAK_DAY || rng.chance(0.25);
-                match behavior {
-                    MirrorBehavior::CrossPoster { source }
-                        if day >= account.announced
-                            && tools_alive
-                            && rng.chance(config.crosspost_per_post) =>
-                    {
-                        let topic = status_topic(&user, rng);
-                        let mut text = gen.compose(topic, Platform::Mastodon, 2, rng);
-                        if rng.chance(status_tox) {
-                            text = gen.toxicify(&text, rng);
-                        }
-                        status_id(&mut out, account.id, day, text.clone());
-                        tweet_id(&mut out, user.id, day, text, source);
-                    }
-                    MirrorBehavior::Manual
-                        if !todays_tweets.is_empty()
-                            && rng.chance(config.manual_mirror_per_post) =>
-                    {
-                        // Paraphrase one of today's tweets: similar, not
-                        // identical (Fig. 14's middle band).
-                        let src = &out.tweets
-                            [todays_tweets[rng.below_usize(todays_tweets.len())].index()];
-                        let text = gen.paraphrase(&src.text.clone(), rng);
-                        status_id(&mut out, account.id, day, text);
-                    }
-                    _ => {
-                        let topic = status_topic(&user, rng);
-                        let mut text = gen.compose(topic, Platform::Mastodon, 2, rng);
-                        if rng.chance(status_tox) {
-                            text = gen.toxicify(&text, rng);
-                        }
-                        status_id(&mut out, account.id, day, text);
-                    }
-                }
-            }
+            users[ui].bio = format!("{} | {}", users[ui].bio, handle_text);
         }
     }
 
-    // ---- noise users: migration chatter without migrating ----------------
-    for (ui, user) in users.iter().enumerate() {
-        if user.is_migrant {
-            continue;
-        }
-        let window_days =
-            (Day::COLLECTION_END.offset() - Day::COLLECTION_START.offset() + 1) as f64;
-        let n = rng.poisson(config.noise_tweet_rate * window_days) as usize;
-        for _ in 0..n {
-            let day = {
-                // Noise chatter follows the same event-driven intensity.
-                crate::migration::sample_migration_day(rng)
-            };
-            let phrase = *rng.choose(MIGRATION_PHRASES);
-            let topic_text = gen.generate(Topic::Migration, rng);
-            let tags = Topic::Migration.hashtags(Platform::Twitter);
-            let mut text = format!("{topic_text} {phrase} {}", rng.choose(tags));
-            if rng.chance(user.toxicity) {
+    ContentPlan {
+        mirror_behavior,
+        never_posted,
+        abandon_after,
+        migrant_base: rng.next_u64(),
+        noise_base: rng.next_u64(),
+    }
+}
+
+/// One user's generated content, ids **local to the chunk** (dense from
+/// zero, generation order). [`ContentStream`] renumbers them into the
+/// global dense id space as chunks are consumed.
+#[derive(Debug, Default)]
+pub struct UserContent {
+    pub tweets: Vec<Tweet>,
+    pub statuses: Vec<Status>,
+}
+
+/// Generate migrant `mi`'s full two-platform timeline from its private
+/// stream. Pure in `(plan, user, account)` — never touches global state.
+fn migrant_content(
+    mi: usize,
+    user: &TwitterUser,
+    account: &MastodonAccount,
+    plan: &ContentPlan,
+    config: &WorldConfig,
+    gen: &PostGenerator,
+) -> UserContent {
+    let mut rng = DetRng::stream(plan.migrant_base, mi as u64);
+    let rng = &mut rng;
+    let mut out = UserContent::default();
+    let behavior = plan.mirror_behavior[mi];
+    let never_posted = plan.never_posted[mi];
+    let abandon_after = plan.abandon_after[mi];
+    let tweet_tox = user.toxicity;
+    let status_tox = user.toxicity * config.mastodon_toxicity_factor;
+    let status_rate = config.statuses_per_day_mean * user.engagement;
+    let active_from = account.created.max(Day::STUDY_START);
+
+    for day in Day::study_days() {
+        // -- tweets -----------------------------------------------------
+        let n_tweets = rng.poisson(user.tweet_rate.min(12.0)) as usize;
+        let mut todays_tweets: Vec<usize> = Vec::with_capacity(n_tweets + 1);
+        for _ in 0..n_tweets {
+            let topic = tweet_topic(user, day >= account.announced, rng);
+            let mut text = gen.compose(topic, Platform::Twitter, 2, rng);
+            if rng.chance(tweet_tox) {
                 text = gen.toxicify(&text, rng);
             }
-            tweet_id(
-                &mut out,
-                TwitterUserId::from_index(ui),
+            todays_tweets.push(out.tweets.len());
+            out.tweets.push(Tweet {
+                id: TweetId(out.tweets.len() as u64),
+                author: user.id,
                 day,
                 text,
-                user.preferred_client as u16,
-            );
+                source: user.preferred_client as u16,
+            });
+        }
+
+        // -- the announcement tweet --------------------------------------
+        if day == account.announced {
+            // A third of handle-bearing announcements are link-only:
+            // no migration keyword, no hashtag — the paper's
+            // instance-link queries are what catch these (Fig. 2).
+            let text = if account.in_tweet && rng.chance(0.33) {
+                format!(
+                    "{} {}",
+                    rng.choose::<&str>(LINK_ONLY_PHRASES),
+                    account.first_handle.profile_url()
+                )
+            } else {
+                let phrase = *rng.choose(MIGRATION_PHRASES);
+                let mut text = if account.in_tweet {
+                    let handle_text = if rng.chance(0.6) {
+                        account.first_handle.to_string()
+                    } else {
+                        account.first_handle.profile_url()
+                    };
+                    format!("{phrase}! i am now at {handle_text}")
+                } else {
+                    format!("{phrase}! you know where to find me")
+                };
+                // Migration hashtags make the tweet searchable (§3.1).
+                let tags = Topic::Migration.hashtags(Platform::Twitter);
+                text.push(' ');
+                text.push_str(rng.choose::<&str>(tags));
+                if rng.chance(0.5) {
+                    text.push(' ');
+                    text.push_str(rng.choose::<&str>(tags));
+                }
+                text
+            };
+            out.tweets.push(Tweet {
+                id: TweetId(out.tweets.len() as u64),
+                author: user.id,
+                day,
+                text,
+                source: user.preferred_client as u16,
+            });
+        }
+
+        // -- statuses -----------------------------------------------------
+        if never_posted || day < active_from {
+            continue;
+        }
+        if let Some(quit) = abandon_after {
+            if day >= quit {
+                continue;
+            }
+        }
+        // Early-adopter accounts idle along pre-announcement; everyone
+        // ramps up over ~6 days after they arrive/announce.
+        let rate = if day < account.announced {
+            0.15 * status_rate
+        } else {
+            let t = (day - account.announced.max(active_from)) as f64;
+            status_rate * (1.0 - (-(t + 1.0) / 6.0).exp())
+        };
+        let n_statuses = rng.poisson(rate.min(10.0)) as usize;
+        for _ in 0..n_statuses {
+            // Cross-posting tools mirror identically — and also post a
+            // copy on Twitter attributed to the tool (Fig. 12).
+            let tools_alive = day.offset() <= CROSSPOSTER_BREAK_DAY || rng.chance(0.25);
+            match behavior {
+                MirrorBehavior::CrossPoster { source }
+                    if day >= account.announced
+                        && tools_alive
+                        && rng.chance(config.crosspost_per_post) =>
+                {
+                    let topic = status_topic(user, rng);
+                    let mut text = gen.compose(topic, Platform::Mastodon, 2, rng);
+                    if rng.chance(status_tox) {
+                        text = gen.toxicify(&text, rng);
+                    }
+                    out.statuses.push(Status {
+                        id: StatusId(out.statuses.len() as u64),
+                        account: account.id,
+                        day,
+                        text: text.clone(),
+                    });
+                    out.tweets.push(Tweet {
+                        id: TweetId(out.tweets.len() as u64),
+                        author: user.id,
+                        day,
+                        text,
+                        source,
+                    });
+                }
+                MirrorBehavior::Manual
+                    if !todays_tweets.is_empty() && rng.chance(config.manual_mirror_per_post) =>
+                {
+                    // Paraphrase one of today's tweets: similar, not
+                    // identical (Fig. 14's middle band). Today's tweets
+                    // are chunk-local, so the lookup needs no global
+                    // corpus — the property that lets chunks stream.
+                    let src = &out.tweets[todays_tweets[rng.below_usize(todays_tweets.len())]];
+                    let text = gen.paraphrase(&src.text.clone(), rng);
+                    out.statuses.push(Status {
+                        id: StatusId(out.statuses.len() as u64),
+                        account: account.id,
+                        day,
+                        text,
+                    });
+                }
+                _ => {
+                    let topic = status_topic(user, rng);
+                    let mut text = gen.compose(topic, Platform::Mastodon, 2, rng);
+                    if rng.chance(status_tox) {
+                        text = gen.toxicify(&text, rng);
+                    }
+                    out.statuses.push(Status {
+                        id: StatusId(out.statuses.len() as u64),
+                        account: account.id,
+                        day,
+                        text,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Generate one noise user's migration chatter from its private stream.
+fn noise_content(
+    ui: usize,
+    user: &TwitterUser,
+    plan: &ContentPlan,
+    config: &WorldConfig,
+    gen: &PostGenerator,
+) -> UserContent {
+    let mut rng = DetRng::stream(plan.noise_base, ui as u64);
+    let rng = &mut rng;
+    let mut out = UserContent::default();
+    let window_days = (Day::COLLECTION_END.offset() - Day::COLLECTION_START.offset() + 1) as f64;
+    let n = rng.poisson(config.noise_tweet_rate * window_days) as usize;
+    for _ in 0..n {
+        let day = {
+            // Noise chatter follows the same event-driven intensity.
+            crate::migration::sample_migration_day(rng)
+        };
+        let phrase = *rng.choose(MIGRATION_PHRASES);
+        let topic_text = gen.generate(Topic::Migration, rng);
+        let tags = Topic::Migration.hashtags(Platform::Twitter);
+        let mut text = format!("{topic_text} {phrase} {}", rng.choose(tags));
+        if rng.chance(user.toxicity) {
+            text = gen.toxicify(&text, rng);
+        }
+        out.tweets.push(Tweet {
+            id: TweetId(out.tweets.len() as u64),
+            author: TwitterUserId::from_index(ui),
+            day,
+            text,
+            source: user.preferred_client as u16,
+        });
+    }
+    out
+}
+
+/// Streaming content generator: yields one [`UserContent`] chunk per user
+/// in canonical corpus order (migrants in migrant-index order, then noise
+/// users in user-index order), renumbering chunk-local ids into the global
+/// dense id space. Driving the stream to completion and concatenating the
+/// chunks is byte-identical to [`generate_content`]'s arenas — consumers
+/// that only need one pass (index builders, exporters) never have to hold
+/// the whole corpus.
+pub struct ContentStream<'a> {
+    users: &'a [TwitterUser],
+    migrant_users: &'a [usize],
+    accounts: &'a [MastodonAccount],
+    plan: &'a ContentPlan,
+    config: &'a WorldConfig,
+    gen: PostGenerator,
+    /// Next migrant index to emit; once `== migrant_users.len()`, noise.
+    next_migrant: usize,
+    /// Next user index to consider for noise emission.
+    next_noise: usize,
+    next_tweet: u64,
+    next_status: u64,
+}
+
+impl<'a> ContentStream<'a> {
+    /// A stream over every user's content, in canonical order.
+    pub fn new(
+        users: &'a [TwitterUser],
+        migrant_users: &'a [usize],
+        accounts: &'a [MastodonAccount],
+        plan: &'a ContentPlan,
+        config: &'a WorldConfig,
+    ) -> Self {
+        ContentStream {
+            users,
+            migrant_users,
+            accounts,
+            plan,
+            config,
+            gen: PostGenerator::default(),
+            next_migrant: 0,
+            next_noise: 0,
+            next_tweet: 0,
+            next_status: 0,
         }
     }
 
+    fn renumber(&mut self, mut chunk: UserContent) -> UserContent {
+        for t in &mut chunk.tweets {
+            t.id = TweetId(self.next_tweet);
+            self.next_tweet += 1;
+        }
+        for s in &mut chunk.statuses {
+            s.id = StatusId(self.next_status);
+            self.next_status += 1;
+        }
+        chunk
+    }
+}
+
+impl Iterator for ContentStream<'_> {
+    type Item = UserContent;
+
+    fn next(&mut self) -> Option<UserContent> {
+        if self.next_migrant < self.migrant_users.len() {
+            let mi = self.next_migrant;
+            self.next_migrant += 1;
+            let ui = self.migrant_users[mi];
+            let chunk = migrant_content(
+                mi,
+                &self.users[ui],
+                &self.accounts[mi],
+                self.plan,
+                self.config,
+                &self.gen,
+            );
+            return Some(self.renumber(chunk));
+        }
+        while self.next_noise < self.users.len() {
+            let ui = self.next_noise;
+            self.next_noise += 1;
+            let user = &self.users[ui];
+            if user.is_migrant {
+                continue;
+            }
+            let chunk = noise_content(ui, user, self.plan, self.config, &self.gen);
+            return Some(self.renumber(chunk));
+        }
+        None
+    }
+}
+
+/// Generate all content eagerly into the columnar arenas: runs the plan,
+/// then drains a [`ContentStream`] in canonical order. `accounts` must be
+/// in migrant-index order and `migrant_users[i]` maps migrant index →
+/// index into `users`.
+pub fn generate_content(
+    users: &mut [TwitterUser],
+    migrant_users: &[usize],
+    accounts: &[MastodonAccount],
+    config: &WorldConfig,
+    rng: &mut DetRng,
+) -> Corpora {
+    let plan = plan_content(users, migrant_users, accounts, config, rng);
+    let mut out = Corpora {
+        mirror_behavior: plan.mirror_behavior.clone(),
+        never_posted: plan.never_posted.clone(),
+        ..Corpora::default()
+    };
+    for chunk in ContentStream::new(users, migrant_users, accounts, &plan, config) {
+        for t in &chunk.tweets {
+            out.tweets.push(t.author, t.day, &t.text, t.source);
+        }
+        for s in &chunk.statuses {
+            out.statuses.push(s.account, s.day, &s.text);
+        }
+    }
     out
 }
 
@@ -609,13 +1060,13 @@ mod tests {
             &mut rng.fork("content"),
         );
         let scorer = ToxicityScorer::new();
-        let sample = |texts: Vec<&String>| {
+        let sample = |texts: Vec<&str>| {
             let n = texts.len().min(20_000);
             let toxic = texts.iter().take(n).filter(|t| scorer.is_toxic(t)).count();
             toxic as f64 / n as f64
         };
-        let tw = sample(corpora.tweets.iter().map(|t| &t.text).collect());
-        let ms = sample(corpora.statuses.iter().map(|s| &s.text).collect());
+        let tw = sample(corpora.tweets.iter().map(|t| t.text).collect());
+        let ms = sample(corpora.statuses.iter().map(|s| s.text).collect());
         assert!(tw > ms, "twitter {tw} should exceed mastodon {ms}");
         assert!((0.01..0.12).contains(&tw), "tweet toxicity {tw}");
     }
@@ -634,6 +1085,106 @@ mod tests {
             .map(|s| extract_hashtags(&s.text).len())
             .sum();
         assert!(tw_tags > 0 && ms_tags > 0);
+    }
+
+    #[test]
+    fn streaming_matches_eager() {
+        // The streaming contract: draining a ContentStream chunk-by-chunk
+        // reproduces the eager arenas byte-for-byte, including the user
+        // mutations from the plan phase. This is what lets paper-scale
+        // consumers generate per-user content on demand.
+        let config = WorldConfig::medium().with_seed(97);
+        let mut rng = DetRng::new(config.seed);
+        let users = generate_users(&config, &mut rng.fork("users"));
+        let migrants: Vec<usize> = users
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.is_migrant)
+            .map(|(i, _)| i)
+            .collect();
+        let graph = build_friend_graph(migrants.len(), 12.0, 0.9, 0.04, &mut rng.fork("graph"));
+        let instances = generate_instances(
+            config.n_instances,
+            config.instance_zipf_exponent,
+            &mut rng.fork("inst"),
+        );
+        let accounts = run_migration(
+            &users,
+            &migrants,
+            &graph,
+            &instances,
+            &config,
+            &mut rng.fork("mig"),
+        )
+        .unwrap();
+
+        // Both paths must start from the same RNG position: fork once,
+        // clone (`fork` itself consumes a parent draw).
+        let content_rng = rng.fork("content");
+
+        // Eager path.
+        let mut eager_users = users.clone();
+        let eager = generate_content(
+            &mut eager_users,
+            &migrants,
+            &accounts,
+            &config,
+            &mut content_rng.clone(),
+        );
+
+        // Lazy path: plan, then drain the stream chunk-by-chunk.
+        let mut lazy_users = users.clone();
+        let plan = plan_content(
+            &mut lazy_users,
+            &migrants,
+            &accounts,
+            &config,
+            &mut content_rng.clone(),
+        );
+        let mut lazy = Corpora {
+            mirror_behavior: plan.mirror_behavior.clone(),
+            never_posted: plan.never_posted.clone(),
+            ..Corpora::default()
+        };
+        let mut chunks = 0usize;
+        for chunk in ContentStream::new(&lazy_users, &migrants, &accounts, &plan, &config) {
+            for t in &chunk.tweets {
+                // Chunk ids arrive already renumbered into the global space.
+                assert_eq!(t.id.index(), lazy.tweets.len());
+                lazy.tweets.push(t.author, t.day, &t.text, t.source);
+            }
+            for s in &chunk.statuses {
+                assert_eq!(s.id.index(), lazy.statuses.len());
+                lazy.statuses.push(s.account, s.day, &s.text);
+            }
+            chunks += 1;
+        }
+
+        assert!(chunks > migrants.len(), "stream must cover noise users too");
+        assert_eq!(eager.tweets.len(), lazy.tweets.len());
+        assert_eq!(eager.statuses.len(), lazy.statuses.len());
+        assert_eq!(eager.mirror_behavior, lazy.mirror_behavior);
+        assert_eq!(eager.never_posted, lazy.never_posted);
+        for i in 0..eager.tweets.len() {
+            let a = eager.tweets.get(i);
+            let b = lazy.tweets.get(i);
+            assert_eq!(a.author, b.author);
+            assert_eq!(a.day, b.day);
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.text, b.text, "tweet {i} text diverged");
+        }
+        for i in 0..eager.statuses.len() {
+            let a = eager.statuses.get(i);
+            let b = lazy.statuses.get(i);
+            assert_eq!(a.account, b.account);
+            assert_eq!(a.day, b.day);
+            assert_eq!(a.text, b.text, "status {i} text diverged");
+        }
+        // Plan-phase user mutations (bios, clients) are identical too.
+        for (a, b) in eager_users.iter().zip(lazy_users.iter()) {
+            assert_eq!(a.bio, b.bio);
+            assert_eq!(a.preferred_client, b.preferred_client);
+        }
     }
 
     #[test]

@@ -127,7 +127,10 @@ fn mastodon_username(twitter_username: &str, same_rate: f64, rng: &mut DetRng) -
         let suffix = ["fedi", "toots", "masto", "online", "real"];
         let s = *rng.choose(&suffix);
         let mut name = format!("{twitter_username}_{s}");
-        name.truncate(30);
+        // Mastodon's 30-char limit. A plain `String::truncate(30)` panics
+        // when byte 30 falls inside a multi-byte character (any long
+        // username with accents or CJK), so cut at a char boundary.
+        flock_core::text::truncate_to_boundary(&mut name, 30);
         (name, false)
     }
 }
@@ -429,6 +432,25 @@ mod tests {
             &mut rng.fork("inst"),
         );
         (config, users, migrants, graph, instances)
+    }
+
+    #[test]
+    fn multibyte_usernames_truncate_without_panicking() {
+        // Regression: `name.truncate(30)` panicked whenever byte 30 fell
+        // inside a multi-byte character of `<twitter_username>_<suffix>`.
+        let mut rng = DetRng::new(7);
+        for base in [
+            "ünïcödé_üser_with_ä_lööong_nam", // 2-byte chars straddling 30
+            "日本語のユーザー名で長いもの",   // 3-byte chars
+            "🦣🦣🦣🦣🦣🦣🦣🦣🦣🦣",           // 4-byte chars
+        ] {
+            for _ in 0..64 {
+                let (name, same) = mastodon_username(base, 0.0, &mut rng);
+                assert!(!same);
+                assert!(name.len() <= 30, "{name:?} is {} bytes", name.len());
+                assert!(name.is_char_boundary(name.len()));
+            }
+        }
     }
 
     #[test]

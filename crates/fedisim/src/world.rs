@@ -18,7 +18,7 @@
 
 use crate::activity::{build_ledger, ActivityLedger};
 use crate::config::WorldConfig;
-use crate::content::{generate_content, Corpora, MirrorBehavior, Status, Tweet};
+use crate::content::{generate_content, Corpora, MirrorBehavior, StatusStore, TweetStore};
 use crate::graph::{build_friend_graph, realize_followees, MigrantFriendGraph};
 use crate::instances::{generate_instances, Instance};
 use crate::interest::{generate_interest, InterestReport};
@@ -27,8 +27,8 @@ use crate::switching::run_switching;
 use crate::users::{generate_users, TwitterUser};
 use flock_activitypub::{ActorUri, FediverseNetwork, NetworkConfig};
 use flock_core::{
-    DetRng, FlockError, InstanceId, MastodonAccountId, MastodonHandle, Result, StatusId, TweetId,
-    TwitterUserId,
+    DetRng, FlockError, InstanceId, MastodonAccountId, MastodonHandle, Result, SortedVecMap,
+    StatusId, TweetId, TwitterUserId,
 };
 use std::collections::BTreeMap;
 
@@ -46,8 +46,8 @@ pub struct World {
     pub friend_graph: MigrantFriendGraph,
     /// Realized Twitter followee lists, in migrant-index order.
     pub twitter_followees: Vec<Vec<TwitterUserId>>,
-    pub tweets: Vec<Tweet>,
-    pub statuses: Vec<Status>,
+    pub tweets: TweetStore,
+    pub statuses: StatusStore,
     /// Per-migrant mirroring behaviour.
     pub mirror_behavior: Vec<MirrorBehavior>,
     /// The ActivityPub substrate carrying Mastodon's social graph.
@@ -56,12 +56,17 @@ pub struct World {
     pub interest: InterestReport,
 
     // ---- indexes ---------------------------------------------------------
-    instance_by_domain: BTreeMap<String, InstanceId>,
-    user_by_username: BTreeMap<String, TwitterUserId>,
-    account_by_owner: BTreeMap<TwitterUserId, MastodonAccountId>,
-    account_by_handle: BTreeMap<MastodonHandle, MastodonAccountId>,
-    tweets_by_author: BTreeMap<TwitterUserId, Vec<TweetId>>,
-    statuses_by_account: Vec<Vec<StatusId>>,
+    instance_by_domain: SortedVecMap<String, InstanceId>,
+    user_by_username: SortedVecMap<String, TwitterUserId>,
+    account_by_owner: SortedVecMap<TwitterUserId, MastodonAccountId>,
+    account_by_handle: SortedVecMap<MastodonHandle, MastodonAccountId>,
+    /// Per-user `(start, len)` into the tweet arena. Content generation
+    /// emits each user's tweets as one contiguous id run (canonical
+    /// chunk order), so the author index is two words per user instead
+    /// of a map of id vectors.
+    tweets_by_author: Vec<(u64, u32)>,
+    /// Per-migrant `(start, len)` into the status arena; same contract.
+    statuses_by_account: Vec<(u64, u32)>,
 }
 
 impl World {
@@ -69,7 +74,6 @@ impl World {
     pub fn generate(config: &WorldConfig) -> Result<World> {
         config.validate()?;
         let mut root = DetRng::new(config.seed);
-
         // Phase 1: instances + users + migrant graph.
         let instances = generate_instances(
             config.n_instances,
@@ -196,18 +200,38 @@ impl World {
         let instance_by_domain = instances.iter().map(|i| (i.domain.clone(), i.id)).collect();
         let user_by_username = users.iter().map(|u| (u.username.clone(), u.id)).collect();
         let account_by_owner = accounts.iter().map(|a| (a.owner, a.id)).collect();
-        let mut account_by_handle: BTreeMap<MastodonHandle, MastodonAccountId> = BTreeMap::new();
-        for a in &accounts {
-            account_by_handle.insert(a.first_handle.clone(), a.id);
-            account_by_handle.insert(a.handle.clone(), a.id);
+        // Collected (not inserted one by one): handles arrive in random
+        // key order, and FromIterator's collect-then-sort is O(n log n)
+        // where an insert loop is O(n²) element moves at paper scale.
+        // Later pairs win on duplicate keys, same as the insert loop did.
+        let account_by_handle: SortedVecMap<MastodonHandle, MastodonAccountId> = accounts
+            .iter()
+            .flat_map(|a| [(a.first_handle.clone(), a.id), (a.handle.clone(), a.id)])
+            .collect();
+        // Each user's tweets occupy one contiguous id run (the content
+        // stream emits whole per-user chunks), so the author index is a
+        // flat (start, len) table. debug_assert guards the contract.
+        let mut tweets_by_author: Vec<(u64, u32)> = vec![(0, 0); users.len()];
+        for i in 0..tweets.len() {
+            let a = tweets.author(i).index();
+            let (start, len) = &mut tweets_by_author[a];
+            if *len == 0 {
+                *start = i as u64;
+            } else {
+                debug_assert_eq!(*start + *len as u64, i as u64, "tweet run not contiguous");
+            }
+            *len += 1;
         }
-        let mut tweets_by_author: BTreeMap<TwitterUserId, Vec<TweetId>> = BTreeMap::new();
-        for t in &tweets {
-            tweets_by_author.entry(t.author).or_default().push(t.id);
-        }
-        let mut statuses_by_account: Vec<Vec<StatusId>> = vec![Vec::new(); accounts.len()];
-        for s in &statuses {
-            statuses_by_account[s.account.index()].push(s.id);
+        let mut statuses_by_account: Vec<(u64, u32)> = vec![(0, 0); accounts.len()];
+        for i in 0..statuses.len() {
+            let a = statuses.account(i).index();
+            let (start, len) = &mut statuses_by_account[a];
+            if *len == 0 {
+                *start = i as u64;
+            } else {
+                debug_assert_eq!(*start + *len as u64, i as u64, "status run not contiguous");
+            }
+            *len += 1;
         }
 
         Ok(World {
@@ -278,17 +302,25 @@ impl World {
         account.index()
     }
 
-    /// Tweets of one author (ids in chronological generation order).
-    pub fn tweets_of(&self, author: TwitterUserId) -> &[TweetId] {
-        self.tweets_by_author
-            .get(&author)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    /// Tweets of one author (ids in chronological generation order —
+    /// one contiguous run of the dense id space).
+    pub fn tweets_of(&self, author: TwitterUserId) -> impl Iterator<Item = TweetId> {
+        let (start, len) = self
+            .tweets_by_author
+            .get(author.index())
+            .copied()
+            .unwrap_or((0, 0));
+        (start..start + len as u64).map(TweetId)
     }
 
-    /// Statuses of one account.
-    pub fn statuses_of(&self, account: MastodonAccountId) -> &[StatusId] {
-        &self.statuses_by_account[account.index()]
+    /// Statuses of one account (one contiguous run of the dense id space).
+    pub fn statuses_of(&self, account: MastodonAccountId) -> impl Iterator<Item = StatusId> {
+        let (start, len) = self
+            .statuses_by_account
+            .get(account.index())
+            .copied()
+            .unwrap_or((0, 0));
+        (start..start + len as u64).map(StatusId)
     }
 
     /// The ActivityPub actor URI of an account (its *current* identity).
@@ -510,7 +542,9 @@ fn assign_downtime(
     order.sort_by_key(|&i| std::cmp::Reverse(user_count[i]));
     let mut candidates: Vec<usize> = order[5.min(order.len())..].to_vec();
     rng.shuffle(&mut candidates);
-    let target = (total as f64 * config.instance_down_rate) as usize;
+    // Round to nearest: the old truncating cast quietly shrank the down
+    // cohort (at small scales by enough to miss the configured rate).
+    let target = (total as f64 * config.instance_down_rate).round() as usize;
     let mut covered = 0usize;
     for idx in candidates {
         if covered >= target {
@@ -631,6 +665,43 @@ mod tests {
     }
 
     #[test]
+    fn realized_rates_track_configured() {
+        // Pin the rate × population computations at small() scale: the old
+        // truncating casts systematically undershot the configured rates,
+        // which only shows up when realized counts are compared to the
+        // configuration rather than to other realized counts.
+        let w = world();
+        let n = w.users.len() as f64;
+
+        let migrant_share = w.n_migrants() as f64 / n;
+        assert!(
+            (migrant_share - w.config.migrant_fraction).abs() < 0.02,
+            "migrant share {migrant_share} vs {}",
+            w.config.migrant_fraction
+        );
+
+        let switchers = w.accounts.iter().filter(|a| a.switch.is_some()).count();
+        let switch_target = (w.accounts.len() as f64 * w.config.switch_rate).round() as usize;
+        assert!(
+            switchers.abs_diff(switch_target) <= switch_target / 3 + 2,
+            "{switchers} switchers vs target {switch_target}"
+        );
+
+        let down_users = w
+            .accounts
+            .iter()
+            .filter(|a| w.instances[a.instance.index()].down_at_crawl)
+            .count() as f64;
+        // The down cohort must reach the *rounded* target, never stop a
+        // truncated-cast short of it (instance granularity can overshoot).
+        let down_target = (w.accounts.len() as f64 * w.config.instance_down_rate).round();
+        assert!(
+            down_users >= down_target,
+            "down users {down_users} below rounded target {down_target}"
+        );
+    }
+
+    #[test]
     fn determinism_same_seed_same_world() {
         let a = World::generate(&WorldConfig::small().with_seed(5)).unwrap();
         let b = World::generate(&WorldConfig::small().with_seed(5)).unwrap();
@@ -650,12 +721,12 @@ mod tests {
         assert_eq!(
             a.tweets
                 .iter()
-                .map(|t| t.text.clone())
+                .map(|t| t.text.to_string())
                 .take(500)
                 .collect::<Vec<_>>(),
             b.tweets
                 .iter()
-                .map(|t| t.text.clone())
+                .map(|t| t.text.to_string())
                 .take(500)
                 .collect::<Vec<_>>()
         );
@@ -668,12 +739,12 @@ mod tests {
         assert_ne!(
             a.tweets
                 .iter()
-                .map(|t| t.text.clone())
+                .map(|t| t.text.to_string())
                 .take(200)
                 .collect::<Vec<_>>(),
             b.tweets
                 .iter()
-                .map(|t| t.text.clone())
+                .map(|t| t.text.to_string())
                 .take(200)
                 .collect::<Vec<_>>()
         );

@@ -1,7 +1,7 @@
 //! `repro` — regenerate any figure of the paper from a fresh simulation.
 //!
 //! ```text
-//! repro [--scale small|medium|paper] [--seed N] [--metrics PATH]
+//! repro [--scale small|medium|paper|paper_scale] [--seed N] [--metrics PATH]
 //!       [--report PATH] [--chaos SCENARIO] [--workers N] [--tasks N]
 //!       <artifact>...
 //!
@@ -42,7 +42,7 @@ use flock_repro::{FigureId, MigrationStudy};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: repro [--scale small|medium|paper] [--seed N] [--metrics PATH] [--report PATH] \
+    "usage: repro [--scale small|medium|paper|paper_scale] [--seed N] [--metrics PATH] [--report PATH] \
      [--chaos calm|rate-limit-storm|instance-massacre|flaky-federation] [--workers N] [--tasks N] \
      <fig1..fig16|headline|all|experiments-md|stamp[=path]>..."
 }
@@ -98,6 +98,7 @@ fn main() -> ExitCode {
                     "small" => WorldConfig::small(),
                     "medium" => WorldConfig::medium(),
                     "paper" => WorldConfig::paper(),
+                    "paper_scale" | "paper-scale" => WorldConfig::paper_scale(),
                     other => {
                         eprintln!("unknown scale {other:?}; {}", usage());
                         return ExitCode::FAILURE;

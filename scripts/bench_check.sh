@@ -12,6 +12,11 @@
 #             thread-per-worker baseline in the smoke run (>= 1x), and the
 #             recorded history must hold the >= 3x acceptance bar at the
 #             full 10k-connection scale (median over the window).
+#   * memory: measured peak RSS (VmHWM of the smoke bench process) must
+#             stay <= 1.2 x the median recorded peak_rss_bytes. The smoke
+#             and full runs build the same small() world, so their peaks
+#             are comparable; entries recorded before memory tracking
+#             simply drop out of the median.
 #
 # Smoke mode never appends to the committed history, so this is safe to
 # run on every push. Wall-clock numbers are noisy on shared runners —
@@ -29,8 +34,11 @@ fi
 window="$(mktemp -t flock-bench-window-XXXXXX)"
 log="$(mktemp -t flock-bench-XXXXXX.log)"
 trap 'rm -f "$window" "$log"' EXIT
-# Baseline window: the last 3 recorded entries (newest last).
-tail -n 3 "$history" >"$window"
+# Baseline window: the last 3 recorded *throughput-shaped* entries
+# (newest last). The history also carries paper_scale entries with a
+# different shape; selecting on a key the gates below read keeps them from
+# occupying window slots.
+grep '"indexed_qps"' "$history" | tail -n 3 >"$window"
 
 # Median of newline-separated numbers on stdin (middle element; lower
 # middle for an even count — the window is at most 3 entries anyway).
@@ -94,6 +102,23 @@ fi
 if awk -v b="$base_sched_speedup" 'BEGIN { exit !(b < 3.0) }'; then
   echo "bench_check: SCHED HISTORY: recorded median speedup ${base_sched_speedup}x < the 3x acceptance bar" >&2
   fail=1
+fi
+
+# Memory trend: compare the smoke run's peak RSS against the median of the
+# recorded peak_rss_bytes. Entries recorded before memory tracking landed
+# carry no mem block and contribute nothing to the median; until at least
+# one entry has it, the gate is skipped (bootstrap).
+measured_rss="$(awk '/^mem: peak rss/ { print $4; exit }' "$log")"
+base_rss="$(grep -o '"peak_rss_bytes":[0-9]*' "$window" | cut -d: -f2 | median || true)"
+if [ -z "$base_rss" ]; then
+  echo "bench_check: no recorded peak_rss_bytes yet; skipping the memory gate"
+elif [ -z "$measured_rss" ] || [ "$measured_rss" = "0" ]; then
+  echo "bench_check: peak RSS unavailable on this host; skipping the memory gate"
+elif awk -v m="$measured_rss" -v b="$base_rss" 'BEGIN { exit !(m > 1.2 * b) }'; then
+  echo "bench_check: MEMORY REGRESSION: measured peak RSS ${measured_rss} bytes > 120% of median ${base_rss} bytes" >&2
+  fail=1
+else
+  echo "bench_check: memory ok (peak RSS ${measured_rss} bytes vs median ${base_rss} bytes)"
 fi
 
 if [ "$fail" -ne 0 ]; then

@@ -81,8 +81,7 @@ fn twitter_timelines_match_ground_truth_posts() {
     for (uid, timeline) in &ds.twitter_timelines {
         let truth_count = world
             .tweets_of(*uid)
-            .iter()
-            .filter(|tid| world.tweets[tid.index()].day.in_study_window())
+            .filter(|tid| world.tweets.day(tid.index()).in_study_window())
             .count();
         assert_eq!(
             timeline.len(),
@@ -131,7 +130,7 @@ fn mastodon_timelines_are_subsets_of_truth() {
     let (world, ds) = fixture();
     for (handle, timeline) in &ds.mastodon_timelines {
         let acct = world.account_by_handle(handle).unwrap();
-        let truth = world.statuses_of(acct.id);
+        let truth: Vec<flock_core::StatusId> = world.statuses_of(acct.id).collect();
         assert!(
             timeline.len() <= truth.len(),
             "{handle} crawled more statuses than exist"
@@ -139,7 +138,7 @@ fn mastodon_timelines_are_subsets_of_truth() {
         // Every crawled status text exists in ground truth.
         let truth_texts: std::collections::HashSet<&str> = truth
             .iter()
-            .map(|sid| world.statuses[sid.index()].text.as_str())
+            .map(|sid| world.statuses.text(sid.index()))
             .collect();
         for s in timeline {
             assert!(truth_texts.contains(s.text.as_str()));
