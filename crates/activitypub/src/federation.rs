@@ -186,6 +186,40 @@ impl FediverseNetwork {
         self.nodes.keys().map(String::as_str)
     }
 
+    /// The federation adjacency each instance would expose on its
+    /// `/api/v1/instance/peers` endpoint: for every registered domain, the
+    /// other domains it shares at least one follow edge with, in either
+    /// direction. Edges are symmetric (if `a` lists `b`, `b` lists `a`),
+    /// peer lists are sorted and deduplicated, and iteration is over
+    /// `BTreeMap`s throughout, so the result is a pure function of the
+    /// network's social graph.
+    pub fn federation_peers(&self) -> BTreeMap<String, Vec<String>> {
+        let mut peers: BTreeMap<String, std::collections::BTreeSet<String>> = self
+            .nodes
+            .keys()
+            .map(|d| (d.clone(), std::collections::BTreeSet::new()))
+            .collect();
+        for (domain, node) in &self.nodes {
+            for actor in node.actors.values() {
+                for other in actor.followers.iter().chain(actor.following.iter()) {
+                    if other.domain != *domain {
+                        if let Some(set) = peers.get_mut(domain) {
+                            set.insert(other.domain.clone());
+                        }
+                        peers
+                            .entry(other.domain.clone())
+                            .or_default()
+                            .insert(domain.clone());
+                    }
+                }
+            }
+        }
+        peers
+            .into_iter()
+            .map(|(d, set)| (d, set.into_iter().collect()))
+            .collect()
+    }
+
     /// The federated timeline of an instance (remote notes it received).
     pub fn federated_timeline(&self, domain: &str) -> Option<&[Note]> {
         self.nodes
@@ -607,6 +641,25 @@ mod tests {
                 .unwrap_or(0)
                 >= 3
         );
+    }
+
+    #[test]
+    fn federation_peers_are_symmetric_sorted_and_cover_islands() {
+        let mut n = net();
+        let a = n.register_actor("a", "x.example").unwrap();
+        let b = n.register_actor("b", "y.example").unwrap();
+        let c = n.register_actor("c", "z.example").unwrap();
+        n.register_instance("island.example");
+        n.follow(&a, &b).unwrap();
+        n.follow(&a, &c).unwrap();
+        n.run_to_quiescence(16);
+        let peers = n.federation_peers();
+        assert_eq!(peers["x.example"], vec!["y.example", "z.example"]);
+        assert_eq!(peers["y.example"], vec!["x.example"]);
+        assert_eq!(peers["z.example"], vec!["x.example"]);
+        // A registered instance with no cross-instance edges still has an
+        // entry (the peers endpoint answers with an empty list).
+        assert!(peers["island.example"].is_empty());
     }
 
     #[test]

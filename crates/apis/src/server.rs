@@ -35,9 +35,9 @@ use flock_fedisim::World;
 use flock_obs::trace::{self, FaultKind, SpanOutcome};
 use flock_obs::{Counter, Histogram, Registry, Tier, SECONDS_BOUNDS};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -340,6 +340,11 @@ pub struct ApiServer {
     /// is bounded by the crawl's hit volume, which the crawler pages
     /// through (and therefore holds) anyway.
     search_results: Mutex<HashMap<String, Arc<Vec<u32>>>>,
+    /// Federation adjacency behind the peers-list discovery endpoint,
+    /// built lazily on first use (crawl-only runs never pay for it). A
+    /// pure function of the immutable world, so caching cannot perturb
+    /// determinism.
+    peers: OnceLock<BTreeMap<String, Vec<String>>>,
 }
 
 impl ApiServer {
@@ -382,6 +387,7 @@ impl ApiServer {
             metrics,
             chaos,
             search_results: Mutex::new(HashMap::new()),
+            peers: OnceLock::new(),
         })
     }
 
@@ -952,6 +958,17 @@ impl ApiServer {
     // ------------------------------------------------------------------
 
     fn instance_checked(&self, domain: &str) -> Result<InstanceId> {
+        self.instance_checked_at(domain, self.now())
+    }
+
+    /// [`Self::instance_checked`] evaluated at an explicit virtual time.
+    /// The continuous monitor stamps every check with its *scheduled* tick
+    /// and asks "was the instance up at that tick?" — a check that runs
+    /// late (because the scheduler was busy waiting out other instances)
+    /// must still observe the outage state of the tick it was scheduled
+    /// for, or the alive/dead verdicts would depend on the admission
+    /// window and thread count.
+    fn instance_checked_at(&self, domain: &str, as_of_secs: u64) -> Result<InstanceId> {
         let inst = self
             .world
             .instance_by_domain(domain)
@@ -966,7 +983,7 @@ impl ApiServer {
         // Chaos outage windows: a permanent window answers exactly like a
         // dead instance; a finite one reports its reopening deadline so
         // callers can wait it out deterministically.
-        match self.chaos.outage(domain, self.now()) {
+        match self.chaos.outage(domain, as_of_secs) {
             OutageStatus::Up => {}
             OutageStatus::Permanent => {
                 self.metrics.chaos_outage_rejections.inc();
@@ -983,7 +1000,7 @@ impl ApiServer {
                     SpanOutcome::Fault(FaultKind::Outage),
                 );
                 return Err(FlockError::InstanceOutage {
-                    retry_after_secs: end_secs.saturating_sub(self.now()).max(1),
+                    retry_after_secs: end_secs.saturating_sub(as_of_secs).max(1),
                 });
             }
         }
@@ -1163,6 +1180,27 @@ impl ApiServer {
             .into_iter()
             .rev()
             .collect())
+    }
+
+    /// Peers-list discovery (`/api/v1/instance/peers`): the domains this
+    /// instance federates with, sorted. `as_of_secs` is the virtual tick
+    /// the caller's check was *scheduled* for — availability is evaluated
+    /// there (see [`Self::instance_checked_at`]) and the tick is folded
+    /// into the logical request key, so each scheduled check draws its own
+    /// per-key chaos budget no matter when or on which worker it runs.
+    pub fn mastodon_instance_peers(&self, domain: &str, as_of_secs: u64) -> Result<Vec<String>> {
+        let inst = self.instance_checked_at(domain, as_of_secs)?;
+        self.acquire(
+            Endpoint::Mastodon(inst),
+            &format!("peers:{domain}@{as_of_secs}"),
+        )?;
+        let peers = self
+            .peers
+            .get_or_init(|| self.world.federation_peers())
+            .get(domain)
+            .cloned()
+            .unwrap_or_default();
+        Ok(peers)
     }
 }
 
@@ -1777,7 +1815,7 @@ mod index_differential_tests {
                     t.day >= Day::COLLECTION_START
                         && t.day <= Day::COLLECTION_END
                         && parsed.matches(&TweetDoc::new(
-                            &t.text,
+                            t.text,
                             &world.users[t.author.index()].username,
                         ))
                 })

@@ -545,15 +545,23 @@ pub enum Scenario {
     /// (some beyond the retry allowance), truncated pages, and extra
     /// per-request latency — all on the Mastodon side.
     FlakyFederation,
+    /// Rolling mid-run outages for long-horizon monitoring: two finite
+    /// outage waves that *start after* virtual zero (days 2–5 and 10–12),
+    /// so a continuous monitor first sees the affected instances alive,
+    /// watches them die, and must detect the rebirth when each window
+    /// lifts — plus a mild Retry-After storm and error burst on the
+    /// Mastodon side to keep the checks themselves flaky.
+    RollingOutages,
 }
 
 impl Scenario {
     /// Every canned scenario.
-    pub const ALL: [Scenario; 4] = [
+    pub const ALL: [Scenario; 5] = [
         Scenario::Calm,
         Scenario::RateLimitStorm,
         Scenario::InstanceMassacre,
         Scenario::FlakyFederation,
+        Scenario::RollingOutages,
     ];
 
     /// The CLI name.
@@ -563,6 +571,7 @@ impl Scenario {
             Scenario::RateLimitStorm => "rate-limit-storm",
             Scenario::InstanceMassacre => "instance-massacre",
             Scenario::FlakyFederation => "flaky-federation",
+            Scenario::RollingOutages => "rolling-outages",
         }
     }
 
@@ -612,6 +621,33 @@ impl Scenario {
                     family: EndpointFamily::Mastodon,
                     window: Window::first(3600),
                     extra_micros: 20,
+                },
+            ],
+            Scenario::RollingOutages => vec![
+                Fault::InstanceOutage {
+                    selector: InstanceSelector::RandomFraction(0.25),
+                    window: Window {
+                        start_secs: 2 * 86_400,
+                        end_secs: 5 * 86_400,
+                    },
+                },
+                Fault::InstanceOutage {
+                    selector: InstanceSelector::RandomFraction(0.15),
+                    window: Window {
+                        start_secs: 10 * 86_400,
+                        end_secs: 12 * 86_400,
+                    },
+                },
+                Fault::RetryAfterStorm {
+                    family: EndpointFamily::Mastodon,
+                    key_rate: 0.10,
+                    retry_after_secs: 300,
+                    max_per_key: 2,
+                },
+                Fault::ErrorBurst {
+                    family: EndpointFamily::Mastodon,
+                    key_rate: 0.05,
+                    max_per_key: 2,
                 },
             ],
         };
@@ -855,6 +891,30 @@ mod tests {
         assert_eq!(r.extra_latency_micros(EndpointFamily::Mastodon, 10), 20);
         assert_eq!(r.extra_latency_micros(EndpointFamily::Mastodon, 3600), 0);
         assert_eq!(r.extra_latency_micros(EndpointFamily::Search, 10), 0);
+    }
+
+    #[test]
+    fn rolling_outages_start_late_and_lift_mid_run() {
+        let r = Scenario::RollingOutages
+            .plan(13)
+            .resolve(&candidates(40))
+            .unwrap();
+        // Find an instance hit by the first wave (days 2–5): it must be up
+        // before the wave, waitable inside it, and up again after — the
+        // alive → dead → alive sequence the monitor's rebirth detection
+        // exercises.
+        let wave1 = (0..40)
+            .map(|i| format!("inst{i}.example"))
+            .find(|d| r.outage(d, 3 * 86_400) != OutageStatus::Up);
+        let domain = wave1.expect("0.25 of 40 candidates must put someone in wave one");
+        assert_eq!(r.outage(&domain, 86_400), OutageStatus::Up);
+        assert_eq!(
+            r.outage(&domain, 3 * 86_400),
+            OutageStatus::Until {
+                end_secs: 5 * 86_400
+            }
+        );
+        assert_eq!(r.outage(&domain, 6 * 86_400), OutageStatus::Up);
     }
 
     #[test]

@@ -971,7 +971,7 @@ mod tests {
             let has = corpora.tweets.iter().any(|t| {
                 t.author == uid
                     && t.day == day
-                    && flock_core::handle::extract_handles(&t.text)
+                    && flock_core::handle::extract_handles(t.text)
                         .iter()
                         .any(|h| h == &acct.first_handle)
             });
@@ -1077,12 +1077,12 @@ mod tests {
         let tw_tags: usize = corpora
             .tweets
             .iter()
-            .map(|t| extract_hashtags(&t.text).len())
+            .map(|t| extract_hashtags(t.text).len())
             .sum();
         let ms_tags: usize = corpora
             .statuses
             .iter()
-            .map(|s| extract_hashtags(&s.text).len())
+            .map(|s| extract_hashtags(s.text).len())
             .sum();
         assert!(tw_tags > 0 && ms_tags > 0);
     }

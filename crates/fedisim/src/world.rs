@@ -350,6 +350,23 @@ impl World {
         self.accounts.len()
     }
 
+    /// The federation adjacency (domain → sorted peer domains) behind the
+    /// per-instance peers-list endpoint, derived from the ActivityPub
+    /// substrate's follow edges. Pure in the world seed.
+    pub fn federation_peers(&self) -> BTreeMap<String, Vec<String>> {
+        self.fediverse.federation_peers()
+    }
+
+    /// The flagship instance domains (the paper's `mastodon.social` tier) —
+    /// the natural bootstrap set for a continuous monitor, in rank order.
+    pub fn flagship_domains(&self) -> Vec<String> {
+        self.instances
+            .iter()
+            .filter(|i| i.flagship)
+            .map(|i| i.domain.clone())
+            .collect()
+    }
+
     /// Domains eligible for chaos-plan outage injection: instances that
     /// are still reachable at crawl time, minus the flagship (the paper's
     /// `mastodon.social` stayed up throughout the migration, and several

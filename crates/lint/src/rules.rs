@@ -133,7 +133,7 @@ pub fn classify(rel_path: &str) -> FileClass {
         determinism: krate != "bench",
         hash_iter: matches!(
             krate,
-            "fedisim" | "analysis" | "repro" | "crawler" | "chaos"
+            "fedisim" | "analysis" | "repro" | "crawler" | "chaos" | "monitor"
         ),
         lock_order: krate == "apis",
         panic: true,

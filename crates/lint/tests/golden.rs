@@ -95,7 +95,7 @@ fn determinism_is_waived_for_bench_crate() {
 
 #[test]
 fn hash_iter_fires_in_output_affecting_crates() {
-    for krate in ["fedisim", "analysis", "repro", "crawler"] {
+    for krate in ["fedisim", "analysis", "repro", "crawler", "monitor"] {
         let path = format!("crates/{krate}/src/fixture.rs");
         let findings = lint_fixture("hash_iter_fire.rs", &path);
         assert_eq!(

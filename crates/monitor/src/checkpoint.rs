@@ -1,0 +1,177 @@
+//! Monitor checkpointing — kill the monitor mid-horizon, restart the
+//! process, and converge to the same roster.
+//!
+//! The unit of progress is a completed **round** (see [`crate::run`]):
+//! after a round every record's fields derive from scheduled instants
+//! only, so persisting `(round, clock, roster)` is enough for a resumed
+//! run — against a **fresh** API server advanced to the checkpointed
+//! clock — to continue with byte-identical Data-tier output. The write
+//! discipline is the crawler's: unique temp file in the same directory,
+//! fsync the data, rename over the target, fsync the parent directory,
+//! so a crash mid-save can never leave a torn or zero-length checkpoint.
+
+use crate::NodeRecord;
+use flock_core::{FlockError, Result};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A monitor checkpoint: the round counter, the virtual clock at the
+/// round boundary, and the roster (domain-sorted).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonitorCheckpoint {
+    /// Rounds completed when the checkpoint was taken.
+    pub round: u64,
+    /// The API server's virtual clock at the round boundary; a resumed
+    /// run advances its fresh server here so waits already paid are not
+    /// paid again.
+    pub clock_secs: u64,
+    /// Every known [`NodeRecord`], in domain order.
+    pub records: Vec<NodeRecord>,
+}
+
+impl MonitorCheckpoint {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| FlockError::InvalidConfig(format!("serialize monitor checkpoint: {e}")))
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(json: &str) -> Result<MonitorCheckpoint> {
+        serde_json::from_str(json)
+            .map_err(|e| FlockError::InvalidConfig(format!("deserialize monitor checkpoint: {e}")))
+    }
+
+    /// Write atomically **and durably** (temp + fsync + rename + dir
+    /// fsync; pid-unique temp name so concurrent or crashed savers never
+    /// clobber each other's in-flight writes).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        use std::io::Write;
+
+        let json = self.to_json()?;
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| {
+                FlockError::InvalidConfig(format!(
+                    "checkpoint path {} has no file name",
+                    path.display()
+                ))
+            })?
+            .to_string_lossy()
+            .into_owned();
+        let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+        let err = |stage: &str, p: &Path, e: std::io::Error| {
+            FlockError::InvalidConfig(format!("{stage} {}: {e}", p.display()))
+        };
+        let result = (|| {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| err("create", &tmp, e))?;
+            f.write_all(json.as_bytes())
+                .map_err(|e| err("write", &tmp, e))?;
+            f.sync_all().map_err(|e| err("fsync", &tmp, e))?;
+            drop(f);
+            std::fs::rename(&tmp, path).map_err(|e| {
+                FlockError::InvalidConfig(format!(
+                    "rename {} -> {}: {e}",
+                    tmp.display(),
+                    path.display()
+                ))
+            })?;
+            // Durability of the rename itself (skipped where directories
+            // cannot be opened, e.g. Windows).
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                if let Ok(dir) = std::fs::File::open(parent) {
+                    dir.sync_all().map_err(|e| err("fsync dir", parent, e))?;
+                }
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            // Best-effort cleanup so failed saves don't strand temp files.
+            std::fs::remove_file(&tmp).ok();
+        }
+        result
+    }
+
+    /// Read a checkpoint back.
+    pub fn load(path: &Path) -> Result<MonitorCheckpoint> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| FlockError::InvalidConfig(format!("read {}: {e}", path.display())))?;
+        MonitorCheckpoint::from_json(&json)
+    }
+
+    /// [`MonitorCheckpoint::load`], returning `None` when no checkpoint
+    /// exists yet (the first run of a resumable monitor).
+    pub fn load_if_exists(path: &Path) -> Result<Option<MonitorCheckpoint>> {
+        if path.exists() {
+            Ok(Some(MonitorCheckpoint::load(path)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeState;
+
+    fn sample() -> MonitorCheckpoint {
+        MonitorCheckpoint {
+            round: 7,
+            clock_secs: 43_200,
+            records: vec![NodeRecord {
+                domain: "mastodon.example".to_string(),
+                state: NodeState::Alive,
+                depth: 0,
+                discovered_secs: 0,
+                last_checked_secs: Some(43_200),
+                last_change_secs: 0,
+                next_check_secs: 64_800,
+                checks: 3,
+                consecutive_failures: 0,
+                deaths: 0,
+                rebirths: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cp = sample();
+        let back = MonitorCheckpoint::from_json(&cp.to_json().unwrap()).unwrap();
+        assert_eq!(back.round, 7);
+        assert_eq!(back.clock_secs, 43_200);
+        assert_eq!(back.records.len(), 1);
+        assert_eq!(back.records[0].state, NodeState::Alive);
+    }
+
+    #[test]
+    fn save_load_missing_and_no_temp_leftovers() {
+        let dir = std::env::temp_dir().join("flock_monitor_checkpoint_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("monitor.ckpt");
+        std::fs::remove_file(&path).ok();
+        assert!(MonitorCheckpoint::load_if_exists(&path).unwrap().is_none());
+        sample().save(&path).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        let back = MonitorCheckpoint::load_if_exists(&path).unwrap().unwrap();
+        assert_eq!(back.records[0].domain, "mastodon.example");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected() {
+        for bad in ["", "{", "null", "{\"round\": \"x\"}"] {
+            assert!(MonitorCheckpoint::from_json(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+}

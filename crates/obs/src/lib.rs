@@ -310,11 +310,16 @@ pub enum WaitCause {
     Outage,
     /// Fixed backoff between transient-fault retries.
     TransientBackoff,
+    /// Nothing was due: a long-horizon workload (the continuous monitor)
+    /// slept until its next scheduled event. Idle time is still clock
+    /// movement and must be attributed for the Σ buckets + work =
+    /// duration identity to hold over days of simulated uptime.
+    Idle,
 }
 
 impl WaitCause {
     /// Number of causes (the ledger's fixed bucket count).
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// Every cause, in ledger-bucket order.
     pub const ALL: [WaitCause; WaitCause::COUNT] = [
@@ -322,6 +327,7 @@ impl WaitCause {
         WaitCause::RetryAfterStorm,
         WaitCause::Outage,
         WaitCause::TransientBackoff,
+        WaitCause::Idle,
     ];
 
     /// Stable label used by exports and reports.
@@ -331,6 +337,7 @@ impl WaitCause {
             WaitCause::RetryAfterStorm => "retry_after_storm",
             WaitCause::Outage => "outage",
             WaitCause::TransientBackoff => "transient_backoff",
+            WaitCause::Idle => "idle",
         }
     }
 
@@ -341,6 +348,7 @@ impl WaitCause {
             WaitCause::RetryAfterStorm => 1,
             WaitCause::Outage => 2,
             WaitCause::TransientBackoff => 3,
+            WaitCause::Idle => 4,
         }
     }
 }

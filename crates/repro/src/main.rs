@@ -32,18 +32,31 @@
 //! Zero is rejected for both (typed config error), and the dataset — and
 //! therefore every figure and the stamp — is byte-identical with or
 //! without the scheduler.
+//!
+//! --monitor runs the continuous-monitoring workload instead of the crawl
+//! pipeline: an orchestrator plus per-instance checker tasks on the
+//! virtual clock, bootstrapped from the flagship instances and expanding
+//! via peers-list discovery over `--sim-days` of simulated uptime
+//! (`--workers` = executor threads, `--tasks` = admission window).
+//! `--nodes PATH` writes the deterministic nodes-list artifact
+//! (byte-identical across thread counts and admission windows),
+//! `--checkpoint PATH` enables periodic checkpoint/resume, and `--test`
+//! prints throughput + peak-RSS lines for the bench trend gate.
 //! ```
 
 use flock_chaos::Scenario;
 use flock_crawler::CrawlerConfig;
-use flock_fedisim::WorldConfig;
+use flock_fedisim::{World, WorldConfig};
+use flock_monitor::MonitorConfig;
 use flock_obs::Registry;
 use flock_repro::{FigureId, MigrationStudy};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> &'static str {
     "usage: repro [--scale small|medium|paper|paper_scale] [--seed N] [--metrics PATH] [--report PATH] \
-     [--chaos calm|rate-limit-storm|instance-massacre|flaky-federation] [--workers N] [--tasks N] \
+     [--chaos calm|rate-limit-storm|instance-massacre|flaky-federation|rolling-outages] [--workers N] [--tasks N] \
+     [--monitor [--sim-days N] [--nodes PATH] [--checkpoint PATH] [--test]] \
      <fig1..fig16|headline|all|experiments-md|stamp[=path]>..."
 }
 
@@ -55,9 +68,40 @@ fn main() -> ExitCode {
     let mut report_path: Option<String> = None;
     let mut chaos: Option<Scenario> = None;
     let mut crawler_config = CrawlerConfig::default();
+    let mut monitor = false;
+    let mut sim_days: u64 = 30;
+    let mut nodes_path: Option<String> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut test_lines = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--monitor" => monitor = true,
+            "--test" => test_lines = true,
+            "--sim-days" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--sim-days needs an integer; {}", usage());
+                    return ExitCode::FAILURE;
+                };
+                sim_days = v;
+            }
+            "--nodes" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--nodes needs a path; {}", usage());
+                    return ExitCode::FAILURE;
+                };
+                nodes_path = Some(v.clone());
+            }
+            "--checkpoint" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--checkpoint needs a path; {}", usage());
+                    return ExitCode::FAILURE;
+                };
+                checkpoint_path = Some(v.clone());
+            }
             "--chaos" => {
                 i += 1;
                 let Some(v) = args.get(i) else {
@@ -136,6 +180,27 @@ fn main() -> ExitCode {
             other => artifacts.push(other.to_string()),
         }
         i += 1;
+    }
+    if monitor {
+        if !artifacts.is_empty() {
+            eprintln!("--monitor takes no figure artifacts; {}", usage());
+            return ExitCode::FAILURE;
+        }
+        let mcli = MonitorCli {
+            sim_days,
+            nodes_path,
+            checkpoint_path,
+            test_lines,
+            threads: crawler_config.workers,
+            tasks: crawler_config.tasks.unwrap_or(64),
+        };
+        return run_monitor(
+            &config,
+            chaos,
+            &mcli,
+            metrics_path.as_deref(),
+            report_path.as_deref(),
+        );
     }
     if artifacts.is_empty() {
         eprintln!("{}", usage());
@@ -300,6 +365,230 @@ fn main() -> ExitCode {
                 }
             },
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Monitor-mode CLI knobs, already parsed and defaulted.
+struct MonitorCli {
+    sim_days: u64,
+    nodes_path: Option<String>,
+    checkpoint_path: Option<String>,
+    test_lines: bool,
+    threads: usize,
+    tasks: usize,
+}
+
+/// Peak resident set size (`VmHWM` from `/proc/self/status`) in bytes;
+/// 0 where procfs is unavailable. Measurement-only: feeds the bench
+/// trend gate, never the Data tier.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// The continuous-monitoring workload: generate the world, bootstrap the
+/// roster from the flagship instances, and watch the fediverse for
+/// `--sim-days` of virtual uptime.
+fn run_monitor(
+    config: &WorldConfig,
+    chaos: Option<Scenario>,
+    cli: &MonitorCli,
+    metrics_path: Option<&str>,
+    report_path: Option<&str>,
+) -> ExitCode {
+    eprintln!(
+        "[repro] generating world (seed {}, {} users, {} instances) and monitoring…",
+        config.seed, config.n_searchable_users, config.n_instances
+    );
+    let mut api_config = flock_apis::ApiConfig::default();
+    if let Some(scenario) = chaos {
+        api_config.chaos = scenario.plan(config.seed);
+        eprintln!("[repro] chaos scenario: {scenario}");
+    }
+    let world = match World::generate(config) {
+        Ok(w) => Arc::new(w),
+        Err(e) => {
+            eprintln!("[repro] world generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let obs = Registry::new();
+    let api = match flock_apis::ApiServer::with_obs(world.clone(), api_config, obs.clone()) {
+        Ok(api) => api,
+        Err(e) => {
+            eprintln!("[repro] api server failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mcfg = MonitorConfig {
+        sim_days: cli.sim_days,
+        threads: cli.threads,
+        tasks: cli.tasks,
+        bootstrap: world.flagship_domains(),
+        checkpoint_path: cli.checkpoint_path.as_ref().map(std::path::PathBuf::from),
+        ..MonitorConfig::default()
+    };
+    // flock-lint: allow(determinism) wall-clock measures real throughput for the bench trend gate; never enters the Data tier
+    let wall_start = std::time::Instant::now();
+    let out = match flock_monitor::run(&api, &obs, &mcfg) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("[repro] monitor failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+    let alive = out
+        .records
+        .values()
+        .filter(|r| r.state == flock_monitor::NodeState::Alive)
+        .count();
+    eprintln!(
+        "[repro] monitored {} simulated days: {} nodes known ({} alive), {} checks in {} rounds{}",
+        cli.sim_days,
+        out.records.len(),
+        alive,
+        out.checks_total,
+        out.rounds,
+        match out.resumed_from_round {
+            Some(r) => format!(" (resumed from round {r})"),
+            None => String::new(),
+        }
+    );
+    if !out.completed {
+        eprintln!("[repro] monitor stopped before the horizon (checkpointed)");
+    }
+
+    let scenario_name = chaos
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| "none".to_string());
+    if let Some(path) = &cli.nodes_path {
+        let body =
+            flock_monitor::nodes_list(&out.records, config.seed, &scenario_name, cli.sim_days);
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("[repro] nodes-list write failed ({path}): {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[repro] wrote nodes list ({} domains) to {path}",
+            out.records.len()
+        );
+    }
+    if let Some(path) = metrics_path {
+        let body = if path.ends_with(".json") {
+            obs.export_json()
+        } else if path.ends_with(".prom") {
+            obs.export_prometheus()
+        } else {
+            obs.export_text()
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("[repro] metrics write failed ({path}): {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = report_path {
+        let chaos_plan = match chaos {
+            Some(s) => match s.plan(config.seed).resolve(&world.outage_candidates()) {
+                Ok(plan) => plan.describe(),
+                Err(e) => {
+                    eprintln!("[repro] report build failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => String::new(),
+        };
+        let count = |state: flock_monitor::NodeState| {
+            out.records.values().filter(|r| r.state == state).count()
+        };
+        // Facts are Data tier (scheduled-time-derived only); the executor
+        // shape goes into the Sched context below the fence.
+        let meta = flock_obs::report::ReportMeta {
+            title: format!("flock monitor report — scenario {scenario_name}"),
+            scenario: scenario_name.clone(),
+            chaos_plan,
+            facts: vec![
+                ("seed".to_string(), config.seed.to_string()),
+                ("simulated days".to_string(), cli.sim_days.to_string()),
+                ("nodes known".to_string(), out.records.len().to_string()),
+                (
+                    "nodes alive".to_string(),
+                    count(flock_monitor::NodeState::Alive).to_string(),
+                ),
+                (
+                    "nodes dead".to_string(),
+                    count(flock_monitor::NodeState::Dead).to_string(),
+                ),
+                (
+                    "nodes unreachable".to_string(),
+                    count(flock_monitor::NodeState::Unreachable).to_string(),
+                ),
+                ("checks".to_string(), out.checks_total.to_string()),
+                ("rounds".to_string(), out.rounds.to_string()),
+                (
+                    "deaths".to_string(),
+                    out.records
+                        .values()
+                        .map(|r| r.deaths)
+                        .sum::<u64>()
+                        .to_string(),
+                ),
+                (
+                    "rebirths".to_string(),
+                    out.records
+                        .values()
+                        .map(|r| r.rebirths)
+                        .sum::<u64>()
+                        .to_string(),
+                ),
+            ],
+            coverage: Vec::new(),
+            sched_context: vec![
+                ("threads".to_string(), cli.threads.to_string()),
+                ("tasks window".to_string(), cli.tasks.to_string()),
+            ],
+            top_k: 10,
+        };
+        let report = flock_obs::report::RunReport::build(&obs, &meta);
+        let html_path = match path.strip_suffix(".txt") {
+            Some(stem) => format!("{stem}.html"),
+            None => format!("{path}.html"),
+        };
+        if let Err(e) = std::fs::write(path, report.to_text()) {
+            eprintln!("[repro] report write failed ({path}): {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&html_path, report.to_html()) {
+            eprintln!("[repro] report write failed ({html_path}): {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[repro] wrote run report to {path} (+ {html_path})");
+    }
+    if cli.test_lines {
+        let rate = if wall_secs > 0.0 {
+            out.checks_total as f64 / wall_secs
+        } else {
+            0.0
+        };
+        eprintln!(
+            "monitor: {} checks in {wall_secs:.2}s ({rate:.0} checks/sec)",
+            out.checks_total
+        );
+        eprintln!("monitor: peak rss {} bytes", peak_rss_bytes());
     }
     ExitCode::SUCCESS
 }

@@ -17,6 +17,15 @@
 #             and full runs build the same small() world, so their peaks
 #             are comparable; entries recorded before memory tracking
 #             simply drop out of the median.
+#   * monitor: a timeout-bounded long-horizon smoke (repro --monitor,
+#             30 simulated days under rolling-outages) must complete, and
+#             its checks/sec must stay >= 0.8 x the median recorded
+#             checks_per_sec, with peak RSS <= 1.2 x the median.
+#
+# Each trend gate needs a full 3-entry window of shape-matched history
+# lines; with fewer it prints an explicit `SKIPPED (bootstrap)` line and
+# skips only the history comparison — the smoke runs and their absolute
+# assertions still gate.
 #
 # Smoke mode never appends to the committed history, so this is safe to
 # run on every push. Wall-clock numbers are noisy on shared runners —
@@ -32,13 +41,21 @@ if [ ! -f "$history" ]; then
 fi
 
 window="$(mktemp -t flock-bench-window-XXXXXX)"
+mwindow="$(mktemp -t flock-monitor-window-XXXXXX)"
 log="$(mktemp -t flock-bench-XXXXXX.log)"
-trap 'rm -f "$window" "$log"' EXIT
+mlog="$(mktemp -t flock-monitor-XXXXXX.log)"
+trap 'rm -f "$window" "$mwindow" "$log" "$mlog"' EXIT
 # Baseline window: the last 3 recorded *throughput-shaped* entries
-# (newest last). The history also carries paper_scale entries with a
-# different shape; selecting on a key the gates below read keeps them from
-# occupying window slots.
-grep '"indexed_qps"' "$history" | tail -n 3 >"$window"
+# (newest last). The history also carries paper_scale and monitor entries
+# with different shapes; selecting on a key the gates below read keeps
+# them from occupying window slots.
+grep '"indexed_qps"' "$history" | tail -n 3 >"$window" || true
+window_count="$(wc -l <"$window")"
+trend=1
+if [ "$window_count" -lt 3 ]; then
+  echo "bench_check: throughput trend gates SKIPPED (bootstrap): only ${window_count} throughput-shaped entries in ${history} (need 3)"
+  trend=0
+fi
 
 # Median of newline-separated numbers on stdin (middle element; lower
 # middle for an even count — the window is at most 3 entries anyway).
@@ -46,13 +63,15 @@ median() {
   sort -g | awk '{ v[NR] = $1 } END { if (NR == 0) exit 1; print v[int((NR + 1) / 2)] }'
 }
 
-# The history lines are compact serde JSON, so key:value adjacency is
-# stable and line-oriented extraction is reliable.
-base_qps="$(grep -o '"indexed_qps":[0-9.eE+-]*' "$window" | cut -d: -f2 | median)"
-base_sched_speedup="$(sed 's/.*"sched"://' "$window" | grep -o '"speedup":[0-9.eE+-]*' | cut -d: -f2 | median)"
-if [ -z "$base_qps" ] || [ -z "$base_sched_speedup" ]; then
-  echo "bench_check: could not parse baseline medians from $history" >&2
-  exit 1
+if [ "$trend" -eq 1 ]; then
+  # The history lines are compact serde JSON, so key:value adjacency is
+  # stable and line-oriented extraction is reliable.
+  base_qps="$(grep -o '"indexed_qps":[0-9.eE+-]*' "$window" | cut -d: -f2 | median)"
+  base_sched_speedup="$(sed 's/.*"sched"://' "$window" | grep -o '"speedup":[0-9.eE+-]*' | cut -d: -f2 | median)"
+  if [ -z "$base_qps" ] || [ -z "$base_sched_speedup" ]; then
+    echo "bench_check: could not parse baseline medians from $history" >&2
+    exit 1
+  fi
 fi
 
 echo "==> cargo bench -p flock-bench --bench throughput -- --test"
@@ -71,37 +90,43 @@ if [ -z "$measured_qps" ] || [ -z "$measured_sched" ]; then
 fi
 
 fail=0
-if awk -v m="$measured_qps" -v b="$base_qps" 'BEGIN { exit !(m < 0.8 * b) }'; then
-  echo "bench_check: SEARCH REGRESSION: measured ${measured_qps} qps < 80% of median ${base_qps} qps" >&2
-  fail=1
-else
-  echo "bench_check: search ok (${measured_qps} qps vs median ${base_qps} qps)"
-fi
-
-for w in 1 4; do
-  measured_secs="$(awk -v w="$w" '$1 == "expand:" && $2 == "workers=" w { sub(/s$/, "", $3); print $3; exit }' "$log")"
-  base_secs="$(grep -o "\"workers\":$w,\"expand_secs\":[0-9.eE+-]*" "$window" | cut -d: -f3 | median)"
-  if [ -z "$measured_secs" ] || [ -z "$base_secs" ]; then
-    echo "bench_check: could not parse expand timings for workers=$w" >&2
-    exit 1
-  fi
-  if awk -v m="$measured_secs" -v b="$base_secs" 'BEGIN { exit !(m > 1.2 * b) }'; then
-    echo "bench_check: CRAWL REGRESSION: workers=$w expand ${measured_secs}s > 120% of median ${base_secs}s" >&2
+if [ "$trend" -eq 1 ]; then
+  if awk -v m="$measured_qps" -v b="$base_qps" 'BEGIN { exit !(m < 0.8 * b) }'; then
+    echo "bench_check: SEARCH REGRESSION: measured ${measured_qps} qps < 80% of median ${base_qps} qps" >&2
     fail=1
   else
-    echo "bench_check: expand workers=$w ok (${measured_secs}s vs median ${base_secs}s)"
+    echo "bench_check: search ok (${measured_qps} qps vs median ${base_qps} qps)"
   fi
-done
 
+  for w in 1 4; do
+    measured_secs="$(awk -v w="$w" '$1 == "expand:" && $2 == "workers=" w { sub(/s$/, "", $3); print $3; exit }' "$log")"
+    base_secs="$(grep -o "\"workers\":$w,\"expand_secs\":[0-9.eE+-]*" "$window" | cut -d: -f3 | median)"
+    if [ -z "$measured_secs" ] || [ -z "$base_secs" ]; then
+      echo "bench_check: could not parse expand timings for workers=$w" >&2
+      exit 1
+    fi
+    if awk -v m="$measured_secs" -v b="$base_secs" 'BEGIN { exit !(m > 1.2 * b) }'; then
+      echo "bench_check: CRAWL REGRESSION: workers=$w expand ${measured_secs}s > 120% of median ${base_secs}s" >&2
+      fail=1
+    else
+      echo "bench_check: expand workers=$w ok (${measured_secs}s vs median ${base_secs}s)"
+    fi
+  done
+fi
+
+# The sched smoke bar is absolute (scheduler must beat the thread
+# baseline), so it gates even during bootstrap.
 if awk -v m="$measured_sched" 'BEGIN { exit !(m < 1.0) }'; then
   echo "bench_check: SCHED REGRESSION: scheduler smoke speedup ${measured_sched}x < 1x thread baseline" >&2
   fail=1
 else
-  echo "bench_check: sched smoke ok (${measured_sched}x vs threads; recorded median ${base_sched_speedup}x)"
+  echo "bench_check: sched smoke ok (${measured_sched}x vs threads)"
 fi
-if awk -v b="$base_sched_speedup" 'BEGIN { exit !(b < 3.0) }'; then
-  echo "bench_check: SCHED HISTORY: recorded median speedup ${base_sched_speedup}x < the 3x acceptance bar" >&2
-  fail=1
+if [ "$trend" -eq 1 ]; then
+  if awk -v b="$base_sched_speedup" 'BEGIN { exit !(b < 3.0) }'; then
+    echo "bench_check: SCHED HISTORY: recorded median speedup ${base_sched_speedup}x < the 3x acceptance bar" >&2
+    fail=1
+  fi
 fi
 
 # Memory trend: compare the smoke run's peak RSS against the median of the
@@ -110,7 +135,9 @@ fi
 # one entry has it, the gate is skipped (bootstrap).
 measured_rss="$(awk '/^mem: peak rss/ { print $4; exit }' "$log")"
 base_rss="$(grep -o '"peak_rss_bytes":[0-9]*' "$window" | cut -d: -f2 | median || true)"
-if [ -z "$base_rss" ]; then
+if [ "$trend" -eq 0 ]; then
+  echo "bench_check: memory trend gate SKIPPED (bootstrap): only ${window_count} throughput-shaped entries in ${history} (need 3)"
+elif [ -z "$base_rss" ]; then
   echo "bench_check: no recorded peak_rss_bytes yet; skipping the memory gate"
 elif [ -z "$measured_rss" ] || [ "$measured_rss" = "0" ]; then
   echo "bench_check: peak RSS unavailable on this host; skipping the memory gate"
@@ -119,6 +146,61 @@ elif awk -v m="$measured_rss" -v b="$base_rss" 'BEGIN { exit !(m > 1.2 * b) }'; 
   fail=1
 else
   echo "bench_check: memory ok (peak RSS ${measured_rss} bytes vs median ${base_rss} bytes)"
+fi
+
+# Monitor long-horizon smoke: 30 simulated days of the continuous
+# monitor under rolling-outages, hard-bounded by a 15-minute timeout so a
+# virtual-clock hang fails loudly rather than wedging the job. The run
+# itself is an absolute gate; the throughput/memory comparison against
+# the recorded monitor entries is a median-of-3 trend gate like the ones
+# above, with its own bootstrap skip while the history fills.
+echo "==> repro --monitor --sim-days 30 --test (long-horizon smoke, timeout-bounded)"
+if ! timeout 900 cargo run -q --release -p flock-repro -- \
+  --monitor --scale small --seed 1234 --workers 8 --tasks 10000 \
+  --chaos rolling-outages --sim-days 30 --test >/dev/null 2>"$mlog"; then
+  cat "$mlog" >&2
+  echo "bench_check: MONITOR SMOKE FAILED: repro --monitor did not complete within 900s" >&2
+  exit 1
+fi
+cat "$mlog" >&2
+
+# Measured values from the monitor's --test stderr lines:
+#   monitor: 3567 checks in 0.10s (36456 checks/sec)
+#   monitor: peak rss 105906176 bytes
+measured_checks_rate="$(awk '/^monitor: .* checks\/sec\)$/ { gsub(/[()]/, "", $6); print $6; exit }' "$mlog")"
+measured_mon_rss="$(awk '/^monitor: peak rss/ { print $4; exit }' "$mlog")"
+if [ -z "$measured_checks_rate" ]; then
+  echo "bench_check: could not parse checks/sec from monitor smoke output" >&2
+  exit 1
+fi
+
+grep '"checks_per_sec"' "$history" | tail -n 3 >"$mwindow" || true
+mwindow_count="$(wc -l <"$mwindow")"
+if [ "$mwindow_count" -lt 3 ]; then
+  echo "bench_check: monitor trend gate SKIPPED (bootstrap): only ${mwindow_count} monitor-shaped entries in ${history} (need 3)"
+else
+  base_checks_rate="$(grep -o '"checks_per_sec":[0-9.eE+-]*' "$mwindow" | cut -d: -f2 | median)"
+  base_mon_rss="$(grep -o '"peak_rss_bytes":[0-9]*' "$mwindow" | cut -d: -f2 | median || true)"
+  if [ -z "$base_checks_rate" ]; then
+    echo "bench_check: could not parse baseline checks_per_sec median from $history" >&2
+    exit 1
+  fi
+  if awk -v m="$measured_checks_rate" -v b="$base_checks_rate" 'BEGIN { exit !(m < 0.8 * b) }'; then
+    echo "bench_check: MONITOR REGRESSION: measured ${measured_checks_rate} checks/sec < 80% of median ${base_checks_rate}" >&2
+    fail=1
+  else
+    echo "bench_check: monitor ok (${measured_checks_rate} checks/sec vs median ${base_checks_rate})"
+  fi
+  if [ -z "$base_mon_rss" ]; then
+    echo "bench_check: no recorded monitor peak_rss_bytes yet; skipping the monitor memory gate"
+  elif [ -z "$measured_mon_rss" ] || [ "$measured_mon_rss" = "0" ]; then
+    echo "bench_check: monitor peak RSS unavailable on this host; skipping the monitor memory gate"
+  elif awk -v m="$measured_mon_rss" -v b="$base_mon_rss" 'BEGIN { exit !(m > 1.2 * b) }'; then
+    echo "bench_check: MONITOR MEMORY REGRESSION: measured peak RSS ${measured_mon_rss} bytes > 120% of median ${base_mon_rss} bytes" >&2
+    fail=1
+  else
+    echo "bench_check: monitor memory ok (peak RSS ${measured_mon_rss} bytes vs median ${base_mon_rss} bytes)"
+  fi
 fi
 
 if [ "$fail" -ne 0 ]; then

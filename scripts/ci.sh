@@ -7,46 +7,67 @@
 # determinism matrix (seeds x worker counts must stamp byte-identically),
 # the scheduler determinism matrix (the discrete-event scheduler at any
 # threads x tasks point must stamp byte-identically with the legacy pool),
+# the monitor determinism matrix (the continuous-monitoring workload must
+# render byte-identical nodes lists and report Data sections at any
+# threads x tasks point, through a chaos plan with instance rebirth),
 # a chaos-scenario smoke crawl, and an advisory throughput-regression
 # check. The same script backs .github/workflows/ci.yml.
+#
+# Every stage prints a named banner on entry and its wall-clock seconds on
+# exit, so a matrix failure in CI logs pins down both the stage and — via
+# the per-cell messages below — the exact seed/threads/tasks cell.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 scratch="$(mktemp -d -t flock-ci-XXXXXX)"
 trap 'rm -rf "$scratch"' EXIT
 
-echo "==> cargo fmt --check"
+stage_name=""
+stage_start=0
+stage_end() {
+  if [ -n "$stage_name" ]; then
+    echo "    [timing] ${stage_name}: $((SECONDS - stage_start))s"
+  fi
+}
+stage() {
+  stage_end
+  stage_name="$1"
+  stage_start=$SECONDS
+  echo "==> $1"
+}
+
+stage "cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+stage "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo run -p flock-lint -- --workspace"
+stage "cargo run -p flock-lint -- --workspace"
 cargo run -q -p flock-lint -- --workspace
 
-echo "==> cargo run -p flock-analyze -- --workspace"
+stage "cargo run -p flock-analyze -- --workspace"
 cargo run -q -p flock-analyze -- --workspace
 
-echo "==> cargo run -p flock-analyze -- --sched-race"
+stage "cargo run -p flock-analyze -- --sched-race"
 cargo run -q -p flock-analyze -- --sched-race
 
-echo "==> cargo build --release"
+stage "cargo build --release"
 cargo build --release
 
-echo "==> cargo test --workspace"
+stage "cargo test --workspace"
 cargo test --workspace -q
 
-echo "==> cargo bench -p flock-bench -- --test (smoke)"
+stage "cargo bench -p flock-bench -- --test (smoke)"
 cargo bench -p flock-bench -- --test
 
-echo "==> repro --metrics smoke"
+stage "repro --metrics smoke"
 metrics_out="$scratch/metrics.json"
 cargo run -q --release -p flock-repro -- \
   --scale small --seed 1234 --metrics "$metrics_out" headline >/dev/null
 test -s "$metrics_out"
 grep -q '"flock.apis.search.granted"' "$metrics_out"
 
-echo "==> determinism matrix (seeds x workers must stamp byte-identically)"
+stage "determinism matrix (seeds x workers must stamp byte-identically)"
 for seed in 1 1234 9999; do
   for w in 1 8; do
     cargo run -q --release -p flock-repro -- \
@@ -72,7 +93,7 @@ for seed in 1 1234 9999; do
   echo "    seed $seed: workers=1 == workers=8 (stamp + report data tier)"
 done
 
-echo "==> scheduler determinism matrix (seeds x threads x tasks must match the legacy stamps)"
+stage "scheduler determinism matrix (seeds x threads x tasks must match the legacy stamps)"
 for seed in 1 1234 9999; do
   for w in 1 8; do
     for n in 64 10000; do
@@ -99,7 +120,16 @@ for seed in 1 1234 9999; do
   echo "    seed $seed: scheduler {1,8} threads x {64,10000} tasks == legacy (stamp + report data tier)"
 done
 
-echo "==> report smoke (repro --report under chaos: fences, attribution, HTML twin)"
+stage "monitor determinism matrix (seeds x threads x tasks, 30 days under rolling outages)"
+# rolling-outages lifts both outage waves inside the horizon, so the
+# matrix exercises liveness, death AND rebirth detection; the nodes list
+# and the report's Data section must be byte-identical at every cell.
+# The loop lives in its own script so the dedicated monitor-determinism
+# CI job can run exactly the same cells without re-running the rest of
+# this gate.
+scripts/monitor_matrix.sh
+
+stage "report smoke (repro --report under chaos: fences, attribution, HTML twin)"
 report_out="$scratch/report.txt"
 cargo run -q --release -p flock-repro -- \
   --scale small --seed 1234 --chaos rate-limit-storm --workers 8 \
@@ -109,7 +139,7 @@ test -s "$scratch/report.html"
 grep -q 'wait attribution' "$report_out"
 grep -q 'retry_after_storm=[1-9]' "$report_out"
 
-echo "==> chaos smoke (repro --chaos rate-limit-storm must degrade gracefully)"
+stage "chaos smoke (repro --chaos rate-limit-storm must degrade gracefully)"
 chaos_log="$scratch/chaos.log"
 cargo run -q --release -p flock-repro -- \
   --scale small --seed 1234 --chaos rate-limit-storm headline \
@@ -118,9 +148,10 @@ grep -q '\[repro\] chaos scenario: rate-limit-storm' "$chaos_log"
 grep -q '\[repro\] coverage:' "$chaos_log"
 grep '\[repro\] coverage:' "$chaos_log"
 
-echo "==> bench_check (advisory: >20% throughput regression)"
+stage "bench_check (advisory: throughput + monitor trend regression)"
 if ! scripts/bench_check.sh; then
-  echo "WARNING: bench_check reported a throughput regression (advisory only; not failing the gate)" >&2
+  echo "WARNING: bench_check reported a regression (advisory only; not failing the gate)" >&2
 fi
 
+stage_end
 echo "CI gate passed."

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Monitor determinism matrix: the continuous-monitoring workload must
+# render a byte-identical nodes list and report Data section at every
+# seeds x threads x tasks cell, over 30 simulated days under the
+# rolling-outages chaos plan (both outage waves lift inside the horizon,
+# so the matrix exercises liveness, death AND rebirth detection).
+#
+# Shared by scripts/ci.sh (as one stage) and the dedicated
+# monitor-determinism job in .github/workflows/ci.yml. Assumes the
+# release profile is already built (it builds on demand otherwise).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scratch="$(mktemp -d -t flock-monitor-matrix-XXXXXX)"
+trap 'rm -rf "$scratch"' EXIT
+
+for seed in 1 1234 9999; do
+  for w in 1 8; do
+    for n in 64 10000; do
+      tag="mon-s$seed-w$w-t$n"
+      cargo run -q --release -p flock-repro -- \
+        --monitor --scale small --seed "$seed" --workers "$w" --tasks "$n" \
+        --chaos rolling-outages --sim-days 30 \
+        --nodes "$scratch/$tag.nodes" \
+        --report "$scratch/$tag.report.txt" >/dev/null 2>&1
+      test -s "$scratch/$tag.nodes"
+      if ! cmp -s "$scratch/mon-s$seed-w1-t64.nodes" "$scratch/$tag.nodes"; then
+        echo "DETERMINISM FAILURE: seed $seed monitor nodes list (workers=$w tasks=$n) differs from workers=1 tasks=64" >&2
+        exit 1
+      fi
+      sed -n '/^=== BEGIN DATA TIER/,/^=== END DATA TIER/p' \
+        "$scratch/$tag.report.txt" >"$scratch/$tag.report.data"
+      test -s "$scratch/$tag.report.data"
+      if ! cmp -s "$scratch/mon-s$seed-w1-t64.report.data" "$scratch/$tag.report.data"; then
+        echo "DETERMINISM FAILURE: seed $seed monitor report Data section (workers=$w tasks=$n) differs from workers=1 tasks=64" >&2
+        exit 1
+      fi
+    done
+  done
+  # The matrix is only meaningful if the chaos plan actually killed and
+  # revived instances: demand at least one observed rebirth.
+  if ! grep -Eq '^  rebirths: [1-9]' "$scratch/mon-s$seed-w1-t64.report.data"; then
+    echo "MONITOR FAILURE: seed $seed saw no instance rebirth under rolling-outages" >&2
+    exit 1
+  fi
+  echo "    seed $seed: monitor {1,8} threads x {64,10000} tasks byte-identical (nodes list + report data tier)"
+done
+echo "monitor determinism matrix passed."

@@ -10,6 +10,7 @@
 //! * [`apis`] — the simulated Twitter v2 / Mastodon REST endpoints;
 //! * [`chaos`] — deterministic fault plans & canned chaos scenarios;
 //! * [`sched`] — the deterministic discrete-event executor on virtual time;
+//! * [`monitor`] — the continuous instance-monitoring workload (orchestrator + checkers);
 //! * [`crawler`] — the paper's data-collection pipeline (§3);
 //! * [`analysis`] — RQ1 / RQ2 / RQ3 analyses (§4–6);
 //! * [`repro`] — the per-figure regeneration harness;
@@ -34,6 +35,7 @@ pub use flock_chaos as chaos;
 pub use flock_core as core;
 pub use flock_crawler as crawler;
 pub use flock_fedisim as fedisim;
+pub use flock_monitor as monitor;
 pub use flock_obs as obs;
 pub use flock_repro as repro;
 pub use flock_sched as sched;

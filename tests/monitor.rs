@@ -1,0 +1,238 @@
+//! The continuous-monitoring contract, end to end.
+//!
+//! The monitor's promise is the crawler's, stretched over weeks of
+//! virtual uptime: the nodes-list artifact and the Data-tier metrics are
+//! a pure function of `(world seed, chaos plan, monitor config)` — the
+//! executor's thread count and admission window are execution details;
+//! an interrupted run resumes from its checkpoint to the same bytes; a
+//! death is noticed, and a rebirth is noticed no later than the
+//! configured backoff cap after the outage lifts; and every second of
+//! monitored virtual time is attributed to a wait bucket.
+
+use flock::apis::{ApiConfig, ApiServer};
+use flock::chaos::{Fault, FaultPlan, InstanceSelector, Scenario, Window};
+use flock::fedisim::{World, WorldConfig};
+use flock::monitor::{self, MonitorConfig, NodeState};
+use flock::obs::profile::phase_profiles;
+use flock::obs::Registry;
+use std::sync::Arc;
+
+fn monitor_api(world: &Arc<World>, plan: FaultPlan, obs: &Registry) -> ApiServer {
+    let config = ApiConfig {
+        chaos: plan,
+        ..ApiConfig::default()
+    };
+    ApiServer::with_obs(world.clone(), config, obs.clone()).unwrap()
+}
+
+fn base_config(world: &World) -> MonitorConfig {
+    MonitorConfig {
+        bootstrap: world.flagship_domains(),
+        ..MonitorConfig::default()
+    }
+}
+
+/// Threads and admission window are Sched-tier knobs: every matrix cell
+/// must produce the same nodes list and the same Data-tier snapshot,
+/// byte for byte, through a chaos plan with outage waves (instances die
+/// *and* come back mid-run).
+#[test]
+fn monitor_is_thread_and_window_invariant() {
+    let seed = 1234;
+    let world = Arc::new(World::generate(&WorldConfig::small().with_seed(seed)).unwrap());
+    let run = |threads: usize, tasks: usize| -> (String, String) {
+        let obs = Registry::new();
+        let api = monitor_api(&world, Scenario::RollingOutages.plan(seed), &obs);
+        let cfg = MonitorConfig {
+            sim_days: 7,
+            threads,
+            tasks,
+            ..base_config(&world)
+        };
+        let out = monitor::run(&api, &obs, &cfg).unwrap();
+        assert!(out.completed);
+        assert!(out.checks_total > 0);
+        (
+            monitor::nodes_list(&out.records, seed, "rolling-outages", cfg.sim_days),
+            obs.snapshot(),
+        )
+    };
+    let (nodes_ref, snap_ref) = run(1, 64);
+    for (threads, tasks) in [(8, 64), (1, 4), (8, 10_000)] {
+        let (nodes, snap) = run(threads, tasks);
+        assert_eq!(
+            nodes, nodes_ref,
+            "nodes list differs at threads={threads} tasks={tasks}"
+        );
+        assert_eq!(
+            snap, snap_ref,
+            "data snapshot differs at threads={threads} tasks={tasks}"
+        );
+    }
+}
+
+/// Rolling outages must actually exercise the liveness state machine:
+/// some instance dies, and some instance is seen alive again after its
+/// outage lifts.
+#[test]
+fn monitor_observes_deaths_and_rebirths_under_rolling_outages() {
+    let seed = 1;
+    let world = Arc::new(World::generate(&WorldConfig::small().with_seed(seed)).unwrap());
+    let obs = Registry::new();
+    let api = monitor_api(&world, Scenario::RollingOutages.plan(seed), &obs);
+    let cfg = MonitorConfig {
+        sim_days: 14,
+        ..base_config(&world)
+    };
+    let out = monitor::run(&api, &obs, &cfg).unwrap();
+    let deaths: u64 = out.records.values().map(|r| r.deaths).sum();
+    let rebirths: u64 = out.records.values().map(|r| r.rebirths).sum();
+    assert!(deaths > 0, "no instance ever died under rolling outages");
+    assert!(rebirths > 0, "no rebirth observed after the waves lifted");
+    // Discovery must have expanded well past the bootstrap set.
+    assert!(out.records.len() > cfg.bootstrap.len());
+    assert!(out
+        .records
+        .values()
+        .any(|r| r.depth > 0 && r.state == NodeState::Alive));
+}
+
+/// Interrupt-then-resume byte-equality: a run stopped (with a
+/// checkpoint) after a few rounds and resumed in a fresh process — fresh
+/// API server, fresh registry — renders exactly the nodes list of an
+/// uninterrupted run.
+#[test]
+fn interrupted_monitor_resumes_to_identical_nodes_list() {
+    let seed = 9;
+    let world = Arc::new(World::generate(&WorldConfig::small().with_seed(seed)).unwrap());
+    let sim_days = 3;
+
+    let uninterrupted = {
+        let obs = Registry::new();
+        let api = monitor_api(&world, Scenario::RollingOutages.plan(seed), &obs);
+        let cfg = MonitorConfig {
+            sim_days,
+            ..base_config(&world)
+        };
+        let out = monitor::run(&api, &obs, &cfg).unwrap();
+        monitor::nodes_list(&out.records, seed, "rolling-outages", sim_days)
+    };
+
+    let dir = std::env::temp_dir().join("flock_monitor_resume_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("monitor.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+
+    // First process: stop after five rounds, leaving a checkpoint.
+    {
+        let obs = Registry::new();
+        let api = monitor_api(&world, Scenario::RollingOutages.plan(seed), &obs);
+        let cfg = MonitorConfig {
+            sim_days,
+            checkpoint_path: Some(ckpt.clone()),
+            stop_after_rounds: Some(5),
+            ..base_config(&world)
+        };
+        let out = monitor::run(&api, &obs, &cfg).unwrap();
+        assert!(!out.completed);
+        assert!(ckpt.exists(), "interrupted run left no checkpoint");
+    }
+
+    // Second process: fresh server and registry, resume to the horizon.
+    let resumed = {
+        let obs = Registry::new();
+        let api = monitor_api(&world, Scenario::RollingOutages.plan(seed), &obs);
+        let cfg = MonitorConfig {
+            sim_days,
+            checkpoint_path: Some(ckpt.clone()),
+            ..base_config(&world)
+        };
+        let out = monitor::run(&api, &obs, &cfg).unwrap();
+        assert_eq!(out.resumed_from_round, Some(5));
+        assert!(out.completed);
+        monitor::nodes_list(&out.records, seed, "rolling-outages", sim_days)
+    };
+    std::fs::remove_file(&ckpt).ok();
+
+    assert_eq!(
+        resumed, uninterrupted,
+        "resumed nodes list differs from uninterrupted run"
+    );
+}
+
+/// Death → rebirth detection latency is bounded by the failure-backoff
+/// cap: once a permanent-looking outage lifts, the next scheduled
+/// re-check — at most `backoff_cap_secs` after the lift — flips the
+/// record back to alive.
+#[test]
+fn rebirth_detection_latency_is_bounded_by_the_backoff_cap() {
+    let seed = 7;
+    let world = Arc::new(World::generate(&WorldConfig::small().with_seed(seed)).unwrap());
+    let victim = world.outage_candidates().into_iter().next().unwrap();
+    let lift_secs = 2 * 86_400;
+    let plan = FaultPlan {
+        seed,
+        faults: vec![Fault::InstanceOutage {
+            selector: InstanceSelector::Domains(vec![victim.clone()]),
+            window: Window {
+                start_secs: 86_400,
+                end_secs: lift_secs,
+            },
+        }],
+    };
+    let obs = Registry::new();
+    let api = monitor_api(&world, plan, &obs);
+    let cfg = MonitorConfig {
+        sim_days: 4,
+        bootstrap: vec![victim.clone()],
+        backoff_cap_secs: 14_400,
+        ..MonitorConfig::default()
+    };
+    let out = monitor::run(&api, &obs, &cfg).unwrap();
+    let rec = &out.records[&victim];
+    assert_eq!(rec.deaths, 1, "outage window never observed as a death");
+    assert_eq!(rec.rebirths, 1, "lifted outage never observed as a rebirth");
+    assert_eq!(rec.state, NodeState::Alive);
+    // The rebirth's scheduled instant is the last state change; it may
+    // trail the lift by at most one capped backoff.
+    assert!(rec.last_change_secs >= lift_secs);
+    assert!(
+        rec.last_change_secs - lift_secs <= cfg.backoff_cap_secs,
+        "rebirth seen {}s after the lift, cap is {}s",
+        rec.last_change_secs - lift_secs,
+        cfg.backoff_cap_secs
+    );
+}
+
+/// The attribution identity holds over the whole monitored horizon:
+/// every virtual second of the monitor phase lands in some wait bucket
+/// (idle, rate-limit, storm, transient backoff) and none is left as
+/// unattributed "work" — the monitor never computes in virtual time.
+#[test]
+fn monitor_phase_waits_sum_to_the_horizon() {
+    let seed = 1234;
+    let world = Arc::new(World::generate(&WorldConfig::small().with_seed(seed)).unwrap());
+    let obs = Registry::new();
+    let api = monitor_api(&world, Scenario::RollingOutages.plan(seed), &obs);
+    let cfg = MonitorConfig {
+        sim_days: 7,
+        threads: 8,
+        ..base_config(&world)
+    };
+    let out = monitor::run(&api, &obs, &cfg).unwrap();
+    assert!(out.completed);
+    let profiles = phase_profiles(&obs);
+    let p = profiles
+        .iter()
+        .find(|p| p.name == monitor::PHASE)
+        .expect("monitor phase profiled");
+    assert_eq!(p.duration_secs(), cfg.sim_days * 86_400);
+    assert!(p.requests > 0);
+    assert_eq!(
+        p.work_secs(),
+        0,
+        "unattributed clock movement: duration {} != waits {}",
+        p.duration_secs(),
+        p.wait_total_secs()
+    );
+}
