@@ -35,8 +35,10 @@
 //! time, then `inc()`/`record()` from any thread without touching the
 //! registry lock. Metric names follow `flock.<crate>.<subsystem>.<metric>`.
 
+pub mod dashboard;
 pub mod profile;
 pub mod report;
+pub mod svg;
 pub mod trace;
 
 pub use trace::{FaultKind, SpanOutcome};

@@ -20,6 +20,7 @@
 use std::fmt::Write as _;
 
 use crate::profile::{phase_profiles, PhaseProfile};
+use crate::svg::xml_escape;
 use crate::{Registry, Tier, WaitCause};
 
 /// Fence opening the worker-count-invariant report section.
@@ -30,6 +31,37 @@ pub const DATA_FENCE_END: &str = "=== END DATA TIER ===";
 pub const SCHED_FENCE_BEGIN: &str = "=== BEGIN SCHED TIER (scheduling-dependent) ===";
 /// Fence closing the scheduling-dependent report section.
 pub const SCHED_FENCE_END: &str = "=== END SCHED TIER ===";
+
+/// The text fences delimiting a section of the given tier.
+pub fn tier_fences(tier: Tier) -> (&'static str, &'static str) {
+    match tier {
+        Tier::Data => (DATA_FENCE_BEGIN, DATA_FENCE_END),
+        Tier::Sched => (SCHED_FENCE_BEGIN, SCHED_FENCE_END),
+    }
+}
+
+/// Human heading for a section of the given tier (shared by the HTML
+/// report and the dashboard).
+pub fn tier_heading(tier: Tier) -> &'static str {
+    match tier {
+        Tier::Data => "Data tier — byte-identical across worker counts",
+        Tier::Sched => "Sched tier — scheduling-dependent",
+    }
+}
+
+/// One rendered report section. The section model is the unit every
+/// renderer shares: `to_text` wraps each body in its tier's literal
+/// fences, `to_html` wraps it in a tier-classed `<section>`, and the
+/// dashboard embeds the same bodies inside its own fenced regions.
+#[derive(Clone, Debug)]
+pub struct Section {
+    /// Which determinism contract the body lives under.
+    pub tier: Tier,
+    /// Display heading (derived from the tier).
+    pub heading: &'static str,
+    /// The rendered body text.
+    pub body: String,
+}
 
 /// Caller-supplied context for a report. Everything in `title`,
 /// `scenario`, `chaos_plan`, `facts` and `coverage` lands in the Data
@@ -67,12 +99,11 @@ impl Default for ReportMeta {
     }
 }
 
-/// A fully rendered run report.
+/// A fully rendered run report: an ordered list of tier-tagged sections.
 #[derive(Clone, Debug)]
 pub struct RunReport {
     title: String,
-    data: String,
-    sched: String,
+    sections: Vec<Section>,
 }
 
 impl RunReport {
@@ -81,39 +112,77 @@ impl RunReport {
         let profiles = phase_profiles(reg);
         RunReport {
             title: meta.title.clone(),
-            data: render_data(reg, meta),
-            sched: render_sched(reg, meta, &profiles),
+            sections: vec![
+                Section {
+                    tier: Tier::Data,
+                    heading: tier_heading(Tier::Data),
+                    body: render_data(reg, meta),
+                },
+                Section {
+                    tier: Tier::Sched,
+                    heading: tier_heading(Tier::Sched),
+                    body: render_sched(reg, meta, &profiles),
+                },
+            ],
         }
+    }
+
+    /// The report title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Every section, in render order.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    fn section_body(&self, tier: Tier) -> &str {
+        self.sections
+            .iter()
+            .find(|s| s.tier == tier)
+            .map_or("", |s| s.body.as_str())
     }
 
     /// The Data-tier section body (between the fences) — the bytes CI
     /// compares across worker counts.
     pub fn data_section(&self) -> &str {
-        &self.data
+        self.section_body(Tier::Data)
     }
 
     /// The Sched-tier section body.
     pub fn sched_section(&self) -> &str {
-        &self.sched
+        self.section_body(Tier::Sched)
     }
 
-    /// Plain-text rendering with both fenced sections.
+    /// Plain-text rendering: every section between its tier's literal
+    /// fences.
     pub fn to_text(&self) -> String {
-        format!(
-            "{}\n\n{}\n{}{}\n\n{}\n{}{}\n",
-            self.title,
-            DATA_FENCE_BEGIN,
-            self.data,
-            DATA_FENCE_END,
-            SCHED_FENCE_BEGIN,
-            self.sched,
-            SCHED_FENCE_END
-        )
+        let mut out = self.title.clone();
+        for s in &self.sections {
+            let (begin, end) = tier_fences(s.tier);
+            let _ = write!(out, "\n\n{begin}\n{body}{end}", body = s.body);
+        }
+        out.push('\n');
+        out
     }
 
-    /// HTML rendering: the same two sections inside visually distinct
-    /// `<section>` blocks.
+    /// HTML rendering: the same sections inside visually distinct,
+    /// tier-classed `<section>` blocks.
     pub fn to_html(&self) -> String {
+        let mut body = String::new();
+        for s in &self.sections {
+            let class = match s.tier {
+                Tier::Data => "data",
+                Tier::Sched => "sched",
+            };
+            let _ = write!(
+                body,
+                "<section class=\"{class}\">\n<h2>{heading}</h2>\n<pre>{pre}</pre>\n</section>\n",
+                heading = xml_escape(s.heading),
+                pre = xml_escape(&s.body),
+            );
+        }
         format!(
             concat!(
                 "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n",
@@ -126,14 +195,10 @@ impl RunReport {
                 "h2{{font-size:1em}}\n",
                 "pre{{white-space:pre-wrap;margin:0.5em 0}}\n",
                 "</style>\n</head>\n<body>\n<h1>{title}</h1>\n",
-                "<section class=\"data\">\n<h2>Data tier — byte-identical across worker counts</h2>\n",
-                "<pre>{data}</pre>\n</section>\n",
-                "<section class=\"sched\">\n<h2>Sched tier — scheduling-dependent</h2>\n",
-                "<pre>{sched}</pre>\n</section>\n</body>\n</html>\n"
+                "{body}</body>\n</html>\n"
             ),
-            title = html_escape(&self.title),
-            data = html_escape(&self.data),
-            sched = html_escape(&self.sched),
+            title = xml_escape(&self.title),
+            body = body,
         )
     }
 }
@@ -280,6 +345,22 @@ fn render_sched(reg: &Registry, meta: &ReportMeta, profiles: &[PhaseProfile]) ->
             worker
         );
     }
+    // Truncation is never silent: ranked-but-unshown chains get an
+    // explicit elision line, and chains lost to span-ring overflow are
+    // surfaced from the flock.obs.spans.dropped counter.
+    let chains_elided = chains.len().saturating_sub(meta.top_k);
+    if chains_elided > 0 {
+        let _ = writeln!(out, "  (+{chains_elided} more)");
+    }
+    let spans_dropped = reg
+        .counter_value("flock.obs.spans.dropped")
+        .unwrap_or_default();
+    if spans_dropped > 0 {
+        let _ = writeln!(
+            out,
+            "  (+{spans_dropped} dropped: span ring overflow, see flock.obs.spans.dropped)"
+        );
+    }
 
     let _ = writeln!(out, "\ncritical path (spans that advanced the clock):");
     for p in profiles.iter().filter(|p| !p.critical_path.is_empty()) {
@@ -294,8 +375,14 @@ fn render_sched(reg: &Registry, meta: &ReportMeta, profiles: &[PhaseProfile]) ->
             );
         }
         if elided > 0 {
-            let _ = writeln!(out, "  [{}] … {elided} more segments", p.name);
+            let _ = writeln!(out, "  [{}] (+{elided} more)", p.name);
         }
+    }
+    if spans_dropped > 0 {
+        let _ = writeln!(
+            out,
+            "  (+{spans_dropped} dropped: span ring overflow, see flock.obs.spans.dropped)"
+        );
     }
 
     let _ = writeln!(
@@ -306,21 +393,6 @@ fn render_sched(reg: &Registry, meta: &ReportMeta, profiles: &[PhaseProfile]) ->
         reg.event_count(),
         reg.events_dropped()
     );
-    out
-}
-
-fn html_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '&' => out.push_str("&amp;"),
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '"' => out.push_str("&quot;"),
-            '\'' => out.push_str("&#39;"),
-            c => out.push(c),
-        }
-    }
     out
 }
 
@@ -403,6 +475,60 @@ mod tests {
         assert!(sched.contains("following:1 — 900s, 1 attempts, granted, worker 0"));
         assert!(sched.contains("t=0 +900s following:1"));
         assert!(sched.contains("accounting: spans=2 (dropped 0)"));
+    }
+
+    #[test]
+    fn truncated_chain_list_prints_an_explicit_elision_line() {
+        let reg = sample_registry();
+        // Four more single-attempt requests: 5 chains total, top_k = 2.
+        for i in 2..6 {
+            let label = format!("following:{i}");
+            let r = reg.span_begin("expand.followees", &label, None, Some(0), 900);
+            reg.span_end(r, 900, SpanOutcome::Granted);
+        }
+        let mut meta = sample_meta();
+        meta.top_k = 2;
+        let sched = RunReport::build(&reg, &meta).sched_section().to_string();
+        assert!(sched.contains("top 2 slowest request chains"));
+        assert!(
+            sched.contains("  (+3 more)"),
+            "missing elision line:\n{sched}"
+        );
+    }
+
+    #[test]
+    fn span_ring_overflow_prints_a_dropped_line_from_the_counter() {
+        let reg = Registry::with_capacities(16, 2);
+        reg.phase_start(0, "expand.followees");
+        for i in 0..5 {
+            let label = format!("following:{i}");
+            let r = reg.span_begin("expand.followees", &label, None, Some(0), 0);
+            reg.span_end(r, 0, SpanOutcome::Granted);
+        }
+        reg.phase_end(0, "expand.followees");
+        assert!(reg.spans_dropped() > 0);
+        let sched = RunReport::build(&reg, &sample_meta())
+            .sched_section()
+            .to_string();
+        let expected = format!(
+            "(+{} dropped: span ring overflow, see flock.obs.spans.dropped)",
+            reg.spans_dropped()
+        );
+        assert!(sched.contains(&expected), "missing dropped line:\n{sched}");
+    }
+
+    #[test]
+    fn section_model_mirrors_the_accessors() {
+        let report = RunReport::build(&sample_registry(), &sample_meta());
+        let sections = report.sections();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].tier, Tier::Data);
+        assert_eq!(sections[0].body, report.data_section());
+        assert_eq!(sections[1].tier, Tier::Sched);
+        assert_eq!(sections[1].body, report.sched_section());
+        let (begin, end) = tier_fences(Tier::Data);
+        assert_eq!(begin, DATA_FENCE_BEGIN);
+        assert_eq!(end, DATA_FENCE_END);
     }
 
     #[test]

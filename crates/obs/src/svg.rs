@@ -1,0 +1,385 @@
+//! Dependency-free SVG primitives with deterministic geometry.
+//!
+//! The run dashboard ([`crate::dashboard`]) inherits the workspace's
+//! two-tier determinism contract: every Data-tier pixel must be
+//! byte-identical across worker counts and task widths. That rules out
+//! the default `f64` `Display` path — `format!("{}", x)` picks the
+//! shortest round-trippable decimal, so an ulp of drift anywhere in the
+//! geometry pipeline changes the rendered bytes. Everything here
+//! therefore formats through [`fmt_fixed`]: coordinates are computed in
+//! `f64` (IEEE arithmetic is a pure function of its inputs) and then
+//! snapped to a fixed number of decimals before they become text.
+//!
+//! Elements are built as a tree ([`SvgElement`]) rather than by string
+//! concatenation, so rendered output is well-formed by construction:
+//! tags balance because the tree closes them, and every attribute value
+//! and text node routes through [`xml_escape`]. The property tests in
+//! `crates/obs/tests/svg.rs` hold the module to that.
+
+use std::fmt::Write as _;
+
+/// Escape a string for use inside XML/HTML text nodes and attribute
+/// values (`& < > " '`).
+pub fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `v` with exactly `decimals` fractional digits, rounding half
+/// away from zero. Non-finite input renders as zero; magnitudes beyond
+/// what fits a `u64` after scaling saturate. Unlike `{:.2}` formatting
+/// this never falls back to scientific notation, so the output shape is
+/// stable for any input.
+pub fn fmt_fixed(v: f64, decimals: u32) -> String {
+    let decimals = decimals.min(9);
+    let scale = 10u64.pow(decimals);
+    let finite = if v.is_finite() { v } else { 0.0 };
+    let scaled_f = (finite.abs() * scale as f64).round();
+    let scaled = if scaled_f >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        scaled_f as u64
+    };
+    let sign = if finite < 0.0 && scaled > 0 { "-" } else { "" };
+    let whole = scaled / scale;
+    if decimals == 0 {
+        format!("{sign}{whole}")
+    } else {
+        let frac = scaled % scale;
+        format!("{sign}{whole}.{frac:0>width$}", width = decimals as usize)
+    }
+}
+
+/// A node in an SVG tree: a child element or an escaped text run.
+#[derive(Clone, Debug)]
+pub enum SvgNode {
+    /// Nested element.
+    Elem(SvgElement),
+    /// Text content (escaped at render time).
+    Text(String),
+}
+
+/// An SVG element under construction. Tag and attribute *names* are
+/// `&'static str` supplied by chart code and trusted; attribute *values*
+/// and text content are escaped on render.
+#[derive(Clone, Debug)]
+pub struct SvgElement {
+    name: &'static str,
+    attrs: Vec<(&'static str, String)>,
+    children: Vec<SvgNode>,
+}
+
+impl SvgElement {
+    /// Start a new element.
+    pub fn new(name: &'static str) -> SvgElement {
+        SvgElement {
+            name,
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Add a string attribute.
+    pub fn attr(mut self, key: &'static str, value: impl Into<String>) -> SvgElement {
+        self.attrs.push((key, value.into()));
+        self
+    }
+
+    /// Add a numeric attribute, formatted with two fixed decimals.
+    pub fn num_attr(self, key: &'static str, value: f64) -> SvgElement {
+        self.attr(key, fmt_fixed(value, 2))
+    }
+
+    /// Append a child element.
+    pub fn child(mut self, el: SvgElement) -> SvgElement {
+        self.children.push(SvgNode::Elem(el));
+        self
+    }
+
+    /// Append a text node.
+    pub fn text(mut self, content: &str) -> SvgElement {
+        self.children.push(SvgNode::Text(content.to_string()));
+        self
+    }
+
+    /// Render the element (and its subtree) as one line of markup.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        out.push('<');
+        out.push_str(self.name);
+        for (k, v) in &self.attrs {
+            let _ = write!(out, " {}=\"{}\"", k, xml_escape(v));
+        }
+        if self.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for c in &self.children {
+            match c {
+                SvgNode::Elem(e) => e.render_into(out),
+                SvgNode::Text(t) => out.push_str(&xml_escape(t)),
+            }
+        }
+        let _ = write!(out, "</{}>", self.name);
+    }
+}
+
+/// An `<svg>` root with explicit pixel dimensions and a matching viewBox.
+pub fn svg_root(width: f64, height: f64) -> SvgElement {
+    SvgElement::new("svg")
+        .attr("xmlns", "http://www.w3.org/2000/svg")
+        .num_attr("width", width)
+        .num_attr("height", height)
+        .attr(
+            "viewBox",
+            format!("0 0 {} {}", fmt_fixed(width, 2), fmt_fixed(height, 2)),
+        )
+}
+
+/// A filled rectangle.
+pub fn rect(x: f64, y: f64, w: f64, h: f64, fill: &str) -> SvgElement {
+    SvgElement::new("rect")
+        .num_attr("x", x)
+        .num_attr("y", y)
+        .num_attr("width", w)
+        .num_attr("height", h)
+        .attr("fill", fill)
+}
+
+/// A text label. `anchor` is an SVG `text-anchor` value.
+pub fn label(x: f64, y: f64, size: f64, anchor: &str, fill: &str, content: &str) -> SvgElement {
+    SvgElement::new("text")
+        .num_attr("x", x)
+        .num_attr("y", y)
+        .attr("font-size", fmt_fixed(size, 2))
+        .attr("font-family", "ui-monospace,monospace")
+        .attr("text-anchor", anchor.to_string())
+        .attr("fill", fill.to_string())
+        .text(content)
+}
+
+/// A stroked polyline through `points`.
+pub fn polyline(points: &[(f64, f64)], stroke: &str, stroke_width: f64) -> SvgElement {
+    let mut d = String::new();
+    for (i, (x, y)) in points.iter().enumerate() {
+        if i > 0 {
+            d.push(' ');
+        }
+        let _ = write!(d, "{},{}", fmt_fixed(*x, 2), fmt_fixed(*y, 2));
+    }
+    SvgElement::new("polyline")
+        .attr("points", d)
+        .attr("fill", "none")
+        .attr("stroke", stroke.to_string())
+        .attr("stroke-width", fmt_fixed(stroke_width, 2))
+}
+
+/// A filled circle marker.
+pub fn circle(cx: f64, cy: f64, r: f64, fill: &str) -> SvgElement {
+    SvgElement::new("circle")
+        .num_attr("cx", cx)
+        .num_attr("cy", cy)
+        .num_attr("r", r)
+        .attr("fill", fill)
+}
+
+/// Sparkline layout parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SparkSpec {
+    /// Total width in pixels.
+    pub width: f64,
+    /// Total height in pixels.
+    pub height: f64,
+    /// Inner padding on every side.
+    pub pad: f64,
+    /// Line colour.
+    pub stroke: &'static str,
+}
+
+impl Default for SparkSpec {
+    fn default() -> Self {
+        SparkSpec {
+            width: 220.0,
+            height: 48.0,
+            pad: 4.0,
+            stroke: "#2563eb",
+        }
+    }
+}
+
+/// Map a value series onto sparkline pixel coordinates (x left→right,
+/// y down-positive). A single point centres horizontally; an all-equal
+/// series (zero range) sits on the vertical midline rather than
+/// dividing by zero.
+pub fn spark_geometry(values: &[f64], spec: &SparkSpec) -> Vec<(f64, f64)> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for v in values {
+        lo = lo.min(*v);
+        hi = hi.max(*v);
+    }
+    let range = hi - lo;
+    let inner_w = spec.width - 2.0 * spec.pad;
+    let inner_h = spec.height - 2.0 * spec.pad;
+    let n = values.len();
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let x = if n == 1 {
+                spec.width / 2.0
+            } else {
+                spec.pad + inner_w * (i as f64) / ((n - 1) as f64)
+            };
+            let y = if range > 0.0 {
+                spec.pad + inner_h * (1.0 - (v - lo) / range)
+            } else {
+                spec.height / 2.0
+            };
+            (x, y)
+        })
+        .collect()
+}
+
+/// Render a sparkline `<svg>` for `values`. Empty input renders a
+/// "no data" placeholder; a single point renders as a dot; an all-equal
+/// series renders as a flat midline. The last point always carries a
+/// small marker dot.
+pub fn sparkline(values: &[f64], spec: &SparkSpec) -> SvgElement {
+    let root = svg_root(spec.width, spec.height).attr("class", "spark");
+    let points = spark_geometry(values, spec);
+    match points.as_slice() {
+        [] => root.child(label(
+            spec.width / 2.0,
+            spec.height / 2.0 + 3.0,
+            10.0,
+            "middle",
+            "#6b7280",
+            "no data",
+        )),
+        [only] => root.child(circle(only.0, only.1, 2.5, spec.stroke)),
+        many => {
+            let last = many[many.len() - 1];
+            root.child(polyline(many, spec.stroke, 1.5)).child(circle(
+                last.0,
+                last.1,
+                2.0,
+                spec.stroke,
+            ))
+        }
+    }
+}
+
+/// Trend direction of a series, per the usual sparkline convention:
+/// last-vs-first compared against `stability` × the value range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trend {
+    /// Values increasing.
+    Rising,
+    /// Values decreasing.
+    Falling,
+    /// Change within the stability threshold (or degenerate input).
+    Stable,
+}
+
+impl Trend {
+    /// Arrow glyph for captions.
+    pub fn indicator(self) -> &'static str {
+        match self {
+            Trend::Rising => "↑",
+            Trend::Falling => "↓",
+            Trend::Stable => "→",
+        }
+    }
+}
+
+/// Classify a series' direction. `stability` is the fraction of the
+/// min..max range under which first→last movement counts as stable
+/// (0.05 is the conventional default).
+pub fn trend_of(values: &[f64], stability: f64) -> Trend {
+    let (Some(first), Some(last)) = (values.first(), values.last()) else {
+        return Trend::Stable;
+    };
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for v in values {
+        lo = lo.min(*v);
+        hi = hi.max(*v);
+    }
+    let range = hi - lo;
+    let delta = last - first;
+    if range <= 0.0 || delta.abs() <= stability * range {
+        Trend::Stable
+    } else if delta > 0.0 {
+        Trend::Rising
+    } else {
+        Trend::Falling
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_fixed_is_shape_stable() {
+        assert_eq!(fmt_fixed(1.5, 2), "1.50");
+        assert_eq!(fmt_fixed(-0.005, 2), "-0.01");
+        assert_eq!(fmt_fixed(0.0, 2), "0.00");
+        assert_eq!(fmt_fixed(-0.0004, 2), "0.00"); // no negative zero
+        assert_eq!(fmt_fixed(1234.0, 0), "1234");
+        assert_eq!(fmt_fixed(f64::NAN, 2), "0.00");
+        assert_eq!(fmt_fixed(f64::INFINITY, 1), "0.0");
+        assert_eq!(fmt_fixed(1e300, 2), "184467440737095516.15"); // saturates, never panics
+    }
+
+    #[test]
+    fn geometry_handles_degenerate_series() {
+        let spec = SparkSpec::default();
+        assert!(spark_geometry(&[], &spec).is_empty());
+        let single = spark_geometry(&[42.0], &spec);
+        assert_eq!(single, vec![(spec.width / 2.0, spec.height / 2.0)]);
+        let flat = spark_geometry(&[7.0, 7.0, 7.0], &spec);
+        assert!(flat.iter().all(|(_, y)| *y == spec.height / 2.0));
+        assert_eq!(flat[0].0, spec.pad);
+        assert_eq!(flat[2].0, spec.width - spec.pad);
+    }
+
+    #[test]
+    fn attributes_and_text_are_escaped() {
+        let el = SvgElement::new("text")
+            .attr("data-k", "a<b&\"c\"")
+            .text("x < y & z");
+        let rendered = el.render();
+        assert_eq!(
+            rendered,
+            "<text data-k=\"a&lt;b&amp;&quot;c&quot;\">x &lt; y &amp; z</text>"
+        );
+    }
+
+    #[test]
+    fn trend_classification() {
+        assert_eq!(trend_of(&[0.9, 0.5, 0.1], 0.05), Trend::Falling);
+        assert_eq!(trend_of(&[0.1, 0.5, 0.9], 0.05), Trend::Rising);
+        assert_eq!(trend_of(&[5.0, 9.0, 5.1], 0.05), Trend::Stable);
+        assert_eq!(trend_of(&[3.0, 3.0], 0.05), Trend::Stable);
+        assert_eq!(trend_of(&[], 0.05), Trend::Stable);
+    }
+}

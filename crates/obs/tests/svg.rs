@@ -1,0 +1,214 @@
+//! SVG primitive tests: golden renders for the degenerate sparkline
+//! inputs (empty, single point, all-equal values) and property tests
+//! that anything the chart layer emits is well-formed markup — balanced
+//! tags, quoted and XML-escaped attribute values, escaped text nodes.
+//! The dashboard's determinism gate byte-compares rendered charts, so
+//! the golden strings double as a canary for accidental geometry or
+//! formatting drift.
+
+use flock_obs::svg::{label, sparkline, svg_root, SparkSpec, SvgElement};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+// -------------------------------------------------------------------
+// Golden renders
+// -------------------------------------------------------------------
+
+#[test]
+fn golden_empty_series_renders_a_placeholder() {
+    let svg = sparkline(&[], &SparkSpec::default()).render();
+    assert_eq!(
+        svg,
+        concat!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"220.00\" height=\"48.00\" ",
+            "viewBox=\"0 0 220.00 48.00\" class=\"spark\">",
+            "<text x=\"110.00\" y=\"27.00\" font-size=\"10.00\" ",
+            "font-family=\"ui-monospace,monospace\" text-anchor=\"middle\" ",
+            "fill=\"#6b7280\">no data</text>",
+            "</svg>"
+        )
+    );
+}
+
+#[test]
+fn golden_single_point_renders_a_centred_dot() {
+    let svg = sparkline(&[42.0], &SparkSpec::default()).render();
+    assert_eq!(
+        svg,
+        concat!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"220.00\" height=\"48.00\" ",
+            "viewBox=\"0 0 220.00 48.00\" class=\"spark\">",
+            "<circle cx=\"110.00\" cy=\"24.00\" r=\"2.50\" fill=\"#2563eb\"/>",
+            "</svg>"
+        )
+    );
+}
+
+#[test]
+fn golden_all_equal_values_render_a_flat_midline() {
+    // Zero range must land on the midline, not divide by zero.
+    let svg = sparkline(&[7.0, 7.0, 7.0], &SparkSpec::default()).render();
+    assert_eq!(
+        svg,
+        concat!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"220.00\" height=\"48.00\" ",
+            "viewBox=\"0 0 220.00 48.00\" class=\"spark\">",
+            "<polyline points=\"4.00,24.00 110.00,24.00 216.00,24.00\" fill=\"none\" ",
+            "stroke=\"#2563eb\" stroke-width=\"1.50\"/>",
+            "<circle cx=\"216.00\" cy=\"24.00\" r=\"2.00\" fill=\"#2563eb\"/>",
+            "</svg>"
+        )
+    );
+}
+
+// -------------------------------------------------------------------
+// Well-formedness checker (strict to this module's output dialect:
+// every <, >, &, " and ' in content is escaped, attributes are always
+// double-quoted)
+// -------------------------------------------------------------------
+
+const ENTITIES: [&str; 5] = ["&amp;", "&lt;", "&gt;", "&quot;", "&#39;"];
+
+fn validate_entities(text: &str, ctx: &str) -> Result<(), String> {
+    let mut rest = text;
+    while let Some(pos) = rest.find('&') {
+        let tail = &rest[pos..];
+        if !ENTITIES.iter().any(|e| tail.starts_with(e)) {
+            return Err(format!("raw '&' in {ctx}: {tail:?}"));
+        }
+        rest = &tail[1..];
+    }
+    if text.contains('<') || text.contains('>') {
+        return Err(format!("raw angle bracket in {ctx}: {text:?}"));
+    }
+    Ok(())
+}
+
+fn validate_attrs(tag_body: &str) -> Result<(), String> {
+    let mut rest = match tag_body.find(char::is_whitespace) {
+        Some(p) => tag_body[p..].trim_start(),
+        None => return Ok(()),
+    };
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("attribute without value in {tag_body:?}"))?;
+        let key = &rest[..eq];
+        if key.is_empty() || key.contains(char::is_whitespace) || key.contains('"') {
+            return Err(format!("malformed attribute name {key:?} in {tag_body:?}"));
+        }
+        let inner = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("unquoted attribute value in {tag_body:?}"))?;
+        let endq = inner
+            .find('"')
+            .ok_or_else(|| format!("unterminated attribute value in {tag_body:?}"))?;
+        validate_entities(&inner[..endq], "attribute value")?;
+        rest = inner[endq + 1..].trim_start();
+    }
+    Ok(())
+}
+
+/// Scan a rendered fragment: tags must balance, attribute values must be
+/// double-quoted with escaped content, text nodes must only use the five
+/// known entities.
+fn check_well_formed(doc: &str) -> Result<(), String> {
+    let mut stack: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < doc.len() {
+        if doc[i..].starts_with('<') {
+            let close = doc[i..]
+                .find('>')
+                .map(|p| p + i)
+                .ok_or_else(|| format!("unterminated tag at byte {i}"))?;
+            let tag = &doc[i + 1..close];
+            if let Some(name) = tag.strip_prefix('/') {
+                let top = stack
+                    .pop()
+                    .ok_or_else(|| format!("unmatched closing tag </{name}>"))?;
+                if top != name {
+                    return Err(format!("expected </{top}>, found </{name}>"));
+                }
+            } else {
+                let body = tag.strip_suffix('/').unwrap_or(tag);
+                let name = body
+                    .split_whitespace()
+                    .next()
+                    .ok_or_else(|| format!("empty tag at byte {i}"))?;
+                validate_attrs(body)?;
+                if !tag.ends_with('/') {
+                    stack.push(name.to_string());
+                }
+            }
+            i = close + 1;
+        } else {
+            let next = doc[i..].find('<').map(|p| p + i).unwrap_or(doc.len());
+            validate_entities(&doc[i..next], "text node")?;
+            i = next;
+        }
+    }
+    if stack.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unclosed tags: {stack:?}"))
+    }
+}
+
+#[test]
+fn checker_rejects_broken_markup() {
+    assert!(check_well_formed("<svg><rect/></svg>").is_ok());
+    assert!(check_well_formed("<svg><text>a</svg>").is_err()); // mismatch
+    assert!(check_well_formed("<svg>").is_err()); // unclosed
+    assert!(check_well_formed("<svg>a & b</svg>").is_err()); // raw ampersand
+    assert!(check_well_formed("<svg x=unquoted></svg>").is_err());
+    assert!(check_well_formed("<svg x=\"a<b\"></svg>").is_err());
+}
+
+/// Hostile text: printable base (the shim's `.` palette mixes in
+/// non-ASCII) with the five characters the escaper must handle spliced
+/// through it.
+fn hostile_text() -> impl Strategy<Value = String> {
+    (".{0,24}", 0usize..5).prop_map(|(base, pick)| {
+        let hostile = ['&', '<', '>', '"', '\''];
+        let mut s = String::new();
+        s.push(hostile[pick]);
+        let mid = base.chars().count() / 2;
+        for (i, c) in base.chars().enumerate() {
+            if i == mid {
+                s.push_str("<script>&\"'");
+            }
+            s.push(c);
+        }
+        s.push(hostile[(pick + 3) % hostile.len()]);
+        s
+    })
+}
+
+proptest! {
+    #[test]
+    fn generated_sparklines_are_well_formed(
+        values in prop::collection::vec(-1.0e9f64..1.0e9f64, 0..24)
+    ) {
+        let svg = sparkline(&values, &SparkSpec::default()).render();
+        if let Err(e) = check_well_formed(&svg) {
+            return Err(TestCaseError::fail(format!("{e}\nin: {svg}")));
+        }
+    }
+
+    #[test]
+    fn hostile_labels_and_attributes_stay_escaped(
+        text in hostile_text(),
+        attr in hostile_text(),
+        x in 0.0f64..800.0,
+        y in 0.0f64..600.0,
+    ) {
+        let svg = svg_root(800.0, 600.0)
+            .attr("data-hostile", attr)
+            .child(label(x, y, 10.0, "middle", "#111827", &text))
+            .child(SvgElement::new("g").child(label(0.0, 0.0, 8.0, "start", "#000", &text)))
+            .render();
+        if let Err(e) = check_well_formed(&svg) {
+            return Err(TestCaseError::fail(format!("{e}\nin: {svg}")));
+        }
+    }
+}

@@ -19,8 +19,18 @@
 //!
 //! --report PATH writes the deterministic run report (phase timeline,
 //! wait attribution, chaos impact, coverage gaps, slowest request
-//! chains) as text to PATH plus an HTML twin next to it. The report's
+//! chains); the format follows the extension — `.html` renders the
+//! standalone HTML page, anything else the text format. The report's
 //! Data-tier section is byte-identical across worker counts.
+//!
+//! --dashboard PATH renders the run dashboard: one self-contained HTML
+//! file (inline SVG, no external resources) with trend charts over the
+//! bench history (`--history PATH`, default BENCH_history.jsonl), the
+//! phase-timeline Gantt, per-worker utilization heatmap, wait
+//! attribution bars, the run report, and — with `--diff OTHER_REPORT` —
+//! a side-by-side Data-tier diff against another run's report file.
+//! The dashboard's Data-tier fence is byte-identical across worker
+//! counts and task widths.
 //!
 //! --chaos SCENARIO crawls through a canned deterministic fault plan
 //! seeded from the world seed: calm, rate-limit-storm, instance-massacre,
@@ -54,7 +64,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 fn usage() -> &'static str {
-    "usage: repro [--scale small|medium|paper|paper_scale] [--seed N] [--metrics PATH] [--report PATH] \
+    "usage: repro [--scale small|medium|paper|paper_scale] [--seed N] [--metrics PATH] \
+     [--report PATH (.html => HTML, else text)] \
+     [--dashboard PATH [--diff OTHER_REPORT] [--history PATH]] \
      [--chaos calm|rate-limit-storm|instance-massacre|flaky-federation|rolling-outages] [--workers N] [--tasks N] \
      [--monitor [--sim-days N] [--nodes PATH] [--checkpoint PATH] [--test]] \
      <fig1..fig16|headline|all|experiments-md|stamp[=path]>..."
@@ -66,6 +78,9 @@ fn main() -> ExitCode {
     let mut artifacts: Vec<String> = Vec::new();
     let mut metrics_path: Option<String> = None;
     let mut report_path: Option<String> = None;
+    let mut dashboard_path: Option<String> = None;
+    let mut diff_path: Option<String> = None;
+    let mut history_path = "BENCH_history.jsonl".to_string();
     let mut chaos: Option<Scenario> = None;
     let mut crawler_config = CrawlerConfig::default();
     let mut monitor = false;
@@ -173,6 +188,30 @@ fn main() -> ExitCode {
                 };
                 report_path = Some(v.clone());
             }
+            "--dashboard" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--dashboard needs a path; {}", usage());
+                    return ExitCode::FAILURE;
+                };
+                dashboard_path = Some(v.clone());
+            }
+            "--diff" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--diff needs another run's report path; {}", usage());
+                    return ExitCode::FAILURE;
+                };
+                diff_path = Some(v.clone());
+            }
+            "--history" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("--history needs a path; {}", usage());
+                    return ExitCode::FAILURE;
+                };
+                history_path = v.clone();
+            }
             "--help" | "-h" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -181,6 +220,15 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+    if diff_path.is_some() && dashboard_path.is_none() {
+        eprintln!("--diff only applies with --dashboard; {}", usage());
+        return ExitCode::FAILURE;
+    }
+    let dashboard = dashboard_path.map(|path| DashboardCli {
+        path,
+        diff_path,
+        history_path,
+    });
     if monitor {
         if !artifacts.is_empty() {
             eprintln!("--monitor takes no figure artifacts; {}", usage());
@@ -200,6 +248,7 @@ fn main() -> ExitCode {
             &mcli,
             metrics_path.as_deref(),
             report_path.as_deref(),
+            dashboard.as_ref(),
         );
     }
     if artifacts.is_empty() {
@@ -260,7 +309,7 @@ fn main() -> ExitCode {
             obs.event_count()
         );
     }
-    if let Some(path) = &report_path {
+    if report_path.is_some() || dashboard.is_some() {
         let report = match study.run_report(&obs, chaos, config.seed, workers) {
             Ok(r) => r,
             Err(e) => {
@@ -268,19 +317,27 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let html_path = match path.strip_suffix(".txt") {
-            Some(stem) => format!("{stem}.html"),
-            None => format!("{path}.html"),
-        };
-        if let Err(e) = std::fs::write(path, report.to_text()) {
-            eprintln!("[repro] report write failed ({path}): {e}");
-            return ExitCode::FAILURE;
+        if let Some(path) = &report_path {
+            if let Err(e) = write_report(path, &report) {
+                eprintln!("[repro] {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[repro] wrote run report to {path}");
         }
-        if let Err(e) = std::fs::write(&html_path, report.to_html()) {
-            eprintln!("[repro] report write failed ({html_path}): {e}");
-            return ExitCode::FAILURE;
+        if let Some(dash) = &dashboard {
+            // Worker counts and task widths stay out of the title: it
+            // renders inside the dashboard's Data-tier fence.
+            let title = format!(
+                "flock run dashboard — crawl · seed {} · scenario {}",
+                config.seed,
+                scenario_label(chaos)
+            );
+            if let Err(e) = write_dashboard(dash, title, &obs, &report) {
+                eprintln!("[repro] {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[repro] wrote run dashboard to {}", dash.path);
         }
-        eprintln!("[repro] wrote run report to {path} (+ {html_path})");
     }
 
     for a in &artifacts {
@@ -369,6 +426,78 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Dashboard CLI knobs (`--dashboard`, `--diff`, `--history`), already
+/// parsed and defaulted.
+struct DashboardCli {
+    path: String,
+    diff_path: Option<String>,
+    history_path: String,
+}
+
+/// Stable scenario name for titles and labels (`"none"` without chaos).
+fn scenario_label(chaos: Option<Scenario>) -> String {
+    chaos
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| "none".to_string())
+}
+
+/// Write a run report to `path`, picking the format from the extension:
+/// `.html` renders the standalone HTML page, anything else the text
+/// format whose Data fence CI byte-compares.
+fn write_report(path: &str, report: &flock_obs::report::RunReport) -> Result<(), String> {
+    let body = if path.ends_with(".html") {
+        report.to_html()
+    } else {
+        report.to_text()
+    };
+    std::fs::write(path, body).map_err(|e| format!("report write failed ({path}): {e}"))
+}
+
+/// Render and write the run dashboard: parse the bench history (absent
+/// file → empty trends, noted in the caption; malformed file → hard
+/// error), read the `--diff` report's Data-tier fence when given, and
+/// emit the single self-contained HTML file.
+fn write_dashboard(
+    cli: &DashboardCli,
+    title: String,
+    obs: &Registry,
+    report: &flock_obs::report::RunReport,
+) -> Result<(), String> {
+    use flock_obs::dashboard as dash;
+    let (history, history_note) = match std::fs::read_to_string(&cli.history_path) {
+        Ok(text) => {
+            let entries =
+                dash::parse_history(&text).map_err(|e| format!("{}: {e}", cli.history_path))?;
+            let note = format!("{} · {} entries", cli.history_path, entries.len());
+            (entries, note)
+        }
+        Err(_) => (Vec::new(), format!("{} · not found", cli.history_path)),
+    };
+    let diff = match &cli.diff_path {
+        Some(other) => {
+            let text = std::fs::read_to_string(other)
+                .map_err(|e| format!("diff report read failed ({other}): {e}"))?;
+            // Diff Data tier against Data tier; a fence-less file (e.g. a
+            // bare section dump) diffs whole.
+            let other_data = dash::data_fence_slice(&text).unwrap_or(&text).to_string();
+            Some(dash::DiffInput {
+                ours_label: "this run".to_string(),
+                other_label: other.clone(),
+                other_data,
+            })
+        }
+        None => None,
+    };
+    let meta = dash::DashboardMeta {
+        title,
+        history_note,
+        diff,
+    };
+    let html = dash::render_dashboard(obs, report, &history, &meta);
+    std::fs::write(&cli.path, html)
+        .map_err(|e| format!("dashboard write failed ({}): {e}", cli.path))
+}
+
 /// Monitor-mode CLI knobs, already parsed and defaulted.
 struct MonitorCli {
     sim_days: u64,
@@ -409,6 +538,7 @@ fn run_monitor(
     cli: &MonitorCli,
     metrics_path: Option<&str>,
     report_path: Option<&str>,
+    dashboard: Option<&DashboardCli>,
 ) -> ExitCode {
     eprintln!(
         "[repro] generating world (seed {}, {} users, {} instances) and monitoring…",
@@ -473,9 +603,7 @@ fn run_monitor(
         eprintln!("[repro] monitor stopped before the horizon (checkpointed)");
     }
 
-    let scenario_name = chaos
-        .map(|s| s.to_string())
-        .unwrap_or_else(|| "none".to_string());
+    let scenario_name = scenario_label(chaos);
     if let Some(path) = &cli.nodes_path {
         let body =
             flock_monitor::nodes_list(&out.records, config.seed, &scenario_name, cli.sim_days);
@@ -501,7 +629,7 @@ fn run_monitor(
             return ExitCode::FAILURE;
         }
     }
-    if let Some(path) = report_path {
+    if report_path.is_some() || dashboard.is_some() {
         let chaos_plan = match chaos {
             Some(s) => match s.plan(config.seed).resolve(&world.outage_candidates()) {
                 Ok(plan) => plan.describe(),
@@ -564,19 +692,26 @@ fn run_monitor(
             top_k: 10,
         };
         let report = flock_obs::report::RunReport::build(&obs, &meta);
-        let html_path = match path.strip_suffix(".txt") {
-            Some(stem) => format!("{stem}.html"),
-            None => format!("{path}.html"),
-        };
-        if let Err(e) = std::fs::write(path, report.to_text()) {
-            eprintln!("[repro] report write failed ({path}): {e}");
-            return ExitCode::FAILURE;
+        if let Some(path) = report_path {
+            if let Err(e) = write_report(path, &report) {
+                eprintln!("[repro] {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[repro] wrote run report to {path}");
         }
-        if let Err(e) = std::fs::write(&html_path, report.to_html()) {
-            eprintln!("[repro] report write failed ({html_path}): {e}");
-            return ExitCode::FAILURE;
+        if let Some(dash) = dashboard {
+            // Thread counts and the admission window stay out of the
+            // title: it renders inside the Data-tier fence.
+            let title = format!(
+                "flock run dashboard — monitor · seed {} · scenario {scenario_name}",
+                config.seed
+            );
+            if let Err(e) = write_dashboard(dash, title, &obs, &report) {
+                eprintln!("[repro] {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("[repro] wrote run dashboard to {}", dash.path);
         }
-        eprintln!("[repro] wrote run report to {path} (+ {html_path})");
     }
     if cli.test_lines {
         let rate = if wall_secs > 0.0 {

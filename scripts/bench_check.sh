@@ -21,6 +21,9 @@
 #             30 simulated days under rolling-outages) must complete, and
 #             its checks/sec must stay >= 0.8 x the median recorded
 #             checks_per_sec, with peak RSS <= 1.2 x the median.
+#   * dashboard: repro --dashboard must render all five gated trend
+#             charts (search qps, expand secs, sched speedup, monitor
+#             checks/sec, peak RSS) from the committed history.
 #
 # Each trend gate needs a full 3-entry window of shape-matched history
 # lines; with fewer it prints an explicit `SKIPPED (bootstrap)` line and
@@ -44,7 +47,8 @@ window="$(mktemp -t flock-bench-window-XXXXXX)"
 mwindow="$(mktemp -t flock-monitor-window-XXXXXX)"
 log="$(mktemp -t flock-bench-XXXXXX.log)"
 mlog="$(mktemp -t flock-monitor-XXXXXX.log)"
-trap 'rm -f "$window" "$mwindow" "$log" "$mlog"' EXIT
+dash="$(mktemp -t flock-dash-XXXXXX.html)"
+trap 'rm -f "$window" "$mwindow" "$log" "$mlog" "$dash"' EXIT
 # Baseline window: the last 3 recorded *throughput-shaped* entries
 # (newest last). The history also carries paper_scale and monitor entries
 # with different shapes; selecting on a key the gates below read keeps
@@ -202,6 +206,22 @@ else
     echo "bench_check: monitor memory ok (peak RSS ${measured_mon_rss} bytes vs median ${base_mon_rss} bytes)"
   fi
 fi
+
+# Dashboard trend smoke: the run dashboard mirrors the gates above as
+# SVG trend charts over the same shape-filtered history windows; all
+# five gated series must render (a missing chart means the dashboard's
+# view of the history diverged from this script's).
+echo "==> repro --dashboard (trend chart smoke over $history)"
+cargo run -q --release -p flock-repro -- \
+  --scale small --seed 1234 --history "$history" --dashboard "$dash" \
+  headline >/dev/null 2>&1
+for key in search-qps expand-secs sched-speedup monitor-checks peak-rss; do
+  if ! grep -q "trend-$key" "$dash"; then
+    echo "bench_check: DASHBOARD SMOKE FAILED: missing trend chart trend-$key" >&2
+    exit 1
+  fi
+done
+echo "bench_check: dashboard trend charts ok (5 gated series rendered)"
 
 if [ "$fail" -ne 0 ]; then
   echo "bench_check: FAILED (regression vs the $history trend)" >&2

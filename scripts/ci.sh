@@ -10,8 +10,11 @@
 # the monitor determinism matrix (the continuous-monitoring workload must
 # render byte-identical nodes lists and report Data sections at any
 # threads x tasks point, through a chaos plan with instance rebirth),
-# a chaos-scenario smoke crawl, and an advisory throughput-regression
-# check. The same script backs .github/workflows/ci.yml.
+# a chaos-scenario smoke crawl, a run-dashboard smoke (self-contained
+# HTML whose fenced Data region is also byte-compared in both matrices,
+# plus a --diff view that must flag chaos divergence), and an advisory
+# throughput-regression check. The same script backs
+# .github/workflows/ci.yml.
 #
 # Every stage prints a named banner on entry and its wall-clock seconds on
 # exit, so a matrix failure in CI logs pins down both the stage and — via
@@ -73,6 +76,7 @@ for seed in 1 1234 9999; do
     cargo run -q --release -p flock-repro -- \
       --scale small --seed "$seed" --workers "$w" \
       --report "$scratch/s$seed-w$w.report.txt" \
+      --dashboard "$scratch/s$seed-w$w.dash.html" \
       "stamp=$scratch/s$seed-w$w.stamp" headline >/dev/null 2>&1
   done
   if ! cmp -s "$scratch/s$seed-w1.stamp" "$scratch/s$seed-w8.stamp"; then
@@ -85,12 +89,21 @@ for seed in 1 1234 9999; do
     sed -n '/^=== BEGIN DATA TIER/,/^=== END DATA TIER/p' \
       "$scratch/s$seed-w$w.report.txt" >"$scratch/s$seed-w$w.report.data"
     test -s "$scratch/s$seed-w$w.report.data"
+    # So is the dashboard's fenced Data region — every chart pixel in it
+    # (geometry included) must be byte-identical across worker counts.
+    sed -n '/^<!--=== BEGIN DASHBOARD DATA TIER ===-->$/,/^<!--=== END DASHBOARD DATA TIER ===-->$/p' \
+      "$scratch/s$seed-w$w.dash.html" >"$scratch/s$seed-w$w.dash.data"
+    test -s "$scratch/s$seed-w$w.dash.data"
   done
   if ! cmp -s "$scratch/s$seed-w1.report.data" "$scratch/s$seed-w8.report.data"; then
     echo "DETERMINISM FAILURE: seed $seed report Data sections differ between workers=1 and workers=8" >&2
     exit 1
   fi
-  echo "    seed $seed: workers=1 == workers=8 (stamp + report data tier)"
+  if ! cmp -s "$scratch/s$seed-w1.dash.data" "$scratch/s$seed-w8.dash.data"; then
+    echo "DETERMINISM FAILURE: seed $seed dashboard Data regions differ between workers=1 and workers=8" >&2
+    exit 1
+  fi
+  echo "    seed $seed: workers=1 == workers=8 (stamp + report data tier + dashboard data region)"
 done
 
 stage "scheduler determinism matrix (seeds x threads x tasks must match the legacy stamps)"
@@ -101,6 +114,7 @@ for seed in 1 1234 9999; do
       cargo run -q --release -p flock-repro -- \
         --scale small --seed "$seed" --workers "$w" --tasks "$n" \
         --report "$scratch/$tag.report.txt" \
+        --dashboard "$scratch/$tag.dash.html" \
         "stamp=$scratch/$tag.stamp" headline >/dev/null 2>&1
       # The scheduler is an execution detail: its stamp must be
       # byte-identical to the legacy-pool stamp of the same seed.
@@ -115,9 +129,16 @@ for seed in 1 1234 9999; do
         echo "DETERMINISM FAILURE: seed $seed scheduler report Data section (workers=$w tasks=$n) differs from the legacy pool" >&2
         exit 1
       fi
+      sed -n '/^<!--=== BEGIN DASHBOARD DATA TIER ===-->$/,/^<!--=== END DASHBOARD DATA TIER ===-->$/p' \
+        "$scratch/$tag.dash.html" >"$scratch/$tag.dash.data"
+      test -s "$scratch/$tag.dash.data"
+      if ! cmp -s "$scratch/s$seed-w1.dash.data" "$scratch/$tag.dash.data"; then
+        echo "DETERMINISM FAILURE: seed $seed scheduler dashboard Data region (workers=$w tasks=$n) differs from the legacy pool" >&2
+        exit 1
+      fi
     done
   done
-  echo "    seed $seed: scheduler {1,8} threads x {64,10000} tasks == legacy (stamp + report data tier)"
+  echo "    seed $seed: scheduler {1,8} threads x {64,10000} tasks == legacy (stamp + report data tier + dashboard data region)"
 done
 
 stage "monitor determinism matrix (seeds x threads x tasks, 30 days under rolling outages)"
@@ -129,15 +150,44 @@ stage "monitor determinism matrix (seeds x threads x tasks, 30 days under rollin
 # this gate.
 scripts/monitor_matrix.sh
 
-stage "report smoke (repro --report under chaos: fences, attribution, HTML twin)"
+stage "report smoke (repro --report under chaos: fences, attribution, extension-keyed format)"
 report_out="$scratch/report.txt"
 cargo run -q --release -p flock-repro -- \
   --scale small --seed 1234 --chaos rate-limit-storm --workers 8 \
   --report "$report_out" headline >/dev/null 2>&1
 test -s "$report_out"
-test -s "$scratch/report.html"
 grep -q 'wait attribution' "$report_out"
 grep -q 'retry_after_storm=[1-9]' "$report_out"
+
+stage "dashboard smoke (self-contained HTML, trend charts, --diff flags chaos divergence)"
+calm_report="$scratch/calm.report.txt"
+cargo run -q --release -p flock-repro -- \
+  --scale small --seed 1234 --chaos calm --workers 8 \
+  --report "$calm_report" headline >/dev/null 2>&1
+dash_out="$scratch/storm.dash.html"
+cargo run -q --release -p flock-repro -- \
+  --scale small --seed 1234 --chaos rate-limit-storm --workers 8 \
+  --report "$scratch/storm.report.html" \
+  --dashboard "$dash_out" --diff "$calm_report" headline >/dev/null 2>&1
+# The --report extension convention: .html selects the HTML renderer.
+grep -q '<html' "$scratch/storm.report.html"
+test -s "$dash_out"
+# One gated trend chart per bench metric, fed by the committed history.
+for key in search-qps expand-secs sched-speedup monitor-checks peak-rss; do
+  grep -q "trend-$key" "$dash_out"
+done
+# Self-contained: a dashboard must never fetch external JS/CSS/fonts.
+if grep -Eq 'src=|href=|@import|url\(|<script' "$dash_out"; then
+  echo "DASHBOARD FAILURE: external resource reference in $dash_out" >&2
+  exit 1
+fi
+# The diff view must flag the chaos-impact counter divergence between the
+# calm and rate-limit-storm runs.
+if ! grep -E '<tr class="chg">' "$dash_out" | grep -q 'chaos'; then
+  echo "DASHBOARD FAILURE: --diff did not flag divergent chaos lines" >&2
+  exit 1
+fi
+echo "    dashboard: 5 trend charts, self-contained, diff flags chaos divergence"
 
 stage "chaos smoke (repro --chaos rate-limit-storm must degrade gracefully)"
 chaos_log="$scratch/chaos.log"
